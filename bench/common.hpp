@@ -1,0 +1,99 @@
+// Shared benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§V-VI). Measurements are *simulated* time from the
+// deterministic discrete-event model, reported through google-benchmark's
+// manual-time mode; after the benchmark pass each binary prints the
+// corresponding paper-style table.
+//
+// Environment knobs:
+//   BIGK_SCALE   capacity scale vs. the paper's testbed (default 0.005,
+//                i.e. 1/200: a 6 GB input becomes ~30 MB against a ~10 MB
+//                GPU). Any value keeps every ratio intact; smaller is
+//                faster.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "apps/registry.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/runners.hpp"
+
+namespace bigk::bench {
+
+struct Context {
+  apps::ScaledSystem scaled;
+  gpusim::SystemConfig config;
+  schemes::SchemeConfig scheme_config;
+  std::vector<apps::BenchApp> suite;
+
+  static Context from_env() {
+    Context ctx;
+    ctx.scaled.scale = 0.005;
+    if (const char* env = std::getenv("BIGK_SCALE")) {
+      ctx.scaled.scale = std::atof(env);
+      if (ctx.scaled.scale <= 0.0) ctx.scaled.scale = 0.005;
+    }
+    ctx.config = ctx.scaled.config();
+    ctx.scheme_config.gpu_blocks = 32;
+    ctx.scheme_config.gpu_threads_per_block = 256;
+    ctx.scheme_config.bigkernel.num_blocks = 8;
+    ctx.scheme_config.bigkernel.compute_threads_per_block = 128;
+    ctx.suite = apps::benchmark_apps(ctx.scaled);
+    return ctx;
+  }
+};
+
+/// Results store keyed by "app/variant"; populated by benchmark bodies and
+/// consumed by the table printer after RunSpecifiedBenchmarks().
+using ResultStore = std::map<std::string, schemes::RunMetrics>;
+
+/// Registers a google-benchmark entry that performs `run` once, reports its
+/// simulated completion time as manual time, and stores the metrics.
+inline void register_sim_benchmark(
+    const std::string& name, ResultStore* store,
+    std::function<schemes::RunMetrics()> run) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [store, name, run](benchmark::State& state) {
+        schemes::RunMetrics metrics;
+        for (auto _ : state) {
+          metrics = run();
+          state.SetIterationTime(sim::to_seconds(metrics.total_time));
+        }
+        state.counters["sim_ms"] = sim::to_milliseconds(metrics.total_time);
+        state.counters["h2d_MB"] =
+            static_cast<double>(metrics.h2d_bytes) / 1e6;
+        state.counters["d2h_MB"] =
+            static_cast<double>(metrics.d2h_bytes) / 1e6;
+        (*store)[name] = metrics;
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+inline void print_header(const char* title, const Context& ctx) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("scale=%g (paper sizes x scale; all rate ratios scale-free)\n",
+              ctx.scaled.scale);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bigk::bench

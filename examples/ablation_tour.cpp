@@ -1,0 +1,74 @@
+// Ablation tour: what each BigKernel feature buys (§IV / Fig. 5 / Table II),
+// demonstrated on the Word Count workload.
+//
+// Walks from the single-buffer baseline through: pipelined overlap, transfer
+// volume reduction, coalesced layout, pattern recognition, and
+// locality-aware assembly, printing the delta each toggle contributes.
+//
+//   $ ./examples/ablation_tour
+#include <cstdio>
+
+#include "apps/wordcount.hpp"
+#include "schemes/runners.hpp"
+
+int main() {
+  using namespace bigk;
+  const apps::ScaledSystem scaled{.scale = 0.003};
+  const gpusim::SystemConfig config = scaled.config();
+  apps::WordCountApp app({.data_bytes = scaled.data_bytes(4.5), .seed = 5});
+
+  schemes::SchemeConfig sc;
+  sc.bigkernel.num_blocks = 8;
+  sc.bigkernel.compute_threads_per_block = 128;
+
+  const schemes::RunMetrics single = schemes::run_gpu_single(config, app, sc);
+  const std::uint64_t reference = app.result_digest();
+  std::printf("Word Count, %.1f MB corpus; single-buffer baseline %.3f ms\n\n",
+              static_cast<double>(app.num_records() * 64) / 1e6,
+              sim::to_milliseconds(single.total_time));
+  std::printf("%-44s %10s %9s %11s\n", "variant", "sim time", "vs base",
+              "h2d moved");
+
+  struct Variant {
+    const char* name;
+    core::Options options;
+  };
+  core::Options overlap = core::Options::overlap_only();
+  core::Options reduced = core::Options::with_transfer_reduction();
+  core::Options full = core::Options::full();
+  core::Options no_patterns = core::Options::full();
+  no_patterns.pattern_recognition = false;
+  core::Options no_locality = core::Options::full();
+  no_locality.locality_assembly = false;
+  const Variant variants[] = {
+      {"pipelined overlap only", overlap},
+      {"+ transfer volume reduction", reduced},
+      {"+ coalesced layout (full BigKernel)", full},
+      {"full, but pattern recognition off", no_patterns},
+      {"full, but locality-aware assembly off", no_locality},
+  };
+
+  for (const Variant& variant : variants) {
+    sc.bigkernel = variant.options;
+    sc.bigkernel.num_blocks = 8;
+    sc.bigkernel.compute_threads_per_block = 128;
+    const schemes::RunMetrics metrics =
+        schemes::run_bigkernel(config, app, sc);
+    if (app.result_digest() != reference) {
+      std::printf("!! %s diverged\n", variant.name);
+      return 1;
+    }
+    std::printf("%-44s %7.3f ms %8.2fx %8.2f MB\n", variant.name,
+                sim::to_milliseconds(metrics.total_time),
+                schemes::speedup(single, metrics),
+                static_cast<double>(metrics.h2d_bytes) / 1e6);
+  }
+
+  std::printf("\nWord Count reads 100%% of its input, so transfer reduction "
+              "adds nothing;\nthe gains come from overlap, coalescing, and "
+              "(vs raw addresses) patterns —\nexactly the paper's Fig. 5 / "
+              "Table II story. Every variant produced the\nsame word counts "
+              "(digest %016llx).\n",
+              static_cast<unsigned long long>(reference));
+  return 0;
+}

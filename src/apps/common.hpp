@@ -1,0 +1,90 @@
+// Shared application infrastructure: deterministic RNG, Table-I metadata,
+// and the scaling rule that maps the paper's multi-gigabyte inputs onto
+// simulation-friendly sizes.
+//
+// Scaling: every capacity (input bytes, GPU memory) is multiplied by the
+// same factor, so the out-of-core ratio — the property all of the paper's
+// effects depend on — is preserved exactly. Rates (GB/s, GHz) are never
+// scaled, so time *ratios* are scale-invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/config.hpp"
+
+namespace bigk::apps {
+
+/// Deterministic 64-bit RNG (splitmix64): seedable, fast, and identical on
+/// every platform, so generated datasets and results are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  double unit() {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a, used for both in-kernel hashing and result digests.
+constexpr std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+
+/// Charges `ops` arithmetic operations, inflated by `warp_divergence` on
+/// SIMD (GPU) contexts. Divergent branches make lock-step warps execute both
+/// paths; each kernel declares how branchy its inner loop is (1.0 = uniform
+/// control flow, e.g. K-means; ~3 = heavily data-dependent text processing).
+/// CPU contexts execute scalar code and pay the plain cost.
+template <class Ctx>
+void charge_alu(Ctx& ctx, double ops, double warp_divergence) {
+  ctx.alu(Ctx::kSimd ? ops * warp_divergence : ops);
+}
+
+/// A Table I row: the paper-scale characteristics of an app's mapped data.
+struct AppInfo {
+  std::string name;
+  double paper_data_gb = 0.0;  // "Data Size" column
+  const char* record_type = "Fixed-length";
+  double read_pct = 0.0;      // "Mapped Data Access Proportion: Read"
+  double modified_pct = 0.0;  // "...: Modified"
+};
+
+/// Scale factor applied to the paper's testbed and datasets. The same value
+/// must be used for the SystemConfig and for app sizing.
+struct ScaledSystem {
+  double scale = 0.01;
+
+  gpusim::SystemConfig config() const {
+    gpusim::SystemConfig system;
+    system.capacity_scale = scale;
+    system.gpu.global_memory_bytes = static_cast<std::uint64_t>(
+        2.0 * 1024 * 1024 * 1024 * scale);  // GTX 680: 2 GB
+    return system;
+  }
+
+  /// Scaled byte size for a paper-scale dataset of `gigabytes` (1 GB = 2^30).
+  std::uint64_t data_bytes(double gigabytes) const {
+    return static_cast<std::uint64_t>(gigabytes * 1024 * 1024 * 1024 * scale);
+  }
+};
+
+}  // namespace bigk::apps

@@ -1,0 +1,54 @@
+#include "apps/dna.hpp"
+
+#include <algorithm>
+
+namespace bigk::apps {
+
+DnaApp::DnaApp(const Params& params) {
+  records_ = params.data_bytes / (kElemsPerRecord * sizeof(std::uint64_t));
+  fragments_.resize(records_ * kElemsPerRecord);
+  Rng rng(params.seed);
+  // Fragments are drawn from a synthetic genome of overlapping reads so that
+  // identical k-mers really do repeat (that is what the hash table counts).
+  constexpr std::uint64_t kGenomeChunks = 1u << 12;
+  for (std::uint64_t r = 0; r < records_; ++r) {
+    std::uint64_t* record = &fragments_[r * kElemsPerRecord];
+    Rng fragment(params.seed ^ (0x9E37 + rng.below(kGenomeChunks)));
+    for (std::uint32_t i = 0; i < kReadsPerRecord; ++i) {
+      record[i] = fragment.next();  // 32 packed bases
+    }
+    record[4] = rng.below(64);  // quality
+    for (std::uint32_t i = 5; i < kElemsPerRecord; ++i) {
+      record[i] = rng.next();
+    }
+  }
+  kmer_counts_ = tables_.add<std::uint32_t>(kBuckets);
+  reset();
+}
+
+void DnaApp::reset() {
+  auto counts = tables_.host_span(kmer_counts_);
+  std::fill(counts.begin(), counts.end(), 0u);
+}
+
+std::vector<schemes::StreamDecl> DnaApp::stream_decls() {
+  schemes::StreamDecl decl;
+  decl.binding.host_data = reinterpret_cast<std::byte*>(fragments_.data());
+  decl.binding.num_elements = fragments_.size();
+  decl.binding.elem_size = sizeof(std::uint64_t);
+  decl.binding.mode = core::AccessMode::kReadOnly;
+  decl.binding.elems_per_record = kElemsPerRecord;
+  decl.binding.reads_per_record = kReadsPerRecord;
+  decl.binding.writes_per_record = 0;
+  return {decl};
+}
+
+std::uint64_t DnaApp::result_digest() const {
+  std::uint64_t digest = kFnvBasis;
+  for (std::uint32_t count : tables_.host_span(kmer_counts_)) {
+    digest = fnv1a(digest, count);
+  }
+  return digest;
+}
+
+}  // namespace bigk::apps

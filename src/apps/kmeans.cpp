@@ -1,0 +1,59 @@
+#include "apps/kmeans.hpp"
+
+#include <bit>
+
+namespace bigk::apps {
+
+KmeansApp::KmeansApp(const Params& params) {
+  records_ = params.data_bytes / (kElemsPerRecord * sizeof(double));
+  particles_.resize(records_ * kElemsPerRecord);
+  Rng rng(params.seed);
+  for (std::uint64_t r = 0; r < records_; ++r) {
+    double* record = &particles_[r * kElemsPerRecord];
+    for (std::uint32_t d = 0; d < kDims; ++d) {
+      record[d] = rng.unit() * 100.0;
+    }
+    record[4] = -1.0;  // cid, written by the kernel
+    record[5] = rng.unit();
+    record[6] = rng.unit();
+    record[7] = rng.unit();
+  }
+
+  centroids_ = tables_.add<double>(kClusters * kDims);
+  Rng centroid_rng(params.seed ^ 0xC1u);
+  auto span = tables_.host_span(centroids_);
+  for (double& value : span) value = centroid_rng.unit() * 100.0;
+  initial_centroids_.assign(span.begin(), span.end());
+}
+
+void KmeansApp::reset() {
+  for (std::uint64_t r = 0; r < records_; ++r) {
+    particles_[r * kElemsPerRecord + 4] = -1.0;
+  }
+  auto span = tables_.host_span(centroids_);
+  std::copy(initial_centroids_.begin(), initial_centroids_.end(),
+            span.begin());
+}
+
+std::vector<schemes::StreamDecl> KmeansApp::stream_decls() {
+  schemes::StreamDecl decl;
+  decl.binding.host_data = reinterpret_cast<std::byte*>(particles_.data());
+  decl.binding.num_elements = particles_.size();
+  decl.binding.elem_size = sizeof(double);
+  decl.binding.mode = core::AccessMode::kReadWrite;
+  decl.binding.elems_per_record = kElemsPerRecord;
+  decl.binding.reads_per_record = kReadsPerRecord;
+  decl.binding.writes_per_record = 1;
+  return {decl};
+}
+
+std::uint64_t KmeansApp::result_digest() const {
+  std::uint64_t digest = kFnvBasis;
+  for (std::uint64_t r = 0; r < records_; ++r) {
+    digest = fnv1a(digest, std::bit_cast<std::uint64_t>(
+                               particles_[r * kElemsPerRecord + 4]));
+  }
+  return digest;
+}
+
+}  // namespace bigk::apps

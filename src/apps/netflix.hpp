@@ -1,0 +1,75 @@
+// Netflix: predicts user movie preferences by correlating pairs of user
+// ratings [Chen & Schlosser 2008].
+//
+// Mapped data: fixed 80-byte records of 10 uint64 elements
+// [pair_key, rating_a, rating_b, movie, ts, payload x5]; the kernel reads
+// the first 3 (24 B = 30% of the record, Table I) and accumulates the
+// rating correlation of each user pair into a device-resident table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "core/stream.hpp"
+#include "schemes/runners.hpp"
+
+namespace bigk::apps {
+
+class NetflixApp {
+ public:
+  static constexpr std::uint32_t kElemsPerRecord = 10;
+  static constexpr std::uint32_t kReadsPerRecord = 3;
+  static constexpr std::uint32_t kPairBuckets = 1u << 14;
+
+  struct Params {
+    std::uint64_t data_bytes = 6ull << 20;
+    std::uint64_t seed = 3;
+  };
+
+  explicit NetflixApp(const Params& params);
+
+  void reset();
+  std::uint64_t num_records() const { return records_; }
+  core::TableSet& tables() { return tables_; }
+  bool interleaved_records() const { return true; }
+  std::vector<schemes::StreamDecl> stream_decls();
+
+  struct Kernel {
+    core::StreamRef<std::uint64_t> ratings{0};
+    core::TableRef<std::uint64_t> correlation;
+
+    template <class Ctx>
+    void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
+                    std::uint64_t stride) const {
+      for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
+        const std::uint64_t base = r * kElemsPerRecord;
+        const std::uint64_t pair_key = ctx.read(ratings, base);
+        const std::uint64_t rating_a = ctx.read(ratings, base + 1);
+        const std::uint64_t rating_b = ctx.read(ratings, base + 2);
+        // Pearson-style contribution (means handled in a later CPU pass):
+        // accumulate a*b and the marginals packed into one counter.
+        const std::uint64_t contribution =
+            rating_a * rating_b + (rating_a << 16) + (rating_b << 32);
+        ctx.alu(18);
+        ctx.atomic_add_table(correlation, pair_key % kPairBuckets,
+                             contribution);
+      }
+    }
+  };
+
+  Kernel kernel() const { return Kernel{{0}, correlation_}; }
+
+  static AppInfo paper_info() {
+    return AppInfo{"Netflix", 6.0, "Fixed-length", 30.0, 0.0};
+  }
+  std::uint64_t result_digest() const;
+
+ private:
+  std::uint64_t records_;
+  std::vector<std::uint64_t> ratings_;
+  core::TableSet tables_;
+  core::TableRef<std::uint64_t> correlation_;
+};
+
+}  // namespace bigk::apps

@@ -1,0 +1,61 @@
+#include "apps/opinion.hpp"
+
+#include <algorithm>
+
+namespace bigk::apps {
+
+OpinionApp::OpinionApp(const Params& params) {
+  records_ = params.data_bytes / (kElemsPerRecord * sizeof(std::uint64_t));
+  tweets_.resize(records_ * kElemsPerRecord);
+  Rng rng(params.seed);
+  for (std::uint64_t r = 0; r < records_; ++r) {
+    std::uint64_t* record = &tweets_[r * kElemsPerRecord];
+    record[0] = 1'300'000'000 + rng.below(50'000'000);  // timestamp
+    for (std::uint32_t i = 1; i < 9; ++i) record[i] = rng.next();  // metadata
+    for (std::uint32_t t = 0; t < kTokens; ++t) {
+      record[9 + t] = rng.below(1u << 16);  // token id
+    }
+    record[31] = rng.next();
+  }
+
+  positive_ = tables_.add<std::uint32_t>(kDictBuckets);
+  negative_ = tables_.add<std::uint32_t>(kDictBuckets);
+  adverbs_ = tables_.add<std::uint32_t>(kDictBuckets);
+  score_ = tables_.add<std::uint64_t>(1);
+
+  Rng dict_rng(params.seed ^ 0xD1C7);
+  auto fill_dict = [&](core::TableRef<std::uint32_t> dict, double density) {
+    auto span = tables_.host_span(dict);
+    for (std::uint32_t& slot : span) {
+      slot = dict_rng.unit() < density ? 1u : 0u;
+    }
+  };
+  fill_dict(positive_, 0.08);
+  fill_dict(negative_, 0.08);
+  fill_dict(adverbs_, 0.04);
+  reset();
+}
+
+void OpinionApp::reset() { tables_.host_span(score_)[0] = 0; }
+
+std::vector<schemes::StreamDecl> OpinionApp::stream_decls() {
+  schemes::StreamDecl decl;
+  decl.binding.host_data = reinterpret_cast<std::byte*>(tweets_.data());
+  decl.binding.num_elements = tweets_.size();
+  decl.binding.elem_size = sizeof(std::uint64_t);
+  decl.binding.mode = core::AccessMode::kReadOnly;
+  decl.binding.elems_per_record = kElemsPerRecord;
+  decl.binding.reads_per_record = kReadsPerRecord;
+  decl.binding.writes_per_record = 0;
+  return {decl};
+}
+
+std::uint64_t OpinionApp::result_digest() const {
+  return fnv1a(kFnvBasis, tables_.host_span(score_)[0]);
+}
+
+std::int64_t OpinionApp::sentiment_score() const {
+  return static_cast<std::int64_t>(tables_.host_span(score_)[0]);
+}
+
+}  // namespace bigk::apps

@@ -1,0 +1,49 @@
+#include "apps/registry.hpp"
+
+#include "apps/dna.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/mastercard.hpp"
+#include "apps/netflix.hpp"
+#include "apps/opinion.hpp"
+#include "apps/wordcount.hpp"
+
+namespace bigk::apps {
+
+namespace {
+
+template <class App>
+BenchApp make_entry(const ScaledSystem& scaled, std::uint64_t seed,
+                    bool pattern_applicable = true) {
+  BenchApp entry;
+  entry.info = App::paper_info();
+  entry.name = entry.info.name;
+  entry.pattern_applicable = pattern_applicable;
+  const std::uint64_t bytes = scaled.data_bytes(entry.info.paper_data_gb);
+  entry.run = [bytes, seed](schemes::Scheme scheme,
+                            const gpusim::SystemConfig& config,
+                            const schemes::SchemeConfig& sc) {
+    typename App::Params params;
+    params.data_bytes = bytes;
+    params.seed = seed;
+    App app(params);
+    return schemes::run_scheme(scheme, config, app, sc);
+  };
+  return entry;
+}
+
+}  // namespace
+
+std::vector<BenchApp> benchmark_apps(const ScaledSystem& scaled) {
+  std::vector<BenchApp> suite;
+  suite.push_back(make_entry<KmeansApp>(scaled, 11));
+  suite.push_back(make_entry<WordCountApp>(scaled, 22));
+  suite.push_back(make_entry<NetflixApp>(scaled, 33));
+  suite.push_back(make_entry<OpinionApp>(scaled, 44));
+  suite.push_back(make_entry<DnaApp>(scaled, 55));
+  suite.push_back(make_entry<MastercardApp>(scaled, 66));
+  suite.push_back(make_entry<MastercardIndexedApp>(scaled, 77,
+                                                   /*pattern_applicable=*/false));
+  return suite;
+}
+
+}  // namespace bigk::apps

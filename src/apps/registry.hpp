@@ -1,0 +1,33 @@
+// Registry of the paper's six benchmark applications (plus the indexed
+// MasterCard variant) in evaluation order, type-erased for the benchmark
+// harness.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "gpusim/config.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/runners.hpp"
+
+namespace bigk::apps {
+
+struct BenchApp {
+  std::string name;
+  AppInfo info;
+  /// Table II marks pattern recognition "NA" for the indexed variant.
+  bool pattern_applicable = true;
+  /// Runs a freshly generated instance under `scheme`.
+  std::function<schemes::RunMetrics(schemes::Scheme,
+                                    const gpusim::SystemConfig&,
+                                    const schemes::SchemeConfig&)>
+      run;
+};
+
+/// Builds the benchmark suite at the given scale (data sizes follow
+/// Table I's paper-scale figures times `scaled.scale`).
+std::vector<BenchApp> benchmark_apps(const ScaledSystem& scaled);
+
+}  // namespace bigk::apps

@@ -1,0 +1,89 @@
+// Materialization of kernel tables into simulated device memory.
+//
+// Tables (cluster arrays, dictionaries, hash tables, index arrays) are the
+// explicitly-managed device data of the paper's examples: copied up before
+// the kernel runs, copied back afterwards, and accessed by GPU threads with
+// ordinary (traced, coalescing-modelled) loads and stores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "cusim/runtime.hpp"
+#include "gpusim/device_memory.hpp"
+#include "sim/task.hpp"
+
+namespace bigk::core {
+
+class DeviceTables {
+ public:
+  DeviceTables() = default;
+
+  /// Allocates device storage for every table in `tables` and synchronously
+  /// copies the host contents up (charging PCIe time).
+  static sim::Task<DeviceTables> upload(cusim::Runtime& runtime,
+                                        TableSet& tables) {
+    DeviceTables device;
+    device.runtime_ = &runtime;
+    device.tables_ = &tables;
+    for (std::uint32_t id = 0; id < tables.size(); ++id) {
+      const std::uint64_t bytes = tables.table_bytes(id);
+      Entry entry;
+      entry.offset = runtime.gpu().memory().allocate_bytes(bytes);
+      entry.bytes = bytes;
+      entry.elem_size = tables.elem_size(id);
+      device.entries_.push_back(entry);
+      co_await runtime.gpu().h2d_transfer(bytes);
+      auto dst = runtime.gpu().memory().bytes_mut(entry.offset, bytes);
+      auto src = tables.raw_bytes(id);
+      std::memcpy(dst.data(), src.data(), bytes);
+    }
+    co_return device;
+  }
+
+  /// Copies every table's device contents back into the host TableSet
+  /// (results of GPU runs, charged as one transfer per table).
+  sim::Task<> download() {
+    for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+      const Entry& entry = entries_[id];
+      co_await runtime_->gpu().d2h_transfer(entry.bytes);
+      auto src = runtime_->gpu().memory().bytes(entry.offset, entry.bytes);
+      auto dst = tables_->raw_bytes(id);
+      std::memcpy(dst.data(), src.data(), entry.bytes);
+    }
+  }
+
+  /// Frees the device allocations (idempotent).
+  void release() {
+    if (!runtime_) return;
+    for (const Entry& entry : entries_) {
+      runtime_->gpu().memory().free_offset(entry.offset);
+    }
+    entries_.clear();
+    runtime_ = nullptr;
+  }
+
+  template <class T>
+  gpusim::DevicePtr<T> device_ptr(TableRef<T> ref) const {
+    return gpusim::DevicePtr<T>{entries_.at(ref.id).offset};
+  }
+
+  std::uint64_t device_bytes() const {
+    std::uint64_t total = 0;
+    for (const Entry& entry : entries_) total += entry.bytes;
+    return total;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t elem_size = 0;
+  };
+  cusim::Runtime* runtime_ = nullptr;
+  TableSet* tables_ = nullptr;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bigk::core

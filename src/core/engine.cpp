@@ -1,0 +1,385 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace bigk::core {
+
+namespace {
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+}  // namespace
+
+Engine::Geometry Engine::plan(std::uint64_t num_records) {
+  Geometry geometry;
+  geometry.layout = !options_.transfer_reduction
+                        ? DataLayout::kOriginal
+                        : (options_.coalesced_layout
+                               ? DataLayout::kInterleaved
+                               : DataLayout::kThreadMajor);
+
+  gpusim::KernelLaunch probe;
+  probe.num_blocks = options_.num_blocks;
+  probe.threads_per_block = 2 * options_.compute_threads_per_block;
+  probe.regs_per_thread = options_.regs_per_thread;
+  probe.shared_bytes_per_block = options_.shared_bytes_per_block;
+  geometry.blocks = runtime_.gpu().max_active_blocks(probe);
+  if (geometry.blocks == 0) {
+    throw std::invalid_argument("BigKernel launch shape fits no SM");
+  }
+
+  // Buffer budget per (block, ring slot): §IV.D — allocate for active blocks
+  // only, so fewer active blocks means larger buffers.
+  std::uint64_t budget = options_.data_buf_bytes;
+  if (budget == 0) {
+    const std::uint64_t free_bytes = runtime_.gpu().memory().free_bytes();
+    budget = free_bytes * 7 / 10 /
+             (std::uint64_t{geometry.blocks} * options_.buffer_depth);
+  }
+
+  const std::uint32_t c_threads = options_.compute_threads_per_block;
+  std::uint64_t per_record_bytes = 0;
+  std::uint64_t fixed_bytes = 0;
+  for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+    const StreamBinding& bind = bindings_[s];
+    const std::uint64_t accessed = geometry.layout == DataLayout::kOriginal
+                                       ? bind.elems_per_record
+                                       : bind.reads_per_record;
+    per_record_bytes +=
+        std::uint64_t{bind.elem_size} * (accessed + bind.writes_per_record);
+    fixed_bytes += std::uint64_t{bind.elem_size} * overfetch_[s];
+  }
+  if (per_record_bytes == 0) {
+    throw std::invalid_argument("mapped streams declare no accesses");
+  }
+  if (budget / c_threads <= fixed_bytes) {
+    throw std::invalid_argument(
+        "data buffer budget too small for the declared overfetch window");
+  }
+  geometry.rptc =
+      std::max<std::uint64_t>(1, (budget / c_threads - fixed_bytes) /
+                                     per_record_bytes);
+  (void)num_records;
+  return geometry;
+}
+
+gpusim::KernelLaunch Engine::launch_shape() const {
+  gpusim::KernelLaunch shape;
+  shape.num_blocks = geometry_.blocks;
+  shape.threads_per_block = 2 * options_.compute_threads_per_block;
+  shape.regs_per_thread = options_.regs_per_thread;
+  shape.shared_bytes_per_block = options_.shared_bytes_per_block;
+  return shape;
+}
+
+void Engine::build_blocks(std::uint64_t num_records) {
+  release_buffers();
+  auto& memory = runtime_.gpu().memory();
+  const std::uint32_t c_threads = options_.compute_threads_per_block;
+  const std::uint32_t depth = options_.buffer_depth;
+  const std::uint64_t per_block = ceil_div(num_records, geometry_.blocks);
+  const std::uint32_t host_threads =
+      geometry_.blocks * (has_writes_ ? 2u : 1u);
+
+  blocks_.reserve(geometry_.blocks);
+  for (std::uint32_t b = 0; b < geometry_.blocks; ++b) {
+    auto block = std::make_unique<BlockState>(sim(), depth,
+                                              runtime_.create_stream());
+    block->index = b;
+    block->records.begin = std::min(std::uint64_t{b} * per_block, num_records);
+    block->records.end =
+        std::min(block->records.begin + per_block, num_records);
+    block->per_thread = ceil_div(block->records.size(), c_threads);
+    block->chunks = ceil_div(block->per_thread, geometry_.rptc);
+    block->addr_region = runtime_.next_region_id();
+    block->assembly_thread.emplace(runtime_.cpu().make_thread(host_threads));
+    if (has_writes_) {
+      block->scatter_thread.emplace(runtime_.cpu().make_thread(host_threads));
+    }
+
+    block->slots.resize(depth);
+    std::uint64_t pinned_addr_bytes = 0;
+    for (ChunkSlot& slot : block->slots) {
+      slot.streams.resize(bindings_.size());
+      slot.prefetch_offset.resize(bindings_.size());
+      std::uint64_t total = 0;
+      for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+        const StreamBinding& bind = bindings_[s];
+        StreamStage& stage = slot.streams[s];
+        const std::uint64_t accessed =
+            geometry_.layout == DataLayout::kOriginal
+                ? geometry_.rptc * bind.elems_per_record
+                : geometry_.rptc * bind.reads_per_record;
+        stage.slots_per_thread = accessed + overfetch_[s];
+        stage.write_slots_per_thread =
+            geometry_.rptc * bind.writes_per_record;
+        stage.data_capacity_bytes =
+            std::uint64_t{c_threads} * stage.slots_per_thread * bind.elem_size;
+        stage.write_capacity_bytes = std::uint64_t{c_threads} *
+                                     stage.write_slots_per_thread *
+                                     bind.elem_size;
+        stage.dev_data_base = memory.allocate_bytes(stage.data_capacity_bytes);
+        device_allocs_.push_back(stage.dev_data_base);
+        if (stage.write_capacity_bytes > 0) {
+          stage.dev_write_base =
+              memory.allocate_bytes(stage.write_capacity_bytes);
+          device_allocs_.push_back(stage.dev_write_base);
+        }
+        stage.read_addrs.resize(c_threads);
+        stage.write_addrs.resize(c_threads);
+        slot.prefetch_offset[s] = total;
+        total += stage.data_capacity_bytes;
+        pinned_addr_bytes +=
+            std::uint64_t{c_threads} * stage.slots_per_thread * 8;
+      }
+      slot.prefetch.resize(total);
+      slot.prefetch_region = runtime_.next_region_id();
+      runtime_.note_pinned(total);
+    }
+    runtime_.note_pinned(pinned_addr_bytes);
+    blocks_.push_back(std::move(block));
+  }
+}
+
+void Engine::release_buffers() {
+  for (std::uint64_t offset : device_allocs_) {
+    runtime_.gpu().memory().free_offset(offset);
+  }
+  device_allocs_.clear();
+  blocks_.clear();
+}
+
+Engine::Range Engine::thread_chunk_range(const BlockState& block,
+                                         std::uint32_t vtid,
+                                         std::uint64_t chunk) const {
+  const std::uint64_t thread_begin =
+      block.records.begin + std::uint64_t{vtid} * block.per_thread;
+  if (thread_begin >= block.records.end) return {};
+  const std::uint64_t thread_end =
+      std::min(block.records.end, thread_begin + block.per_thread);
+  const std::uint64_t chunk_begin = thread_begin + chunk * geometry_.rptc;
+  if (chunk_begin >= thread_end) return {};
+  return {chunk_begin, std::min(thread_end, chunk_begin + geometry_.rptc)};
+}
+
+void Engine::finalize_addresses(BlockState& block, ChunkSlot& slot,
+                                std::uint64_t* wire_bytes) {
+  (void)block;
+  for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+    StreamStage& stage = slot.streams[s];
+    for (std::uint32_t v = 0; v < stage.read_addrs.size(); ++v) {
+      ThreadAddrs& reads = stage.read_addrs[v];
+      reads.finalize();
+      if (reads.count > 0) {
+        ++metrics_.thread_chunks;
+        if (reads.pattern) ++metrics_.pattern_hits;
+      }
+      *wire_bytes += reads.wire_bytes;
+      ThreadAddrs& writes = stage.write_addrs[v];
+      writes.finalize();
+      *wire_bytes += writes.wire_bytes;
+    }
+  }
+}
+
+sim::Task<> Engine::assembly_process(BlockState& block) {
+  hostsim::HostThread& thread = *block.assembly_thread;
+  for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
+    co_await block.addr_ready.wait_ge(chunk + 1);
+    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+
+    const sim::TimePs start = sim().now();
+    std::vector<std::uint64_t> bytes(bindings_.size(), 0);
+    for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+      bytes[s] = assemble_stream(block, slot, s, chunk, thread);
+    }
+    co_await thread.commit();
+    metrics_.assembly_busy += sim().now() - start;
+    trace_stage(trace::StageEvent::Stage::kAssembly, block.index, chunk,
+                start, sim().now());
+
+    for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+      if (bytes[s] == 0) continue;
+      const StreamStage& stage = slot.streams[s];
+      block.dma.memcpy_h2d_async(
+          stage.dev_data_base,
+          slot.prefetch.data() + slot.prefetch_offset[s], bytes[s]);
+      metrics_.data_bytes_sent += bytes[s];
+    }
+    block.dma.signal_flag(block.data_ready, chunk + 1);
+    // Measure the transfer stage as wall time from enqueue to the ready
+    // flag landing (includes PCIe link contention with other blocks), like
+    // the paper's continuous transfer-status pinging (fn. 7).
+    sim().spawn([](Engine* engine, BlockState* blk,
+                   std::uint64_t c) -> sim::Task<> {
+      const sim::TimePs begin = engine->sim().now();
+      co_await blk->data_ready.wait_ge(c + 1);
+      engine->metrics_.transfer_busy += engine->sim().now() - begin;
+      engine->trace_stage(trace::StageEvent::Stage::kTransfer, blk->index, c,
+                          begin, engine->sim().now());
+    }(this, &block, chunk));
+  }
+}
+
+std::uint64_t Engine::assemble_stream(BlockState& block, ChunkSlot& slot,
+                                      std::uint32_t s, std::uint64_t chunk,
+                                      hostsim::HostThread& thread) {
+  const StreamBinding& bind = bindings_[s];
+  StreamStage& stage = slot.streams[s];
+  const std::uint32_t c_threads = options_.compute_threads_per_block;
+  const std::uint32_t elem_size = bind.elem_size;
+  std::byte* prefetch = slot.prefetch.data() + slot.prefetch_offset[s];
+
+  if (geometry_.layout == DataLayout::kOriginal) {
+    // Whole-chunk copy, one contiguous run per computation thread.
+    std::uint64_t used_bytes = 0;
+    for (std::uint32_t v = 0; v < c_threads; ++v) {
+      const Range range = thread_chunk_range(block, v, chunk);
+      if (range.empty()) continue;
+      const std::uint64_t base_elem = range.begin * bind.elems_per_record;
+      std::uint64_t count = range.size() * bind.elems_per_record +
+                            overfetch_[s];
+      count = std::min(count, bind.num_elements - base_elem);
+      count = std::min(count, stage.slots_per_thread);
+      thread.read_sequential(bind.host_region, base_elem * elem_size,
+                             count * elem_size);
+      thread.write_stream(count * elem_size);
+      thread.compute(static_cast<double>(count) * 0.25);  // copy-loop overhead
+      std::memcpy(prefetch +
+                      std::uint64_t{v} * stage.slots_per_thread * elem_size,
+                  bind.host_data + base_elem * elem_size, count * elem_size);
+      used_bytes =
+          (std::uint64_t{v} * stage.slots_per_thread + count) * elem_size;
+      metrics_.elements_fetched += count;
+      metrics_.source_bytes_read += count * elem_size;
+    }
+    return used_bytes;
+  }
+
+  std::uint64_t max_count = 0;
+  for (const ThreadAddrs& addrs : stage.read_addrs) {
+    max_count = std::max(max_count, addrs.count);
+  }
+  if (max_count == 0) return 0;
+
+  auto gather_one = [&](std::uint32_t v, const ThreadAddrs& addrs,
+                        std::uint64_t k, bool addr_from_buffer,
+                        bool thread_major_order) {
+    const std::uint64_t elem = addrs.element_at(k, elem_size);
+    if (addr_from_buffer) {
+      // Without a pattern the CPU must first read the DMA-delivered address
+      // (the extra read of §III's "two reads and two writes").
+      thread.read_sequential(
+          block.addr_region,
+          (std::uint64_t{v} * stage.slots_per_thread + k) * kAddrBytes,
+          kAddrBytes);
+    }
+    if (thread_major_order) {
+      // One GPU thread's data at a time (Â§IV.B): addresses ascend
+      // monotonically, so the hardware prefetcher covers them.
+      thread.read_sequential(bind.host_region, elem * elem_size, elem_size);
+    } else {
+      // Slot-major order hops between every thread's region per step.
+      thread.read(bind.host_region, elem * elem_size, elem_size);
+    }
+    thread.compute(1.0);
+    const std::uint64_t pos = prefetch_position(
+        stage, geometry_.layout, c_threads, v, k, elem_size);
+    std::memcpy(prefetch + pos, bind.host_data + elem * elem_size, elem_size);
+    thread.write_stream(elem_size);
+    ++metrics_.elements_fetched;
+    metrics_.source_bytes_read += elem_size;
+  };
+
+  // Pass 1 (§IV.B): pattern-covered threads gathered one thread at a time —
+  // consecutive source elements, high cache locality. A unit-stride pattern
+  // (character streams) degenerates to a bulk copy of the run: the CPU reads
+  // it sequentially and scatters into the layout with vectorizable stores.
+  for (std::uint32_t v = 0; v < c_threads; ++v) {
+    const ThreadAddrs& addrs = stage.read_addrs[v];
+    if (addrs.pattern && options_.locality_assembly) {
+      const bool dense = addrs.pattern->strides.size() == 1 &&
+                         addrs.pattern->strides[0] ==
+                             static_cast<std::int64_t>(elem_size);
+      if (dense) {
+        const std::uint64_t first = addrs.element_at(0, elem_size);
+        const std::uint64_t bytes = addrs.count * elem_size;
+        thread.read_sequential(bind.host_region, first * elem_size, bytes);
+        thread.write_stream(bytes);
+        thread.compute(static_cast<double>(addrs.count) * 0.25);
+        for (std::uint64_t k = 0; k < addrs.count; ++k) {
+          const std::uint64_t pos = prefetch_position(
+              stage, geometry_.layout, c_threads, v, k, elem_size);
+          std::memcpy(prefetch + pos,
+                      bind.host_data + (first + k) * elem_size, elem_size);
+        }
+        metrics_.elements_fetched += addrs.count;
+        metrics_.source_bytes_read += bytes;
+        continue;
+      }
+      for (std::uint64_t k = 0; k < addrs.count; ++k) {
+        gather_one(v, addrs, k, /*addr_from_buffer=*/false,
+                   /*thread_major_order=*/true);
+      }
+    }
+  }
+  // Pass 2: everything else in the order the GPU consumes it (slot-major).
+  for (std::uint64_t k = 0; k < max_count; ++k) {
+    for (std::uint32_t v = 0; v < c_threads; ++v) {
+      const ThreadAddrs& addrs = stage.read_addrs[v];
+      if (addrs.pattern && options_.locality_assembly) continue;
+      if (k >= addrs.count) continue;
+      gather_one(v, addrs, k, /*addr_from_buffer=*/!addrs.pattern,
+                 /*thread_major_order=*/false);
+    }
+  }
+
+  if (geometry_.layout == DataLayout::kInterleaved) {
+    return max_count * c_threads * elem_size;
+  }
+  // Thread-major: transfer up to the end of the last used thread region.
+  std::uint64_t used_bytes = 0;
+  for (std::uint32_t v = 0; v < c_threads; ++v) {
+    const ThreadAddrs& addrs = stage.read_addrs[v];
+    if (addrs.count > 0) {
+      used_bytes =
+          (std::uint64_t{v} * stage.slots_per_thread + addrs.count) *
+          elem_size;
+    }
+  }
+  return used_bytes;
+}
+
+sim::Task<> Engine::scatter_process(BlockState& block) {
+  hostsim::HostThread& thread = *block.scatter_thread;
+  for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
+    co_await block.wb_landed.wait_ge(chunk + 1);
+    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+
+    const sim::TimePs start = sim().now();
+    for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+      StreamBinding& bind = bindings_[s];
+      StreamStage& stage = slot.streams[s];
+      const std::uint32_t elem_size = bind.elem_size;
+      std::uint64_t index = 0;
+      for (const auto& [elem, raw] : stage.staged_writes) {
+        thread.read_sequential(block.addr_region, index * kAddrBytes,
+                               kAddrBytes);
+        thread.write(bind.host_region, elem * elem_size, elem_size);
+        thread.compute(1.0);
+        std::memcpy(bind.host_data + elem * elem_size, &raw, elem_size);
+        ++metrics_.elements_written;
+        ++index;
+      }
+      stage.staged_writes.clear();
+    }
+    co_await thread.commit();
+    metrics_.writeback_busy += sim().now() - start;
+    trace_stage(trace::StageEvent::Stage::kWriteback, block.index, chunk,
+                start, sim().now());
+    block.ring.release();
+  }
+}
+
+}  // namespace bigk::core

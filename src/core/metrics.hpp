@@ -1,0 +1,40 @@
+// Per-launch metrics collected by the BigKernel engine: stage busy times
+// (Fig. 6), traffic volumes, and pattern-recognition outcomes (Table II).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace bigk::core {
+
+struct EngineMetrics {
+  // --- stage busy times (summed across blocks) --------------------------
+  sim::DurationPs addr_gen_busy = 0;   // stage 1, GPU
+  sim::DurationPs assembly_busy = 0;   // stage 2, CPU
+  sim::DurationPs transfer_busy = 0;   // stage 3, DMA h2d
+  sim::DurationPs compute_busy = 0;    // stage 4, GPU
+  sim::DurationPs writeback_busy = 0;  // optional stages 5+6
+
+  // --- traffic -----------------------------------------------------------
+  std::uint64_t addr_bytes_sent = 0;    // GPU->CPU addresses / patterns
+  std::uint64_t data_bytes_sent = 0;    // CPU->GPU assembled data
+  std::uint64_t write_bytes_sent = 0;   // GPU->CPU write-back values
+  std::uint64_t source_bytes_read = 0;  // gathered from the mapped source
+
+  // --- pipeline shape ------------------------------------------------------
+  std::uint64_t chunks = 0;             // chunk iterations across blocks
+  std::uint64_t thread_chunks = 0;      // per-thread chunk address streams
+  std::uint64_t pattern_hits = 0;       // ... covered by a stride pattern
+  std::uint64_t elements_fetched = 0;   // elements gathered by assembly
+  std::uint64_t elements_written = 0;   // elements scattered back
+
+  double pattern_hit_rate() const {
+    return thread_chunks == 0
+               ? 0.0
+               : static_cast<double>(pattern_hits) /
+                     static_cast<double>(thread_chunks);
+  }
+};
+
+}  // namespace bigk::core

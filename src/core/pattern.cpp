@@ -1,0 +1,96 @@
+#include "core/pattern.hpp"
+
+#include <numeric>
+
+namespace bigk::core {
+
+std::uint64_t StridePattern::address_at(std::uint64_t i) const {
+  if (strides.empty() || i == 0) return base;
+  const std::uint64_t cycle = strides.size();
+  const std::uint64_t full = i / cycle;
+  const std::uint64_t rest = i % cycle;
+  std::int64_t cycle_sum =
+      std::accumulate(strides.begin(), strides.end(), std::int64_t{0});
+  std::int64_t prefix = 0;
+  for (std::uint64_t j = 0; j < rest; ++j) prefix += strides[j];
+  return base + static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(full) * cycle_sum + prefix);
+}
+
+bool PatternDetector::feed(std::uint64_t address) {
+  ++count_;
+  switch (state_) {
+    case State::kProbing:
+      probe_.push_back(address);
+      if (probe_.size() >= probe_window_) {
+        if (!hypothesize()) state_ = State::kBroken;
+      }
+      return true;
+    case State::kVerifying: {
+      const std::uint64_t expected = candidate_.address_at(count_ - 1);
+      if (address == expected) {
+        candidate_.count = count_;
+        return true;
+      }
+      state_ = State::kBroken;
+      return false;  // the paper restarts generation without matching
+    }
+    case State::kBroken:
+      return true;
+  }
+  return true;
+}
+
+bool PatternDetector::hypothesize() {
+  const std::size_t n = probe_.size();
+  // A cycle must be observed at least twice (2*cycle+1 addresses) before it
+  // counts as a hypothesis; otherwise any sequence would trivially "match"
+  // a cycle of length n-1.
+  for (std::uint32_t cycle = 1;
+       cycle <= max_cycle_ && std::size_t{2} * cycle + 1 <= n; ++cycle) {
+    std::vector<std::int64_t> strides(cycle);
+    for (std::uint32_t j = 0; j < cycle; ++j) {
+      strides[j] = static_cast<std::int64_t>(probe_[j + 1]) -
+                   static_cast<std::int64_t>(probe_[j]);
+    }
+    bool consistent = true;
+    for (std::size_t i = 1; i + 1 < n && consistent; ++i) {
+      const std::int64_t diff = static_cast<std::int64_t>(probe_[i + 1]) -
+                                static_cast<std::int64_t>(probe_[i]);
+      consistent = diff == strides[i % cycle];
+    }
+    if (consistent) {
+      candidate_.base = probe_.front();
+      candidate_.strides = std::move(strides);
+      candidate_.count = n;
+      state_ = State::kVerifying;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<StridePattern> PatternDetector::pattern() const {
+  if (state_ == State::kBroken || count_ == 0) return std::nullopt;
+  if (state_ == State::kVerifying) return candidate_;
+  // Still probing: a short sequence. Re-derive a pattern over what we have.
+  if (probe_.size() == 1) {
+    return StridePattern{probe_.front(), {0}, 1};
+  }
+  PatternDetector scratch(static_cast<std::uint32_t>(probe_.size()),
+                          max_cycle_);
+  scratch.probe_ = probe_;
+  scratch.count_ = count_;
+  if (scratch.hypothesize()) return scratch.candidate_;
+  return std::nullopt;
+}
+
+void PatternDetector::reset() {
+  state_ = State::kProbing;
+  probe_.clear();
+  candidate_ = StridePattern{};
+  count_ = 0;
+  last_address_ = 0;
+}
+
+}  // namespace bigk::core

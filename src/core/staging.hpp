@@ -1,0 +1,146 @@
+// Pipeline staging state: the address buffers, prefetch/data buffers and
+// write buffers of Fig. 1, organized as a ring of `buffer_depth` chunk slots
+// per thread block (the paper's "multiple instances of each buffer").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "sim/sync.hpp"
+
+namespace bigk::core {
+
+/// Wire size of one device address in the address buffers. Streams are
+/// addressed by 32-bit offsets (the paper: "addresses (which are typically
+/// 4 or 8-bytes)"); our scaled streams always fit.
+constexpr std::uint64_t kAddrBytes = 4;
+
+/// Placement of assembled elements in the data buffer.
+enum class DataLayout : std::uint8_t {
+  /// Slot-major interleave: thread v's k-th element at (k * C + v). The
+  /// layout BigKernel produces for coalesced GPU accesses.
+  kInterleaved,
+  /// Thread-major: thread v's elements contiguous. Models "transferred data
+  /// left in its original layout" (coalescing ablation off).
+  kThreadMajor,
+  /// Whole-chunk fetch: every element of each thread's records, addressable
+  /// by element index. The fallback / overlap-only mode.
+  kOriginal,
+};
+
+/// One thread's generated addresses for one chunk of one stream: either a
+/// confirmed stride pattern or explicit element indices.
+struct ThreadAddrs {
+  std::optional<StridePattern> pattern;
+  std::vector<std::uint64_t> elems;  // element indices (kept until finalize)
+  std::uint64_t count = 0;
+  std::uint64_t wire_bytes = 0;  // what crossed PCIe for this thread-chunk
+
+  PatternDetector detector;
+  bool detect = true;
+
+  void begin(bool detect_patterns) {
+    pattern.reset();
+    elems.clear();
+    count = 0;
+    wire_bytes = 0;
+    detector.reset();
+    detect = detect_patterns;
+  }
+
+  /// Records one accessed element (detector fed with byte addresses, like
+  /// the hardware would see).
+  void feed(std::uint64_t elem_index, std::uint32_t elem_size) {
+    ++count;
+    elems.push_back(elem_index);
+    if (detect) detector.feed(elem_index * elem_size);
+  }
+
+  /// Resolves the pattern-vs-addresses outcome and the wire traffic.
+  void finalize() {
+    if (detect && count > 0) {
+      if (auto p = detector.pattern(); p && p->count == count) {
+        pattern = std::move(*p);
+        wire_bytes = pattern->descriptor_bytes();
+        elems.clear();
+        elems.shrink_to_fit();
+        return;
+      }
+    }
+    wire_bytes = count * kAddrBytes;  // one device address per access
+  }
+
+  /// Element index of the k-th access (from the pattern or the explicit
+  /// list); `elem_size` converts pattern byte addresses back.
+  std::uint64_t element_at(std::uint64_t k, std::uint32_t elem_size) const {
+    if (pattern) return pattern->address_at(k) / elem_size;
+    return elems[k];
+  }
+};
+
+/// Per-stream staging within one ring slot.
+struct StreamStage {
+  std::vector<ThreadAddrs> read_addrs;   // one per computation thread
+  std::vector<ThreadAddrs> write_addrs;  // write-address buffer (Fig. 1)
+  /// Values produced by the computation stage, pending scatter: pairs of
+  /// (element index, raw little-endian value widened to 8 bytes).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged_writes;
+
+  std::uint64_t dev_data_base = 0;   // device offset of this slot's data buf
+  std::uint64_t dev_write_base = 0;  // device offset of this slot's write buf
+  std::uint64_t data_capacity_bytes = 0;
+  std::uint64_t write_capacity_bytes = 0;
+  /// Per-thread slot capacity (reads) or element capacity (kOriginal).
+  std::uint64_t slots_per_thread = 0;
+  std::uint64_t write_slots_per_thread = 0;
+};
+
+/// One ring slot: staging for every stream plus the pinned prefetch buffer
+/// backing the host->device copy.
+struct ChunkSlot {
+  std::vector<StreamStage> streams;
+  std::vector<std::byte> prefetch;  // pinned; region id tracked by the engine
+  std::uint32_t prefetch_region = 0;
+  /// Byte offset of each stream's section within `prefetch`.
+  std::vector<std::uint64_t> prefetch_offset;
+};
+
+/// Device address of the k-th assembled element of computation thread `vtid`
+/// under `layout` (C = computation threads per block).
+inline std::uint64_t data_slot_address(const StreamStage& stage,
+                                       DataLayout layout, std::uint32_t c,
+                                       std::uint32_t vtid, std::uint64_t k,
+                                       std::uint32_t elem_size) {
+  switch (layout) {
+    case DataLayout::kInterleaved:
+      return stage.dev_data_base + (k * c + vtid) * elem_size;
+    case DataLayout::kThreadMajor:
+    case DataLayout::kOriginal:
+      return stage.dev_data_base +
+             (std::uint64_t{vtid} * stage.slots_per_thread + k) * elem_size;
+  }
+  return stage.dev_data_base;
+}
+
+/// Matching position inside the pinned prefetch buffer (same layout, so the
+/// host->device copy is a straight memcpy).
+inline std::uint64_t prefetch_position(const StreamStage& stage,
+                                       DataLayout layout, std::uint32_t c,
+                                       std::uint32_t vtid, std::uint64_t k,
+                                       std::uint32_t elem_size) {
+  return data_slot_address(stage, layout, c, vtid, k, elem_size) -
+         stage.dev_data_base;
+}
+
+/// Write-buffer device address (always interleaved: writes from lock-step
+/// threads land adjacently).
+inline std::uint64_t write_slot_address(const StreamStage& stage,
+                                        std::uint32_t c, std::uint32_t vtid,
+                                        std::uint64_t k,
+                                        std::uint32_t elem_size) {
+  return stage.dev_write_base + (k * c + vtid) * elem_size;
+}
+
+}  // namespace bigk::core

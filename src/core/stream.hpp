@@ -1,0 +1,141 @@
+// Mapped streaming data structures and device-resident tables.
+//
+// A *stream* is the paper's streamingMalloc/streamingMap object: an
+// arbitrarily large host array that a kernel accesses in a streaming fashion
+// through pseudo-virtual memory. A *table* is an ordinary device-resident
+// structure (the K-means cluster array, Word Count's hash table, ...) that
+// fits in GPU memory and is copied explicitly, outside BigKernel's purview.
+//
+// Kernels refer to both through small typed handles (StreamRef / TableRef)
+// so that the same kernel source can be instantiated against every execution
+// context: CPU, chunked GPU baselines, and BigKernel's address-generation
+// and computation stages — the template equivalent of the paper's compiler
+// transformation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace bigk::core {
+
+/// How a kernel accesses a mapped stream.
+enum class AccessMode : std::uint8_t {
+  kReadOnly,
+  kReadWrite,
+};
+
+/// Typed handle to a mapped stream (index into the engine's binding list).
+template <class T>
+struct StreamRef {
+  std::uint32_t id = ~0u;
+  bool valid() const noexcept { return id != ~0u; }
+};
+
+/// Typed handle to a device-resident table (index into a TableSet).
+template <class T>
+struct TableRef {
+  std::uint32_t id = ~0u;
+  bool valid() const noexcept { return id != ~0u; }
+};
+
+/// Type-erased description of one mapped stream.
+struct StreamBinding {
+  std::byte* host_data = nullptr;   // mutable for write-back scatters
+  std::uint64_t num_elements = 0;
+  std::uint32_t elem_size = 0;
+  std::uint32_t host_region = 0;    // cache-model region id
+  AccessMode mode = AccessMode::kReadOnly;
+
+  /// Declared worst-case accesses per record (sizes the address/data
+  /// buffers, like the compile-time analysis in the paper).
+  std::uint32_t elems_per_record = 1;
+  std::uint32_t reads_per_record = 1;
+  std::uint32_t writes_per_record = 0;
+
+  std::uint64_t size_bytes() const noexcept {
+    return num_elements * elem_size;
+  }
+
+  template <class T>
+  T load(std::uint64_t index) const {
+    assert(index < num_elements && sizeof(T) == elem_size);
+    T value;
+    std::memcpy(&value, host_data + index * sizeof(T), sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  void store(std::uint64_t index, const T& value) {
+    assert(index < num_elements && sizeof(T) == elem_size);
+    std::memcpy(host_data + index * sizeof(T), &value, sizeof(T));
+  }
+};
+
+/// Canonical (host-side) storage for kernel tables. Schemes that execute on
+/// the simulated GPU materialize the set into device memory before the run
+/// and copy results back afterwards; the CPU schemes operate on it directly.
+class TableSet {
+ public:
+  template <class T>
+  TableRef<T> add(std::uint64_t count) {
+    Table table;
+    table.elem_size = sizeof(T);
+    table.count = count;
+    table.bytes.resize(count * sizeof(T));
+    tables_.push_back(std::move(table));
+    return TableRef<T>{static_cast<std::uint32_t>(tables_.size() - 1)};
+  }
+
+  std::size_t size() const noexcept { return tables_.size(); }
+
+  template <class T>
+  std::span<T> host_span(TableRef<T> ref) {
+    Table& table = tables_.at(ref.id);
+    if (table.elem_size != sizeof(T)) {
+      throw std::logic_error("TableRef type mismatch");
+    }
+    return {reinterpret_cast<T*>(table.bytes.data()), table.count};
+  }
+
+  template <class T>
+  std::span<const T> host_span(TableRef<T> ref) const {
+    const Table& table = tables_.at(ref.id);
+    if (table.elem_size != sizeof(T)) {
+      throw std::logic_error("TableRef type mismatch");
+    }
+    return {reinterpret_cast<const T*>(table.bytes.data()), table.count};
+  }
+
+  std::uint64_t table_bytes(std::uint32_t id) const {
+    return tables_.at(id).bytes.size();
+  }
+  std::span<std::byte> raw_bytes(std::uint32_t id) {
+    return tables_.at(id).bytes;
+  }
+  std::span<const std::byte> raw_bytes(std::uint32_t id) const {
+    return tables_.at(id).bytes;
+  }
+  std::uint32_t elem_size(std::uint32_t id) const {
+    return tables_.at(id).elem_size;
+  }
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t total = 0;
+    for (const Table& t : tables_) total += t.bytes.size();
+    return total;
+  }
+
+ private:
+  struct Table {
+    std::uint32_t elem_size = 0;
+    std::uint64_t count = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Table> tables_;
+};
+
+}  // namespace bigk::core

@@ -1,0 +1,79 @@
+#include "cusim/runtime.hpp"
+
+#include <cassert>
+
+namespace bigk::cusim {
+
+Stream::~Stream() {
+  if (state_ && !state_->ops.closed()) state_->ops.close();
+}
+
+void Stream::memcpy_h2d_async(std::uint64_t device_offset,
+                              const void* host_src, std::uint64_t bytes) {
+  Op op;
+  op.kind = Op::Kind::kH2D;
+  op.host_src = host_src;
+  op.device_offset = device_offset;
+  op.bytes = bytes;
+  ++state_->enqueued;
+  state_->ops.push(op);
+}
+
+void Stream::memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
+                              std::uint64_t bytes) {
+  Op op;
+  op.kind = Op::Kind::kD2H;
+  op.host_dst = host_dst;
+  op.device_offset = device_offset;
+  op.bytes = bytes;
+  ++state_->enqueued;
+  state_->ops.push(op);
+}
+
+void Stream::signal_flag(sim::Flag& flag, std::uint64_t value) {
+  Op op;
+  op.kind = Op::Kind::kFlag;
+  op.flag = &flag;
+  op.flag_value = value;
+  ++state_->enqueued;
+  state_->ops.push(op);
+}
+
+sim::Task<> Stream::synchronize() {
+  auto state = state_;
+  const std::uint64_t target = state->enqueued;
+  co_await state->completed.wait_ge(target);
+}
+
+sim::Task<> Stream::worker(std::shared_ptr<State> state) {
+  while (true) {
+    std::optional<Op> op = co_await state->ops.pop();
+    if (!op) break;
+    switch (op->kind) {
+      case Op::Kind::kH2D: {
+        co_await state->gpu.h2d_transfer(op->bytes);
+        auto dst = state->gpu.memory().bytes_mut(op->device_offset, op->bytes);
+        std::memcpy(dst.data(), op->host_src, op->bytes);
+        break;
+      }
+      case Op::Kind::kD2H: {
+        co_await state->gpu.d2h_transfer(op->bytes);
+        auto src = state->gpu.memory().bytes(op->device_offset, op->bytes);
+        std::memcpy(op->host_dst, src.data(), op->bytes);
+        break;
+      }
+      case Op::Kind::kFlag:
+        op->flag->advance_to(op->flag_value);
+        break;
+    }
+    state->completed.increment();
+  }
+}
+
+Stream Runtime::create_stream() {
+  auto state = std::make_shared<Stream::State>(sim_, gpu_);
+  sim_.spawn_daemon(Stream::worker(state));
+  return Stream(std::move(state));
+}
+
+}  // namespace bigk::cusim

@@ -1,0 +1,254 @@
+// CUDA-like host runtime on top of the simulated GPU.
+//
+// Mirrors the slice of the CUDA runtime API the paper's schemes use:
+// device allocation (cudaMalloc), synchronous and asynchronous copies
+// (cudaMemcpy / cudaMemcpyAsync on streams with in-order completion), pinned
+// host buffers (cudaMallocHost), and the flag-after-data trick of §IV.C
+// (enqueueing a tiny flag copy behind a data transfer on the same stream).
+//
+// Copies move real bytes between host memory and the simulated device arena,
+// and become visible only when the simulated transfer completes — so a
+// synchronization bug in a scheme shows up as wrong output, not just wrong
+// timing.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "gpusim/gpu.hpp"
+#include "hostsim/host_cpu.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace bigk::cusim {
+
+class Runtime;
+
+/// Page-locked host buffer visible to the DMA engine. The paper notes pinned
+/// memory is a real cost of BigKernel; Runtime tracks the total footprint.
+template <class T>
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+  PinnedBuffer(PinnedBuffer&&) noexcept = default;
+  PinnedBuffer& operator=(PinnedBuffer&&) noexcept = default;
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+
+  T& operator[](std::uint64_t i) { return data_[i]; }
+  const T& operator[](std::uint64_t i) const { return data_[i]; }
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  std::uint64_t size() const noexcept { return data_.size(); }
+  std::uint64_t size_bytes() const noexcept { return size() * sizeof(T); }
+  std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const noexcept { return {data_.data(), data_.size()}; }
+
+  /// Region id for the host cache model.
+  std::uint32_t region_id() const noexcept { return region_id_; }
+
+ private:
+  friend class Runtime;
+  PinnedBuffer(std::uint64_t count, std::uint32_t region)
+      : data_(count), region_id_(region) {}
+  std::vector<T> data_;
+  std::uint32_t region_id_ = 0;
+};
+
+/// An in-order DMA work queue (a CUDA stream). Operations execute strictly
+/// in enqueue order; synchronize() awaits everything enqueued so far.
+class Stream {
+ public:
+  Stream(Stream&&) noexcept = default;
+  Stream& operator=(Stream&&) noexcept = default;
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+  ~Stream();
+
+  /// Async host->device copy of `bytes`; `host_src` must stay valid and
+  /// unmodified until the op completes (standard pinned-buffer contract).
+  void memcpy_h2d_async(std::uint64_t device_offset, const void* host_src,
+                        std::uint64_t bytes);
+
+  /// Async device->host copy of `bytes`.
+  void memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
+                        std::uint64_t bytes);
+
+  /// Enqueues raising `flag` to `value` behind everything already enqueued —
+  /// the DMA-in-order signalling of §IV.C.
+  void signal_flag(sim::Flag& flag, std::uint64_t value);
+
+  /// Awaits completion of every operation enqueued so far.
+  sim::Task<> synchronize();
+
+ private:
+  friend class Runtime;
+
+  struct Op {
+    enum class Kind { kH2D, kD2H, kFlag } kind;
+    const void* host_src = nullptr;
+    void* host_dst = nullptr;
+    std::uint64_t device_offset = 0;
+    std::uint64_t bytes = 0;
+    sim::Flag* flag = nullptr;
+    std::uint64_t flag_value = 0;
+  };
+
+  struct State {
+    State(sim::Simulation& sim, gpusim::Gpu& gpu)
+        : gpu(gpu), ops(sim), completed(sim) {}
+    gpusim::Gpu& gpu;
+    sim::Channel<Op> ops;
+    sim::Flag completed;  // count of finished ops
+    std::uint64_t enqueued = 0;
+  };
+
+  explicit Stream(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  static sim::Task<> worker(std::shared_ptr<State> state);
+
+  std::shared_ptr<State> state_;
+};
+
+/// The slice of cudaDeviceProp the paper's runtime probing (§IV.D) needs.
+struct DeviceProperties {
+  const char* name = "Simulated GTX 680";
+  std::uint32_t multi_processor_count = 0;
+  std::uint32_t warp_size = 0;
+  std::uint64_t total_global_mem = 0;
+  std::uint32_t shared_mem_per_multiprocessor = 0;
+  std::uint32_t regs_per_multiprocessor = 0;
+  std::uint32_t max_threads_per_multiprocessor = 0;
+  double clock_ghz = 0.0;
+};
+
+/// A cudaEvent-like marker: enqueue on a stream, then query the simulated
+/// time at which everything before it completed.
+class Event {
+ public:
+  explicit Event(sim::Simulation& sim) : flag_(std::make_shared<sim::Flag>(sim)) {}
+
+  /// Enqueues the event behind everything already on `stream`.
+  void record(Stream& stream) {
+    recorded_ = true;
+    stream.signal_flag(*flag_, ++sequence_);
+  }
+
+  /// Awaits completion of the recorded position.
+  sim::Task<> synchronize() {
+    auto flag = flag_;
+    const std::uint64_t target = sequence_;
+    co_await flag->wait_ge(target);
+  }
+
+  bool query() const { return flag_->value() >= sequence_; }
+  bool recorded() const noexcept { return recorded_; }
+
+ private:
+  std::shared_ptr<sim::Flag> flag_;
+  std::uint64_t sequence_ = 0;
+  bool recorded_ = false;
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Simulation& sim, const gpusim::SystemConfig& config)
+      : sim_(sim), gpu_(sim, config), cpu_(sim, config.cpu) {}
+
+  /// cudaGetDeviceProperties: the hardware resources the §IV.D occupancy
+  /// calculation probes at run time.
+  DeviceProperties device_properties() const {
+    const gpusim::GpuConfig& gpu = gpu_.config();
+    DeviceProperties props;
+    props.multi_processor_count = gpu.num_sms;
+    props.warp_size = gpu.warp_size;
+    props.total_global_mem = gpu.global_memory_bytes;
+    props.shared_mem_per_multiprocessor = gpu.shared_mem_per_sm_bytes;
+    props.regs_per_multiprocessor = gpu.registers_per_sm;
+    props.max_threads_per_multiprocessor = gpu.max_threads_per_sm;
+    props.clock_ghz = gpu.core_clock_ghz;
+    return props;
+  }
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  gpusim::Gpu& gpu() noexcept { return gpu_; }
+  hostsim::HostCpu& cpu() noexcept { return cpu_; }
+  const gpusim::SystemConfig& config() const noexcept {
+    return gpu_.system_config();
+  }
+
+  /// cudaMalloc.
+  template <class T>
+  gpusim::DevicePtr<T> device_malloc(std::uint64_t count) {
+    return gpu_.memory().allocate<T>(count);
+  }
+
+  template <class T>
+  void device_free(gpusim::DevicePtr<T> ptr) {
+    gpu_.memory().free(ptr);
+  }
+
+  /// cudaMallocHost: pinned host memory, tracked and cache-model addressable.
+  template <class T>
+  PinnedBuffer<T> alloc_pinned(std::uint64_t count) {
+    pinned_bytes_ += count * sizeof(T);
+    return PinnedBuffer<T>(count, next_region_id());
+  }
+
+  /// Registers an ordinary (pageable) host region for the cache model.
+  std::uint32_t next_region_id() { return next_region_++; }
+
+  std::uint64_t pinned_bytes() const noexcept { return pinned_bytes_; }
+
+  /// Accounts externally-owned pinned memory (e.g. the BigKernel engine's
+  /// prefetch and address buffers) toward the pinned footprint.
+  void note_pinned(std::uint64_t bytes) noexcept { pinned_bytes_ += bytes; }
+
+  Stream create_stream();
+
+  /// Synchronous cudaMemcpy host->device: blocks the calling process for the
+  /// transfer and performs the byte copy.
+  template <class T>
+  sim::Task<> memcpy_h2d(gpusim::DevicePtr<T> dst, std::span<const T> src) {
+    const std::uint64_t bytes = src.size_bytes();
+    co_await gpu_.h2d_transfer(bytes);
+    auto dest = gpu_.memory().bytes_mut(dst.byte_offset, bytes);
+    std::memcpy(dest.data(), src.data(), bytes);
+  }
+
+  /// Synchronous cudaMemcpy device->host.
+  template <class T>
+  sim::Task<> memcpy_d2h(std::span<T> dst, gpusim::DevicePtr<T> src) {
+    const std::uint64_t bytes = dst.size_bytes();
+    co_await gpu_.d2h_transfer(bytes);
+    auto source = gpu_.memory().bytes(src.byte_offset, bytes);
+    std::memcpy(dst.data(), source.data(), bytes);
+  }
+
+  /// Untyped synchronous copies for type-erased buffers.
+  sim::Task<> memcpy_h2d_bytes(std::uint64_t device_offset,
+                               std::span<const std::byte> src) {
+    co_await gpu_.h2d_transfer(src.size());
+    auto dst = gpu_.memory().bytes_mut(device_offset, src.size());
+    std::memcpy(dst.data(), src.data(), src.size());
+  }
+
+  sim::Task<> memcpy_d2h_bytes(std::span<std::byte> dst,
+                               std::uint64_t device_offset) {
+    co_await gpu_.d2h_transfer(dst.size());
+    auto src = gpu_.memory().bytes(device_offset, dst.size());
+    std::memcpy(dst.data(), src.data(), dst.size());
+  }
+
+ private:
+  sim::Simulation& sim_;
+  gpusim::Gpu gpu_;
+  hostsim::HostCpu cpu_;
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint32_t next_region_ = 1;
+};
+
+}  // namespace bigk::cusim

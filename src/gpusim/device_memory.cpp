@@ -1,0 +1,54 @@
+#include "gpusim/device_memory.hpp"
+
+namespace bigk::gpusim {
+
+namespace {
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
+  const std::uint64_t size = align_up(bytes == 0 ? 1 : bytes, kAlignment);
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    const auto [offset, block_size] = *it;
+    if (block_size < size) continue;
+    free_blocks_.erase(it);
+    if (block_size > size) {
+      free_blocks_[offset + size] = block_size - size;
+    }
+    live_allocs_[offset] = size;
+    used_ += size;
+    return offset;
+  }
+  throw OutOfDeviceMemory(size, arena_.size());
+}
+
+void DeviceMemory::free_offset(std::uint64_t offset) {
+  auto alloc = live_allocs_.find(offset);
+  if (alloc == live_allocs_.end()) {
+    throw std::invalid_argument("free of unallocated device offset " +
+                                std::to_string(offset));
+  }
+  std::uint64_t size = alloc->second;
+  live_allocs_.erase(alloc);
+  used_ -= size;
+
+  // Coalesce with the following free block.
+  auto next = free_blocks_.lower_bound(offset);
+  if (next != free_blocks_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return;
+    }
+  }
+  free_blocks_[offset] = size;
+}
+
+}  // namespace bigk::gpusim

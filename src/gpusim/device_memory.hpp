@@ -1,0 +1,126 @@
+// Simulated GPU global memory: a byte arena with a first-fit free-list
+// allocator and typed, bounds-checked access via DevicePtr<T>.
+//
+// DevicePtr<T> plays the role of a CUDA device pointer: it is not
+// dereferenceable on the host; the runtime (cusim) and simulated GPU threads
+// (gpusim::LaneCtx) read and write through DeviceMemory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace bigk::gpusim {
+
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  explicit OutOfDeviceMemory(std::uint64_t requested, std::uint64_t capacity)
+      : std::runtime_error("device memory exhausted: requested " +
+                           std::to_string(requested) + " bytes, capacity " +
+                           std::to_string(capacity)) {}
+};
+
+template <class T>
+struct DevicePtr {
+  static constexpr std::uint64_t kNull = ~std::uint64_t{0};
+
+  std::uint64_t byte_offset = kNull;
+
+  bool is_null() const noexcept { return byte_offset == kNull; }
+
+  /// Element arithmetic, like pointer arithmetic on T*.
+  DevicePtr operator+(std::uint64_t elements) const noexcept {
+    return DevicePtr{byte_offset + elements * sizeof(T)};
+  }
+
+  /// Byte address of element `i` (the "device address" the paper's address
+  /// buffers carry).
+  std::uint64_t element_address(std::uint64_t i) const noexcept {
+    return byte_offset + i * sizeof(T);
+  }
+
+  /// Reinterpret as a different element type (offset is byte-exact).
+  template <class U>
+  DevicePtr<U> cast() const noexcept {
+    return DevicePtr<U>{byte_offset};
+  }
+
+  friend bool operator==(DevicePtr, DevicePtr) = default;
+};
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_bytes)
+      : arena_(capacity_bytes) {
+    free_blocks_[0] = capacity_bytes;
+  }
+
+  std::uint64_t capacity() const noexcept { return arena_.size(); }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t free_bytes() const noexcept { return arena_.size() - used_; }
+
+  /// Allocates `count` elements of T, 256-byte aligned like cudaMalloc.
+  template <class T>
+  DevicePtr<T> allocate(std::uint64_t count) {
+    return DevicePtr<T>{allocate_bytes(count * sizeof(T))};
+  }
+
+  /// First-fit allocation of raw bytes; throws OutOfDeviceMemory on failure.
+  std::uint64_t allocate_bytes(std::uint64_t bytes);
+
+  template <class T>
+  void free(DevicePtr<T> ptr) {
+    free_offset(ptr.byte_offset);
+  }
+
+  void free_offset(std::uint64_t offset);
+
+  template <class T>
+  T read(DevicePtr<T> ptr, std::uint64_t index = 0) const {
+    T value;
+    std::memcpy(&value, checked(ptr.element_address(index), sizeof(T)),
+                sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  void write(DevicePtr<T> ptr, std::uint64_t index, const T& value) {
+    std::memcpy(checked_mut(ptr.element_address(index), sizeof(T)), &value,
+                sizeof(T));
+  }
+
+  /// Raw byte views for host<->device copies; bounds-checked.
+  std::span<const std::byte> bytes(std::uint64_t offset,
+                                   std::uint64_t n) const {
+    return {static_cast<const std::byte*>(checked(offset, n)), n};
+  }
+  std::span<std::byte> bytes_mut(std::uint64_t offset, std::uint64_t n) {
+    return {static_cast<std::byte*>(checked_mut(offset, n)), n};
+  }
+
+ private:
+  const void* checked(std::uint64_t offset, std::uint64_t n) const {
+    if (offset + n > arena_.size() || offset + n < offset) {
+      throw std::out_of_range("device memory access out of bounds: offset " +
+                              std::to_string(offset) + " size " +
+                              std::to_string(n));
+    }
+    return arena_.data() + offset;
+  }
+  void* checked_mut(std::uint64_t offset, std::uint64_t n) {
+    return const_cast<void*>(checked(offset, n));
+  }
+
+  static constexpr std::uint64_t kAlignment = 256;
+
+  std::vector<std::byte> arena_;
+  std::map<std::uint64_t, std::uint64_t> free_blocks_;  // offset -> size
+  std::map<std::uint64_t, std::uint64_t> live_allocs_;  // offset -> size
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace bigk::gpusim

@@ -1,0 +1,189 @@
+#include "gpusim/gpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bigk::gpusim {
+
+sim::Simulation& BlockCtx::sim() noexcept { return gpu_.sim_; }
+
+sim::Task<sim::DurationPs> BlockCtx::run_threads(std::uint32_t first,
+                                                 std::uint32_t count,
+                                                 const LaneFn& lane_fn) {
+  const GpuConfig& config = gpu_.config();
+  const std::uint32_t warp_size = config.warp_size;
+  const sim::TimePs entry = gpu_.sim_.now();
+  sim::DurationPs total = 0;
+  std::uint64_t atomic_ops = 0;
+  WarpTracer tracer(warp_size);
+  for (std::uint32_t warp_first = first; warp_first < first + count;
+       warp_first += warp_size) {
+    tracer.reset();
+    const std::uint32_t warp_count =
+        std::min(warp_size, first + count - warp_first);
+    for (std::uint32_t lane = 0; lane < warp_count; ++lane) {
+      tracer.begin_lane(lane);
+      const std::uint32_t tid = warp_first + lane;
+      LaneCtx lane_ctx(gpu_.memory(), tracer, tid,
+                       block_index_ * launch_.threads_per_block + tid);
+      lane_ctx.atomic_extra_cycles_ = config.atomic_extra_cycles;
+      lane_fn(lane_ctx, tid);
+    }
+    const WarpCost cost = tracer.finish(config);
+    atomic_ops += cost.atomic_ops;
+    total += sm_request_cost(cost, config);
+  }
+  // Atomic updates serialize through the GPU-wide atomic units concurrently
+  // with SM execution; whichever finishes later bounds this stage.
+  sim::TimePs atomics_done = gpu_.sim_.now();
+  if (atomic_ops > 0) {
+    const sim::DurationPs atomic_cost = sim::cycles_time(
+        static_cast<double>(atomic_ops), config.atomic_throughput_gops);
+    atomics_done = gpu_.atomic_unit_.post(atomic_cost);
+  }
+  co_await gpu_.sm_servers_.at(sm_index_)->request(total);
+  if (atomics_done > gpu_.sim_.now()) {
+    co_await gpu_.sim_.delay(atomics_done - gpu_.sim_.now());
+  }
+  // Report the stage's own service time (SM occupancy, extended by the
+  // atomic units if they ran longer), not queueing behind sibling stages.
+  const sim::DurationPs atomic_extension =
+      atomics_done > entry ? atomics_done - entry : 0;
+  co_return std::max(total, atomic_extension);
+}
+
+sim::Task<> BlockCtx::sync_overhead() {
+  co_await gpu_.sim_.delay(gpu_.config().block_sync_overhead);
+}
+
+sim::Task<> BlockCtx::wait_flag(sim::Flag& flag, std::uint64_t threshold) {
+  co_await flag.wait_ge(threshold);
+}
+
+Gpu::Gpu(sim::Simulation& sim, const SystemConfig& config)
+    : sim_(sim),
+      config_(config),
+      memory_(config.gpu.global_memory_bytes),
+      atomic_unit_(sim, "atomic-units"),
+      h2d_link_(sim, "pcie-h2d"),
+      d2h_link_(sim, "pcie-d2h") {
+  sm_servers_.reserve(config_.gpu.num_sms);
+  for (std::uint32_t i = 0; i < config_.gpu.num_sms; ++i) {
+    sm_servers_.push_back(
+        std::make_unique<sim::FifoServer>(sim, "sm" + std::to_string(i)));
+  }
+}
+
+sim::DurationPs Gpu::link_cost(std::uint64_t bytes, double gbps) const {
+  return config_.pcie.transfer_latency + sim::transfer_time(bytes, gbps);
+}
+
+sim::Task<> Gpu::h2d_transfer(std::uint64_t bytes) {
+  stats_.h2d_bytes += bytes;
+  co_await h2d_link_.request(link_cost(bytes, config_.pcie.h2d_gbps));
+}
+
+sim::Task<> Gpu::d2h_transfer(std::uint64_t bytes) {
+  stats_.d2h_bytes += bytes;
+  co_await d2h_link_.request(link_cost(bytes, config_.pcie.d2h_gbps));
+}
+
+sim::TimePs Gpu::post_h2d(std::uint64_t bytes) {
+  stats_.h2d_bytes += bytes;
+  return h2d_link_.post(link_cost(bytes, config_.pcie.h2d_gbps));
+}
+
+sim::TimePs Gpu::post_d2h(std::uint64_t bytes) {
+  stats_.d2h_bytes += bytes;
+  return d2h_link_.post(link_cost(bytes, config_.pcie.d2h_gbps));
+}
+
+void Gpu::set_flag_at(sim::Flag& flag, std::uint64_t value,
+                      sim::TimePs when) {
+  assert(when >= sim_.now());
+  sim_.spawn([](sim::Simulation& sim, sim::Flag& f, std::uint64_t v,
+                sim::TimePs t) -> sim::Task<> {
+    co_await sim.delay(t - sim.now());
+    f.advance_to(v);
+  }(sim_, flag, value, when));
+}
+
+std::uint32_t Gpu::max_active_blocks_per_sm(
+    const KernelLaunch& launch) const {
+  const GpuConfig& gpu = config_.gpu;
+  std::uint32_t limit = gpu.max_blocks_per_sm;
+  if (launch.threads_per_block > 0) {
+    limit = std::min(limit, gpu.max_threads_per_sm / launch.threads_per_block);
+  }
+  const std::uint64_t regs_per_block =
+      std::uint64_t{launch.regs_per_thread} * launch.threads_per_block;
+  if (regs_per_block > 0) {
+    limit = std::min<std::uint32_t>(
+        limit, static_cast<std::uint32_t>(gpu.registers_per_sm /
+                                          regs_per_block));
+  }
+  if (launch.shared_bytes_per_block > 0) {
+    limit = std::min(limit, gpu.shared_mem_per_sm_bytes /
+                                launch.shared_bytes_per_block);
+  }
+  return limit;
+}
+
+std::uint32_t Gpu::max_active_blocks(const KernelLaunch& launch) const {
+  const std::uint32_t per_sm = max_active_blocks_per_sm(launch);
+  // The paper's formula (§IV.D): min(numSetBlocks, R_GPU / R_tb).
+  return std::min(launch.num_blocks, per_sm * config_.gpu.num_sms);
+}
+
+sim::Task<> Gpu::run_kernel(const KernelLaunch& launch, BlockFn block_fn) {
+  if (launch.num_blocks == 0 || launch.threads_per_block == 0) co_return;
+  const std::uint32_t window = max_active_blocks(launch);
+  if (window == 0) {
+    throw std::invalid_argument(
+        "kernel launch exceeds per-SM resources: no block can become active");
+  }
+  ++stats_.kernel_launches;
+  co_await sim_.delay(config_.gpu.kernel_launch_overhead);
+
+  sim::Semaphore slots(sim_, window);
+  std::vector<sim::Process> blocks;
+  blocks.reserve(launch.num_blocks);
+  for (std::uint32_t b = 0; b < launch.num_blocks; ++b) {
+    co_await slots.acquire();
+    blocks.push_back(sim_.spawn(run_block(launch, block_fn, b, slots)));
+  }
+  for (sim::Process& block : blocks) {
+    co_await block.join();
+  }
+}
+
+sim::Task<> Gpu::run_block(KernelLaunch launch, const BlockFn& block_fn,
+                           std::uint32_t block_index, sim::Semaphore& slots) {
+  BlockCtx ctx(*this, launch, block_index,
+               block_index % config_.gpu.num_sms);
+  co_await block_fn(ctx);
+  slots.release();
+}
+
+sim::Task<> Gpu::run_simple_kernel(const KernelLaunch& launch,
+                                   const BlockCtx::LaneFn& lane_fn) {
+  co_await run_kernel(launch, [&lane_fn](BlockCtx& block) -> sim::Task<> {
+    co_await block.run_threads(0, block.threads_per_block(), lane_fn);
+  });
+}
+
+sim::DurationPs Gpu::sm_busy_total() const {
+  sim::DurationPs total = 0;
+  for (const auto& server : sm_servers_) total += server->busy_time();
+  return total;
+}
+
+sim::DurationPs Gpu::sm_busy_max() const {
+  sim::DurationPs busiest = 0;
+  for (const auto& server : sm_servers_) {
+    busiest = std::max(busiest, server->busy_time());
+  }
+  return busiest;
+}
+
+}  // namespace bigk::gpusim

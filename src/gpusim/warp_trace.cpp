@@ -1,0 +1,79 @@
+#include "gpusim/warp_trace.hpp"
+
+#include <algorithm>
+
+namespace bigk::gpusim {
+
+WarpCost WarpTracer::finish(const GpuConfig& config) const {
+  WarpCost cost;
+  for (const Lane& lane : lanes_) {
+    cost.alu_cycles = std::max(cost.alu_cycles, lane.alu_cycles);
+  }
+
+  // DRAM traffic: each *distinct* 128-byte segment the warp touches during
+  // this execution segment costs one transaction — segments shared by lanes
+  // in the same step coalesce, and segments re-touched in later steps hit
+  // the warp-local cache (L1/L2 capturing the immediate spatial/temporal
+  // reuse of streaming kernels).
+  //
+  // Issue cost: per lock-step access, lanes spread over k segments issue k
+  // transactions (counted per step, before reuse) — the classic coalescing
+  // penalty that serializes scattered warp accesses.
+  const std::uint64_t txn = config.mem_transaction_bytes;
+  std::size_t max_steps = 0;
+  for (const Lane& lane : lanes_) {
+    max_steps = std::max(max_steps, lane.accesses.size());
+  }
+  std::vector<std::uint64_t> segments;
+  std::vector<std::uint64_t> step_segments;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    step_segments.clear();
+    for (const Lane& lane : lanes_) {
+      if (step >= lane.accesses.size()) continue;
+      const Access& access = lane.accesses[step];
+      const std::uint64_t first = access.addr / txn;
+      const std::uint64_t last =
+          (access.addr + std::max<std::uint32_t>(access.size, 1) - 1) / txn;
+      for (std::uint64_t seg = first; seg <= last; ++seg) {
+        step_segments.push_back(seg);
+      }
+    }
+    std::sort(step_segments.begin(), step_segments.end());
+    step_segments.erase(
+        std::unique(step_segments.begin(), step_segments.end()),
+        step_segments.end());
+    cost.issue_transactions += step_segments.size();
+    segments.insert(segments.end(), step_segments.begin(),
+                    step_segments.end());
+  }
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  cost.mem_transactions = segments.size();
+  cost.mem_bytes = cost.mem_transactions * txn;
+  cost.atomic_ops = atomic_ops_;
+  return cost;
+}
+
+void WarpTracer::reset() {
+  for (Lane& lane : lanes_) {
+    lane.accesses.clear();
+    lane.alu_cycles = 0.0;
+  }
+  current_ = nullptr;
+  atomic_ops_ = 0;
+}
+
+sim::DurationPs sm_request_cost(const WarpCost& cost,
+                                const GpuConfig& config) {
+  const double issue_cycles =
+      cost.alu_cycles + static_cast<double>(cost.issue_transactions) *
+                            config.txn_issue_cycles;
+  const sim::DurationPs alu = sim::cycles_time(
+      issue_cycles / config.warp_parallelism(), config.core_clock_ghz);
+  const sim::DurationPs mem =
+      sim::transfer_time(cost.mem_bytes, config.mem_gbps_per_sm());
+  return std::max(alu, mem);
+}
+
+}  // namespace bigk::gpusim

@@ -1,0 +1,91 @@
+// Warp execution tracing and the coalescing cost model.
+//
+// Warp lanes execute their (functional) C++ code sequentially in the
+// simulator, but each lane records its global-memory accesses in program
+// order. Lock-step SIMD timing is recovered afterwards: the i-th access of
+// every lane is assumed to issue in the same warp instruction (exactly true
+// for uniform control flow, and a faithful divergence penalty otherwise,
+// because drifting lanes stop sharing 128-byte transaction segments).
+//
+// For each access step, the number of global-memory transactions equals the
+// number of distinct aligned transaction segments the 32 lanes touch — 1 for
+// a perfectly coalesced access, up to 32 for a fully scattered one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::gpusim {
+
+/// Aggregate cost of one warp's instruction segment.
+struct WarpCost {
+  double alu_cycles = 0.0;            // lock-step cycles (max over lanes)
+  std::uint64_t mem_transactions = 0;  // distinct segments touched (DRAM)
+  std::uint64_t mem_bytes = 0;         // transactions * transaction size
+  /// Transactions *issued* step by step (before cross-step reuse): the
+  /// coalescing quality of each lock-step access.
+  std::uint64_t issue_transactions = 0;
+  std::uint64_t atomic_ops = 0;        // updates routed to the atomic units
+
+  WarpCost& operator+=(const WarpCost& other) {
+    alu_cycles += other.alu_cycles;
+    mem_transactions += other.mem_transactions;
+    mem_bytes += other.mem_bytes;
+    issue_transactions += other.issue_transactions;
+    atomic_ops += other.atomic_ops;
+    return *this;
+  }
+};
+
+/// Collects per-lane traces for one warp and merges them into a WarpCost.
+class WarpTracer {
+ public:
+  explicit WarpTracer(std::uint32_t warp_size) : lanes_(warp_size) {}
+
+  /// Directs subsequent record_* calls at lane `lane` (0-based in the warp).
+  void begin_lane(std::uint32_t lane) { current_ = &lanes_.at(lane); }
+
+  /// Records one global-memory access of `size` bytes at device address
+  /// `addr`. Each access also costs one issue cycle.
+  void record_access(std::uint64_t addr, std::uint32_t size) {
+    current_->accesses.push_back(Access{addr, size});
+    current_->alu_cycles += 1.0;
+  }
+
+  /// Records `cycles` of arithmetic on the current lane.
+  void record_alu(double cycles) { current_->alu_cycles += cycles; }
+
+  /// Records one atomic read-modify-write (serialized GPU-wide).
+  void record_atomic() { ++atomic_ops_; }
+
+  /// Merges the lane traces into the warp's cost under `config`'s
+  /// transaction size. The tracer can be reused after calling reset().
+  WarpCost finish(const GpuConfig& config) const;
+
+  void reset();
+
+ private:
+  struct Access {
+    std::uint64_t addr;
+    std::uint32_t size;
+  };
+  struct Lane {
+    std::vector<Access> accesses;
+    double alu_cycles = 0.0;
+  };
+
+  std::vector<Lane> lanes_;
+  Lane* current_ = nullptr;
+  std::uint64_t atomic_ops_ = 0;
+};
+
+/// Converts a warp cost into occupancy time on an SM's timing server: the SM
+/// retires warp_parallelism() warp-instructions per cycle and owns a per-SM
+/// share of global-memory bandwidth; a memory-bound segment is limited by the
+/// latter, a compute-bound one by the former.
+sim::DurationPs sm_request_cost(const WarpCost& cost, const GpuConfig& config);
+
+}  // namespace bigk::gpusim

@@ -1,0 +1,48 @@
+#include "hostsim/cache_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace bigk::hostsim {
+
+CacheModel::CacheModel(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+                       std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  assert(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+  assert(ways > 0);
+  std::uint64_t sets =
+      std::max<std::uint64_t>(1, capacity_bytes / line_bytes / ways);
+  sets = std::bit_floor(sets);  // power of two for cheap indexing
+  set_mask_ = sets - 1;
+  lines_.resize(sets * ways_);
+}
+
+bool CacheModel::access(std::uint64_t logical_addr) {
+  const std::uint64_t line = logical_addr / line_bytes_;
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t tag = line >> std::countr_zero(set_mask_ + 1);
+  Way* base = &lines_[set * ways_];
+  ++tick_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].tag == tag) {
+      base[w].last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  victim->tag = tag;
+  victim->last_use = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::reset() {
+  std::fill(lines_.begin(), lines_.end(), Way{});
+  tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace bigk::hostsim

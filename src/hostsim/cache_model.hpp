@@ -1,0 +1,53 @@
+// Set-associative LRU cache model for the simulated CPU's last-level cache.
+//
+// The data-assembly stage of BigKernel is a gather loop whose cost is
+// dominated by whether source reads hit in cache (§IV.B, Fig. 6); this model
+// makes that effect measurable. Addresses are *logical* (region id in the
+// high bits, offset in the low bits) so behaviour is independent of host
+// ASLR and runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bigk::hostsim {
+
+/// Builds a deterministic logical address from a registered region id and a
+/// byte offset within that region.
+constexpr std::uint64_t logical_address(std::uint32_t region_id,
+                                        std::uint64_t offset) {
+  return (std::uint64_t{region_id} << 44) | (offset & ((1ull << 44) - 1));
+}
+
+class CacheModel {
+ public:
+  /// `capacity_bytes` is rounded down to a power-of-two set count.
+  CacheModel(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+             std::uint32_t ways);
+
+  /// Touches the line containing `logical_addr`; returns true on hit.
+  bool access(std::uint64_t logical_addr);
+
+  void reset();
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+  std::uint64_t sets() const noexcept { return set_mask_ + 1; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t last_use = 0;
+  };
+
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint64_t set_mask_;
+  std::vector<Way> lines_;  // sets * ways, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace bigk::hostsim

@@ -1,0 +1,89 @@
+#include "hostsim/host_cpu.hpp"
+
+#include <algorithm>
+
+namespace bigk::hostsim {
+
+HostThread::HostThread(HostCpu& cpu, std::uint32_t hw_thread,
+                       std::uint64_t cache_bytes)
+    : cpu_(cpu),
+      hw_thread_(hw_thread),
+      cache_(cache_bytes, cpu.config().cache_line_bytes,
+             cpu.config().cache_ways) {}
+
+void HostThread::touch(std::uint32_t region_id, std::uint64_t offset,
+                       std::uint64_t size, bool stall_on_miss) {
+  if (size == 0) return;
+  const std::uint32_t line = cache_.line_bytes();
+  const std::uint64_t first = offset / line;
+  const std::uint64_t last = (offset + size - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    if (cache_.access(logical_address(region_id, l * line))) {
+      cycles_ += cpu_.config().cache_hit_cycles;
+    } else {
+      bus_bytes_ += line;
+      if (stall_on_miss) latency_ += cpu_.config().cache_miss_latency;
+    }
+  }
+}
+
+void HostThread::read(std::uint32_t region_id, std::uint64_t offset,
+                      std::uint64_t size) {
+  touch(region_id, offset, size, /*stall_on_miss=*/true);
+}
+
+void HostThread::read_sequential(std::uint32_t region_id,
+                                 std::uint64_t offset, std::uint64_t size) {
+  touch(region_id, offset, size, /*stall_on_miss=*/false);
+}
+
+void HostThread::write(std::uint32_t region_id, std::uint64_t offset,
+                       std::uint64_t size) {
+  // Write-allocate, but store misses do not stall the core (write buffers).
+  touch(region_id, offset, size, /*stall_on_miss=*/false);
+}
+
+void HostThread::write_stream(std::uint64_t size) { bus_bytes_ += size; }
+
+void HostThread::compute(double ops) { cycles_ += ops; }
+
+sim::Task<> HostThread::commit() {
+  const gpusim::CpuConfig& config = cpu_.config();
+  const sim::DurationPs core_time =
+      sim::cycles_time(cycles_ / config.ipc, config.clock_ghz) + latency_;
+  const std::uint64_t bytes = bus_bytes_;
+  cycles_ = 0.0;
+  latency_ = 0;
+  bus_bytes_ = 0;
+
+  sim::Simulation& sim = cpu_.sim();
+  const sim::TimePs core_done = cpu_.core(hw_thread_).post(core_time);
+  sim::TimePs done = core_done;
+  if (bytes > 0) {
+    const sim::TimePs bus_done =
+        cpu_.bus().post(sim::transfer_time(bytes, config.mem_gbps));
+    done = std::max(done, bus_done);
+  }
+  if (done > sim.now()) {
+    co_await sim.delay(done - sim.now());
+  }
+}
+
+HostCpu::HostCpu(sim::Simulation& sim, const gpusim::CpuConfig& config)
+    : sim_(sim), config_(config), bus_(sim, "cpu-mem-bus") {
+  cores_.reserve(config_.cores);
+  for (std::uint32_t i = 0; i < config_.cores; ++i) {
+    cores_.push_back(
+        std::make_unique<sim::FifoServer>(sim, "core" + std::to_string(i)));
+  }
+}
+
+HostThread HostCpu::make_thread(std::uint32_t threads_sharing_cache) {
+  const std::uint32_t hw_thread = next_hw_thread_;
+  next_hw_thread_ = (next_hw_thread_ + 1) % config_.cores;
+  const std::uint64_t share =
+      config_.llc_bytes / std::max<std::uint32_t>(1, threads_sharing_cache);
+  return HostThread(*this, hw_thread, share);
+}
+
+}  // namespace bigk::hostsim

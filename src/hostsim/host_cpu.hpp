@@ -1,0 +1,106 @@
+// Simulated host CPU: hardware threads as FIFO timing servers, a shared
+// memory bus with a bandwidth cap, and per-thread cost accumulators driven by
+// a cache model.
+//
+// A HostThread batches the cost of a stretch of host work (compute cycles,
+// cache-hit cycles, miss latency, bus bytes) and realizes it with a single
+// commit() await: elapsed time is max(core time, bus time) with the core
+// serialized against other software threads pinned to the same hardware
+// thread and the bus serialized across all threads. This keeps event counts
+// low while modelling both multi-core contention (CPU-MT baseline) and the
+// oversubscription that occurs when BigKernel runs one assembly thread per
+// GPU thread block (§III).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "hostsim/cache_model.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace bigk::hostsim {
+
+class HostCpu;
+
+/// A software thread pinned to one simulated hardware thread.
+class HostThread {
+ public:
+  HostThread(HostCpu& cpu, std::uint32_t hw_thread,
+             std::uint64_t cache_bytes);
+
+  /// Reads `size` bytes at `offset` within host region `region_id`, touching
+  /// the cache line by line. Misses stall the core (pointer-chase style).
+  void read(std::uint32_t region_id, std::uint64_t offset, std::uint64_t size);
+
+  /// Same, but for ascending-address scans the hardware prefetcher covers:
+  /// misses consume bus bandwidth without stalling the core.
+  void read_sequential(std::uint32_t region_id, std::uint64_t offset,
+                       std::uint64_t size);
+
+  /// Streaming (non-temporal) write of `size` bytes: occupies bus bandwidth
+  /// but neither allocates in cache nor stalls the core.
+  void write_stream(std::uint64_t size);
+
+  /// Cached write of `size` bytes at a logical location (used for in-place
+  /// updates such as scattering write-backs into the mapped source).
+  void write(std::uint32_t region_id, std::uint64_t offset,
+             std::uint64_t size);
+
+  /// Charges `ops` arithmetic operations.
+  void compute(double ops);
+
+  /// Realizes all accumulated cost as virtual time and clears accumulators.
+  sim::Task<> commit();
+
+  // --- introspection (for tests and metrics) ---
+  std::uint64_t bus_bytes_pending() const noexcept { return bus_bytes_; }
+  double cycles_pending() const noexcept { return cycles_; }
+  const CacheModel& cache() const noexcept { return cache_; }
+  std::uint32_t hw_thread() const noexcept { return hw_thread_; }
+
+ private:
+  void touch(std::uint32_t region_id, std::uint64_t offset, std::uint64_t size,
+             bool stall_on_miss);
+
+  HostCpu& cpu_;
+  std::uint32_t hw_thread_;
+  CacheModel cache_;
+  double cycles_ = 0.0;
+  sim::DurationPs latency_ = 0;
+  std::uint64_t bus_bytes_ = 0;
+};
+
+class HostCpu {
+ public:
+  HostCpu(sim::Simulation& sim, const gpusim::CpuConfig& config);
+
+  const gpusim::CpuConfig& config() const noexcept { return config_; }
+  sim::Simulation& sim() noexcept { return sim_; }
+
+  /// Creates a software thread pinned round-robin to a physical core (SMT
+  /// contexts share a core's execution resources, so two software threads on
+  /// one core serialize). `threads_sharing_cache` partitions the LLC among
+  /// that many peers.
+  HostThread make_thread(std::uint32_t threads_sharing_cache = 1);
+
+  sim::FifoServer& bus() noexcept { return bus_; }
+  sim::FifoServer& core(std::uint32_t hw_thread) {
+    return *cores_.at(hw_thread);
+  }
+
+  /// Total bus busy time (the CPU-side memory-traffic metric).
+  sim::DurationPs bus_busy() const noexcept { return bus_.busy_time(); }
+
+ private:
+  sim::Simulation& sim_;
+  gpusim::CpuConfig config_;
+  sim::FifoServer bus_;
+  std::vector<std::unique_ptr<sim::FifoServer>> cores_;
+  std::uint32_t next_hw_thread_ = 0;
+};
+
+}  // namespace bigk::hostsim

@@ -1,0 +1,62 @@
+// Result record common to all execution schemes; the benchmark harness
+// derives every paper figure from these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::schemes {
+
+enum class Scheme : std::uint8_t {
+  kCpuSerial,
+  kCpuMultiThreaded,
+  kGpuSingleBuffer,
+  kGpuDoubleBuffer,
+  kBigKernel,
+};
+
+inline const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kCpuSerial: return "CPU serial";
+    case Scheme::kCpuMultiThreaded: return "CPU multi-threaded";
+    case Scheme::kGpuSingleBuffer: return "GPU single buffer";
+    case Scheme::kGpuDoubleBuffer: return "GPU double buffer";
+    case Scheme::kBigKernel: return "GPU BigKernel";
+  }
+  return "?";
+}
+
+struct RunMetrics {
+  Scheme scheme = Scheme::kCpuSerial;
+  sim::DurationPs total_time = 0;
+
+  /// PCIe busy time, both directions (the "communication" of Fig. 4b).
+  sim::DurationPs comm_busy = 0;
+  /// Total SM busy time (the "computation" of Fig. 4b).
+  sim::DurationPs comp_busy = 0;
+
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t pinned_bytes = 0;
+
+  /// Populated only for BigKernel runs.
+  core::EngineMetrics engine;
+
+  double comm_fraction() const {
+    const double total = static_cast<double>(comm_busy + comp_busy);
+    return total == 0.0 ? 0.0 : static_cast<double>(comm_busy) / total;
+  }
+};
+
+/// Speedup of `fast` over `slow` by simulated completion time.
+inline double speedup(const RunMetrics& slow, const RunMetrics& fast) {
+  if (fast.total_time == 0) return 0.0;
+  return static_cast<double>(slow.total_time) /
+         static_cast<double>(fast.total_time);
+}
+
+}  // namespace bigk::schemes

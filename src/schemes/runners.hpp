@@ -1,0 +1,494 @@
+// The five execution schemes of the paper's evaluation (§VI):
+//   (i)   CPU serial
+//   (ii)  CPU multi-threaded
+//   (iii) GPU single buffer   (transfers serialize with computation)
+//   (iv)  GPU double buffer   (transfers overlap computation)
+//   (v)   BigKernel
+//
+// Every runner executes the *same* application kernel source through a
+// scheme-specific context, on a fresh Simulation + Runtime, and returns a
+// RunMetrics. Applications are duck-typed (see apps/ for the interface):
+//   app.reset();                        // reinitialize output state
+//   app.num_records();
+//   app.tables();                       // core::TableSet&
+//   app.stream_decls();                 // std::vector<StreamDecl>
+//   app.kernel();                       // callable (Ctx&, rec_begin, rec_end)
+//   app.interleaved_records();          // record->thread assignment style
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/device_tables.hpp"
+#include "core/engine.hpp"
+#include "core/options.hpp"
+#include "core/stream.hpp"
+#include "cusim/runtime.hpp"
+#include "gpusim/config.hpp"
+#include "hostsim/host_cpu.hpp"
+#include "schemes/kernel_ctx.hpp"
+#include "schemes/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace bigk::schemes {
+
+/// A mapped stream as the application declares it; runners assign region ids.
+struct StreamDecl {
+  core::StreamBinding binding;
+  std::uint32_t overfetch_elems = 0;
+};
+
+struct SchemeConfig {
+  // Chunked GPU baselines.
+  std::uint32_t gpu_blocks = 32;
+  std::uint32_t gpu_threads_per_block = 256;
+  std::uint32_t regs_per_thread = 32;
+  /// Fraction (percent) of free device memory used for chunk buffers; the
+  /// double-buffer scheme halves it per set.
+  std::uint32_t chunk_budget_pct = 80;
+
+  // CPU baselines.
+  std::uint64_t cpu_batch_records = 2048;
+
+  // BigKernel.
+  core::Options bigkernel;
+};
+
+namespace detail {
+
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+inline std::vector<core::StreamBinding> make_bindings(
+    const std::vector<StreamDecl>& decls) {
+  std::vector<core::StreamBinding> bindings;
+  bindings.reserve(decls.size());
+  for (std::uint32_t i = 0; i < decls.size(); ++i) {
+    core::StreamBinding binding = decls[i].binding;
+    binding.host_region = core::kStreamRegionBase + i;
+    bindings.push_back(binding);
+  }
+  return bindings;
+}
+
+template <class Kernel>
+sim::Task<> cpu_partition(cusim::Runtime& runtime,
+                          const std::vector<core::StreamBinding>& bindings,
+                          core::TableSet& tables, Kernel kernel,
+                          std::uint64_t rec_begin, std::uint64_t rec_end,
+                          std::uint32_t cache_share, std::uint64_t batch) {
+  hostsim::HostThread thread = runtime.cpu().make_thread(cache_share);
+  CpuCtx ctx(thread, bindings, tables);
+  for (std::uint64_t r = rec_begin; r < rec_end; r += batch) {
+    kernel(ctx, r, std::min(rec_end, r + batch), /*stride=*/1);
+    co_await thread.commit();
+  }
+}
+
+/// Shared state of one chunked-GPU run.
+struct ChunkPlan {
+  std::uint64_t records_per_chunk = 0;
+  std::uint64_t num_chunks = 0;
+  /// [set][stream] device chunk buffers.
+  std::vector<std::vector<std::uint64_t>> dev_base;
+  std::vector<std::uint64_t> capacity_elems;  // per stream, incl. overfetch
+};
+
+inline ChunkPlan plan_chunks(cusim::Runtime& runtime,
+                             const std::vector<StreamDecl>& decls,
+                             std::uint64_t num_records, std::uint32_t sets,
+                             std::uint32_t budget_pct) {
+  ChunkPlan plan;
+  const std::uint64_t free_bytes = runtime.gpu().memory().free_bytes();
+  const std::uint64_t budget = free_bytes * budget_pct / 100 / sets;
+  std::uint64_t per_record = 0;
+  std::uint64_t fixed = 0;
+  for (const StreamDecl& decl : decls) {
+    per_record += std::uint64_t{decl.binding.elems_per_record} *
+                  decl.binding.elem_size;
+    fixed += std::uint64_t{decl.overfetch_elems} * decl.binding.elem_size;
+  }
+  if (per_record == 0 || budget <= fixed) {
+    throw std::invalid_argument("chunk budget too small for record size");
+  }
+  plan.records_per_chunk =
+      std::max<std::uint64_t>(1, (budget - fixed) / per_record);
+  plan.records_per_chunk = std::min(plan.records_per_chunk, num_records);
+  if (plan.records_per_chunk == 0) plan.records_per_chunk = 1;
+  plan.num_chunks = ceil_div(num_records, plan.records_per_chunk);
+
+  plan.dev_base.resize(sets);
+  for (std::uint32_t s = 0; s < decls.size(); ++s) {
+    const auto& binding = decls[s].binding;
+    const std::uint64_t cap =
+        plan.records_per_chunk * binding.elems_per_record +
+        decls[s].overfetch_elems;
+    plan.capacity_elems.push_back(cap);
+  }
+  for (std::uint32_t set = 0; set < sets; ++set) {
+    for (std::uint32_t s = 0; s < decls.size(); ++s) {
+      plan.dev_base[set].push_back(runtime.gpu().memory().allocate_bytes(
+          plan.capacity_elems[s] * decls[s].binding.elem_size));
+    }
+  }
+  return plan;
+}
+
+/// Builds the per-stream chunk views for chunk `c` into `views` and returns
+/// the staged bytes per stream.
+inline std::vector<std::uint64_t> chunk_views(
+    const std::vector<core::StreamBinding>& bindings, const ChunkPlan& plan,
+    std::uint32_t set, std::uint64_t chunk, std::uint64_t num_records,
+    std::vector<GpuChunkCtx::ChunkView>* views) {
+  views->clear();
+  std::vector<std::uint64_t> bytes;
+  const std::uint64_t rec_begin = chunk * plan.records_per_chunk;
+  const std::uint64_t rec_end =
+      std::min(num_records, rec_begin + plan.records_per_chunk);
+  for (std::uint32_t s = 0; s < bindings.size(); ++s) {
+    const core::StreamBinding& binding = bindings[s];
+    GpuChunkCtx::ChunkView view;
+    view.dev_base = plan.dev_base[set][s];
+    view.elem_begin = rec_begin * binding.elems_per_record;
+    const std::uint64_t want =
+        (rec_end - rec_begin) * binding.elems_per_record +
+        (plan.capacity_elems[s] -
+         plan.records_per_chunk * binding.elems_per_record);
+    view.elem_count =
+        std::min(want, binding.num_elements - view.elem_begin);
+    views->push_back(view);
+    bytes.push_back(view.elem_count * binding.elem_size);
+  }
+  return bytes;
+}
+
+/// Stages one chunk host->pinned (CPU cost: one read + one streamed write
+/// per byte, as in traditional GPGPU apps) and copies it to the device.
+inline sim::Task<> stage_and_copy(
+    cusim::Runtime& runtime, hostsim::HostThread& thread,
+    const std::vector<core::StreamBinding>& bindings,
+    const std::vector<GpuChunkCtx::ChunkView>& views,
+    const std::vector<std::uint64_t>& bytes, cusim::Stream* async_stream,
+    sim::Flag* copied_flag, std::uint64_t flag_value,
+    std::vector<std::vector<std::byte>>* pinned) {
+  for (std::uint32_t s = 0; s < bindings.size(); ++s) {
+    if (bytes[s] == 0) continue;
+    thread.read(bindings[s].host_region,
+                views[s].elem_begin * bindings[s].elem_size, bytes[s]);
+    thread.write_stream(bytes[s]);
+    thread.compute(static_cast<double>(bytes[s]) / 64.0);
+  }
+  co_await thread.commit();
+  for (std::uint32_t s = 0; s < bindings.size(); ++s) {
+    if (bytes[s] == 0) continue;
+    const std::byte* src =
+        bindings[s].host_data + views[s].elem_begin * bindings[s].elem_size;
+    if (async_stream != nullptr) {
+      auto& staging = (*pinned)[s];
+      staging.assign(src, src + bytes[s]);
+      async_stream->memcpy_h2d_async(views[s].dev_base, staging.data(),
+                                     bytes[s]);
+    } else {
+      co_await runtime.memcpy_h2d_bytes(views[s].dev_base, {src, bytes[s]});
+    }
+  }
+  if (async_stream != nullptr) {
+    async_stream->signal_flag(*copied_flag, flag_value);
+  }
+}
+
+/// Copies kernel-written elements back to the host (functional scatter plus
+/// the d2h transfer and CPU cost).
+inline sim::Task<> writeback_chunk(
+    cusim::Runtime& runtime, hostsim::HostThread& thread,
+    std::vector<core::StreamBinding>& bindings,
+    const std::vector<GpuChunkCtx::ChunkView>& views,
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& writes) {
+  if (writes.empty()) co_return;
+  std::uint64_t bytes = 0;
+  for (const auto& [s, elem] : writes) bytes += bindings[s].elem_size;
+  co_await runtime.gpu().d2h_transfer(bytes);
+  for (const auto& [s, elem] : writes) {
+    core::StreamBinding& binding = bindings[s];
+    const GpuChunkCtx::ChunkView& view = views[s];
+    const std::uint64_t dev_addr =
+        view.dev_base + (elem - view.elem_begin) * binding.elem_size;
+    auto value =
+        runtime.gpu().memory().bytes(dev_addr, binding.elem_size);
+    std::memcpy(binding.host_data + elem * binding.elem_size, value.data(),
+                binding.elem_size);
+    thread.read(0, elem * binding.elem_size, binding.elem_size);
+    thread.write(binding.host_region, elem * binding.elem_size,
+                 binding.elem_size);
+    thread.compute(1.0);
+  }
+  co_await thread.commit();
+}
+
+/// Runs the kernel over one resident chunk. Record->thread assignment is
+/// interleaved for fixed-length records and contiguous for text streams
+/// (whose records cannot be found without scanning, §VI-A).
+template <class Kernel>
+sim::Task<> run_chunk_kernel(
+    cusim::Runtime& runtime, const gpusim::KernelLaunch& launch,
+    const Kernel& kernel, const std::vector<core::StreamBinding>& bindings,
+    const core::DeviceTables& tables,
+    const std::vector<GpuChunkCtx::ChunkView>& views, std::uint64_t rec_begin,
+    std::uint64_t rec_end, bool interleaved,
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>* writes) {
+  const std::uint64_t total_threads =
+      std::uint64_t{launch.num_blocks} * launch.threads_per_block;
+  co_await runtime.gpu().run_simple_kernel(
+      launch, [&](gpusim::LaneCtx& lane, std::uint32_t) {
+        GpuChunkCtx ctx(lane, bindings, tables, views, writes);
+        const std::uint64_t tid = lane.global_thread();
+        if (interleaved) {
+          if (rec_begin + tid < rec_end) {
+            kernel(ctx, rec_begin + tid, rec_end, total_threads);
+          }
+        } else {
+          const std::uint64_t count = rec_end - rec_begin;
+          const std::uint64_t per = ceil_div(count, total_threads);
+          const std::uint64_t begin =
+              std::min(rec_begin + tid * per, rec_end);
+          const std::uint64_t end = std::min(begin + per, rec_end);
+          if (begin < end) kernel(ctx, begin, end, /*stride=*/1);
+        }
+      });
+}
+
+template <class App>
+sim::Task<> gpu_chunked_main(cusim::Runtime& runtime, App& app,
+                             std::vector<core::StreamBinding>& bindings,
+                             bool double_buffered, const SchemeConfig& sc) {
+  core::DeviceTables tables =
+      co_await core::DeviceTables::upload(runtime, app.tables());
+  const std::vector<StreamDecl> decls = app.stream_decls();
+  const std::uint64_t num_records = app.num_records();
+  const std::uint32_t sets = double_buffered ? 2 : 1;
+  ChunkPlan plan =
+      plan_chunks(runtime, decls, num_records, sets, sc.chunk_budget_pct);
+
+  gpusim::KernelLaunch launch;
+  launch.num_blocks = sc.gpu_blocks;
+  launch.threads_per_block = sc.gpu_threads_per_block;
+  launch.regs_per_thread = sc.regs_per_thread;
+
+  const auto kernel = app.kernel();
+  hostsim::HostThread stage_thread = runtime.cpu().make_thread(2);
+  hostsim::HostThread scatter_thread = runtime.cpu().make_thread(2);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> writes;
+
+  if (!double_buffered) {
+    std::vector<GpuChunkCtx::ChunkView> views;
+    for (std::uint64_t c = 0; c < plan.num_chunks; ++c) {
+      const std::uint64_t rec_begin = c * plan.records_per_chunk;
+      const std::uint64_t rec_end =
+          std::min(num_records, rec_begin + plan.records_per_chunk);
+      auto bytes =
+          chunk_views(bindings, plan, 0, c, num_records, &views);
+      co_await stage_and_copy(runtime, stage_thread, bindings, views, bytes,
+                              nullptr, nullptr, 0, nullptr);
+      writes.clear();
+      co_await run_chunk_kernel(runtime, launch, kernel, bindings, tables,
+                                views, rec_begin, rec_end,
+                                app.interleaved_records(), &writes);
+      co_await writeback_chunk(runtime, scatter_thread, bindings, views,
+                               writes);
+    }
+  } else {
+    // Double buffering: a copier process fills buffer set c%2 while the
+    // kernel consumes set (c-1)%2.
+    sim::Simulation& sim = runtime.sim();
+    sim::Semaphore buffers_free(sim, 2);
+    sim::Flag copied(sim);
+    cusim::Stream stream = runtime.create_stream();
+    // One pinned staging buffer per (set, stream): a set's staging may not
+    // be overwritten until its async copy has executed, which the
+    // buffers_free semaphore guarantees per set.
+    std::vector<std::vector<std::vector<std::byte>>> pinned(
+        2, std::vector<std::vector<std::byte>>(bindings.size()));
+    runtime.note_pinned([&] {
+      std::uint64_t total = 0;
+      for (std::uint32_t s = 0; s < bindings.size(); ++s) {
+        total += plan.capacity_elems[s] * bindings[s].elem_size;
+      }
+      return sets * total;
+    }());
+
+    std::vector<std::vector<GpuChunkCtx::ChunkView>> views(2);
+    sim::Process copier = sim.spawn([](cusim::Runtime& rt,
+                                       std::vector<core::StreamBinding>& binds,
+                                       const ChunkPlan& pl,
+                                       std::uint64_t records,
+                                       hostsim::HostThread& thread,
+                                       sim::Semaphore& freed, sim::Flag& done,
+                                       cusim::Stream& st,
+                                       std::vector<std::vector<
+                                           std::vector<std::byte>>>& pin,
+                                       std::vector<std::vector<
+                                           GpuChunkCtx::ChunkView>>& vw)
+                                        -> sim::Task<> {
+      for (std::uint64_t c = 0; c < pl.num_chunks; ++c) {
+        co_await freed.acquire();
+        auto bytes = chunk_views(binds, pl, c % 2, c, records, &vw[c % 2]);
+        co_await stage_and_copy(rt, thread, binds, vw[c % 2], bytes, &st,
+                                &done, c + 1, &pin[c % 2]);
+      }
+    }(runtime, bindings, plan, num_records, stage_thread, buffers_free,
+      copied, stream, pinned, views));
+
+    for (std::uint64_t c = 0; c < plan.num_chunks; ++c) {
+      co_await copied.wait_ge(c + 1);
+      const std::uint64_t rec_begin = c * plan.records_per_chunk;
+      const std::uint64_t rec_end =
+          std::min(num_records, rec_begin + plan.records_per_chunk);
+      writes.clear();
+      co_await run_chunk_kernel(runtime, launch, kernel, bindings, tables,
+                                views[c % 2], rec_begin, rec_end,
+                                app.interleaved_records(), &writes);
+      co_await writeback_chunk(runtime, scatter_thread, bindings,
+                               views[c % 2], writes);
+      buffers_free.release();
+    }
+    co_await copier.join();
+  }
+
+  co_await tables.download();
+  for (std::uint32_t set = 0; set < sets; ++set) {
+    for (std::uint64_t base : plan.dev_base[set]) {
+      runtime.gpu().memory().free_offset(base);
+    }
+  }
+  tables.release();
+}
+
+}  // namespace detail
+
+template <class App>
+RunMetrics run_cpu(const gpusim::SystemConfig& config, App& app,
+                   std::uint32_t num_threads, const SchemeConfig& sc = {}) {
+  app.reset();
+  sim::Simulation sim;
+  cusim::Runtime runtime(sim, config);
+  auto decls = app.stream_decls();
+  auto bindings = detail::make_bindings(decls);
+  const std::uint64_t num_records = app.num_records();
+  const std::uint64_t per =
+      detail::ceil_div(num_records, num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    const std::uint64_t begin = std::min(std::uint64_t{t} * per, num_records);
+    const std::uint64_t end = std::min(begin + per, num_records);
+    sim.spawn(detail::cpu_partition(runtime, bindings, app.tables(),
+                                    app.kernel(), begin, end, num_threads,
+                                    sc.cpu_batch_records));
+  }
+  sim.run();
+  RunMetrics metrics;
+  metrics.scheme = num_threads == 1 ? Scheme::kCpuSerial
+                                    : Scheme::kCpuMultiThreaded;
+  metrics.total_time = sim.now();
+  metrics.comp_busy = sim.now();
+  return metrics;
+}
+
+template <class App>
+RunMetrics run_cpu_serial(const gpusim::SystemConfig& config, App& app,
+                          const SchemeConfig& sc = {}) {
+  return run_cpu(config, app, 1, sc);
+}
+
+template <class App>
+RunMetrics run_cpu_mt(const gpusim::SystemConfig& config, App& app,
+                      const SchemeConfig& sc = {}) {
+  return run_cpu(config, app, config.cpu.hw_threads, sc);
+}
+
+template <class App>
+RunMetrics run_gpu_chunked(const gpusim::SystemConfig& config, App& app,
+                           bool double_buffered, const SchemeConfig& sc = {}) {
+  app.reset();
+  sim::Simulation sim;
+  cusim::Runtime runtime(sim, config);
+  auto decls = app.stream_decls();
+  auto bindings = detail::make_bindings(decls);
+  sim.run_until_complete(
+      detail::gpu_chunked_main(runtime, app, bindings, double_buffered, sc));
+  RunMetrics metrics;
+  metrics.scheme = double_buffered ? Scheme::kGpuDoubleBuffer
+                                   : Scheme::kGpuSingleBuffer;
+  metrics.total_time = sim.now();
+  metrics.comm_busy = runtime.gpu().h2d_busy() + runtime.gpu().d2h_busy();
+  metrics.comp_busy = runtime.gpu().compute_wall_busy();
+  metrics.h2d_bytes = runtime.gpu().stats().h2d_bytes;
+  metrics.d2h_bytes = runtime.gpu().stats().d2h_bytes;
+  metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
+  metrics.pinned_bytes = runtime.pinned_bytes();
+  return metrics;
+}
+
+template <class App>
+RunMetrics run_gpu_single(const gpusim::SystemConfig& config, App& app,
+                          const SchemeConfig& sc = {}) {
+  return run_gpu_chunked(config, app, /*double_buffered=*/false, sc);
+}
+
+template <class App>
+RunMetrics run_gpu_double(const gpusim::SystemConfig& config, App& app,
+                          const SchemeConfig& sc = {}) {
+  return run_gpu_chunked(config, app, /*double_buffered=*/true, sc);
+}
+
+template <class App>
+RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
+                         const SchemeConfig& sc = {}) {
+  app.reset();
+  sim::Simulation sim;
+  cusim::Runtime runtime(sim, config);
+  core::Engine engine(runtime, sc.bigkernel);
+  for (const StreamDecl& decl : app.stream_decls()) {
+    engine.map_stream(decl.binding, decl.overfetch_elems);
+  }
+  const auto kernel = app.kernel();
+  sim.run_until_complete(
+      [](cusim::Runtime& rt, core::Engine& eng, App& application,
+         decltype(kernel) k) -> sim::Task<> {
+        core::DeviceTables tables =
+            co_await core::DeviceTables::upload(rt, application.tables());
+        co_await eng.launch(k, application.num_records(), tables);
+        co_await tables.download();
+        tables.release();
+      }(runtime, engine, app, kernel));
+  RunMetrics metrics;
+  metrics.scheme = Scheme::kBigKernel;
+  metrics.total_time = sim.now();
+  metrics.comm_busy = runtime.gpu().h2d_busy() + runtime.gpu().d2h_busy();
+  metrics.comp_busy = runtime.gpu().compute_wall_busy();
+  metrics.h2d_bytes = runtime.gpu().stats().h2d_bytes;
+  metrics.d2h_bytes = runtime.gpu().stats().d2h_bytes;
+  metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
+  metrics.pinned_bytes = runtime.pinned_bytes();
+  metrics.engine = engine.metrics();
+  return metrics;
+}
+
+/// Dispatch by scheme enum (used by the benchmark harness).
+template <class App>
+RunMetrics run_scheme(Scheme scheme, const gpusim::SystemConfig& config,
+                      App& app, const SchemeConfig& sc = {}) {
+  switch (scheme) {
+    case Scheme::kCpuSerial: return run_cpu_serial(config, app, sc);
+    case Scheme::kCpuMultiThreaded: return run_cpu_mt(config, app, sc);
+    case Scheme::kGpuSingleBuffer: return run_gpu_single(config, app, sc);
+    case Scheme::kGpuDoubleBuffer: return run_gpu_double(config, app, sc);
+    case Scheme::kBigKernel: return run_bigkernel(config, app, sc);
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+}  // namespace bigk::schemes

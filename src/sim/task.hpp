@@ -1,0 +1,202 @@
+// Lazy coroutine task used for every simulated process.
+//
+// A Task<T> is a coroutine that starts suspended. It is either
+//  * awaited by a parent task (`co_await child()`), which transfers control
+//    to the child and resumes the parent when the child finishes, or
+//  * spawned onto a Simulation (`sim.spawn(...)`), which schedules it as an
+//    independent process (see simulation.hpp).
+//
+// Exceptions thrown inside a task are captured and rethrown at the await /
+// join point, so simulated processes propagate errors like ordinary calls.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace bigk::sim {
+
+class Simulation;
+
+namespace detail {
+
+/// Completion record shared between a spawned task and its Process handle.
+struct ProcessState {
+  Simulation* simulation = nullptr;
+  bool done = false;
+  std::exception_ptr error;
+  bool error_reported = false;  // set once a joiner has observed the error
+  bool daemon = false;  // daemons may stay suspended when the queue drains
+  /// Waiters parked in Process::join(); resumed (via the event queue) when
+  /// the process finishes.
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+void notify_process_done(ProcessState& state) noexcept;
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+  std::shared_ptr<ProcessState> process;  // set only for spawned tasks
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+
+    template <class Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> handle) noexcept {
+      PromiseBase& promise = handle.promise();
+      if (promise.process) {
+        promise.process->done = true;
+        promise.process->error = promise.error;
+        notify_process_done(*promise.process);
+      }
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a value of type T (default void).
+template <class T = void>
+class [[nodiscard]] Task;
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  /// Awaiting a task starts it and resumes the awaiter on completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() const {
+        if (child && child.promise().error) {
+          std::rethrow_exception(child.promise().error);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+
+  /// Releases ownership of the coroutine frame (used by Simulation::spawn).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      T await_resume() const {
+        if (child.promise().error) {
+          std::rethrow_exception(child.promise().error);
+        }
+        return std::move(*child.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace bigk::sim

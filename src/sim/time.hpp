@@ -1,0 +1,56 @@
+// Virtual-time units for the discrete-event simulation.
+//
+// All simulated time is kept in integer picoseconds so that repeated
+// accumulation is exact and runs are bit-reproducible across machines.
+#pragma once
+
+#include <cstdint>
+
+namespace bigk::sim {
+
+/// Simulated time in picoseconds since the start of the simulation.
+using TimePs = std::uint64_t;
+
+/// Duration in picoseconds (same representation as TimePs).
+using DurationPs = std::uint64_t;
+
+constexpr DurationPs kPicosecond = 1;
+constexpr DurationPs kNanosecond = 1'000;
+constexpr DurationPs kMicrosecond = 1'000'000;
+constexpr DurationPs kMillisecond = 1'000'000'000;
+constexpr DurationPs kSecond = 1'000'000'000'000;
+
+constexpr DurationPs picoseconds(std::uint64_t n) { return n; }
+constexpr DurationPs nanoseconds(std::uint64_t n) { return n * kNanosecond; }
+constexpr DurationPs microseconds(std::uint64_t n) { return n * kMicrosecond; }
+constexpr DurationPs milliseconds(std::uint64_t n) { return n * kMillisecond; }
+constexpr DurationPs seconds(std::uint64_t n) { return n * kSecond; }
+
+/// Converts a picosecond duration to (floating point) seconds for reporting.
+constexpr double to_seconds(DurationPs t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a picosecond duration to milliseconds for reporting.
+constexpr double to_milliseconds(DurationPs t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Time to move `bytes` at `gb_per_s` (1 GB = 1e9 bytes), rounded up to 1 ps.
+/// A zero or negative bandwidth is a configuration error handled by callers.
+constexpr DurationPs transfer_time(std::uint64_t bytes, double gb_per_s) {
+  if (bytes == 0) return 0;
+  const double ps = static_cast<double>(bytes) * 1000.0 / gb_per_s;
+  const auto rounded = static_cast<DurationPs>(ps + 0.5);
+  return rounded == 0 ? 1 : rounded;
+}
+
+/// Time for `cycles` clock cycles at `ghz` (cycles per nanosecond).
+constexpr DurationPs cycles_time(double cycles, double ghz) {
+  if (cycles <= 0.0) return 0;
+  const double ps = cycles * 1000.0 / ghz;
+  const auto rounded = static_cast<DurationPs>(ps + 0.5);
+  return rounded == 0 ? 1 : rounded;
+}
+
+}  // namespace bigk::sim

@@ -1,0 +1,87 @@
+// Pipeline trace recording: per-chunk stage intervals captured during a
+// BigKernel launch, exportable as a Chrome-tracing (about://tracing /
+// Perfetto) JSON timeline. Each thread block becomes a process row; the
+// four-plus-two stages become its tracks — the rendered timeline is the
+// paper's Fig. 2 drawn from an actual run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bigk::trace {
+
+/// One completed stage execution for one chunk of one block.
+struct StageEvent {
+  enum class Stage : std::uint8_t {
+    kAddrGen,
+    kAssembly,
+    kTransfer,
+    kCompute,
+    kWriteback,
+  };
+
+  Stage stage;
+  std::uint32_t block;
+  std::uint64_t chunk;
+  sim::TimePs begin;
+  sim::TimePs end;
+};
+
+inline const char* stage_name(StageEvent::Stage stage) {
+  switch (stage) {
+    case StageEvent::Stage::kAddrGen: return "1 address generation";
+    case StageEvent::Stage::kAssembly: return "2 data assembly";
+    case StageEvent::Stage::kTransfer: return "3 data transfer";
+    case StageEvent::Stage::kCompute: return "4 computation";
+    case StageEvent::Stage::kWriteback: return "5 write-back";
+  }
+  return "?";
+}
+
+/// Collects stage events; attach to an Engine via set_recorder().
+class Recorder {
+ public:
+  void record(StageEvent event) { events_.push_back(event); }
+
+  const std::vector<StageEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Writes the Chrome-tracing JSON array format. Timestamps are emitted in
+  /// microseconds (the trace viewer's native unit), at nanosecond precision.
+  void write_chrome_json(std::ostream& out) const {
+    out << "[";
+    bool first = true;
+    for (const StageEvent& event : events_) {
+      if (!first) out << ",";
+      first = false;
+      const double ts = static_cast<double>(event.begin) / 1e6;  // ps -> us
+      const double dur =
+          static_cast<double>(event.end - event.begin) / 1e6;
+      out << "\n{\"name\":\"" << stage_name(event.stage)
+          << "\",\"cat\":\"bigkernel\",\"ph\":\"X\""
+          << ",\"pid\":" << event.block
+          << ",\"tid\":" << static_cast<int>(event.stage)
+          << ",\"ts\":" << ts << ",\"dur\":" << dur
+          << ",\"args\":{\"chunk\":" << event.chunk << "}}";
+    }
+    out << "\n]\n";
+  }
+
+  /// Total busy time per stage (sanity metric used by tests).
+  sim::DurationPs stage_busy(StageEvent::Stage stage) const {
+    sim::DurationPs total = 0;
+    for (const StageEvent& event : events_) {
+      if (event.stage == stage) total += event.end - event.begin;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<StageEvent> events_;
+};
+
+}  // namespace bigk::trace

@@ -1,0 +1,133 @@
+// Partition-invariance properties: application results must not depend on
+// how records are split across threads, chunks, batches, or schemes — the
+// fundamental correctness requirement behind the paper's "operate on records
+// in independent ways" restriction, and the subtlest one for the
+// variable-length (delimiter-scanned) MasterCard log, whose records can span
+// any partition boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/mastercard.hpp"
+#include "apps/wordcount.hpp"
+#include "schemes/runners.hpp"
+
+namespace bigk::apps {
+namespace {
+
+gpusim::SystemConfig tiny_config() {
+  gpusim::SystemConfig config;
+  config.gpu.global_memory_bytes = 2 << 20;
+  return config;
+}
+
+// Sweep the CPU batch size: every batch boundary is a partition boundary,
+// and the newline-ownership rule must keep each record counted exactly once.
+TEST(PartitionInvariance, MastercardCpuBatchSizeSweep) {
+  MastercardApp app({.data_bytes = 1 << 19, .seed = 901});
+  schemes::SchemeConfig sc;
+  sc.cpu_batch_records = 1 << 20;  // one batch: the whole log
+  (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  ASSERT_NE(reference, kFnvBasis);
+
+  for (std::uint64_t batch : {37ull, 1000ull, 4096ull, 65536ull}) {
+    sc.cpu_batch_records = batch;
+    (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+    EXPECT_EQ(app.result_digest(), reference) << "batch " << batch;
+  }
+}
+
+TEST(PartitionInvariance, MastercardThreadCountSweep) {
+  MastercardApp app({.data_bytes = 1 << 19, .seed = 902});
+  schemes::SchemeConfig sc;
+  (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  for (std::uint32_t threads : {2u, 3u, 5u, 8u}) {
+    (void)schemes::run_cpu(tiny_config(), app, threads, sc);
+    EXPECT_EQ(app.result_digest(), reference) << threads << " threads";
+  }
+}
+
+TEST(PartitionInvariance, MastercardBigKernelChunkSizeSweep) {
+  MastercardApp app({.data_bytes = 1 << 19, .seed = 903});
+  schemes::SchemeConfig sc;
+  sc.bigkernel.num_blocks = 4;
+  sc.bigkernel.compute_threads_per_block = 64;
+  (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  // Different data-buffer budgets => different chunk boundaries everywhere.
+  for (std::uint64_t buf : {24ull << 10, 64ull << 10, 160ull << 10}) {
+    sc.bigkernel.data_buf_bytes = buf;
+    (void)schemes::run_bigkernel(tiny_config(), app, sc);
+    EXPECT_EQ(app.result_digest(), reference) << "buf " << buf;
+  }
+}
+
+TEST(PartitionInvariance, MastercardGpuGridSweep) {
+  MastercardApp app({.data_bytes = 1 << 19, .seed = 904});
+  schemes::SchemeConfig sc;
+  (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  for (std::uint32_t blocks : {4u, 16u, 48u}) {
+    sc.gpu_blocks = blocks;
+    (void)schemes::run_gpu_single(tiny_config(), app, sc);
+    EXPECT_EQ(app.result_digest(), reference) << blocks << " blocks";
+  }
+}
+
+TEST(PartitionInvariance, WordCountGridAndBatchSweep) {
+  WordCountApp app({.data_bytes = 1 << 19, .seed = 905});
+  schemes::SchemeConfig sc;
+  (void)schemes::run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  const std::uint64_t words = app.total_words();
+  ASSERT_GT(words, 0u);
+
+  sc.cpu_batch_records = 13;
+  (void)schemes::run_cpu_mt(tiny_config(), app, sc);
+  EXPECT_EQ(app.result_digest(), reference);
+  EXPECT_EQ(app.total_words(), words);
+
+  sc.gpu_blocks = 48;
+  (void)schemes::run_gpu_double(tiny_config(), app, sc);
+  EXPECT_EQ(app.result_digest(), reference);
+}
+
+// Generator determinism: identical seeds give identical data and results;
+// different seeds give different ones.
+TEST(GeneratorDeterminism, SameSeedSameDigest) {
+  schemes::SchemeConfig sc;
+  MastercardApp first({.data_bytes = 1 << 18, .seed = 55});
+  MastercardApp second({.data_bytes = 1 << 18, .seed = 55});
+  (void)schemes::run_cpu_serial(tiny_config(), first, sc);
+  (void)schemes::run_cpu_serial(tiny_config(), second, sc);
+  EXPECT_EQ(first.result_digest(), second.result_digest());
+  EXPECT_EQ(first.transactions(), second.transactions());
+}
+
+TEST(GeneratorDeterminism, DifferentSeedDifferentDigest) {
+  schemes::SchemeConfig sc;
+  MastercardApp first({.data_bytes = 1 << 18, .seed = 55});
+  MastercardApp second({.data_bytes = 1 << 18, .seed = 56});
+  (void)schemes::run_cpu_serial(tiny_config(), first, sc);
+  (void)schemes::run_cpu_serial(tiny_config(), second, sc);
+  EXPECT_NE(first.result_digest(), second.result_digest());
+}
+
+// Simulated time itself must be deterministic: two identical runs produce
+// identical virtual completion times, bit for bit.
+TEST(Determinism, IdenticalRunsIdenticalVirtualTime) {
+  schemes::SchemeConfig sc;
+  sc.bigkernel.num_blocks = 4;
+  sc.bigkernel.compute_threads_per_block = 64;
+  WordCountApp app({.data_bytes = 1 << 18, .seed = 77});
+  const auto first = schemes::run_bigkernel(tiny_config(), app, sc);
+  const auto second = schemes::run_bigkernel(tiny_config(), app, sc);
+  EXPECT_EQ(first.total_time, second.total_time);
+  EXPECT_EQ(first.h2d_bytes, second.h2d_bytes);
+  EXPECT_EQ(first.engine.assembly_busy, second.engine.assembly_busy);
+}
+
+}  // namespace
+}  // namespace bigk::apps

@@ -1,0 +1,162 @@
+// Tests for the stride-pattern recognition of §IV.A.
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bigk::core {
+namespace {
+
+std::vector<std::uint64_t> expand(const StridePattern& pattern) {
+  std::vector<std::uint64_t> addrs;
+  for (std::uint64_t i = 0; i < pattern.count; ++i) {
+    addrs.push_back(pattern.address_at(i));
+  }
+  return addrs;
+}
+
+TEST(StridePatternTest, AddressAtReproducesCyclicStrides) {
+  // The paper's K-means shape: x,y,z of 48-byte particles -> strides 8,8,32.
+  StridePattern pattern{0x1000, {8, 8, 32}, 7};
+  EXPECT_EQ(expand(pattern),
+            (std::vector<std::uint64_t>{0x1000, 0x1008, 0x1010, 0x1030,
+                                        0x1038, 0x1040, 0x1060}));
+}
+
+TEST(StridePatternTest, DescriptorBytesScaleWithCycle) {
+  EXPECT_EQ((StridePattern{0, {1}, 10}.descriptor_bytes()), 24u);
+  EXPECT_EQ((StridePattern{0, {8, 8, 32}, 10}.descriptor_bytes()), 40u);
+}
+
+TEST(StridePatternTest, NegativeStridesWork) {
+  StridePattern pattern{0x1000, {-16}, 4};
+  EXPECT_EQ(expand(pattern),
+            (std::vector<std::uint64_t>{0x1000, 0xFF0, 0xFE0, 0xFD0}));
+}
+
+TEST(PatternDetectorTest, DetectsUnitStride) {
+  PatternDetector detector;
+  for (std::uint64_t a = 100; a < 200; ++a) ASSERT_TRUE(detector.feed(a));
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->base, 100u);
+  EXPECT_EQ(pattern->strides, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(pattern->count, 100u);
+}
+
+TEST(PatternDetectorTest, DetectsKmeansCycle) {
+  // Example from the paper: 0x00100, 0x00105, 0x00110, 0x00115 has base
+  // 0x00100 and stride cycle [5, 11, 5] — our detector explains any
+  // consistent cyclic stride sequence.
+  PatternDetector detector(8, 4);
+  std::uint64_t addr = 0x2000;
+  std::vector<std::uint64_t> fed;
+  for (int rec = 0; rec < 20; ++rec) {
+    for (std::int64_t stride : {8, 8, 32}) {
+      fed.push_back(addr);
+      addr += static_cast<std::uint64_t>(stride);
+    }
+  }
+  for (std::uint64_t a : fed) ASSERT_TRUE(detector.feed(a));
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->count, fed.size());
+  for (std::uint64_t i = 0; i < fed.size(); ++i) {
+    EXPECT_EQ(pattern->address_at(i), fed[i]) << "i=" << i;
+  }
+}
+
+TEST(PatternDetectorTest, BreakDuringVerificationReturnsFalseOnce) {
+  PatternDetector detector(4, 2);
+  for (std::uint64_t a : {0u, 8u, 16u, 24u}) ASSERT_TRUE(detector.feed(a));
+  EXPECT_EQ(detector.state(), PatternDetector::State::kVerifying);
+  EXPECT_FALSE(detector.feed(1000));  // breaks the stride
+  EXPECT_EQ(detector.state(), PatternDetector::State::kBroken);
+  EXPECT_TRUE(detector.feed(2000));  // further feeds just collect
+  EXPECT_FALSE(detector.pattern().has_value());
+}
+
+TEST(PatternDetectorTest, IrregularProbeNeverFormsPattern) {
+  PatternDetector detector(6, 4);
+  for (std::uint64_t a : {3u, 17u, 4u, 96u, 11u, 205u, 7u}) detector.feed(a);
+  EXPECT_FALSE(detector.pattern().has_value());
+  EXPECT_EQ(detector.state(), PatternDetector::State::kBroken);
+}
+
+TEST(PatternDetectorTest, ShortConsistentSequenceStillYieldsPattern) {
+  // Fewer addresses than the probe window, but perfectly strided: the
+  // pattern covers them exactly.
+  PatternDetector detector(16, 4);
+  for (std::uint64_t a : {0u, 4u, 8u}) detector.feed(a);
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->count, 3u);
+  EXPECT_EQ(pattern->strides, (std::vector<std::int64_t>{4}));
+}
+
+TEST(PatternDetectorTest, SingleAddressIsItsOwnPattern) {
+  PatternDetector detector;
+  detector.feed(0xABC);
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->base, 0xABCu);
+  EXPECT_EQ(pattern->count, 1u);
+}
+
+TEST(PatternDetectorTest, NoAddressesMeansNoPattern) {
+  PatternDetector detector;
+  EXPECT_FALSE(detector.pattern().has_value());
+}
+
+TEST(PatternDetectorTest, ResetAllowsReuse) {
+  PatternDetector detector(4, 2);
+  for (std::uint64_t a : {9u, 1u, 77u, 13u}) detector.feed(a);
+  EXPECT_EQ(detector.state(), PatternDetector::State::kBroken);
+  detector.reset();
+  for (std::uint64_t a : {0u, 8u, 16u, 24u, 32u}) detector.feed(a);
+  ASSERT_TRUE(detector.pattern().has_value());
+}
+
+TEST(PatternDetectorTest, PrefersShortestCycle) {
+  PatternDetector detector(8, 4);
+  for (std::uint64_t a = 0; a < 64; a += 8) detector.feed(a);
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->strides.size(), 1u);
+}
+
+// Property sweep: any (base, cycle, count) combination round-trips.
+struct PatternCase {
+  std::uint64_t base;
+  std::vector<std::int64_t> strides;
+};
+
+class PatternRoundTrip : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternRoundTrip, DetectorConfirmsAndReproduces) {
+  const PatternCase& param = GetParam();
+  StridePattern truth{param.base, param.strides, 50};
+  // The probe window must hold two full cycles plus one address for the
+  // longest cycle under test (4).
+  PatternDetector detector(12, 4);
+  for (std::uint64_t i = 0; i < truth.count; ++i) {
+    ASSERT_TRUE(detector.feed(truth.address_at(i))) << "i=" << i;
+  }
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->count, truth.count);
+  for (std::uint64_t i = 0; i < truth.count; ++i) {
+    EXPECT_EQ(pattern->address_at(i), truth.address_at(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, PatternRoundTrip,
+    ::testing::Values(PatternCase{0, {1}}, PatternCase{4096, {8}},
+                      PatternCase{100, {8, 8, 32}}, PatternCase{7, {3, 5}},
+                      PatternCase{1 << 20, {64, -8, 8, 200}},
+                      PatternCase{50, {0}}, PatternCase{1234, {16, 16}}));
+
+}  // namespace
+}  // namespace bigk::core

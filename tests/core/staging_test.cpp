@@ -1,0 +1,147 @@
+// Tests for the pipeline staging structures: address logs, pattern-vs-raw
+// wire accounting, and the three data-buffer layouts.
+#include "core/staging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bigk::core {
+namespace {
+
+TEST(ThreadAddrsTest, FeedCollectsElementsAndCount) {
+  ThreadAddrs addrs;
+  addrs.begin(true);
+  for (std::uint64_t e = 0; e < 10; ++e) addrs.feed(e * 3, 8);
+  EXPECT_EQ(addrs.count, 10u);
+  EXPECT_EQ(addrs.elems.size(), 10u);
+}
+
+TEST(ThreadAddrsTest, StridedFeedFinalizesToPattern) {
+  ThreadAddrs addrs;
+  addrs.begin(true);
+  for (std::uint64_t e = 0; e < 100; ++e) addrs.feed(e * 4, 8);
+  addrs.finalize();
+  ASSERT_TRUE(addrs.pattern.has_value());
+  EXPECT_TRUE(addrs.elems.empty());  // dropped once the pattern covers them
+  EXPECT_EQ(addrs.wire_bytes, addrs.pattern->descriptor_bytes());
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(addrs.element_at(k, 8), k * 4);
+  }
+}
+
+TEST(ThreadAddrsTest, IrregularFeedFinalizesToRawAddresses) {
+  ThreadAddrs addrs;
+  addrs.begin(true);
+  const std::uint64_t elems[] = {5, 99, 3, 1000, 7, 42, 8, 9, 13, 77};
+  for (std::uint64_t e : elems) addrs.feed(e, 8);
+  addrs.finalize();
+  EXPECT_FALSE(addrs.pattern.has_value());
+  EXPECT_EQ(addrs.wire_bytes, 10 * kAddrBytes);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(addrs.element_at(k, 8), elems[k]);
+  }
+}
+
+TEST(ThreadAddrsTest, DetectionDisabledAlwaysSendsRaw) {
+  ThreadAddrs addrs;
+  addrs.begin(false);
+  for (std::uint64_t e = 0; e < 50; ++e) addrs.feed(e, 8);
+  addrs.finalize();
+  EXPECT_FALSE(addrs.pattern.has_value());
+  EXPECT_EQ(addrs.wire_bytes, 50 * kAddrBytes);
+}
+
+TEST(ThreadAddrsTest, BeginResetsForReuse) {
+  ThreadAddrs addrs;
+  addrs.begin(true);
+  addrs.feed(1, 8);
+  addrs.feed(100, 8);
+  addrs.feed(3, 8);
+  addrs.finalize();
+  addrs.begin(true);
+  EXPECT_EQ(addrs.count, 0u);
+  for (std::uint64_t e = 0; e < 20; ++e) addrs.feed(e, 8);
+  addrs.finalize();
+  EXPECT_TRUE(addrs.pattern.has_value());
+}
+
+TEST(ThreadAddrsTest, EmptyFinalizeIsHarmless) {
+  ThreadAddrs addrs;
+  addrs.begin(true);
+  addrs.finalize();
+  EXPECT_EQ(addrs.wire_bytes, 0u);
+  EXPECT_EQ(addrs.count, 0u);
+}
+
+StreamStage make_stage() {
+  StreamStage stage;
+  stage.dev_data_base = 10'000;
+  stage.dev_write_base = 50'000;
+  stage.slots_per_thread = 100;
+  stage.write_slots_per_thread = 10;
+  return stage;
+}
+
+TEST(LayoutTest, InterleavedPlacesThreadsAdjacently) {
+  const StreamStage stage = make_stage();
+  // Thread v's slot k at base + (k*C + v)*elem.
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kInterleaved, 64, 0, 0, 8),
+            10'000u);
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kInterleaved, 64, 1, 0, 8),
+            10'008u);
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kInterleaved, 64, 0, 1, 8),
+            10'000u + 64 * 8);
+}
+
+TEST(LayoutTest, ThreadMajorKeepsAThreadContiguous) {
+  const StreamStage stage = make_stage();
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kThreadMajor, 64, 0, 1, 8),
+            10'008u);
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kThreadMajor, 64, 1, 0, 8),
+            10'000u + 100 * 8);
+  // kOriginal shares the thread-major geometry.
+  EXPECT_EQ(data_slot_address(stage, DataLayout::kOriginal, 64, 2, 5, 8),
+            10'000u + (2 * 100 + 5) * 8);
+}
+
+TEST(LayoutTest, PrefetchPositionMirrorsDeviceLayout) {
+  const StreamStage stage = make_stage();
+  for (std::uint32_t v : {0u, 3u, 63u}) {
+    for (std::uint64_t k : {0ull, 7ull, 99ull}) {
+      EXPECT_EQ(prefetch_position(stage, DataLayout::kInterleaved, 64, v, k, 8),
+                data_slot_address(stage, DataLayout::kInterleaved, 64, v, k, 8) -
+                    stage.dev_data_base);
+    }
+  }
+}
+
+TEST(LayoutTest, WriteSlotsAreAlwaysInterleaved) {
+  const StreamStage stage = make_stage();
+  EXPECT_EQ(write_slot_address(stage, 64, 0, 0, 8), 50'000u);
+  EXPECT_EQ(write_slot_address(stage, 64, 5, 0, 8), 50'000u + 5 * 8);
+  EXPECT_EQ(write_slot_address(stage, 64, 0, 2, 8), 50'000u + 2 * 64 * 8);
+}
+
+// Property: within capacity, no two (thread, slot) pairs alias, for every
+// layout and element size.
+TEST(LayoutProperty, SlotAddressesNeverAlias) {
+  StreamStage stage = make_stage();
+  stage.slots_per_thread = 16;
+  constexpr std::uint32_t kThreads = 8;
+  for (DataLayout layout : {DataLayout::kInterleaved, DataLayout::kThreadMajor}) {
+    for (std::uint32_t elem : {1u, 4u, 8u}) {
+      std::vector<std::uint64_t> seen;
+      for (std::uint32_t v = 0; v < kThreads; ++v) {
+        for (std::uint64_t k = 0; k < stage.slots_per_thread; ++k) {
+          seen.push_back(data_slot_address(stage, layout, kThreads, v, k, elem));
+        }
+      }
+      std::sort(seen.begin(), seen.end());
+      EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+          << "aliasing in layout " << static_cast<int>(layout) << " elem "
+          << elem;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bigk::core

@@ -1,0 +1,108 @@
+// Tests for the simulated device arena and its free-list allocator.
+#include "gpusim/device_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bigk::gpusim {
+namespace {
+
+TEST(DeviceMemoryTest, AllocationsAreAlignedAndDisjoint) {
+  DeviceMemory mem(1 << 20);
+  auto a = mem.allocate<double>(10);
+  auto b = mem.allocate<double>(10);
+  EXPECT_EQ(a.byte_offset % 256, 0u);
+  EXPECT_EQ(b.byte_offset % 256, 0u);
+  EXPECT_NE(a.byte_offset, b.byte_offset);
+}
+
+TEST(DeviceMemoryTest, ReadsBackWrites) {
+  DeviceMemory mem(1 << 16);
+  auto p = mem.allocate<std::uint64_t>(100);
+  for (std::uint64_t i = 0; i < 100; ++i) mem.write(p, i, i * i);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(mem.read(p, i), i * i);
+}
+
+TEST(DeviceMemoryTest, ExhaustionThrows) {
+  DeviceMemory mem(4096);
+  (void)mem.allocate<std::byte>(4096);
+  EXPECT_THROW(mem.allocate<std::byte>(1), OutOfDeviceMemory);
+}
+
+TEST(DeviceMemoryTest, FreeMakesSpaceReusable) {
+  DeviceMemory mem(4096);
+  auto a = mem.allocate<std::byte>(4096);
+  mem.free(a);
+  EXPECT_EQ(mem.used(), 0u);
+  auto b = mem.allocate<std::byte>(4096);
+  EXPECT_EQ(b.byte_offset, a.byte_offset);
+}
+
+TEST(DeviceMemoryTest, FreeCoalescesNeighbors) {
+  DeviceMemory mem(3 * 1024);
+  auto a = mem.allocate<std::byte>(1024);
+  auto b = mem.allocate<std::byte>(1024);
+  auto c = mem.allocate<std::byte>(1024);
+  mem.free(a);
+  mem.free(c);
+  mem.free(b);  // middle free must merge all three
+  auto all = mem.allocate<std::byte>(3 * 1024);
+  EXPECT_EQ(all.byte_offset, 0u);
+}
+
+TEST(DeviceMemoryTest, DoubleFreeThrows) {
+  DeviceMemory mem(4096);
+  auto a = mem.allocate<std::byte>(128);
+  mem.free(a);
+  EXPECT_THROW(mem.free(a), std::invalid_argument);
+}
+
+TEST(DeviceMemoryTest, OutOfBoundsAccessThrows) {
+  DeviceMemory mem(4096);
+  auto p = mem.allocate<std::uint32_t>(4);
+  EXPECT_THROW(mem.read(DevicePtr<std::uint32_t>{4096}, 0), std::out_of_range);
+  EXPECT_NO_THROW(mem.read(p, 3));
+}
+
+TEST(DeviceMemoryTest, UsedTracksLiveBytes) {
+  DeviceMemory mem(1 << 16);
+  EXPECT_EQ(mem.used(), 0u);
+  auto a = mem.allocate<std::byte>(300);  // rounds to 512
+  EXPECT_EQ(mem.used(), 512u);
+  mem.free(a);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceMemoryTest, PointerArithmeticMatchesElementAddress) {
+  DevicePtr<double> p{1024};
+  EXPECT_EQ((p + 3).byte_offset, 1024 + 3 * sizeof(double));
+  EXPECT_EQ(p.element_address(5), 1024 + 5 * sizeof(double));
+  auto q = p.cast<std::uint8_t>();
+  EXPECT_EQ(q.byte_offset, 1024u);
+}
+
+TEST(DeviceMemoryTest, RawByteViewsAreBoundsChecked) {
+  DeviceMemory mem(4096);
+  EXPECT_NO_THROW(mem.bytes(0, 4096));
+  EXPECT_THROW(mem.bytes(1, 4096), std::out_of_range);
+}
+
+TEST(DeviceMemoryTest, ManyAllocFreeCyclesDoNotFragmentForever) {
+  DeviceMemory mem(1 << 20);
+  std::vector<DevicePtr<std::byte>> live;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      live.push_back(mem.allocate<std::byte>(1000 + 37 * i));
+    }
+    for (auto p : live) mem.free(p);
+    live.clear();
+  }
+  EXPECT_EQ(mem.used(), 0u);
+  // After full free, the arena must be one block again.
+  EXPECT_NO_THROW(mem.allocate<std::byte>((1 << 20) - 256));
+}
+
+}  // namespace
+}  // namespace bigk::gpusim

@@ -1,0 +1,160 @@
+// Tests for the MapReduce framework layered on BigKernel (the paper's §VIII
+// future work): correctness of map/combine/reduce under every execution
+// scheme, and framework-level invariants.
+#include "mapreduce/mapreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace bigk::mr {
+namespace {
+
+gpusim::SystemConfig tiny_config() {
+  gpusim::SystemConfig config;
+  config.gpu.global_memory_bytes = 2 << 20;
+  return config;
+}
+
+schemes::SchemeConfig tiny_scheme_config() {
+  schemes::SchemeConfig sc;
+  sc.gpu_blocks = 8;
+  sc.gpu_threads_per_block = 128;
+  sc.bigkernel.num_blocks = 8;
+  sc.bigkernel.compute_threads_per_block = 64;
+  return sc;
+}
+
+// Records of 4 elements: [station, day, temperature, payload].
+struct TemperatureMapper {
+  template <class Record, class Emitter>
+  void operator()(const Record& record, Emitter& emit) const {
+    const std::uint64_t station = record.field(0);
+    const std::uint64_t temperature = record.field(2);
+    emit.cost(6);
+    emit(station, temperature);
+  }
+};
+
+struct Dataset {
+  std::vector<std::uint64_t> records;
+  std::map<std::uint64_t, Bucket> expected;  // bucket -> (sum, count)
+
+  explicit Dataset(std::uint64_t n, std::uint32_t buckets) {
+    records.resize(n * 4);
+    apps::Rng rng(777);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      const std::uint64_t station = rng.below(500);
+      const std::uint64_t temperature = 200 + rng.below(150);
+      records[r * 4] = station;
+      records[r * 4 + 1] = rng.below(365);
+      records[r * 4 + 2] = temperature;
+      records[r * 4 + 3] = rng.next();
+      Bucket& bucket = expected[station % buckets];
+      bucket.sum += temperature;
+      bucket.count += 1;
+    }
+  }
+};
+
+class MapReduceSchemes : public ::testing::TestWithParam<schemes::Scheme> {};
+
+TEST_P(MapReduceSchemes, MatchesDirectAggregation) {
+  constexpr std::uint32_t kBuckets = 1 << 10;
+  Dataset dataset(40'000, kBuckets);
+  MapReduceJob<std::uint64_t, TemperatureMapper> job(
+      std::span(dataset.records), 4, 2, TemperatureMapper{}, kBuckets);
+  const MapReduceResult result =
+      run(job, GetParam(), tiny_config(), tiny_scheme_config());
+
+  EXPECT_EQ(result.total_pairs(), 40'000u);
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    const auto it = dataset.expected.find(b);
+    const Bucket expected = it == dataset.expected.end() ? Bucket{} : it->second;
+    ASSERT_EQ(result.buckets[b].sum, expected.sum) << "bucket " << b;
+    ASSERT_EQ(result.buckets[b].count, expected.count) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, MapReduceSchemes,
+    ::testing::Values(schemes::Scheme::kCpuSerial,
+                      schemes::Scheme::kCpuMultiThreaded,
+                      schemes::Scheme::kGpuSingleBuffer,
+                      schemes::Scheme::kGpuDoubleBuffer,
+                      schemes::Scheme::kBigKernel),
+    [](const auto& info) {
+      return std::string(schemes::scheme_name(info.param))
+          .substr(0, 3) == "CPU"
+          ? (info.param == schemes::Scheme::kCpuSerial ? "CpuSerial" : "CpuMt")
+          : (info.param == schemes::Scheme::kGpuSingleBuffer ? "GpuSingle"
+             : info.param == schemes::Scheme::kGpuDoubleBuffer ? "GpuDouble"
+                                                               : "BigKernel");
+    });
+
+// A mapper emitting two pairs per record (station and day histograms).
+struct TwoKeyMapper {
+  template <class Record, class Emitter>
+  void operator()(const Record& record, Emitter& emit) const {
+    emit(record.field(0), 1);          // station count
+    emit(1000 + record.field(1), 1);   // day count, shifted keyspace
+    emit.cost(4);
+  }
+};
+
+TEST(MapReduceTest, MultiEmitMappersWork) {
+  constexpr std::uint32_t kBuckets = 1 << 11;
+  Dataset dataset(10'000, kBuckets);
+  MapReduceJob<std::uint64_t, TwoKeyMapper> job(
+      std::span(dataset.records), 4, 2, TwoKeyMapper{}, kBuckets);
+  const MapReduceResult result =
+      run(job, schemes::Scheme::kBigKernel, tiny_config(),
+          tiny_scheme_config());
+  EXPECT_EQ(result.total_pairs(), 20'000u);  // two emits per record
+}
+
+TEST(MapReduceTest, JobIsReusableAcrossRuns) {
+  constexpr std::uint32_t kBuckets = 256;
+  Dataset dataset(5'000, kBuckets);
+  MapReduceJob<std::uint64_t, TemperatureMapper> job(
+      std::span(dataset.records), 4, 2, TemperatureMapper{}, kBuckets);
+  const MapReduceResult first =
+      run(job, schemes::Scheme::kCpuSerial, tiny_config());
+  const MapReduceResult second =
+      run(job, schemes::Scheme::kBigKernel, tiny_config(),
+          tiny_scheme_config());
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    ASSERT_EQ(first.buckets[b].sum, second.buckets[b].sum);
+    ASSERT_EQ(first.buckets[b].count, second.buckets[b].count);
+  }
+}
+
+TEST(MapReduceTest, BigKernelRunsJobInOneLaunch) {
+  constexpr std::uint32_t kBuckets = 256;
+  Dataset dataset(30'000, kBuckets);
+  MapReduceJob<std::uint64_t, TemperatureMapper> job(
+      std::span(dataset.records), 4, 2, TemperatureMapper{}, kBuckets);
+  const MapReduceResult result =
+      run(job, schemes::Scheme::kBigKernel, tiny_config(),
+          tiny_scheme_config());
+  EXPECT_EQ(result.metrics.kernel_launches, 1u);
+  // Map reads 2 of 4 fields: transfer reduction applies to MapReduce too.
+  EXPECT_LT(result.metrics.h2d_bytes, 30'000u * 32 * 7 / 10);
+}
+
+TEST(MapReduceTest, EmptyInputYieldsEmptyBuckets) {
+  std::vector<std::uint64_t> empty;
+  MapReduceJob<std::uint64_t, TemperatureMapper> job(
+      std::span<std::uint64_t>(empty), 4, 2,
+                                                     TemperatureMapper{}, 64);
+  const MapReduceResult result =
+      run(job, schemes::Scheme::kCpuSerial, tiny_config());
+  EXPECT_EQ(result.total_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace bigk::mr

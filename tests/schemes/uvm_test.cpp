@@ -1,0 +1,122 @@
+// Tests for the demand-paging (UVM-style) execution scheme.
+#include "schemes/uvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.hpp"
+#include "apps/netflix.hpp"
+#include "apps/wordcount.hpp"
+
+namespace bigk::schemes {
+namespace {
+
+gpusim::SystemConfig tiny_config() {
+  gpusim::SystemConfig config;
+  config.gpu.global_memory_bytes = 3 << 20;
+  return config;
+}
+
+SchemeConfig tiny_scheme_config() {
+  SchemeConfig sc;
+  sc.gpu_blocks = 8;
+  sc.gpu_threads_per_block = 128;
+  sc.bigkernel.num_blocks = 8;
+  sc.bigkernel.compute_threads_per_block = 64;
+  return sc;
+}
+
+TEST(UvmPageTableTest, FirstTouchFaultsRepeatTouchHits) {
+  detail::UvmPageTable pages(4, 4096);
+  EXPECT_TRUE(pages.touch(0, 100, false).fault);
+  EXPECT_FALSE(pages.touch(0, 200, false).fault);   // same page
+  EXPECT_TRUE(pages.touch(0, 5000, false).fault);   // next page
+  EXPECT_EQ(pages.faults(), 2u);
+}
+
+TEST(UvmPageTableTest, LruEvictsAndFlagsDirtyWriteback) {
+  detail::UvmPageTable pages(2, 4096);
+  pages.touch(0, 0, true);            // page 0, dirty
+  pages.touch(0, 4096, false);        // page 1
+  const auto touch = pages.touch(0, 8192, false);  // evicts dirty page 0
+  EXPECT_TRUE(touch.fault);
+  EXPECT_TRUE(touch.writeback);
+  EXPECT_EQ(pages.writebacks(), 1u);
+  // Page 0 must fault again.
+  EXPECT_TRUE(pages.touch(0, 0, false).fault);
+}
+
+TEST(UvmPageTableTest, TouchRefreshesLruPosition) {
+  detail::UvmPageTable pages(2, 4096);
+  pages.touch(0, 0, false);
+  pages.touch(0, 4096, false);
+  pages.touch(0, 0, false);           // page 0 becomes MRU
+  pages.touch(0, 8192, false);        // evicts page 1
+  EXPECT_FALSE(pages.touch(0, 0, false).fault);
+  EXPECT_TRUE(pages.touch(0, 4096, false).fault);
+}
+
+TEST(UvmPageTableTest, StreamsDoNotAlias) {
+  detail::UvmPageTable pages(8, 4096);
+  EXPECT_TRUE(pages.touch(0, 0, false).fault);
+  EXPECT_TRUE(pages.touch(1, 0, false).fault);
+  EXPECT_FALSE(pages.touch(0, 0, false).fault);
+}
+
+TEST(UvmPageTableTest, DirtyResidentCountsUnflushedPages) {
+  detail::UvmPageTable pages(8, 4096);
+  pages.touch(0, 0, true);
+  pages.touch(0, 4096, false);
+  pages.touch(0, 8192, true);
+  EXPECT_EQ(pages.dirty_resident(), 2u);
+}
+
+TEST(UvmSchemeTest, ProducesReferenceResults) {
+  apps::KmeansApp app({.data_bytes = 1 << 21, .seed = 301});
+  const SchemeConfig sc = tiny_scheme_config();
+  (void)run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  const RunMetrics metrics = run_gpu_uvm(tiny_config(), app, sc);
+  EXPECT_EQ(app.result_digest(), reference);
+  EXPECT_EQ(metrics.kernel_launches, 1u);  // same single-launch model
+  EXPECT_GT(metrics.total_time, 0u);
+}
+
+TEST(UvmSchemeTest, MigratesWholePagesNotElements) {
+  // Netflix reads 30% of each record, but those reads touch every 4 KiB
+  // page: UVM must move ~the whole dataset while BigKernel moves ~30%.
+  apps::NetflixApp app({.data_bytes = 1 << 21, .seed = 302});
+  const SchemeConfig sc = tiny_scheme_config();
+  const RunMetrics uvm = run_gpu_uvm(tiny_config(), app, sc);
+  const RunMetrics big = run_bigkernel(tiny_config(), app, sc);
+  EXPECT_GT(uvm.h2d_bytes, (1u << 21) * 9 / 10);  // ~everything migrated
+  EXPECT_LT(big.h2d_bytes, uvm.h2d_bytes / 2);
+}
+
+TEST(UvmSchemeTest, BigKernelOutperformsDemandPagingOnStreams) {
+  apps::NetflixApp app({.data_bytes = 1 << 21, .seed = 303});
+  const SchemeConfig sc = tiny_scheme_config();
+  const RunMetrics uvm = run_gpu_uvm(tiny_config(), app, sc);
+  const RunMetrics big = run_bigkernel(tiny_config(), app, sc);
+  EXPECT_LT(big.total_time, uvm.total_time);
+}
+
+TEST(UvmSchemeTest, WriteBackFlushesDirtyPages) {
+  apps::KmeansApp app({.data_bytes = 1 << 20, .seed = 304});
+  const SchemeConfig sc = tiny_scheme_config();
+  const RunMetrics metrics = run_gpu_uvm(tiny_config(), app, sc);
+  // K-means dirties every record's page; d2h must carry them back (plus
+  // table downloads).
+  EXPECT_GT(metrics.d2h_bytes, (1u << 20) / 2);
+}
+
+TEST(UvmSchemeTest, TextScanWorksUnderPaging) {
+  apps::WordCountApp app({.data_bytes = 1 << 20, .seed = 305});
+  const SchemeConfig sc = tiny_scheme_config();
+  (void)run_cpu_serial(tiny_config(), app, sc);
+  const std::uint64_t reference = app.result_digest();
+  (void)run_gpu_uvm(tiny_config(), app, sc);
+  EXPECT_EQ(app.result_digest(), reference);
+}
+
+}  // namespace
+}  // namespace bigk::schemes

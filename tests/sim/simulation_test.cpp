@@ -1,0 +1,185 @@
+// Unit tests for the discrete-event simulation core: clock, ordering,
+// process lifecycle, and error propagation.
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bigk::sim {
+namespace {
+
+Task<> record_after(Simulation& sim, DurationPs dt, std::vector<int>& log,
+                    int id) {
+  co_await sim.delay(dt);
+  log.push_back(id);
+}
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(SimulationTest, DelayAdvancesClock) {
+  Simulation sim;
+  TimePs observed = 0;
+  sim.run_until_complete([](Simulation& s, TimePs& out) -> Task<> {
+    co_await s.delay(microseconds(3));
+    out = s.now();
+  }(sim, observed));
+  EXPECT_EQ(observed, microseconds(3));
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.spawn(record_after(sim, nanoseconds(30), log, 3));
+  sim.spawn(record_after(sim, nanoseconds(10), log, 1));
+  sim.spawn(record_after(sim, nanoseconds(20), log, 2));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, EqualTimestampsFireInSpawnOrder) {
+  Simulation sim;
+  std::vector<int> log;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn(record_after(sim, nanoseconds(7), log, i));
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, ZeroDelayYieldsDeterministically) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.spawn([](Simulation& s, std::vector<int>& out) -> Task<> {
+    out.push_back(1);
+    co_await s.delay(0);
+    out.push_back(3);
+  }(sim, log));
+  sim.spawn([](Simulation&, std::vector<int>& out) -> Task<> {
+    out.push_back(2);
+    co_return;
+  }(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, NestedTasksPropagateValues) {
+  Simulation sim;
+  int result = 0;
+  sim.run_until_complete([](Simulation& s, int& out) -> Task<> {
+    auto child = [](Simulation& s2) -> Task<int> {
+      co_await s2.delay(nanoseconds(5));
+      co_return 42;
+    };
+    out = co_await child(s);
+  }(sim, result));
+  EXPECT_EQ(result, 42);
+}
+
+TEST(SimulationTest, JoinWaitsForProcess) {
+  Simulation sim;
+  TimePs join_time = 0;
+  sim.run_until_complete([](Simulation& s, TimePs& out) -> Task<> {
+    Process worker = s.spawn([](Simulation& s2) -> Task<> {
+      co_await s2.delay(microseconds(10));
+    }(s));
+    co_await worker.join();
+    out = s.now();
+  }(sim, join_time));
+  EXPECT_EQ(join_time, microseconds(10));
+}
+
+TEST(SimulationTest, JoinOnFinishedProcessIsImmediate) {
+  Simulation sim;
+  sim.run_until_complete([](Simulation& s) -> Task<> {
+    Process worker = s.spawn([](Simulation&) -> Task<> { co_return; }(s));
+    co_await s.delay(microseconds(1));
+    EXPECT_TRUE(worker.done());
+    co_await worker.join();
+    EXPECT_EQ(s.now(), microseconds(1));
+  }(sim));
+}
+
+TEST(SimulationTest, ExceptionPropagatesThroughAwait) {
+  Simulation sim;
+  auto main = [](Simulation& s) -> Task<> {
+    auto thrower = [](Simulation&) -> Task<> {
+      throw std::runtime_error("boom");
+      co_return;
+    };
+    co_await thrower(s);
+  };
+  EXPECT_THROW(sim.run_until_complete(main(sim)), std::runtime_error);
+}
+
+TEST(SimulationTest, ExceptionPropagatesThroughJoin) {
+  Simulation sim;
+  bool caught = false;
+  sim.run_until_complete([](Simulation& s, bool& out) -> Task<> {
+    Process worker = s.spawn([](Simulation& s2) -> Task<> {
+      co_await s2.delay(nanoseconds(1));
+      throw std::runtime_error("worker failed");
+    }(s));
+    try {
+      co_await worker.join();
+    } catch (const std::runtime_error&) {
+      out = true;
+    }
+  }(sim, caught));
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimulationTest, UnjoinedProcessErrorSurfacesFromRun) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<> {
+    co_await s.delay(nanoseconds(1));
+    throw std::logic_error("unobserved");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(SimulationTest, ManyProcessesAllComplete) {
+  Simulation sim;
+  int completed = 0;
+  std::vector<Process> procs;
+  for (int i = 0; i < 1000; ++i) {
+    procs.push_back(sim.spawn([](Simulation& s, int& done, int i2) -> Task<> {
+      co_await s.delay(nanoseconds(static_cast<std::uint64_t>(i2 % 17)));
+      ++done;
+    }(sim, completed, i)));
+  }
+  sim.run();
+  EXPECT_EQ(completed, 1000);
+  for (const Process& p : procs) EXPECT_TRUE(p.done());
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(nanoseconds(1), 1000u);
+  EXPECT_EQ(microseconds(1), 1'000'000u);
+  EXPECT_EQ(milliseconds(2), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kMillisecond), 1.0);
+}
+
+TEST(TimeTest, TransferTimeMatchesBandwidth) {
+  // 8 GB at 8 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(8'000'000'000ull, 8.0), kSecond);
+  // Tiny transfers round up to at least 1 ps.
+  EXPECT_GE(transfer_time(1, 1000.0), 1u);
+  EXPECT_EQ(transfer_time(0, 10.0), 0u);
+}
+
+TEST(TimeTest, CyclesTimeMatchesFrequency) {
+  // 1000 cycles at 1 GHz = 1 us.
+  EXPECT_EQ(cycles_time(1000.0, 1.0), microseconds(1));
+  EXPECT_EQ(cycles_time(0.0, 1.0), 0u);
+}
+
+}  // namespace
+}  // namespace bigk::sim

@@ -1,0 +1,115 @@
+// Tests for the pipeline trace recorder and its Chrome-tracing export.
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/device_tables.hpp"
+#include "core/engine.hpp"
+#include "cusim/runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace bigk::trace {
+namespace {
+
+TEST(RecorderTest, CollectsEventsAndBusyTimes) {
+  Recorder recorder;
+  recorder.record({StageEvent::Stage::kAddrGen, 0, 0, 100, 200});
+  recorder.record({StageEvent::Stage::kAddrGen, 0, 1, 300, 500});
+  recorder.record({StageEvent::Stage::kCompute, 1, 0, 0, 1000});
+  EXPECT_EQ(recorder.events().size(), 3u);
+  EXPECT_EQ(recorder.stage_busy(StageEvent::Stage::kAddrGen), 300u);
+  EXPECT_EQ(recorder.stage_busy(StageEvent::Stage::kCompute), 1000u);
+  EXPECT_EQ(recorder.stage_busy(StageEvent::Stage::kTransfer), 0u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(RecorderTest, ChromeJsonIsWellFormed) {
+  Recorder recorder;
+  recorder.record({StageEvent::Stage::kAssembly, 2, 7, 1'000'000, 3'000'000});
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\":\"2 data assembly\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"chunk\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(RecorderTest, EmptyRecorderWritesEmptyArray) {
+  Recorder recorder;
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  EXPECT_EQ(out.str(), "[\n]\n");
+}
+
+struct SumKernel {
+  core::StreamRef<std::uint64_t> s;
+  template <class Ctx>
+  void operator()(Ctx& ctx, std::uint64_t b, std::uint64_t e,
+                  std::uint64_t stride) const {
+    for (std::uint64_t r = b; r < e; r += stride) {
+      const auto a = ctx.read(s, r * 4);
+      const auto c = ctx.read(s, r * 4 + 1);
+      ctx.write(s, r * 4 + 3, a + c);
+    }
+  }
+};
+
+// A real engine run must produce one event per (stage, block, chunk), with
+// monotone non-degenerate intervals.
+TEST(RecorderIntegration, EngineEmitsAllStages) {
+  sim::Simulation sim;
+  gpusim::SystemConfig config;
+  config.gpu.global_memory_bytes = 8 << 20;
+  cusim::Runtime runtime(sim, config);
+
+  constexpr std::uint64_t kRecords = 10'000;
+  std::vector<std::uint64_t> host(kRecords * 4);
+  for (std::uint64_t i = 0; i < host.size(); ++i) host[i] = i;
+
+  core::Options options;
+  options.num_blocks = 4;
+  options.compute_threads_per_block = 64;
+  options.data_buf_bytes = 32 << 10;
+  core::Engine engine(runtime, options);
+  Recorder recorder;
+  engine.set_recorder(&recorder);
+
+  auto stream = engine.streaming_map<std::uint64_t>(
+      std::span(host), core::AccessMode::kReadWrite, 4, 2, 1);
+  SumKernel kernel{stream};
+  core::TableSet tables;
+
+  sim.run_until_complete([](cusim::Runtime& rt, core::Engine& eng,
+                            core::TableSet& tbl, SumKernel k) -> sim::Task<> {
+    core::DeviceTables device = co_await core::DeviceTables::upload(rt, tbl);
+    co_await eng.launch(k, kRecords, device);
+  }(runtime, engine, tables, kernel));
+
+  const std::uint64_t chunks = engine.metrics().chunks;
+  ASSERT_GT(chunks, 0u);
+  std::uint64_t per_stage[5] = {};
+  for (const StageEvent& event : recorder.events()) {
+    EXPECT_GE(event.end, event.begin);
+    ++per_stage[static_cast<int>(event.stage)];
+  }
+  // One event per chunk for each of the five stages (writes present).
+  for (int stage = 0; stage < 5; ++stage) {
+    EXPECT_EQ(per_stage[stage], chunks) << "stage " << stage;
+  }
+  // The stage pipeline must actually overlap: total span < sum of stages.
+  sim::DurationPs stage_sum = 0;
+  for (int stage = 0; stage < 5; ++stage) {
+    stage_sum += recorder.stage_busy(static_cast<StageEvent::Stage>(stage));
+  }
+  EXPECT_LT(sim.now(), stage_sum);
+}
+
+}  // namespace
+}  // namespace bigk::trace
