@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_speedup.dir/fig4a_speedup.cpp.o"
+  "CMakeFiles/fig4a_speedup.dir/fig4a_speedup.cpp.o.d"
+  "fig4a_speedup"
+  "fig4a_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

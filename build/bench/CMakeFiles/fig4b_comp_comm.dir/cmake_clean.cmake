@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_comp_comm.dir/fig4b_comp_comm.cpp.o"
+  "CMakeFiles/fig4b_comp_comm.dir/fig4b_comp_comm.cpp.o.d"
+  "fig4b_comp_comm"
+  "fig4b_comp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_comp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

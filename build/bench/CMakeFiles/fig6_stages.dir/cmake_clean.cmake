@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stages.dir/fig6_stages.cpp.o"
+  "CMakeFiles/fig6_stages.dir/fig6_stages.cpp.o.d"
+  "fig6_stages"
+  "fig6_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

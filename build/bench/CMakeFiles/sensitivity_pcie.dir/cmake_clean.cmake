@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_pcie.dir/sensitivity_pcie.cpp.o"
+  "CMakeFiles/sensitivity_pcie.dir/sensitivity_pcie.cpp.o.d"
+  "sensitivity_pcie"
+  "sensitivity_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pattern.dir/table2_pattern.cpp.o"
+  "CMakeFiles/table2_pattern.dir/table2_pattern.cpp.o.d"
+  "table2_pattern"
+  "table2_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

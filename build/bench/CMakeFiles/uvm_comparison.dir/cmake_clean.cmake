@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm_comparison.dir/uvm_comparison.cpp.o"
+  "CMakeFiles/uvm_comparison.dir/uvm_comparison.cpp.o.d"
+  "uvm_comparison"
+  "uvm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tour.dir/ablation_tour.cpp.o"
+  "CMakeFiles/ablation_tour.dir/ablation_tour.cpp.o.d"
+  "ablation_tour"
+  "ablation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

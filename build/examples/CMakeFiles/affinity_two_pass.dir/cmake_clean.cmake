@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_two_pass.dir/affinity_two_pass.cpp.o"
+  "CMakeFiles/affinity_two_pass.dir/affinity_two_pass.cpp.o.d"
+  "affinity_two_pass"
+  "affinity_two_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_two_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

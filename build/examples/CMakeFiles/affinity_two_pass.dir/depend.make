@@ -1,0 +1,2 @@
+# Empty dependencies file for affinity_two_pass.
+# This may be replaced when dependencies are built.

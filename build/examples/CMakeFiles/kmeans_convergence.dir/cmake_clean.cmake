@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_convergence.dir/kmeans_convergence.cpp.o"
+  "CMakeFiles/kmeans_convergence.dir/kmeans_convergence.cpp.o.d"
+  "kmeans_convergence"
+  "kmeans_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

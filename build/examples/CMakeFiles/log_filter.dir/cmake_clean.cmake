@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_filter.dir/log_filter.cpp.o"
+  "CMakeFiles/log_filter.dir/log_filter.cpp.o.d"
+  "log_filter"
+  "log_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_logs.dir/mapreduce_logs.cpp.o"
+  "CMakeFiles/mapreduce_logs.dir/mapreduce_logs.cpp.o.d"
+  "mapreduce_logs"
+  "mapreduce_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dna.cpp" "src/CMakeFiles/bigk_apps.dir/apps/dna.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/dna.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/CMakeFiles/bigk_apps.dir/apps/kmeans.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/kmeans.cpp.o.d"
+  "/root/repo/src/apps/mastercard.cpp" "src/CMakeFiles/bigk_apps.dir/apps/mastercard.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/mastercard.cpp.o.d"
+  "/root/repo/src/apps/netflix.cpp" "src/CMakeFiles/bigk_apps.dir/apps/netflix.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/netflix.cpp.o.d"
+  "/root/repo/src/apps/opinion.cpp" "src/CMakeFiles/bigk_apps.dir/apps/opinion.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/opinion.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/bigk_apps.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/wordcount.cpp" "src/CMakeFiles/bigk_apps.dir/apps/wordcount.cpp.o" "gcc" "src/CMakeFiles/bigk_apps.dir/apps/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bigk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bigk_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bigk_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bigk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bigk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

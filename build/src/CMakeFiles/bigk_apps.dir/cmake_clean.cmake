@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_apps.dir/apps/dna.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/dna.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/kmeans.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/kmeans.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/mastercard.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/mastercard.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/netflix.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/netflix.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/opinion.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/opinion.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/registry.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/registry.cpp.o.d"
+  "CMakeFiles/bigk_apps.dir/apps/wordcount.cpp.o"
+  "CMakeFiles/bigk_apps.dir/apps/wordcount.cpp.o.d"
+  "libbigk_apps.a"
+  "libbigk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_core.dir/core/engine.cpp.o"
+  "CMakeFiles/bigk_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/bigk_core.dir/core/pattern.cpp.o"
+  "CMakeFiles/bigk_core.dir/core/pattern.cpp.o.d"
+  "libbigk_core.a"
+  "libbigk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

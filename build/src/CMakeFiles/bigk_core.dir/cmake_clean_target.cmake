@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbigk_core.a"
+)

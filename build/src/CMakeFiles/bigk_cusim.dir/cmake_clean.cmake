@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_cusim.dir/cusim/runtime.cpp.o"
+  "CMakeFiles/bigk_cusim.dir/cusim/runtime.cpp.o.d"
+  "libbigk_cusim.a"
+  "libbigk_cusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbigk_cusim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device_memory.cpp" "src/CMakeFiles/bigk_gpusim.dir/gpusim/device_memory.cpp.o" "gcc" "src/CMakeFiles/bigk_gpusim.dir/gpusim/device_memory.cpp.o.d"
+  "/root/repo/src/gpusim/gpu.cpp" "src/CMakeFiles/bigk_gpusim.dir/gpusim/gpu.cpp.o" "gcc" "src/CMakeFiles/bigk_gpusim.dir/gpusim/gpu.cpp.o.d"
+  "/root/repo/src/gpusim/warp_trace.cpp" "src/CMakeFiles/bigk_gpusim.dir/gpusim/warp_trace.cpp.o" "gcc" "src/CMakeFiles/bigk_gpusim.dir/gpusim/warp_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bigk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

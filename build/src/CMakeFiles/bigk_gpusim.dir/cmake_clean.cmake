@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_gpusim.dir/gpusim/device_memory.cpp.o"
+  "CMakeFiles/bigk_gpusim.dir/gpusim/device_memory.cpp.o.d"
+  "CMakeFiles/bigk_gpusim.dir/gpusim/gpu.cpp.o"
+  "CMakeFiles/bigk_gpusim.dir/gpusim/gpu.cpp.o.d"
+  "CMakeFiles/bigk_gpusim.dir/gpusim/warp_trace.cpp.o"
+  "CMakeFiles/bigk_gpusim.dir/gpusim/warp_trace.cpp.o.d"
+  "libbigk_gpusim.a"
+  "libbigk_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

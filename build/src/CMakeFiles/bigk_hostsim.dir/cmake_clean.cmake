@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_hostsim.dir/hostsim/cache_model.cpp.o"
+  "CMakeFiles/bigk_hostsim.dir/hostsim/cache_model.cpp.o.d"
+  "CMakeFiles/bigk_hostsim.dir/hostsim/host_cpu.cpp.o"
+  "CMakeFiles/bigk_hostsim.dir/hostsim/host_cpu.cpp.o.d"
+  "libbigk_hostsim.a"
+  "libbigk_hostsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_hostsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

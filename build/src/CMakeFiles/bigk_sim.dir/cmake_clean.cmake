@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigk_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/bigk_sim.dir/sim/simulation.cpp.o.d"
+  "libbigk_sim.a"
+  "libbigk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

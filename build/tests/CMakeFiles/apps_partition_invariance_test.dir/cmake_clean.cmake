@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_partition_invariance_test.dir/apps/partition_invariance_test.cpp.o"
+  "CMakeFiles/apps_partition_invariance_test.dir/apps/partition_invariance_test.cpp.o.d"
+  "apps_partition_invariance_test"
+  "apps_partition_invariance_test.pdb"
+  "apps_partition_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_partition_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_staging_test.dir/core/staging_test.cpp.o"
+  "CMakeFiles/core_staging_test.dir/core/staging_test.cpp.o.d"
+  "core_staging_test"
+  "core_staging_test.pdb"
+  "core_staging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_staging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

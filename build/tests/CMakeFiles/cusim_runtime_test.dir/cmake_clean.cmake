@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_runtime_test.dir/cusim/runtime_test.cpp.o"
+  "CMakeFiles/cusim_runtime_test.dir/cusim/runtime_test.cpp.o.d"
+  "cusim_runtime_test"
+  "cusim_runtime_test.pdb"
+  "cusim_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_gpu_test.dir/gpusim/gpu_test.cpp.o"
+  "CMakeFiles/gpusim_gpu_test.dir/gpusim/gpu_test.cpp.o.d"
+  "gpusim_gpu_test"
+  "gpusim_gpu_test.pdb"
+  "gpusim_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_warp_trace_test.dir/gpusim/warp_trace_test.cpp.o"
+  "CMakeFiles/gpusim_warp_trace_test.dir/gpusim/warp_trace_test.cpp.o.d"
+  "gpusim_warp_trace_test"
+  "gpusim_warp_trace_test.pdb"
+  "gpusim_warp_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_warp_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostsim_host_cpu_test.dir/hostsim/host_cpu_test.cpp.o"
+  "CMakeFiles/hostsim_host_cpu_test.dir/hostsim/host_cpu_test.cpp.o.d"
+  "hostsim_host_cpu_test"
+  "hostsim_host_cpu_test.pdb"
+  "hostsim_host_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostsim_host_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_chunk_plan_test.dir/schemes/chunk_plan_test.cpp.o"
+  "CMakeFiles/schemes_chunk_plan_test.dir/schemes/chunk_plan_test.cpp.o.d"
+  "schemes_chunk_plan_test"
+  "schemes_chunk_plan_test.pdb"
+  "schemes_chunk_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_chunk_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

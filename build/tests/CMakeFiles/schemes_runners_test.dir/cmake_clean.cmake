@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_runners_test.dir/schemes/runners_test.cpp.o"
+  "CMakeFiles/schemes_runners_test.dir/schemes/runners_test.cpp.o.d"
+  "schemes_runners_test"
+  "schemes_runners_test.pdb"
+  "schemes_runners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_runners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_uvm_test.dir/schemes/uvm_test.cpp.o"
+  "CMakeFiles/schemes_uvm_test.dir/schemes/uvm_test.cpp.o.d"
+  "schemes_uvm_test"
+  "schemes_uvm_test.pdb"
+  "schemes_uvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_uvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_recorder_test.dir/trace/recorder_test.cpp.o"
+  "CMakeFiles/trace_recorder_test.dir/trace/recorder_test.cpp.o.d"
+  "trace_recorder_test"
+  "trace_recorder_test.pdb"
+  "trace_recorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_device_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_warp_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/hostsim_host_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/schemes_runners_test[1]_include.cmake")
+include("/root/repo/build/tests/core_staging_test[1]_include.cmake")
+include("/root/repo/build/tests/core_device_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_multistream_test[1]_include.cmake")
+include("/root/repo/build/tests/schemes_chunk_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_partition_invariance_test[1]_include.cmake")
+include("/root/repo/build/tests/schemes_uvm_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_recorder_test[1]_include.cmake")
