@@ -65,8 +65,9 @@ void print_tables(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("ablation_design", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     for (std::uint32_t depth : {2u, 3u, 4u, 6u}) {
       bigk::bench::register_sim_benchmark(
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
           });
     }
   }
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_tables(ctx, results);
   return 0;

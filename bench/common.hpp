@@ -11,18 +11,29 @@
 //                i.e. 1/200: a 6 GB input becomes ~30 MB against a ~10 MB
 //                GPU). Any value keeps every ratio intact; smaller is
 //                faster.
+//
+// Command-line knobs (stripped before google-benchmark sees argv):
+//   --metrics-json=<file>  write every RunMetrics plus the telemetry
+//                          counters as one JSON document after the run
+//   --trace-out=<file>     record a unified Chrome-tracing/Perfetto
+//                          timeline across all benchmark runs
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/common.hpp"
 #include "apps/registry.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "schemes/metrics.hpp"
 #include "schemes/runners.hpp"
 
@@ -95,5 +106,117 @@ inline void print_header(const char* title, const Context& ctx) {
               ctx.scaled.scale);
   std::printf("================================================================\n");
 }
+
+/// Per-binary harness: owns the Context, the result store, and the telemetry
+/// sinks, and handles the --metrics-json=/--trace-out= flags (which must be
+/// stripped from argv before benchmark::Initialize rejects them).
+///
+///   int main(int argc, char** argv) {
+///     bigk::bench::Harness harness("fig4a_speedup", &argc, argv);
+///     ... register_sim_benchmark(..., &harness.results, ...) ...
+///     const int rc = harness.run(argc, argv);
+///     if (rc != 0) return rc;
+///     print_table(harness.ctx, harness.results);
+///   }
+class Harness {
+ public:
+  Context ctx;
+  ResultStore results;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  Harness(std::string name, int* argc, char** argv)
+      : ctx(Context::from_env()), name_(std::move(name)) {
+    strip_output_flags(argc, argv);
+    // The registry is always live (counters are cheap and feed the JSON
+    // dump); the tracer only when a trace was requested, since it retains
+    // every span of every benchmark run.
+    ctx.scheme_config.metrics = &metrics;
+    if (!trace_path_.empty()) ctx.scheme_config.tracer = &tracer;
+  }
+
+  /// Runs the registered benchmarks and, on success, writes the requested
+  /// output files.
+  int run(int argc, char** argv) {
+    const int rc = run_benchmarks(argc, argv);
+    if (rc != 0) return rc;
+    return write_outputs() ? 0 : 1;
+  }
+
+  const std::string& metrics_path() const noexcept { return metrics_path_; }
+  const std::string& trace_path() const noexcept { return trace_path_; }
+
+  /// Returns false (after printing to stderr) if an output file could not
+  /// be written, so the caller can exit non-zero instead of silently
+  /// dropping the requested data.
+  bool write_outputs() {
+    bool ok = true;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      write_metrics_json(out);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write metrics json to %s\n",
+                     metrics_path_.c_str());
+        ok = false;
+      } else {
+        std::printf("metrics json: %s\n", metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      tracer.write_chrome_json(out);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_path_.c_str());
+        ok = false;
+      } else {
+        std::printf("trace (load in https://ui.perfetto.dev): %s\n",
+                    trace_path_.c_str());
+      }
+    }
+    return ok;
+  }
+
+  /// The --metrics-json document: identification, one entry per benchmark
+  /// result (full RunMetrics incl. comm_fraction and the engine stage
+  /// breakdown), and the cross-subsystem counter registry.
+  void write_metrics_json(std::ostream& out) const {
+    out << "{\"benchmark\":" << obs::json_quote(name_)
+        << ",\"scale\":" << obs::json_number(ctx.scaled.scale)
+        << ",\"results\":[";
+    bool first = true;
+    for (const auto& [key, run_metrics] : results) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"name\":" << obs::json_quote(key) << ",\"metrics\":";
+      run_metrics.write_json(out);
+      out << '}';
+    }
+    out << "],\"counters\":";
+    metrics.write_json_array(out);
+    out << "}\n";
+  }
+
+ private:
+  void strip_output_flags(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--metrics-json=", 0) == 0) {
+        metrics_path_ = arg.substr(15);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = arg.substr(12);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    for (int i = kept; i < *argc; ++i) argv[i] = nullptr;
+    *argc = kept;
+  }
+
+  std::string name_;
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 }  // namespace bigk::bench

@@ -72,8 +72,9 @@ void print_table(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("fig4a_speedup", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     for (Scheme scheme : kSchemes) {
       const char* tag = nullptr;
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
           });
     }
   }
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_table(ctx, results);
   return 0;

@@ -24,10 +24,10 @@ void print_table(const Context& ctx, const ResultStore& results) {
   for (const auto& app : ctx.suite) {
     const auto& engine = results.at(app.name + "/bigkernel").engine;
     const double stages[4] = {
-        static_cast<double>(engine.addr_gen_busy),
-        static_cast<double>(engine.assembly_busy),
-        static_cast<double>(engine.transfer_busy),
-        static_cast<double>(engine.compute_busy),
+        static_cast<double>(engine.addr_gen_busy()),
+        static_cast<double>(engine.assembly_busy()),
+        static_cast<double>(engine.transfer_busy()),
+        static_cast<double>(engine.compute_busy()),
     };
     const double longest = std::max({stages[0], stages[1], stages[2],
                                      stages[3], 1.0});
@@ -40,8 +40,9 @@ void print_table(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("fig6_stages", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     bigk::bench::register_sim_benchmark(
         app.name + "/bigkernel", &results, [&ctx, &app] {
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
                          ctx.scheme_config);
         });
   }
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_table(ctx, results);
   return 0;

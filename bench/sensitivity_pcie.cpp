@@ -50,8 +50,9 @@ void print_table(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("sensitivity_pcie", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     for (double gbps : kBandwidths) {
       SystemConfig config = ctx.config;
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
           });
     }
   }
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_table(ctx, results);
   return 0;

@@ -43,8 +43,9 @@ void print_table(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("table1_datasets", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     bigk::bench::register_sim_benchmark(
         app.name + "/bigkernel", &results, [&ctx, &app] {
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
                          ctx.scheme_config);
         });
   }
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_table(ctx, results);
   return 0;

@@ -47,8 +47,9 @@ void print_table(const Context& ctx, const ResultStore& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Context ctx = Context::from_env();
-  ResultStore results;
+  bigk::bench::Harness harness("uvm_comparison", &argc, argv);
+  Context& ctx = harness.ctx;
+  ResultStore& results = harness.results;
   for (const auto& app : ctx.suite) {
     bigk::bench::register_sim_benchmark(
         app.name + "/bigkernel", &results, [&ctx, &app] {
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
     return bigk::apps::MastercardIndexedApp({scaled.data_bytes(6.4), 77});
   });
 
-  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  const int rc = harness.run(argc, argv);
   if (rc != 0) return rc;
   print_table(ctx, results);
   return 0;

@@ -65,13 +65,13 @@ int main(int argc, char** argv) {
   const auto& engine = bigkernel_metrics.engine;
   std::printf("\nBigKernel pipeline stage times (summed across blocks):\n");
   std::printf("  address generation %8.3f ms\n",
-              sim::to_milliseconds(engine.addr_gen_busy));
+              sim::to_milliseconds(engine.addr_gen_busy()));
   std::printf("  data assembly      %8.3f ms\n",
-              sim::to_milliseconds(engine.assembly_busy));
+              sim::to_milliseconds(engine.assembly_busy()));
   std::printf("  data transfer      %8.3f ms\n",
-              sim::to_milliseconds(engine.transfer_busy));
+              sim::to_milliseconds(engine.transfer_busy()));
   std::printf("  computation        %8.3f ms\n",
-              sim::to_milliseconds(engine.compute_busy));
+              sim::to_milliseconds(engine.compute_busy()));
   std::printf("all schemes produced identical k-mer tables (digest %016llx)\n",
               static_cast<unsigned long long>(reference_digest));
   return 0;

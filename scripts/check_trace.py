@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Smoke-checks the unified trace exporter end to end.
+
+Runs the pipeline_trace example with --trace-out into a temp directory and
+validates the produced Chrome-tracing JSON:
+  * the file is a JSON array of event objects,
+  * "ph":"M" metadata names the processes (so Perfetto shows labels),
+  * spans cover at least four subsystems (PCIe, GPU SMs, host CPU,
+    DMA streams and/or the engine's per-block stage rows),
+  * at least one counter track ("ph":"C") is present,
+  * complete spans never overlap within one (pid, tid) row.
+
+Usage: check_trace.py <path-to-pipeline_trace-binary>
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+REQUIRED_ANY = ["pcie", "gpu", "host", "DMA streams", "engine block"]
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <pipeline_trace binary>")
+    # Resolve before running: the subprocess gets cwd=tmpdir, which would
+    # break a relative binary path.
+    binary = Path(sys.argv[1]).resolve()
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        result = subprocess.run(
+            [str(binary), f"--trace-out={trace_path}"],
+            cwd=tmp,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if result.returncode != 0:
+            fail(f"pipeline_trace exited {result.returncode}:\n{result.stderr}")
+        if not trace_path.exists():
+            fail("no trace file written")
+        events = json.loads(trace_path.read_text())
+
+    if not isinstance(events, list) or not events:
+        fail("trace is not a non-empty JSON array")
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            fail(f"malformed event: {event!r}")
+
+    process_names = {}
+    for event in events:
+        if event["ph"] == "M" and event.get("name") == "process_name":
+            process_names[event["pid"]] = event["args"]["name"]
+    if not process_names:
+        fail('no "ph":"M" process_name metadata')
+
+    span_processes = set()
+    spans_by_row = defaultdict(list)
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        if event["dur"] < 0:
+            fail(f"negative duration: {event!r}")
+        span_processes.add(process_names.get(event["pid"], ""))
+        spans_by_row[(event["pid"], event["tid"])].append(event)
+
+    covered = [
+        need
+        for need in REQUIRED_ANY
+        if any(name.startswith(need) for name in span_processes)
+    ]
+    if len(covered) < 4:
+        fail(
+            f"spans cover only {covered} "
+            f"(processes seen: {sorted(span_processes)})"
+        )
+
+    if not any(event["ph"] == "C" for event in events):
+        fail("no counter track samples")
+
+    for (pid, tid), spans in spans_by_row.items():
+        spans.sort(key=lambda event: event["ts"])
+        for prev, cur in zip(spans, spans[1:]):
+            # Timestamps are microsecond floats printed at ps precision; half
+            # a picosecond of slack absorbs the formatting round-trip.
+            if cur["ts"] < prev["ts"] + prev["dur"] - 5e-7:
+                fail(
+                    f"overlap in {process_names.get(pid, pid)!r} tid {tid}: "
+                    f'"{prev["name"]}" [{prev["ts"]}, +{prev["dur"]}] then '
+                    f'"{cur["name"]}" at {cur["ts"]}'
+                )
+
+    print(
+        f"check_trace: OK: {sum(1 for e in events if e['ph'] == 'X')} spans "
+        f"across {sorted(span_processes)}, "
+        f"{sum(1 for e in events if e['ph'] == 'C')} counter samples"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -94,8 +94,10 @@ void Engine::build_blocks(std::uint64_t num_records) {
     block->chunks = ceil_div(block->per_thread, geometry_.rptc);
     block->addr_region = runtime_.next_region_id();
     block->assembly_thread.emplace(runtime_.cpu().make_thread(host_threads));
+    block->assembly_thread->set_trace_label("assembly b" + std::to_string(b));
     if (has_writes_) {
       block->scatter_thread.emplace(runtime_.cpu().make_thread(host_threads));
+      block->scatter_thread->set_trace_label("scatter b" + std::to_string(b));
     }
 
     block->slots.resize(depth);
@@ -195,9 +197,8 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       bytes[s] = assemble_stream(block, slot, s, chunk, thread);
     }
     co_await thread.commit();
-    metrics_.assembly_busy += sim().now() - start;
-    trace_stage(trace::StageEvent::Stage::kAssembly, block.index, chunk,
-                start, sim().now());
+    record_stage(obs::Stage::kAssembly, block.index, chunk, start,
+                 sim().now());
 
     for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
       if (bytes[s] == 0) continue;
@@ -215,9 +216,8 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
                    std::uint64_t c) -> sim::Task<> {
       const sim::TimePs begin = engine->sim().now();
       co_await blk->data_ready.wait_ge(c + 1);
-      engine->metrics_.transfer_busy += engine->sim().now() - begin;
-      engine->trace_stage(trace::StageEvent::Stage::kTransfer, blk->index, c,
-                          begin, engine->sim().now());
+      engine->record_stage(obs::Stage::kTransfer, blk->index, c, begin,
+                           engine->sim().now());
     }(this, &block, chunk));
   }
 }
@@ -375,9 +375,8 @@ sim::Task<> Engine::scatter_process(BlockState& block) {
       stage.staged_writes.clear();
     }
     co_await thread.commit();
-    metrics_.writeback_busy += sim().now() - start;
-    trace_stage(trace::StageEvent::Stage::kWriteback, block.index, chunk,
-                start, sim().now());
+    record_stage(obs::Stage::kWriteback, block.index, chunk, start,
+                 sim().now());
     block.ring.release();
   }
 }

@@ -32,6 +32,8 @@
 #include "core/staging.hpp"
 #include "core/stream.hpp"
 #include "cusim/runtime.hpp"
+#include "obs/stage.hpp"
+#include "obs/tracer.hpp"
 #include "trace/recorder.hpp"
 #include "gpusim/gpu.hpp"
 #include "hostsim/host_cpu.hpp"
@@ -117,6 +119,12 @@ class Engine {
   void set_recorder(trace::Recorder* recorder) noexcept {
     recorder_ = recorder;
   }
+
+  /// Attaches the unified tracer: every stage execution of every chunk
+  /// becomes a span on an "engine block <b>" process with one thread row per
+  /// pipeline stage (data transfer gets one row per ring slot, since up to
+  /// buffer_depth transfers are in flight per block). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   const std::vector<StreamBinding>& bindings() const noexcept {
     return bindings_;
   }
@@ -205,11 +213,29 @@ class Engine {
   std::vector<std::uint64_t> device_allocs_;
   EngineMetrics metrics_;
   trace::Recorder* recorder_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
-  void trace_stage(trace::StageEvent::Stage stage, std::uint32_t block,
-                   std::uint64_t chunk, sim::TimePs begin, sim::TimePs end) {
+  /// Single accounting point for a stage execution: busy-time metric, legacy
+  /// recorder event, and tracer span all come from the same interval, so the
+  /// Fig. 6 breakdown and the timeline agree by construction. For the GPU
+  /// stages callers pass [now - SM service time, now]; for the host/DMA
+  /// stages the wall interval of the stage.
+  void record_stage(obs::Stage stage, std::uint32_t block, std::uint64_t chunk,
+                    sim::TimePs begin, sim::TimePs end) {
+    metrics_.stage_busy(stage) += end - begin;
     if (recorder_ != nullptr) {
       recorder_->record(trace::StageEvent{stage, block, chunk, begin, end});
+    }
+    if (tracer_ != nullptr && end > begin) {
+      const std::string process = "engine block " + std::to_string(block);
+      std::string thread{obs::stage_name(stage)};
+      if (stage == obs::Stage::kTransfer) {
+        // One row per ring slot: transfers for consecutive chunks overlap.
+        thread += " s" + std::to_string(chunk % options_.buffer_depth);
+      }
+      tracer_->complete(tracer_->track(process, thread),
+                        obs::stage_name(stage), begin, end, "engine",
+                        {{"chunk", static_cast<double>(chunk)}});
     }
   }
 };
@@ -264,16 +290,16 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
     co_await block.ring.acquire();
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
     for (StreamStage& stage : slot.streams) stage.staged_writes.clear();
-    const sim::TimePs stage_begin = sim().now();
 
     std::uint64_t wire_bytes = 0;
+    sim::DurationPs busy = 0;
     if (geometry_.layout == DataLayout::kOriginal) {
       // Fallback / overlap-only: the "addresses" are just per-thread chunk
       // ranges — one tiny descriptor each, no per-access generation.
       wire_bytes = std::uint64_t{c_threads} * 16;
       co_await ctx.sync_overhead();
     } else {
-      const sim::DurationPs busy = co_await ctx.run_threads(
+      busy = co_await ctx.run_threads(
           0, c_threads, [&](gpusim::LaneCtx& lane, std::uint32_t tid) {
             const std::uint32_t vtid = tid;
             for (StreamStage& stage : slot.streams) {
@@ -286,14 +312,14 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
                                 options_.pattern_recognition);
             kernel(addr_ctx, range.begin, range.end, /*stride=*/1);
           });
-      metrics_.addr_gen_busy += busy;
       finalize_addresses(block, slot, &wire_bytes);
       co_await ctx.sync_overhead();
     }
 
     metrics_.addr_bytes_sent += wire_bytes;
-    trace_stage(trace::StageEvent::Stage::kAddrGen, block.index, chunk,
-                stage_begin, sim().now());
+    // Busy = SM service time; the span ends now and sums to the metric.
+    record_stage(obs::Stage::kAddrGen, block.index, chunk, sim().now() - busy,
+                 sim().now());
     const sim::TimePs landed = runtime_.gpu().post_d2h(wire_bytes);
     runtime_.gpu().set_flag_at(block.addr_ready, chunk + 1,
                                std::max(landed, sim().now()));
@@ -307,7 +333,6 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.data_ready.wait_ge(chunk + 1);
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
-    const sim::TimePs stage_begin = sim().now();
 
     const sim::DurationPs busy = co_await ctx.run_threads(
         c_threads, c_threads, [&](gpusim::LaneCtx& lane, std::uint32_t tid) {
@@ -319,10 +344,9 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
                                  range.begin);
           kernel(compute_ctx, range.begin, range.end, /*stride=*/1);
         });
-    metrics_.compute_busy += busy;
     ++metrics_.chunks;
-    trace_stage(trace::StageEvent::Stage::kCompute, block.index, chunk,
-                stage_begin, sim().now());
+    record_stage(obs::Stage::kCompute, block.index, chunk, sim().now() - busy,
+                 sim().now());
     co_await ctx.sync_overhead();
 
     if (has_writes_) {

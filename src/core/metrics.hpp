@@ -2,19 +2,43 @@
 // (Fig. 6), traffic volumes, and pattern-recognition outcomes (Table II).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
+#include "obs/stage.hpp"
 #include "sim/time.hpp"
 
 namespace bigk::core {
 
 struct EngineMetrics {
   // --- stage busy times (summed across blocks) --------------------------
-  sim::DurationPs addr_gen_busy = 0;   // stage 1, GPU
-  sim::DurationPs assembly_busy = 0;   // stage 2, CPU
-  sim::DurationPs transfer_busy = 0;   // stage 3, DMA h2d
-  sim::DurationPs compute_busy = 0;    // stage 4, GPU
-  sim::DurationPs writeback_busy = 0;  // optional stages 5+6
+  // Indexed by the canonical obs::Stage taxonomy — the same enum the trace
+  // events use, so the Fig. 6 breakdown and the Fig. 2 timeline agree by
+  // construction.
+  std::array<sim::DurationPs, obs::kStageCount> stage_busy_ps{};
+
+  sim::DurationPs& stage_busy(obs::Stage stage) {
+    return stage_busy_ps[obs::stage_index(stage)];
+  }
+  sim::DurationPs stage_busy(obs::Stage stage) const {
+    return stage_busy_ps[obs::stage_index(stage)];
+  }
+
+  sim::DurationPs addr_gen_busy() const {   // stage 1, GPU
+    return stage_busy(obs::Stage::kAddrGen);
+  }
+  sim::DurationPs assembly_busy() const {   // stage 2, CPU
+    return stage_busy(obs::Stage::kAssembly);
+  }
+  sim::DurationPs transfer_busy() const {   // stage 3, DMA h2d
+    return stage_busy(obs::Stage::kTransfer);
+  }
+  sim::DurationPs compute_busy() const {    // stage 4, GPU
+    return stage_busy(obs::Stage::kCompute);
+  }
+  sim::DurationPs writeback_busy() const {  // optional stages 5+6
+    return stage_busy(obs::Stage::kWriteback);
+  }
 
   // --- traffic -----------------------------------------------------------
   std::uint64_t addr_bytes_sent = 0;    // GPU->CPU addresses / patterns

@@ -15,7 +15,7 @@ void Stream::memcpy_h2d_async(std::uint64_t device_offset,
   op.host_src = host_src;
   op.device_offset = device_offset;
   op.bytes = bytes;
-  ++state_->enqueued;
+  state_->note_enqueue();
   state_->ops.push(op);
 }
 
@@ -26,7 +26,7 @@ void Stream::memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
   op.host_dst = host_dst;
   op.device_offset = device_offset;
   op.bytes = bytes;
-  ++state_->enqueued;
+  state_->note_enqueue();
   state_->ops.push(op);
 }
 
@@ -35,7 +35,7 @@ void Stream::signal_flag(sim::Flag& flag, std::uint64_t value) {
   op.kind = Op::Kind::kFlag;
   op.flag = &flag;
   op.flag_value = value;
-  ++state_->enqueued;
+  state_->note_enqueue();
   state_->ops.push(op);
 }
 
@@ -49,6 +49,7 @@ sim::Task<> Stream::worker(std::shared_ptr<State> state) {
   while (true) {
     std::optional<Op> op = co_await state->ops.pop();
     if (!op) break;
+    const sim::TimePs dequeued = state->sim.now();
     switch (op->kind) {
       case Op::Kind::kH2D: {
         co_await state->gpu.h2d_transfer(op->bytes);
@@ -66,12 +67,38 @@ sim::Task<> Stream::worker(std::shared_ptr<State> state) {
         op->flag->advance_to(op->flag_value);
         break;
     }
+    if (state->tracer != nullptr) {
+      const sim::TimePs done = state->sim.now();
+      switch (op->kind) {
+        case Op::Kind::kH2D:
+          state->tracer->complete(
+              state->track, "h2d", dequeued, done, "dma",
+              {{"bytes", static_cast<double>(op->bytes)}});
+          break;
+        case Op::Kind::kD2H:
+          state->tracer->complete(
+              state->track, "d2h", dequeued, done, "dma",
+              {{"bytes", static_cast<double>(op->bytes)}});
+          break;
+        case Op::Kind::kFlag:
+          state->tracer->instant(state->track, "signal flag", done, "dma");
+          break;
+      }
+      state->tracer->counter_add(state->dma_pid, "queue depth", done, -1.0);
+    }
     state->completed.increment();
   }
 }
 
 Stream Runtime::create_stream() {
   auto state = std::make_shared<Stream::State>(sim_, gpu_);
+  if (tracer_ != nullptr) {
+    state->tracer = tracer_;
+    state->dma_pid = tracer_->process("DMA streams");
+    state->track = tracer_->thread(
+        state->dma_pid, "stream " + std::to_string(stream_count_));
+  }
+  ++stream_count_;
   sim_.spawn_daemon(Stream::worker(state));
   return Stream(std::move(state));
 }

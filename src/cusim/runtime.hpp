@@ -21,6 +21,8 @@
 #include "gpusim/config.hpp"
 #include "gpusim/gpu.hpp"
 #include "hostsim/host_cpu.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 
@@ -100,11 +102,25 @@ class Stream {
 
   struct State {
     State(sim::Simulation& sim, gpusim::Gpu& gpu)
-        : gpu(gpu), ops(sim), completed(sim) {}
+        : sim(sim), gpu(gpu), ops(sim), completed(sim) {}
+    sim::Simulation& sim;
     gpusim::Gpu& gpu;
     sim::Channel<Op> ops;
     sim::Flag completed;  // count of finished ops
     std::uint64_t enqueued = 0;
+
+    // Telemetry (optional): per-op spans on this stream's track plus a
+    // process-wide "queue depth" counter track for the DMA work queues.
+    obs::Tracer* tracer = nullptr;
+    obs::TrackId track{};
+    std::uint32_t dma_pid = 0;
+
+    void note_enqueue() {
+      ++enqueued;
+      if (tracer != nullptr) {
+        tracer->counter_add(dma_pid, "queue depth", sim.now(), 1.0);
+      }
+    }
   };
 
   explicit Stream(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -180,6 +196,23 @@ class Runtime {
     return gpu_.system_config();
   }
 
+  /// Attaches the unified telemetry sinks to every simulated component this
+  /// runtime owns (GPU/PCIe, host CPU) and to streams created afterwards.
+  /// Either pointer may be nullptr; both must outlive the runtime.
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    gpu_.attach_observability(tracer, metrics);
+    cpu_.attach_observability(tracer, metrics);
+    if (metrics_ != nullptr) {
+      pinned_gauge_ = &metrics_->gauge("cusim.pinned_bytes");
+      pinned_gauge_->set_max(static_cast<double>(pinned_bytes_));
+    }
+  }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
   /// cudaMalloc.
   template <class T>
   gpusim::DevicePtr<T> device_malloc(std::uint64_t count) {
@@ -195,6 +228,7 @@ class Runtime {
   template <class T>
   PinnedBuffer<T> alloc_pinned(std::uint64_t count) {
     pinned_bytes_ += count * sizeof(T);
+    note_pinned_gauge();
     return PinnedBuffer<T>(count, next_region_id());
   }
 
@@ -205,7 +239,10 @@ class Runtime {
 
   /// Accounts externally-owned pinned memory (e.g. the BigKernel engine's
   /// prefetch and address buffers) toward the pinned footprint.
-  void note_pinned(std::uint64_t bytes) noexcept { pinned_bytes_ += bytes; }
+  void note_pinned(std::uint64_t bytes) noexcept {
+    pinned_bytes_ += bytes;
+    note_pinned_gauge();
+  }
 
   Stream create_stream();
 
@@ -244,11 +281,21 @@ class Runtime {
   }
 
  private:
+  void note_pinned_gauge() noexcept {
+    if (pinned_gauge_ != nullptr) {
+      pinned_gauge_->set_max(static_cast<double>(pinned_bytes_));
+    }
+  }
+
   sim::Simulation& sim_;
   gpusim::Gpu gpu_;
   hostsim::HostCpu cpu_;
   std::uint64_t pinned_bytes_ = 0;
   std::uint32_t next_region_ = 1;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge* pinned_gauge_ = nullptr;
+  std::uint32_t stream_count_ = 0;
 };
 
 }  // namespace bigk::cusim

@@ -40,6 +40,22 @@ sim::Task<sim::DurationPs> BlockCtx::run_threads(std::uint32_t first,
     const sim::DurationPs atomic_cost = sim::cycles_time(
         static_cast<double>(atomic_ops), config.atomic_throughput_gops);
     atomics_done = gpu_.atomic_unit_.post(atomic_cost);
+    if (gpu_.tracer_ != nullptr && atomic_cost > 0) {
+      gpu_.tracer_->complete(
+          gpu_.atomic_track_, "atomics", atomics_done - atomic_cost,
+          atomics_done, "gpu",
+          {{"ops", static_cast<double>(atomic_ops)},
+           {"block", static_cast<double>(block_index_)}});
+    }
+  }
+  if (gpu_.tracer_ != nullptr && total > 0) {
+    sim::FifoServer& server = *gpu_.sm_servers_.at(sm_index_);
+    const sim::TimePs service_begin =
+        std::max(gpu_.sim_.now(), server.next_free());
+    gpu_.tracer_->complete(gpu_.sm_tracks_.at(sm_index_),
+                           "block " + std::to_string(block_index_),
+                           service_begin, service_begin + total, "gpu",
+                           {{"threads", static_cast<double>(count)}});
   }
   co_await gpu_.sm_servers_.at(sm_index_)->request(total);
   if (atomics_done > gpu_.sim_.now()) {
@@ -78,24 +94,82 @@ sim::DurationPs Gpu::link_cost(std::uint64_t bytes, double gbps) const {
   return config_.pcie.transfer_latency + sim::transfer_time(bytes, gbps);
 }
 
+void Gpu::attach_observability(obs::Tracer* tracer,
+                               obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (tracer_ != nullptr) {
+    pcie_pid_ = tracer_->process("pcie");
+    h2d_track_ = tracer_->thread(pcie_pid_, "h2d link");
+    d2h_track_ = tracer_->thread(pcie_pid_, "d2h link");
+    gpu_pid_ = tracer_->process("gpu");
+    sm_tracks_.clear();
+    for (std::uint32_t i = 0; i < config_.gpu.num_sms; ++i) {
+      sm_tracks_.push_back(
+          tracer_->thread(gpu_pid_, "sm" + std::to_string(i)));
+    }
+    atomic_track_ = tracer_->thread(gpu_pid_, "atomic units");
+  }
+  if (metrics_ != nullptr) {
+    const std::vector<double> size_buckets = {
+        1 << 10, 16 << 10, 256 << 10, 4 << 20, 64 << 20};
+    ctr_h2d_bytes_ = &metrics_->counter("gpusim.h2d_bytes");
+    ctr_d2h_bytes_ = &metrics_->counter("gpusim.d2h_bytes");
+    ctr_kernel_launches_ = &metrics_->counter("gpusim.kernel_launches");
+    hist_h2d_bytes_ =
+        &metrics_->histogram("gpusim.h2d_transfer_bytes", size_buckets);
+    hist_d2h_bytes_ =
+        &metrics_->histogram("gpusim.d2h_transfer_bytes", size_buckets);
+  }
+}
+
+void Gpu::note_transfer(bool h2d, std::uint64_t bytes, sim::DurationPs cost) {
+  if (metrics_ != nullptr) {
+    (h2d ? ctr_h2d_bytes_ : ctr_d2h_bytes_)->add(bytes);
+    (h2d ? hist_h2d_bytes_ : hist_d2h_bytes_)
+        ->observe(static_cast<double>(bytes));
+  }
+  if (tracer_ == nullptr || cost == 0) return;
+  // The link is an exact FIFO, so service begins at max(now, next_free):
+  // the span is the transfer's true occupancy interval on the wire.
+  sim::FifoServer& link = h2d ? h2d_link_ : d2h_link_;
+  const sim::TimePs begin = std::max(sim_.now(), link.next_free());
+  const sim::TimePs done = begin + cost;
+  tracer_->complete(h2d ? h2d_track_ : d2h_track_, h2d ? "h2d" : "d2h",
+                    begin, done, "pcie",
+                    {{"bytes", static_cast<double>(bytes)}});
+  tracer_->counter_add(pcie_pid_, "bytes in flight", sim_.now(),
+                       static_cast<double>(bytes));
+  tracer_->counter_add(pcie_pid_, "bytes in flight", done,
+                       -static_cast<double>(bytes));
+}
+
 sim::Task<> Gpu::h2d_transfer(std::uint64_t bytes) {
   stats_.h2d_bytes += bytes;
-  co_await h2d_link_.request(link_cost(bytes, config_.pcie.h2d_gbps));
+  const sim::DurationPs cost = link_cost(bytes, config_.pcie.h2d_gbps);
+  note_transfer(/*h2d=*/true, bytes, cost);
+  co_await h2d_link_.request(cost);
 }
 
 sim::Task<> Gpu::d2h_transfer(std::uint64_t bytes) {
   stats_.d2h_bytes += bytes;
-  co_await d2h_link_.request(link_cost(bytes, config_.pcie.d2h_gbps));
+  const sim::DurationPs cost = link_cost(bytes, config_.pcie.d2h_gbps);
+  note_transfer(/*h2d=*/false, bytes, cost);
+  co_await d2h_link_.request(cost);
 }
 
 sim::TimePs Gpu::post_h2d(std::uint64_t bytes) {
   stats_.h2d_bytes += bytes;
-  return h2d_link_.post(link_cost(bytes, config_.pcie.h2d_gbps));
+  const sim::DurationPs cost = link_cost(bytes, config_.pcie.h2d_gbps);
+  note_transfer(/*h2d=*/true, bytes, cost);
+  return h2d_link_.post(cost);
 }
 
 sim::TimePs Gpu::post_d2h(std::uint64_t bytes) {
   stats_.d2h_bytes += bytes;
-  return d2h_link_.post(link_cost(bytes, config_.pcie.d2h_gbps));
+  const sim::DurationPs cost = link_cost(bytes, config_.pcie.d2h_gbps);
+  note_transfer(/*h2d=*/false, bytes, cost);
+  return d2h_link_.post(cost);
 }
 
 void Gpu::set_flag_at(sim::Flag& flag, std::uint64_t value,
@@ -143,6 +217,11 @@ sim::Task<> Gpu::run_kernel(const KernelLaunch& launch, BlockFn block_fn) {
         "kernel launch exceeds per-SM resources: no block can become active");
   }
   ++stats_.kernel_launches;
+  if (ctr_kernel_launches_ != nullptr) ctr_kernel_launches_->add(1);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("gpusim.active_block_window")
+        .set_max(static_cast<double>(window));
+  }
   co_await sim_.delay(config_.gpu.kernel_launch_overhead);
 
   sim::Semaphore slots(sim_, window);
@@ -161,7 +240,13 @@ sim::Task<> Gpu::run_block(KernelLaunch launch, const BlockFn& block_fn,
                            std::uint32_t block_index, sim::Semaphore& slots) {
   BlockCtx ctx(*this, launch, block_index,
                block_index % config_.gpu.num_sms);
+  if (tracer_ != nullptr) {
+    tracer_->counter_add(gpu_pid_, "active blocks", sim_.now(), 1.0);
+  }
   co_await block_fn(ctx);
+  if (tracer_ != nullptr) {
+    tracer_->counter_add(gpu_pid_, "active blocks", sim_.now(), -1.0);
+  }
   slots.release();
 }
 

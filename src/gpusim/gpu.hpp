@@ -20,6 +20,8 @@
 #include "gpusim/config.hpp"
 #include "gpusim/device_memory.hpp"
 #include "gpusim/warp_trace.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
@@ -156,6 +158,13 @@ class Gpu {
   const SystemConfig& system_config() const noexcept { return config_; }
   DeviceMemory& memory() noexcept { return memory_; }
 
+  /// Attaches the unified telemetry sinks (either may be nullptr). With a
+  /// tracer, every PCIe transfer becomes a span on the link's track (with a
+  /// "bytes in flight" counter), every SM warp segment a span on its SM
+  /// track, and kernel launches maintain an "active blocks" counter track.
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics);
+
   /// --- PCIe / DMA -------------------------------------------------------
   /// Blocking bulk transfer host->device / device->host (occupies the link
   /// for latency + bytes/bandwidth, completes in FIFO order per direction).
@@ -211,6 +220,9 @@ class Gpu {
 
   sim::DurationPs link_cost(std::uint64_t bytes, double gbps) const;
 
+  /// Telemetry for one link transfer about to be enqueued (span + counters).
+  void note_transfer(bool h2d, std::uint64_t bytes, sim::DurationPs cost);
+
   sim::Simulation& sim_;
   SystemConfig config_;
   DeviceMemory memory_;
@@ -219,6 +231,21 @@ class Gpu {
   sim::FifoServer h2d_link_;
   sim::FifoServer d2h_link_;
   GpuStats stats_;
+
+  // --- telemetry sinks (optional) ----------------------------------------
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t pcie_pid_ = 0;
+  std::uint32_t gpu_pid_ = 0;
+  obs::TrackId h2d_track_{};
+  obs::TrackId d2h_track_{};
+  obs::TrackId atomic_track_{};
+  std::vector<obs::TrackId> sm_tracks_;
+  obs::Counter* ctr_h2d_bytes_ = nullptr;
+  obs::Counter* ctr_d2h_bytes_ = nullptr;
+  obs::Counter* ctr_kernel_launches_ = nullptr;
+  obs::Histogram* hist_h2d_bytes_ = nullptr;
+  obs::Histogram* hist_d2h_bytes_ = nullptr;
 };
 
 }  // namespace bigk::gpusim

@@ -20,9 +20,11 @@ void HostThread::touch(std::uint32_t region_id, std::uint64_t offset,
   for (std::uint64_t l = first; l <= last; ++l) {
     if (cache_.access(logical_address(region_id, l * line))) {
       cycles_ += cpu_.config().cache_hit_cycles;
+      if (cpu_.ctr_cache_hits_ != nullptr) cpu_.ctr_cache_hits_->add(1);
     } else {
       bus_bytes_ += line;
       if (stall_on_miss) latency_ += cpu_.config().cache_miss_latency;
+      if (cpu_.ctr_cache_misses_ != nullptr) cpu_.ctr_cache_misses_->add(1);
     }
   }
 }
@@ -52,16 +54,28 @@ sim::Task<> HostThread::commit() {
   const sim::DurationPs core_time =
       sim::cycles_time(cycles_ / config.ipc, config.clock_ghz) + latency_;
   const std::uint64_t bytes = bus_bytes_;
+  const double cycles = cycles_;
   cycles_ = 0.0;
   latency_ = 0;
   bus_bytes_ = 0;
 
   sim::Simulation& sim = cpu_.sim();
   const sim::TimePs core_done = cpu_.core(hw_thread_).post(core_time);
+  if (cpu_.tracer_ != nullptr && core_time > 0) {
+    cpu_.tracer_->complete(cpu_.core_tracks_.at(hw_thread_), trace_label_,
+                           core_done - core_time, core_done, "host",
+                           {{"cycles", cycles}});
+  }
   sim::TimePs done = core_done;
   if (bytes > 0) {
-    const sim::TimePs bus_done =
-        cpu_.bus().post(sim::transfer_time(bytes, config.mem_gbps));
+    const sim::DurationPs bus_time =
+        sim::transfer_time(bytes, config.mem_gbps);
+    const sim::TimePs bus_done = cpu_.bus().post(bus_time);
+    if (cpu_.tracer_ != nullptr && bus_time > 0) {
+      cpu_.tracer_->complete(cpu_.bus_track_, trace_label_,
+                             bus_done - bus_time, bus_done, "host",
+                             {{"bytes", static_cast<double>(bytes)}});
+    }
     done = std::max(done, bus_done);
   }
   if (done > sim.now()) {
@@ -75,6 +89,24 @@ HostCpu::HostCpu(sim::Simulation& sim, const gpusim::CpuConfig& config)
   for (std::uint32_t i = 0; i < config_.cores; ++i) {
     cores_.push_back(
         std::make_unique<sim::FifoServer>(sim, "core" + std::to_string(i)));
+  }
+}
+
+void HostCpu::attach_observability(obs::Tracer* tracer,
+                                   obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    const std::uint32_t pid = tracer_->process("host");
+    core_tracks_.clear();
+    for (std::uint32_t i = 0; i < config_.cores; ++i) {
+      core_tracks_.push_back(
+          tracer_->thread(pid, "core" + std::to_string(i)));
+    }
+    bus_track_ = tracer_->thread(pid, "mem bus");
+  }
+  if (metrics != nullptr) {
+    ctr_cache_hits_ = &metrics->counter("hostsim.cache_hits");
+    ctr_cache_misses_ = &metrics->counter("hostsim.cache_misses");
   }
 }
 

@@ -19,6 +19,8 @@
 
 #include "gpusim/config.hpp"
 #include "hostsim/cache_model.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulation.hpp"
 
@@ -56,6 +58,11 @@ class HostThread {
   /// Realizes all accumulated cost as virtual time and clears accumulators.
   sim::Task<> commit();
 
+  /// Label used for this thread's busy spans on the host timeline (e.g.
+  /// "assembly b3"); defaults to "host work".
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  const std::string& trace_label() const noexcept { return trace_label_; }
+
   // --- introspection (for tests and metrics) ---
   std::uint64_t bus_bytes_pending() const noexcept { return bus_bytes_; }
   double cycles_pending() const noexcept { return cycles_; }
@@ -69,6 +76,7 @@ class HostThread {
   HostCpu& cpu_;
   std::uint32_t hw_thread_;
   CacheModel cache_;
+  std::string trace_label_ = "host work";
   double cycles_ = 0.0;
   sim::DurationPs latency_ = 0;
   std::uint64_t bus_bytes_ = 0;
@@ -95,12 +103,26 @@ class HostCpu {
   /// Total bus busy time (the CPU-side memory-traffic metric).
   sim::DurationPs bus_busy() const noexcept { return bus_.busy_time(); }
 
+  /// Attaches the unified telemetry sinks (either may be nullptr): commit()
+  /// batches become busy spans on per-core and bus tracks, and the cache
+  /// model feeds hostsim.cache_hits / hostsim.cache_misses counters.
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics);
+
  private:
+  friend class HostThread;
+
   sim::Simulation& sim_;
   gpusim::CpuConfig config_;
   sim::FifoServer bus_;
   std::vector<std::unique_ptr<sim::FifoServer>> cores_;
   std::uint32_t next_hw_thread_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId bus_track_{};
+  std::vector<obs::TrackId> core_tracks_;
+  obs::Counter* ctr_cache_hits_ = nullptr;
+  obs::Counter* ctr_cache_misses_ = nullptr;
 };
 
 }  // namespace bigk::hostsim

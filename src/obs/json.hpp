@@ -1,0 +1,62 @@
+// Minimal JSON output helpers shared by the tracer and metrics exporters.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace bigk::obs {
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters), without the surrounding quotes.
+inline void json_escape_to(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Returns `text` as a quoted, escaped JSON string literal.
+inline std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  json_escape_to(out, text);
+  out += '"';
+  return out;
+}
+
+/// Formats a double as a JSON number (no exponent surprises for integers,
+/// "0" for non-finite values which JSON cannot represent).
+inline std::string json_number(double value) {
+  if (value != value || value > 1.7e308 || value < -1.7e308) return "0";
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      value >= -9.2e18 && value <= 9.2e18) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+inline void write_json_string(std::ostream& out, std::string_view text) {
+  out << json_quote(text);
+}
+
+}  // namespace bigk::obs

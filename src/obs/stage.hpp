@@ -1,0 +1,46 @@
+// Canonical taxonomy of the BigKernel pipeline stages (§III / Fig. 2).
+//
+// This is the single definition shared by the engine's busy-time accounting
+// (core::EngineMetrics), the trace recorder (trace::StageEvent), and the
+// unified tracer — so the stage breakdown of Fig. 6 and the timeline of
+// Fig. 2 can never drift apart.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bigk::obs {
+
+enum class Stage : std::uint8_t {
+  kAddrGen,    // stage 1: address generation (GPU)
+  kAssembly,   // stage 2: data assembly (CPU)
+  kTransfer,   // stage 3: data transfer (DMA h2d)
+  kCompute,    // stage 4: computation (GPU)
+  kWriteback,  // optional stages 5+6: write-back + scatter (DMA d2h + CPU)
+};
+
+inline constexpr std::size_t kStageCount = 5;
+
+constexpr std::size_t stage_index(Stage stage) {
+  return static_cast<std::size_t>(stage);
+}
+
+constexpr std::array<Stage, kStageCount> all_stages() {
+  return {Stage::kAddrGen, Stage::kAssembly, Stage::kTransfer, Stage::kCompute,
+          Stage::kWriteback};
+}
+
+/// Display names, numbered in pipeline order so trace viewers sort them.
+constexpr const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kAddrGen: return "1 address generation";
+    case Stage::kAssembly: return "2 data assembly";
+    case Stage::kTransfer: return "3 data transfer";
+    case Stage::kCompute: return "4 computation";
+    case Stage::kWriteback: return "5 write-back";
+  }
+  return "?";
+}
+
+}  // namespace bigk::obs

@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 
 #include "core/metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/stage.hpp"
 #include "sim/time.hpp"
 
 namespace bigk::schemes {
@@ -49,6 +52,41 @@ struct RunMetrics {
   double comm_fraction() const {
     const double total = static_cast<double>(comm_busy + comp_busy);
     return total == 0.0 ? 0.0 : static_cast<double>(comm_busy) / total;
+  }
+
+  /// Machine-readable form of the record (one JSON object, no newline), the
+  /// per-scheme payload of the bench harness's --metrics-json output.
+  void write_json(std::ostream& out) const {
+    const auto ms = [](sim::DurationPs ps) {
+      return static_cast<double>(ps) / 1e9;
+    };
+    out << "{\"scheme\":" << obs::json_quote(scheme_name(scheme))
+        << ",\"total_ms\":" << obs::json_number(ms(total_time))
+        << ",\"comm_busy_ms\":" << obs::json_number(ms(comm_busy))
+        << ",\"comp_busy_ms\":" << obs::json_number(ms(comp_busy))
+        << ",\"comm_fraction\":" << obs::json_number(comm_fraction())
+        << ",\"h2d_bytes\":" << h2d_bytes << ",\"d2h_bytes\":" << d2h_bytes
+        << ",\"kernel_launches\":" << kernel_launches
+        << ",\"pinned_bytes\":" << pinned_bytes << ",\"engine\":{"
+        << "\"stage_busy_ms\":{";
+    bool first = true;
+    for (obs::Stage stage : obs::all_stages()) {
+      if (!first) out << ',';
+      first = false;
+      out << obs::json_quote(obs::stage_name(stage)) << ':'
+          << obs::json_number(ms(engine.stage_busy(stage)));
+    }
+    out << "},\"addr_bytes_sent\":" << engine.addr_bytes_sent
+        << ",\"data_bytes_sent\":" << engine.data_bytes_sent
+        << ",\"write_bytes_sent\":" << engine.write_bytes_sent
+        << ",\"source_bytes_read\":" << engine.source_bytes_read
+        << ",\"chunks\":" << engine.chunks
+        << ",\"thread_chunks\":" << engine.thread_chunks
+        << ",\"pattern_hits\":" << engine.pattern_hits
+        << ",\"pattern_hit_rate\":"
+        << obs::json_number(engine.pattern_hit_rate())
+        << ",\"elements_fetched\":" << engine.elements_fetched
+        << ",\"elements_written\":" << engine.elements_written << "}}";
   }
 };
 

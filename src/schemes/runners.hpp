@@ -29,6 +29,8 @@
 #include "cusim/runtime.hpp"
 #include "gpusim/config.hpp"
 #include "hostsim/host_cpu.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "schemes/kernel_ctx.hpp"
 #include "schemes/metrics.hpp"
 #include "sim/simulation.hpp"
@@ -56,6 +58,12 @@ struct SchemeConfig {
 
   // BigKernel.
   core::Options bigkernel;
+
+  // Telemetry sinks shared by every scheme (either may be nullptr; both must
+  // outlive the run). Runners attach them to the freshly built runtime, and
+  // run_bigkernel additionally attaches the tracer to the engine.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 namespace detail {
@@ -376,6 +384,7 @@ RunMetrics run_cpu(const gpusim::SystemConfig& config, App& app,
   app.reset();
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
+  runtime.attach_observability(sc.tracer, sc.metrics);
   auto decls = app.stream_decls();
   auto bindings = detail::make_bindings(decls);
   const std::uint64_t num_records = app.num_records();
@@ -415,6 +424,7 @@ RunMetrics run_gpu_chunked(const gpusim::SystemConfig& config, App& app,
   app.reset();
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
+  runtime.attach_observability(sc.tracer, sc.metrics);
   auto decls = app.stream_decls();
   auto bindings = detail::make_bindings(decls);
   sim.run_until_complete(
@@ -450,7 +460,9 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   app.reset();
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
+  runtime.attach_observability(sc.tracer, sc.metrics);
   core::Engine engine(runtime, sc.bigkernel);
+  engine.set_tracer(sc.tracer);
   for (const StreamDecl& decl : app.stream_decls()) {
     engine.map_stream(decl.binding, decl.overfetch_elems);
   }

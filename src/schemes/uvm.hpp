@@ -193,6 +193,7 @@ RunMetrics run_gpu_uvm(const gpusim::SystemConfig& config, App& app,
   app.reset();
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
+  runtime.attach_observability(sc.tracer, sc.metrics);
   auto decls = app.stream_decls();
   auto bindings = detail::make_bindings(decls);
   const auto kernel = app.kernel();

@@ -3,6 +3,11 @@
 // Perfetto) JSON timeline. Each thread block becomes a process row; the
 // four-plus-two stages become its tracks — the rendered timeline is the
 // paper's Fig. 2 drawn from an actual run.
+//
+// Recorder is now a thin compatibility layer over obs::Tracer, which traces
+// the whole stack (PCIe, DMA queues, SMs, host cores, engine stages); attach
+// an obs::Tracer to the Engine / Runtime for the full timeline. The stage
+// taxonomy is the canonical obs::Stage.
 #pragma once
 
 #include <cstdint>
@@ -10,19 +15,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/stage.hpp"
+#include "obs/tracer.hpp"
 #include "sim/time.hpp"
 
 namespace bigk::trace {
 
 /// One completed stage execution for one chunk of one block.
 struct StageEvent {
-  enum class Stage : std::uint8_t {
-    kAddrGen,
-    kAssembly,
-    kTransfer,
-    kCompute,
-    kWriteback,
-  };
+  using Stage = obs::Stage;
 
   Stage stage;
   std::uint32_t block;
@@ -32,14 +33,7 @@ struct StageEvent {
 };
 
 inline const char* stage_name(StageEvent::Stage stage) {
-  switch (stage) {
-    case StageEvent::Stage::kAddrGen: return "1 address generation";
-    case StageEvent::Stage::kAssembly: return "2 data assembly";
-    case StageEvent::Stage::kTransfer: return "3 data transfer";
-    case StageEvent::Stage::kCompute: return "4 computation";
-    case StageEvent::Stage::kWriteback: return "5 write-back";
-  }
-  return "?";
+  return obs::stage_name(stage);
 }
 
 /// Collects stage events; attach to an Engine via set_recorder().
@@ -50,25 +44,21 @@ class Recorder {
   const std::vector<StageEvent>& events() const noexcept { return events_; }
   void clear() { events_.clear(); }
 
-  /// Writes the Chrome-tracing JSON array format. Timestamps are emitted in
-  /// microseconds (the trace viewer's native unit), at nanosecond precision.
+  /// Writes the Chrome-tracing JSON array format through the unified
+  /// tracer's writer: process/thread-name metadata ("ph":"M") label every
+  /// row and all names are JSON-escaped. Timestamps are emitted in
+  /// microseconds (the trace viewer's native unit), at picosecond precision.
   void write_chrome_json(std::ostream& out) const {
-    out << "[";
-    bool first = true;
+    obs::Tracer tracer;
     for (const StageEvent& event : events_) {
-      if (!first) out << ",";
-      first = false;
-      const double ts = static_cast<double>(event.begin) / 1e6;  // ps -> us
-      const double dur =
-          static_cast<double>(event.end - event.begin) / 1e6;
-      out << "\n{\"name\":\"" << stage_name(event.stage)
-          << "\",\"cat\":\"bigkernel\",\"ph\":\"X\""
-          << ",\"pid\":" << event.block
-          << ",\"tid\":" << static_cast<int>(event.stage)
-          << ",\"ts\":" << ts << ",\"dur\":" << dur
-          << ",\"args\":{\"chunk\":" << event.chunk << "}}";
+      const obs::TrackId track =
+          tracer.track("block " + std::to_string(event.block),
+                       obs::stage_name(event.stage));
+      tracer.complete(track, obs::stage_name(event.stage), event.begin,
+                      event.end, "bigkernel",
+                      {{"chunk", static_cast<double>(event.chunk)}});
     }
-    out << "\n]\n";
+    tracer.write_chrome_json(out);
   }
 
   /// Total busy time per stage (sanity metric used by tests).

@@ -126,7 +126,7 @@ TEST(Determinism, IdenticalRunsIdenticalVirtualTime) {
   const auto second = schemes::run_bigkernel(tiny_config(), app, sc);
   EXPECT_EQ(first.total_time, second.total_time);
   EXPECT_EQ(first.h2d_bytes, second.h2d_bytes);
-  EXPECT_EQ(first.engine.assembly_busy, second.engine.assembly_busy);
+  EXPECT_EQ(first.engine.assembly_busy(), second.engine.assembly_busy());
 }
 
 }  // namespace

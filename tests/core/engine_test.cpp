@@ -223,7 +223,7 @@ TEST(EngineTest, CoalescedLayoutSpeedsUpComputeStage) {
   sim::TimePs strided_elapsed = 0;
   const EngineMetrics strided =
       run_scale(strided_fixture, strided_options, &strided_elapsed);
-  EXPECT_LT(coalesced.compute_busy, strided.compute_busy);
+  EXPECT_LT(coalesced.compute_busy(), strided.compute_busy());
 }
 
 TEST(EngineTest, IrregularAccessesFindNoPatternButStayCorrect) {
@@ -262,13 +262,13 @@ TEST(EngineTest, ReadProportionIsReflectedInSourceReads) {
 TEST(EngineTest, StageBusyTimesAreAllPopulated) {
   Fixture fixture;
   const EngineMetrics metrics = run_scale(fixture, small_options());
-  EXPECT_GT(metrics.addr_gen_busy, 0u);
-  EXPECT_GT(metrics.assembly_busy, 0u);
-  EXPECT_GT(metrics.transfer_busy, 0u);
-  EXPECT_GT(metrics.compute_busy, 0u);
-  EXPECT_GT(metrics.writeback_busy, 0u);
+  EXPECT_GT(metrics.addr_gen_busy(), 0u);
+  EXPECT_GT(metrics.assembly_busy(), 0u);
+  EXPECT_GT(metrics.transfer_busy(), 0u);
+  EXPECT_GT(metrics.compute_busy(), 0u);
+  EXPECT_GT(metrics.writeback_busy(), 0u);
   // Address generation runs a skeleton kernel: it must be the cheap stage.
-  EXPECT_LT(metrics.addr_gen_busy, metrics.compute_busy);
+  EXPECT_LT(metrics.addr_gen_busy(), metrics.compute_busy());
 }
 
 TEST(EngineTest, ZeroRecordsCompletesImmediately) {

@@ -1,0 +1,70 @@
+// Validates the committed sample of the bench harness's --metrics-json
+// output (bench/sample_metrics.json, regenerated via
+//   BIGK_SCALE=0.001 build/bench/table1_datasets \
+//       --metrics-json=bench/sample_metrics.json
+// ) so the machine-readable schema cannot drift silently.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "json_util.hpp"
+#include "obs/stage.hpp"
+
+#ifndef BIGK_SAMPLE_METRICS_JSON
+#error "build must define BIGK_SAMPLE_METRICS_JSON"
+#endif
+
+namespace bigk {
+namespace {
+
+testjson::Value load_sample() {
+  std::ifstream in(BIGK_SAMPLE_METRICS_JSON);
+  EXPECT_TRUE(in.good()) << "missing " << BIGK_SAMPLE_METRICS_JSON;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return testjson::parse(text.str());
+}
+
+TEST(BenchMetricsJson, SampleMatchesSchema) {
+  const testjson::Value doc = load_sample();
+  ASSERT_EQ(doc.kind, testjson::Value::Kind::kObject);
+  EXPECT_FALSE(doc.at("benchmark").str.empty());
+  EXPECT_GT(doc.at("scale").number, 0.0);
+
+  const auto& results = doc.at("results").items;
+  ASSERT_FALSE(results.empty());
+  for (const testjson::Value& entry : results) {
+    EXPECT_FALSE(entry.at("name").str.empty());
+    const testjson::Value& m = entry.at("metrics");
+    EXPECT_FALSE(m.at("scheme").str.empty());
+    EXPECT_GT(m.at("total_ms").number, 0.0);
+    const double fraction = m.at("comm_fraction").number;
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+    for (const char* key :
+         {"comm_busy_ms", "comp_busy_ms", "h2d_bytes", "d2h_bytes",
+          "kernel_launches", "pinned_bytes"}) {
+      EXPECT_TRUE(m.has(key)) << key;
+    }
+    // The engine breakdown names every canonical stage.
+    const testjson::Value& stages = m.at("engine").at("stage_busy_ms");
+    for (obs::Stage stage : obs::all_stages()) {
+      EXPECT_TRUE(stages.has(std::string(obs::stage_name(stage))))
+          << obs::stage_name(stage);
+    }
+  }
+
+  // The cross-subsystem counter registry rode along and is non-empty.
+  const auto& counters = doc.at("counters").items;
+  ASSERT_FALSE(counters.empty());
+  bool saw_gpusim = false;
+  for (const testjson::Value& counter : counters) {
+    EXPECT_FALSE(counter.at("type").str.empty());
+    if (counter.at("name").str.rfind("gpusim.", 0) == 0) saw_gpusim = true;
+  }
+  EXPECT_TRUE(saw_gpusim);
+}
+
+}  // namespace
+}  // namespace bigk

@@ -1,0 +1,238 @@
+// Minimal recursive-descent JSON parser for validating exporter output in
+// tests. Covers the grammar the exporters emit (objects, arrays, strings
+// with escapes, numbers, true/false/null) and throws std::runtime_error
+// with an offset on any malformed input, so a test failure points at the
+// broken byte.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigk::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;
+  std::map<std::string, Value> members;
+
+  bool has(const std::string& key) const { return members.count(key) != 0; }
+  const Value& at(const std::string& key) const {
+    auto it = members.find(key);
+    if (it == members.end()) {
+      throw std::runtime_error("missing key: " + key);
+    }
+    return it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value result = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw err("trailing characters");
+    return result;
+  }
+
+ private:
+  std::runtime_error err(const std::string& what) const {
+    return std::runtime_error("JSON error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("JSON error: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) throw err(std::string("expected '") + c + "'");
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      throw err("bad literal, expected " + std::string(word));
+    }
+    pos_ += word.size();
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.str = string();
+      return v;
+    }
+    if (c == 't') {
+      literal("true");
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      literal("false");
+      Value v;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members[std::move(key)] = value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') throw err("expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') throw err("expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw err("bad \\u escape");
+          }
+          // The exporters only emit \u00XX for control characters.
+          out.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default: throw err("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) throw err("expected digits");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) throw err("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) throw err("expected exponent digits");
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace bigk::testjson

@@ -34,7 +34,10 @@ TEST(RecorderTest, ChromeJsonIsWellFormed) {
   recorder.write_chrome_json(out);
   const std::string json = out.str();
   EXPECT_NE(json.find("\"name\":\"2 data assembly\""), std::string::npos);
-  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // Blocks appear as named processes via "ph":"M" metadata, not bare pids.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("block 2"), std::string::npos);
   EXPECT_NE(json.find("\"chunk\":7"), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
