@@ -17,6 +17,10 @@
 //                          counters as one JSON document after the run
 //   --trace-out=<file>     record a unified Chrome-tracing/Perfetto
 //                          timeline across all benchmark runs
+//   --check                run every scheme under the bigkcheck sanitizers
+//                          (memcheck + racecheck + pipecheck); any violation
+//                          aborts the run with a diagnostic. Equivalent to
+//                          BIGK_CHECK=1.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -133,6 +137,10 @@ class Harness {
     // every span of every benchmark run.
     ctx.scheme_config.metrics = &metrics;
     if (!trace_path_.empty()) ctx.scheme_config.tracer = &tracer;
+    if (check_requested_) {
+      ctx.scheme_config.check = check::CheckOptions::all_enabled();
+      std::printf("bigkcheck: memcheck+racecheck+pipecheck enabled\n");
+    }
   }
 
   /// Runs the registered benchmarks and, on success, writes the requested
@@ -206,6 +214,8 @@ class Harness {
         metrics_path_ = arg.substr(15);
       } else if (arg.rfind("--trace-out=", 0) == 0) {
         trace_path_ = arg.substr(12);
+      } else if (arg == "--check") {
+        check_requested_ = true;
       } else {
         argv[kept++] = argv[i];
       }
@@ -217,6 +227,7 @@ class Harness {
   std::string name_;
   std::string metrics_path_;
   std::string trace_path_;
+  bool check_requested_ = false;
 };
 
 }  // namespace bigk::bench

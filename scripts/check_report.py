@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Locks down the bigkcheck JSONL report schema end to end.
+
+Runs the check_demo example (which seeds one instance of every bug class the
+checkers diagnose) with --report-out into a temp directory and validates the
+produced report:
+  * every line is one JSON object with string "checker", "kind", "message",
+  * "checker" is one of memcheck / racecheck / pipecheck,
+  * location fields are non-negative integers and each checker carries its
+    own (memcheck -> offset; racecheck -> block/warp/lane;
+    pipecheck -> block/chunk/slot),
+  * every seeded bug class appears at least once across all three checkers.
+
+Usage: check_report.py <path-to-check_demo-binary>
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CHECKERS = {"memcheck", "racecheck", "pipecheck"}
+LOCATION_FIELDS = [
+    "offset",
+    "allocation",
+    "size",
+    "block",
+    "warp",
+    "lane",
+    "chunk",
+    "slot",
+    "stream",
+    "thread",
+]
+# Per-checker fields every report line must carry to be actionable.
+REQUIRED_BY_CHECKER = {
+    "memcheck": ["offset"],
+    "racecheck": ["block", "warp", "lane"],
+    "pipecheck": ["block", "chunk", "slot"],
+}
+EXPECTED_KINDS = {
+    "memcheck": {
+        "out_of_bounds",
+        "uninitialized_read",
+        "misaligned_access",
+        "use_after_free",
+        "double_free",
+        "invalid_free",
+    },
+    "racecheck": {"write_write_race"},
+    "pipecheck": {"flag_before_data", "slot_overrun"},
+}
+
+
+def fail(message):
+    print(f"check_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <check_demo binary>")
+    # Resolve before running: the subprocess gets cwd=tmpdir, which would
+    # break a relative binary path.
+    binary = Path(sys.argv[1]).resolve()
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = Path(tmp) / "report.jsonl"
+        result = subprocess.run(
+            [str(binary), f"--report-out={report_path}"],
+            cwd=tmp,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if result.returncode != 0:
+            fail(
+                f"check_demo exited {result.returncode}:\n"
+                f"{result.stdout}\n{result.stderr}"
+            )
+        if not report_path.exists():
+            fail("no report file written")
+        lines = report_path.read_text().splitlines()
+
+    if not lines:
+        fail("report is empty")
+
+    kinds_seen = {checker: set() for checker in CHECKERS}
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            violation = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"line {lineno} is not JSON ({error}): {line!r}")
+        if not isinstance(violation, dict):
+            fail(f"line {lineno} is not a JSON object: {line!r}")
+        for key in ("checker", "kind", "message"):
+            if not isinstance(violation.get(key), str) or not violation[key]:
+                fail(f'line {lineno} lacks a non-empty string "{key}": {line!r}')
+        checker = violation["checker"]
+        if checker not in CHECKERS:
+            fail(f"line {lineno} has unknown checker {checker!r}")
+        extra = set(violation) - {"checker", "kind", "message", *LOCATION_FIELDS}
+        if extra:
+            fail(f"line {lineno} has unknown fields {sorted(extra)}")
+        for field in LOCATION_FIELDS:
+            if field in violation:
+                value = violation[field]
+                if not isinstance(value, int) or isinstance(value, bool):
+                    fail(f'line {lineno} field "{field}" is not an int: {value!r}')
+                if value < 0:
+                    # Unset fields are omitted, never emitted as -1.
+                    fail(f'line {lineno} field "{field}" is negative: {value}')
+        for field in REQUIRED_BY_CHECKER[checker]:
+            if field not in violation:
+                fail(
+                    f'line {lineno} ({checker}/{violation["kind"]}) lacks the '
+                    f'required "{field}" field: {line!r}'
+                )
+        kinds_seen[checker].add(violation["kind"])
+
+    for checker, expected in EXPECTED_KINDS.items():
+        missing = expected - kinds_seen[checker]
+        if missing:
+            fail(
+                f"{checker} never reported {sorted(missing)} "
+                f"(saw {sorted(kinds_seen[checker])})"
+            )
+
+    print(
+        f"check_report: OK: {len(lines)} diagnostics; "
+        + "; ".join(
+            f"{checker}: {sorted(kinds_seen[checker])}"
+            for checker in ("memcheck", "racecheck", "pipecheck")
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the full test suite under three presets —
+# plain, AddressSanitizer+UBSan, and ThreadSanitizer — each in its own build
+# directory. The simulator is single-threaded coroutines, but the host-side
+# bench harness and observers do touch std::atomic state, so TSan stays in
+# the matrix.
+#
+#   scripts/ci.sh [preset ...]     presets: plain asan-ubsan tsan
+#
+# With no arguments all three presets run. Set BIGK_CI_JOBS to override the
+# parallelism (defaults to nproc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${BIGK_CI_JOBS:-$(nproc)}"
+
+run_preset() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "=== ci preset ${name}: configure (${*:-no extra flags}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  echo "=== ci preset ${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ci preset ${name}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  echo "=== ci preset ${name}: OK ==="
+}
+
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(plain asan-ubsan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    plain)
+      run_preset plain
+      ;;
+    asan-ubsan)
+      run_preset asan-ubsan -DBIGK_SANITIZE=address,undefined
+      ;;
+    tsan)
+      run_preset tsan -DBIGK_SANITIZE=thread
+      ;;
+    tidy)
+      # Optional extra: static analysis build (no tests; compile = analyze).
+      run_preset tidy -DBIGK_CLANG_TIDY=ON
+      ;;
+    *)
+      echo "ci.sh: unknown preset '${preset}'" >&2
+      echo "usage: scripts/ci.sh [plain|asan-ubsan|tsan|tidy ...]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "ci.sh: all presets passed: ${presets[*]}"

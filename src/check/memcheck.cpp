@@ -1,0 +1,236 @@
+#include "check/memcheck.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace bigk::check {
+
+void MemChecker::attach(const gpusim::DeviceMemory& memory) {
+  shadow_.assign(memory.capacity(), kUnallocated);
+  live_.clear();
+  freed_.clear();
+  for (const auto& [offset, size] : memory.live_allocations()) {
+    std::fill(shadow_.begin() + static_cast<std::ptrdiff_t>(offset),
+              shadow_.begin() + static_cast<std::ptrdiff_t>(offset + size),
+              kInitialized);
+    live_[offset] = AllocInfo{size, size, next_id_++};
+  }
+}
+
+void MemChecker::on_alloc(std::uint64_t offset, std::uint64_t requested,
+                          std::uint64_t aligned) {
+  if (offset + requested <= shadow_.size()) {
+    std::fill(shadow_.begin() + static_cast<std::ptrdiff_t>(offset),
+              shadow_.begin() + static_cast<std::ptrdiff_t>(offset + requested),
+              kUninitialized);
+  }
+  live_[offset] = AllocInfo{requested, aligned, next_id_++};
+}
+
+void MemChecker::on_free(std::uint64_t offset, std::uint64_t aligned) {
+  auto it = live_.find(offset);
+  std::uint64_t id = next_id_;  // placeholder when the alloc predates attach()
+  if (it != live_.end()) {
+    id = it->second.id;
+    live_.erase(it);
+  }
+  if (offset + aligned <= shadow_.size()) {
+    std::fill(shadow_.begin() + static_cast<std::ptrdiff_t>(offset),
+              shadow_.begin() + static_cast<std::ptrdiff_t>(offset + aligned),
+              kUnallocated);
+  }
+  freed_.push_back(FreedInfo{offset, aligned, id});
+  if (freed_.size() > kFreedHistory) freed_.pop_front();
+}
+
+void MemChecker::on_bad_free(std::uint64_t offset, bool is_double_free) {
+  Violation violation;
+  violation.checker = "memcheck";
+  violation.offset = static_cast<std::int64_t>(offset);
+  if (is_double_free) {
+    violation.kind = "double_free";
+    violation.message = "double free of device offset " +
+                        std::to_string(offset) +
+                        ": lies in free space (already freed or never "
+                        "allocated)";
+    for (const FreedInfo& freed : freed_) {
+      if (offset >= freed.offset && offset < freed.offset + freed.aligned) {
+        violation.allocation = static_cast<std::int64_t>(freed.offset);
+        violation.message = "double free of device offset " +
+                            std::to_string(offset) + ": allocation #" +
+                            std::to_string(freed.id) + " at base " +
+                            std::to_string(freed.offset) +
+                            " was already freed";
+        break;
+      }
+    }
+  } else {
+    violation.kind = "invalid_free";
+    std::uint64_t base = 0;
+    if (AllocInfo* owner = find_owner(offset, &base)) {
+      violation.allocation = static_cast<std::int64_t>(base);
+      violation.message = "invalid free of device offset " +
+                          std::to_string(offset) +
+                          ": interior of live allocation #" +
+                          std::to_string(owner->id) + " at base " +
+                          std::to_string(base) + " (requested " +
+                          std::to_string(owner->requested) + " bytes)";
+    } else {
+      violation.message = "invalid free of device offset " +
+                          std::to_string(offset) +
+                          ": not an allocation base";
+    }
+  }
+  reporter_.report(std::move(violation));
+}
+
+void MemChecker::on_access(gpusim::MemAccess kind, std::uint64_t offset,
+                           std::uint64_t bytes, std::uint32_t align) {
+  if (bytes == 0) return;
+
+  std::uint64_t base = 0;
+  AllocInfo* owner = find_owner(offset, &base);
+
+  if (align > 1 && offset % align != 0 &&
+      (owner == nullptr || !owner->reported_misaligned)) {
+    if (owner != nullptr) owner->reported_misaligned = true;
+    Violation violation;
+    violation.checker = "memcheck";
+    violation.kind = "misaligned_access";
+    violation.offset = static_cast<std::int64_t>(offset);
+    violation.size = static_cast<std::int64_t>(bytes);
+    if (owner != nullptr) {
+      violation.allocation = static_cast<std::int64_t>(base);
+    }
+    violation.message = std::string("misaligned ") + kind_name(kind) + " of " +
+                        std::to_string(bytes) + " bytes at device offset " +
+                        std::to_string(offset) + " (required alignment " +
+                        std::to_string(align) + ")";
+    reporter_.report(std::move(violation));
+  }
+
+  if (owner != nullptr && offset + bytes <= base + owner->requested) {
+    // Fully in bounds of a live allocation: initialized-byte tracking.
+    if (is_read(kind)) {
+      for (std::uint64_t b = offset; b < offset + bytes; ++b) {
+        if (shadow_[b] == kUninitialized) {
+          if (!owner->reported_uninit) {
+            owner->reported_uninit = true;
+            Violation violation;
+            violation.checker = "memcheck";
+            violation.kind = "uninitialized_read";
+            violation.offset = static_cast<std::int64_t>(offset);
+            violation.allocation = static_cast<std::int64_t>(base);
+            violation.size = static_cast<std::int64_t>(bytes);
+            violation.message =
+                std::string("uninitialized ") + kind_name(kind) + " of " +
+                std::to_string(bytes) + " bytes at device offset " +
+                std::to_string(offset) + ": byte " + std::to_string(b) +
+                " of allocation #" + std::to_string(owner->id) + " at base " +
+                std::to_string(base) + " was never written";
+            reporter_.report(std::move(violation));
+          }
+          break;
+        }
+      }
+    } else {
+      std::fill(shadow_.begin() + static_cast<std::ptrdiff_t>(offset),
+                shadow_.begin() + static_cast<std::ptrdiff_t>(offset + bytes),
+                kInitialized);
+    }
+    return;
+  }
+
+  if (owner != nullptr) {
+    // Inside the reserved block but past the requested size (alignment
+    // padding), or spanning past the end of the allocation.
+    if (owner->reported_oob) return;
+    owner->reported_oob = true;
+    const std::uint64_t end = base + owner->requested;
+    const std::uint64_t past =
+        offset >= end ? offset - end + bytes : offset + bytes - end;
+    Violation violation;
+    violation.checker = "memcheck";
+    violation.kind = "out_of_bounds";
+    violation.offset = static_cast<std::int64_t>(offset);
+    violation.allocation = static_cast<std::int64_t>(base);
+    violation.size = static_cast<std::int64_t>(bytes);
+    violation.message = std::string("out-of-bounds ") + kind_name(kind) +
+                        " of " + std::to_string(bytes) +
+                        " bytes at device offset " + std::to_string(offset) +
+                        ": " + std::to_string(past) +
+                        " byte(s) past the end of allocation #" +
+                        std::to_string(owner->id) + " at base " +
+                        std::to_string(base) + " (requested " +
+                        std::to_string(owner->requested) + " bytes)";
+    reporter_.report(std::move(violation));
+    return;
+  }
+
+  // Not inside any live allocation: use-after-free if a freed block covers
+  // it, wild out-of-bounds otherwise.
+  for (FreedInfo& freed : freed_) {
+    if (offset >= freed.offset && offset < freed.offset + freed.aligned) {
+      if (freed.reported) return;
+      freed.reported = true;
+      Violation violation;
+      violation.checker = "memcheck";
+      violation.kind = "use_after_free";
+      violation.offset = static_cast<std::int64_t>(offset);
+      violation.allocation = static_cast<std::int64_t>(freed.offset);
+      violation.size = static_cast<std::int64_t>(bytes);
+      violation.message = std::string("use-after-free ") + kind_name(kind) +
+                          " of " + std::to_string(bytes) +
+                          " bytes at device offset " + std::to_string(offset) +
+                          ": allocation #" + std::to_string(freed.id) +
+                          " at base " + std::to_string(freed.offset) +
+                          " was freed";
+      reporter_.report(std::move(violation));
+      return;
+    }
+  }
+
+  if (reported_wild_) return;
+  reported_wild_ = true;
+  Violation violation;
+  violation.checker = "memcheck";
+  violation.kind = "out_of_bounds";
+  violation.offset = static_cast<std::int64_t>(offset);
+  violation.size = static_cast<std::int64_t>(bytes);
+  violation.message = std::string("out-of-bounds ") + kind_name(kind) +
+                      " of " + std::to_string(bytes) +
+                      " bytes at device offset " + std::to_string(offset) +
+                      ": no live allocation covers this address";
+  reporter_.report(std::move(violation));
+}
+
+MemChecker::AllocInfo* MemChecker::find_owner(std::uint64_t offset,
+                                              std::uint64_t* base) {
+  auto it = live_.upper_bound(offset);
+  if (it == live_.begin()) return nullptr;
+  --it;
+  if (offset >= it->first + it->second.aligned) return nullptr;
+  *base = it->first;
+  return &it->second;
+}
+
+const char* MemChecker::kind_name(gpusim::MemAccess kind) {
+  switch (kind) {
+    case gpusim::MemAccess::kKernelRead:
+      return "kernel read";
+    case gpusim::MemAccess::kKernelWrite:
+      return "kernel write";
+    case gpusim::MemAccess::kCopyIn:
+      return "H2D copy write";
+    case gpusim::MemAccess::kCopyOut:
+      return "D2H copy read";
+  }
+  return "access";
+}
+
+bool MemChecker::is_read(gpusim::MemAccess kind) {
+  return kind == gpusim::MemAccess::kKernelRead ||
+         kind == gpusim::MemAccess::kCopyOut;
+}
+
+}  // namespace bigk::check

@@ -1,0 +1,85 @@
+// Device-memory sanitizer (the compute-sanitizer "memcheck" analogue).
+//
+// Installed as the gpusim::MemoryObserver of a DeviceMemory arena, it keeps
+// per-byte shadow state (unallocated / allocated-but-uninitialized /
+// initialized) plus a live-allocation table mirrored from the allocator and
+// diagnoses:
+//   - out_of_bounds        access outside every live allocation, including
+//                          reads/writes into the 256-byte alignment padding
+//   - use_after_free       access inside a recently freed allocation
+//   - uninitialized_read   typed load or D2H copy of bytes never written
+//   - misaligned_access    typed access whose offset is not a multiple of
+//                          the element size
+//   - double_free          free of already-freed (or never-allocated) space
+//   - invalid_free         free of a non-base offset
+// H2D/D2H copies flow through DeviceMemory::bytes()/bytes_mut(), so DMA
+// traffic from cusim::Stream is validated with no extra wiring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "check/report.hpp"
+#include "gpusim/device_memory.hpp"
+
+namespace bigk::check {
+
+class MemChecker final : public gpusim::MemoryObserver {
+ public:
+  explicit MemChecker(Reporter& reporter) : reporter_(reporter) {}
+
+  /// Sizes the shadow to the arena and adopts allocations that already exist
+  /// (e.g. lookup tables uploaded before the checker was installed) as fully
+  /// initialized.
+  void attach(const gpusim::DeviceMemory& memory);
+
+  void on_alloc(std::uint64_t offset, std::uint64_t requested,
+                std::uint64_t aligned) override;
+  void on_free(std::uint64_t offset, std::uint64_t aligned) override;
+  void on_bad_free(std::uint64_t offset, bool is_double_free) override;
+  void on_access(gpusim::MemAccess kind, std::uint64_t offset,
+                 std::uint64_t bytes, std::uint32_t align) override;
+
+ private:
+  // Shadow byte states.
+  static constexpr std::uint8_t kUnallocated = 0;
+  static constexpr std::uint8_t kUninitialized = 1;
+  static constexpr std::uint8_t kInitialized = 2;
+
+  struct AllocInfo {
+    std::uint64_t requested = 0;  // caller-visible size
+    std::uint64_t aligned = 0;    // reserved size incl. padding
+    std::uint64_t id = 0;         // monotonically assigned allocation number
+    // One diagnostic per allocation per kind keeps reports readable when a
+    // whole warp trips over the same bug.
+    bool reported_oob = false;
+    bool reported_uninit = false;
+    bool reported_misaligned = false;
+  };
+
+  struct FreedInfo {
+    std::uint64_t offset = 0;
+    std::uint64_t aligned = 0;
+    std::uint64_t id = 0;
+    bool reported = false;
+  };
+
+  /// Live allocation whose [base, base+aligned) covers `offset`, or nullptr.
+  AllocInfo* find_owner(std::uint64_t offset, std::uint64_t* base);
+
+  static const char* kind_name(gpusim::MemAccess kind);
+  static bool is_read(gpusim::MemAccess kind);
+
+  Reporter& reporter_;
+  std::vector<std::uint8_t> shadow_;
+  std::map<std::uint64_t, AllocInfo> live_;  // base offset -> info
+  std::deque<FreedInfo> freed_;              // bounded history for UAF naming
+  std::uint64_t next_id_ = 0;
+  bool reported_wild_ = false;
+
+  static constexpr std::size_t kFreedHistory = 64;
+};
+
+}  // namespace bigk::check

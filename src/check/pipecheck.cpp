@@ -1,0 +1,173 @@
+#include "check/pipecheck.hpp"
+
+#include <string>
+#include <utility>
+
+namespace bigk::check {
+
+namespace {
+
+Violation base_violation(const char* kind, std::uint32_t block,
+                         std::uint64_t chunk, std::uint32_t slot) {
+  Violation violation;
+  violation.checker = "pipecheck";
+  violation.kind = kind;
+  violation.block = block;
+  violation.chunk = static_cast<std::int64_t>(chunk);
+  violation.slot = slot;
+  return violation;
+}
+
+}  // namespace
+
+void PipelineChecker::begin_launch(std::uint32_t num_blocks,
+                                   std::uint32_t buffer_depth,
+                                   std::uint32_t compute_threads,
+                                   std::uint32_t num_streams) {
+  (void)compute_threads;
+  depth_ = buffer_depth;
+  num_streams_ = num_streams;
+  slots_.assign(static_cast<std::size_t>(num_blocks) * buffer_depth,
+                SlotState{});
+  for (SlotState& slot : slots_) {
+    slot.counts.assign(num_streams, {});
+    slot.reported_uncovered.assign(num_streams, 0);
+  }
+}
+
+void PipelineChecker::on_slot_acquire(std::uint32_t block,
+                                      std::uint64_t chunk) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr) return;
+  if (slot->occupant >= 0 && !slot->released) {
+    Violation violation = base_violation(
+        "slot_overrun", block, chunk,
+        static_cast<std::uint32_t>(chunk % depth_));
+    violation.message =
+        "slot_overrun: block " + std::to_string(block) + " chunk " +
+        std::to_string(chunk) + " acquired ring slot " +
+        std::to_string(chunk % depth_) + " while chunk " +
+        std::to_string(slot->occupant) +
+        " is still in flight (compute or write-back not drained)";
+    reporter_.report(std::move(violation));
+  }
+  slot->occupant = static_cast<std::int64_t>(chunk);
+  slot->released = false;
+  for (auto& counts : slot->counts) counts.clear();
+  for (auto& reported : slot->reported_uncovered) reported = 0;
+  slot->reported_stale = false;
+}
+
+void PipelineChecker::on_addr_counts(std::uint32_t block, std::uint64_t chunk,
+                                     std::uint32_t stream,
+                                     std::vector<std::uint32_t> counts) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr || stream >= slot->counts.size()) return;
+  if (slot->occupant == static_cast<std::int64_t>(chunk)) {
+    slot->counts[stream] = std::move(counts);
+  }
+}
+
+void PipelineChecker::on_assembly_begin(std::uint32_t block,
+                                        std::uint64_t chunk) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr) return;
+  if (slot->occupant != static_cast<std::int64_t>(chunk)) {
+    Violation violation = base_violation(
+        "assembly_overwrite", block, chunk,
+        static_cast<std::uint32_t>(chunk % depth_));
+    violation.message =
+        "assembly_overwrite: block " + std::to_string(block) +
+        " assembly for chunk " + std::to_string(chunk) +
+        " writes ring slot " + std::to_string(chunk % depth_) +
+        " currently owned by chunk " + std::to_string(slot->occupant);
+    reporter_.report(std::move(violation));
+  }
+}
+
+void PipelineChecker::on_compute_begin(std::uint32_t block,
+                                       std::uint64_t chunk,
+                                       std::uint64_t data_ready_value) {
+  if (data_ready_value < chunk + 1) {
+    Violation violation = base_violation(
+        "flag_before_data", block, chunk,
+        depth_ != 0 ? static_cast<std::uint32_t>(chunk % depth_) : 0);
+    violation.message =
+        "flag_before_data: block " + std::to_string(block) +
+        " compute stage entered chunk " + std::to_string(chunk) +
+        " with data_ready flag at " + std::to_string(data_ready_value) +
+        " (needs " + std::to_string(chunk + 1) +
+        "): staged data for ring slot " +
+        std::to_string(depth_ != 0 ? chunk % depth_ : 0) +
+        " has not landed";
+    reporter_.report(std::move(violation));
+  }
+}
+
+void PipelineChecker::on_compute_read(std::uint32_t block, std::uint64_t chunk,
+                                      std::uint32_t stream,
+                                      std::uint32_t thread, std::uint64_t k) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr) return;
+  if (slot->occupant != static_cast<std::int64_t>(chunk)) {
+    if (slot->reported_stale) return;
+    slot->reported_stale = true;
+    Violation violation = base_violation(
+        "stale_slot_read", block, chunk,
+        static_cast<std::uint32_t>(chunk % depth_));
+    violation.stream = stream;
+    violation.thread = thread;
+    violation.message =
+        "stale_slot_read: block " + std::to_string(block) +
+        " compute for chunk " + std::to_string(chunk) +
+        " reads ring slot " + std::to_string(chunk % depth_) +
+        " now owned by chunk " + std::to_string(slot->occupant);
+    reporter_.report(std::move(violation));
+    return;
+  }
+  if (stream >= slot->counts.size()) return;
+  const std::vector<std::uint32_t>& counts = slot->counts[stream];
+  const bool covered =
+      thread < counts.size() && k < counts[thread];
+  if (!covered) {
+    if (slot->reported_uncovered[stream] != 0) return;
+    slot->reported_uncovered[stream] = 1;
+    Violation violation = base_violation(
+        "uncovered_read", block, chunk,
+        static_cast<std::uint32_t>(chunk % depth_));
+    violation.stream = stream;
+    violation.thread = thread;
+    violation.message =
+        "uncovered_read: block " + std::to_string(block) + " chunk " +
+        std::to_string(chunk) + " stream " + std::to_string(stream) +
+        " virtual thread " + std::to_string(thread) + " read staged element " +
+        std::to_string(k) +
+        (counts.empty()
+             ? " before address generation recorded any counts"
+             : " but address generation staged only " +
+                   std::to_string(thread < counts.size() ? counts[thread]
+                                                         : 0) +
+                   " element(s) for this thread");
+    reporter_.report(std::move(violation));
+  }
+}
+
+void PipelineChecker::on_slot_release(std::uint32_t block,
+                                      std::uint64_t chunk) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr) return;
+  if (slot->occupant == static_cast<std::int64_t>(chunk)) {
+    slot->released = true;
+  }
+}
+
+PipelineChecker::SlotState* PipelineChecker::slot_for(std::uint32_t block,
+                                                      std::uint64_t chunk) {
+  if (depth_ == 0) return nullptr;
+  const std::size_t index =
+      static_cast<std::size_t>(block) * depth_ + chunk % depth_;
+  if (index >= slots_.size()) return nullptr;
+  return &slots_[index];
+}
+
+}  // namespace bigk::check

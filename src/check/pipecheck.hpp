@@ -1,0 +1,78 @@
+// Pipeline-ordering checker for the BigKernel staging protocol.
+//
+// The engine's correctness rests on three invariants of the per-block ring
+// of buffer_depth chunk slots (§IV.C of the paper):
+//   1. flag-after-data: the compute stage must not read slot data before the
+//      data_ready flag for that chunk has landed (the flag is DMA'd after
+//      the data on the in-order copy engine, so flag value >= chunk+1
+//      implies the data arrived);
+//   2. no slot overrun: the CPU assembly stage must not start refilling a
+//      ring slot while a previous chunk still occupies it (compute or
+//      write-back scatter still in flight);
+//   3. address coverage: every element the compute stage reads from a
+//      staging slot must have been produced by the address-generation stage
+//      for that (chunk, stream, virtual thread) — reading past the staged
+//      count returns stale or foreign bytes.
+// The engine drives this checker directly with stage events; violations name
+// the block, chunk, ring slot, stream, and virtual thread involved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/report.hpp"
+
+namespace bigk::check {
+
+class PipelineChecker {
+ public:
+  explicit PipelineChecker(Reporter& reporter) : reporter_(reporter) {}
+
+  /// Resets per-slot state for a launch's geometry.
+  void begin_launch(std::uint32_t num_blocks, std::uint32_t buffer_depth,
+                    std::uint32_t compute_threads, std::uint32_t num_streams);
+
+  /// Address-generation acquired ring slot `chunk % depth` for `chunk`.
+  void on_slot_acquire(std::uint32_t block, std::uint64_t chunk);
+
+  /// Per-virtual-thread staged element counts for (chunk, stream), recorded
+  /// when address generation finalizes.
+  void on_addr_counts(std::uint32_t block, std::uint64_t chunk,
+                      std::uint32_t stream, std::vector<std::uint32_t> counts);
+
+  /// CPU assembly starts filling the slot for `chunk`.
+  void on_assembly_begin(std::uint32_t block, std::uint64_t chunk);
+
+  /// Compute stage starts consuming `chunk`; `data_ready_value` is the
+  /// observed value of the block's data_ready flag at that moment.
+  void on_compute_begin(std::uint32_t block, std::uint64_t chunk,
+                        std::uint64_t data_ready_value);
+
+  /// Compute read of staged element `k` of (stream, virtual thread).
+  void on_compute_read(std::uint32_t block, std::uint64_t chunk,
+                       std::uint32_t stream, std::uint32_t thread,
+                       std::uint64_t k);
+
+  /// The slot for `chunk` is safe to reuse (compute done and, when the app
+  /// has writes, the write-back scatter drained).
+  void on_slot_release(std::uint32_t block, std::uint64_t chunk);
+
+ private:
+  struct SlotState {
+    std::int64_t occupant = -1;  // chunk currently owning the slot, -1 free
+    bool released = true;
+    // counts[stream][thread]: staged element count, empty until recorded.
+    std::vector<std::vector<std::uint32_t>> counts;
+    std::vector<std::uint8_t> reported_uncovered;  // per stream
+    bool reported_stale = false;
+  };
+
+  SlotState* slot_for(std::uint32_t block, std::uint64_t chunk);
+
+  Reporter& reporter_;
+  std::vector<SlotState> slots_;  // block * depth_ + (chunk % depth_)
+  std::uint32_t depth_ = 0;
+  std::uint32_t num_streams_ = 0;
+};
+
+}  // namespace bigk::check

@@ -1,0 +1,126 @@
+#include "check/racecheck.hpp"
+
+#include <string>
+
+#include "gpusim/warp_trace.hpp"
+
+namespace bigk::check {
+
+void RaceChecker::on_kernel_begin(std::uint32_t num_blocks) {
+  state_.clear();
+  epoch_.assign(num_blocks, 0);
+  dropping_ = false;
+}
+
+void RaceChecker::on_kernel_end() {
+  state_.clear();
+  epoch_.clear();
+}
+
+void RaceChecker::on_warp_access(std::uint32_t block, std::uint32_t warp,
+                                 std::uint32_t lane, std::uint64_t addr,
+                                 std::uint32_t size, std::uint8_t flags) {
+  (void)size;
+  if ((flags & gpusim::WarpTracer::kFlagSynthetic) != 0) return;
+
+  auto it = state_.find(addr);
+  if (it == state_.end()) {
+    if (state_.size() >= kMaxAddresses) {
+      dropping_ = true;
+      reporter_.bump("racecheck.addresses_dropped");
+      return;
+    }
+    it = state_.emplace(addr, AddrState{}).first;
+  }
+  AddrState& addr_state = it->second;
+
+  Rec rec;
+  rec.block = block;
+  rec.warp = warp;
+  rec.lane = lane;
+  rec.epoch = block < epoch_.size() ? epoch_[block] : 0;
+  rec.atomic = (flags & gpusim::WarpTracer::kFlagAtomic) != 0;
+  rec.valid = true;
+
+  const bool is_write = (flags & gpusim::WarpTracer::kFlagWrite) != 0;
+
+  if (!addr_state.reported) {
+    if (is_write) {
+      // Write vs previous write, then write vs previous reads.
+      if (concurrent(addr_state.last_write, rec)) {
+        addr_state.reported = true;
+        diagnose("write_write_race", addr, addr_state.last_write, rec);
+      }
+      if (!addr_state.reported) {
+        for (const Rec& read : addr_state.reads) {
+          if (concurrent(read, rec)) {
+            addr_state.reported = true;
+            diagnose("read_write_race", addr, read, rec);
+            break;
+          }
+        }
+      }
+    } else {
+      // Read vs previous write.
+      if (concurrent(addr_state.last_write, rec)) {
+        addr_state.reported = true;
+        diagnose("read_write_race", addr, addr_state.last_write, rec);
+      }
+    }
+  }
+
+  if (is_write) {
+    addr_state.last_write = rec;
+  } else {
+    // Keep up to two reads from distinct (block, warp) pairs so a later
+    // write can be checked against more than one concurrent reader.
+    if (!addr_state.reads[0].valid ||
+        (addr_state.reads[0].block == block &&
+         addr_state.reads[0].warp == warp)) {
+      addr_state.reads[0] = rec;
+    } else if (!addr_state.reads[1].valid ||
+               (addr_state.reads[1].block == block &&
+                addr_state.reads[1].warp == warp)) {
+      addr_state.reads[1] = rec;
+    } else {
+      addr_state.reads[1] = rec;
+    }
+  }
+}
+
+void RaceChecker::on_barrier(std::uint32_t block) {
+  if (block < epoch_.size()) ++epoch_[block];
+}
+
+bool RaceChecker::concurrent(const Rec& a, const Rec& b) const {
+  if (!a.valid || !b.valid) return false;
+  // Atomics serialize through the atomic unit; a pair involving an atomic is
+  // ordered (atomic-atomic) or deliberate accumulation (atomic vs. read).
+  if (a.atomic || b.atomic) return false;
+  if (a.block == b.block && a.warp == b.warp) return false;  // same warp
+  if (a.block != b.block) return true;  // no cross-block sync in a launch
+  return a.epoch == b.epoch;  // same block: barrier separates epochs
+}
+
+void RaceChecker::diagnose(const char* kind, std::uint64_t addr,
+                           const Rec& first, const Rec& second) {
+  Violation violation;
+  violation.checker = "racecheck";
+  violation.kind = kind;
+  violation.offset = static_cast<std::int64_t>(addr);
+  violation.block = second.block;
+  violation.warp = second.warp;
+  violation.lane = second.lane;
+  violation.message =
+      std::string(kind) + " at device address " + std::to_string(addr) +
+      ": block " + std::to_string(second.block) + " warp " +
+      std::to_string(second.warp) + " lane " + std::to_string(second.lane) +
+      " conflicts with block " + std::to_string(first.block) + " warp " +
+      std::to_string(first.warp) + " lane " + std::to_string(first.lane) +
+      (first.block == second.block
+           ? " with no barrier in between"
+           : " in a different block (no synchronization inside a launch)");
+  reporter_.report(std::move(violation));
+}
+
+}  // namespace bigk::check

@@ -1,0 +1,71 @@
+// Warp/block data-race detector (the compute-sanitizer "racecheck"
+// analogue), fed by the per-lane access streams gpusim::WarpTracer collects.
+//
+// Within one kernel launch, two accesses to the same device address conflict
+// when at least one is a write, neither is atomic, and they come from
+// different (block, warp) pairs that are not ordered by a block-wide
+// barrier:
+//   - different blocks never synchronize inside a launch, so any
+//     cross-block conflicting pair races;
+//   - within a block, BlockCtx::sync_overhead() (bar.red) separates
+//     accesses into epochs — only same-epoch conflicts race.
+// Synthetic trace addresses (LaneCtx::trace_access) model memory that is not
+// materialized and are skipped. State is keyed by exact address (the
+// simulator's accesses are whole typed elements), so adjacent-but-disjoint
+// byte ranges from different warps do not false-positive; partially
+// overlapping differently-typed accesses are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/report.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace bigk::check {
+
+class RaceChecker final : public gpusim::WarpAccessObserver {
+ public:
+  explicit RaceChecker(Reporter& reporter) : reporter_(reporter) {}
+
+  void on_kernel_begin(std::uint32_t num_blocks) override;
+  void on_kernel_end() override;
+  void on_warp_access(std::uint32_t block, std::uint32_t warp,
+                      std::uint32_t lane, std::uint64_t addr,
+                      std::uint32_t size, std::uint8_t flags) override;
+  void on_barrier(std::uint32_t block) override;
+
+ private:
+  struct Rec {
+    std::uint32_t block = 0;
+    std::uint32_t warp = 0;
+    std::uint32_t lane = 0;
+    std::uint64_t epoch = 0;
+    bool atomic = false;
+    bool valid = false;
+  };
+
+  struct AddrState {
+    Rec last_write;
+    Rec reads[2];  // two reads from distinct (block, warp) pairs
+    bool reported = false;
+  };
+
+  /// True when `a` and `b` can be concurrent and unsynchronized.
+  bool concurrent(const Rec& a, const Rec& b) const;
+
+  void diagnose(const char* kind, std::uint64_t addr, const Rec& first,
+                const Rec& second);
+
+  Reporter& reporter_;
+  std::unordered_map<std::uint64_t, AddrState> state_;
+  std::vector<std::uint64_t> epoch_;  // per-block barrier epoch
+  bool dropping_ = false;
+
+  /// Address-state cap; beyond it new addresses are dropped (and counted via
+  /// "check.racecheck.addresses_dropped") to bound memory at bench scale.
+  static constexpr std::size_t kMaxAddresses = std::size_t{1} << 22;
+};
+
+}  // namespace bigk::check

@@ -1,0 +1,74 @@
+#include "check/report.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bigk::check {
+
+void Violation::write_json(std::ostream& out) const {
+  out << "{\"checker\":" << obs::json_quote(checker)
+      << ",\"kind\":" << obs::json_quote(kind)
+      << ",\"message\":" << obs::json_quote(message);
+  const auto field = [&out](const char* name, std::int64_t value) {
+    if (value >= 0) out << ",\"" << name << "\":" << value;
+  };
+  field("offset", offset);
+  field("allocation", allocation);
+  field("size", size);
+  field("block", block);
+  field("warp", warp);
+  field("lane", lane);
+  field("chunk", chunk);
+  field("slot", slot);
+  field("stream", stream);
+  field("thread", thread);
+  out << '}';
+}
+
+void Reporter::report(Violation violation) {
+  ++total_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("check." + violation.checker + ".violations").add(1);
+  }
+  if (recorded_.size() < options_.max_recorded) {
+    recorded_.push_back(std::move(violation));
+  }
+  if (options_.fail_fast) {
+    throw CheckError("bigkcheck [" + recorded_.back().checker + "/" +
+                     recorded_.back().kind +
+                     "]: " + recorded_.back().message);
+  }
+}
+
+void Reporter::bump(const std::string& name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->counter("check." + name).add(delta);
+}
+
+void Reporter::write_jsonl(std::ostream& out) const {
+  for (const Violation& violation : recorded_) {
+    violation.write_json(out);
+    out << '\n';
+  }
+}
+
+std::string Reporter::summary(std::size_t max_lines) const {
+  std::ostringstream out;
+  out << "bigkcheck: " << total_ << " violation(s)";
+  const std::size_t shown = std::min(max_lines, recorded_.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Violation& violation = recorded_[i];
+    out << "\n  [" << violation.checker << "/" << violation.kind << "] "
+        << violation.message;
+  }
+  if (total_ > shown) {
+    out << "\n  ... and " << (total_ - shown) << " more";
+  }
+  return out.str();
+}
+
+void Reporter::enforce() const {
+  if (total_ > 0) throw CheckError(summary());
+}
+
+}  // namespace bigk::check

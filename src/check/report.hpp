@@ -1,0 +1,89 @@
+// Violation collection and reporting shared by every bigkcheck checker.
+//
+// Checkers construct Violations with precise identifiers (allocation/offset,
+// block/warp/lane, or block/chunk/slot) and hand them to the Reporter, which
+// counts them per checker in the obs::MetricsRegistry ("check.<checker>.
+// violations"), stores the first max_recorded diagnostics verbatim, and
+// fails loudly: immediately in fail_fast mode, otherwise when enforce() is
+// called at the end of the run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/options.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace bigk::check {
+
+/// One diagnosed violation. Location fields are -1 when not applicable so
+/// the JSONL schema stays uniform across checkers; write_json() emits only
+/// the fields that are set.
+struct Violation {
+  std::string checker;  // "memcheck" | "racecheck" | "pipecheck"
+  std::string kind;     // e.g. "out_of_bounds", "write_write_race"
+  std::string message;  // full human-readable diagnostic
+
+  // memcheck
+  std::int64_t offset = -1;      // device byte offset of the access
+  std::int64_t allocation = -1;  // owning/nearest allocation base
+  std::int64_t size = -1;        // access size in bytes
+  // racecheck (block also used by pipecheck)
+  std::int64_t block = -1;
+  std::int64_t warp = -1;
+  std::int64_t lane = -1;
+  // pipecheck
+  std::int64_t chunk = -1;
+  std::int64_t slot = -1;
+  std::int64_t stream = -1;
+  std::int64_t thread = -1;
+
+  /// One JSON object (no trailing newline).
+  void write_json(std::ostream& out) const;
+};
+
+/// Thrown on violations: at report time (fail_fast) or from enforce().
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Reporter {
+ public:
+  explicit Reporter(const CheckOptions& options,
+                    obs::MetricsRegistry* metrics = nullptr)
+      : options_(options), metrics_(metrics) {}
+
+  /// Counts the violation, records its diagnostic (up to max_recorded), and
+  /// in fail_fast mode throws CheckError immediately.
+  void report(Violation violation);
+
+  /// Bumps an informational metrics counter ("check.<name>") without
+  /// recording a violation — e.g. checker capacity limits.
+  void bump(const std::string& name, std::uint64_t delta = 1);
+
+  std::uint64_t total() const noexcept { return total_; }
+  const std::vector<Violation>& recorded() const noexcept {
+    return recorded_;
+  }
+
+  /// One JSON object per line, in report order.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Multi-line human-readable summary of up to `max_lines` diagnostics.
+  std::string summary(std::size_t max_lines = 10) const;
+
+  /// Throws CheckError (carrying the summary) if anything was reported.
+  void enforce() const;
+
+ private:
+  CheckOptions options_;
+  obs::MetricsRegistry* metrics_;
+  std::vector<Violation> recorded_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bigk::check

@@ -1,0 +1,34 @@
+#include "check/sanitizer.hpp"
+
+namespace bigk::check {
+
+Sanitizer::Sanitizer(const CheckOptions& options,
+                     obs::MetricsRegistry* metrics)
+    : reporter_(options, metrics) {
+  if (options.memcheck) mem_ = std::make_unique<MemChecker>(reporter_);
+  if (options.racecheck) race_ = std::make_unique<RaceChecker>(reporter_);
+  if (options.pipecheck) pipe_ = std::make_unique<PipelineChecker>(reporter_);
+}
+
+Sanitizer::~Sanitizer() { uninstall(); }
+
+void Sanitizer::install(gpusim::Gpu& gpu) {
+  uninstall();
+  gpu_ = &gpu;
+  if (mem_ != nullptr) {
+    mem_->attach(gpu.memory());
+    gpu.memory().set_observer(mem_.get());
+  }
+  if (race_ != nullptr) {
+    gpu.set_access_observer(race_.get());
+  }
+}
+
+void Sanitizer::uninstall() {
+  if (gpu_ == nullptr) return;
+  if (mem_ != nullptr) gpu_->memory().set_observer(nullptr);
+  if (race_ != nullptr) gpu_->set_access_observer(nullptr);
+  gpu_ = nullptr;
+}
+
+}  // namespace bigk::check

@@ -24,6 +24,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "check/pipecheck.hpp"
 #include "core/device_tables.hpp"
 #include "core/staging.hpp"
 #include "core/stream.hpp"
@@ -110,7 +111,9 @@ class ComputeCtx {
              const std::vector<StreamBinding>& bindings,
              const DeviceTables& tables, DataLayout layout,
              std::uint32_t compute_threads, std::uint32_t vtid,
-             std::uint64_t rec_begin)
+             std::uint64_t rec_begin,
+             check::PipelineChecker* checker = nullptr,
+             std::uint32_t block = 0, std::uint64_t chunk = 0)
       : lane_(lane),
         slot_(slot),
         bindings_(bindings),
@@ -118,7 +121,10 @@ class ComputeCtx {
         layout_(layout),
         compute_threads_(compute_threads),
         vtid_(vtid),
-        rec_begin_(rec_begin) {
+        rec_begin_(rec_begin),
+        checker_(checker),
+        block_(block),
+        chunk_(chunk) {
     read_counter_.fill(0);
     write_counter_.fill(0);
   }
@@ -134,6 +140,9 @@ class ComputeCtx {
       k = elem - base;
     } else {
       k = read_counter_[stream.id]++;
+    }
+    if (checker_ != nullptr) {
+      checker_->on_compute_read(block_, chunk_, stream.id, vtid_, k);
     }
     assert(k < stage.slots_per_thread && "data buffer slot overflow");
     const std::uint64_t addr = data_slot_address(
@@ -181,6 +190,9 @@ class ComputeCtx {
   std::uint32_t compute_threads_;
   std::uint32_t vtid_;
   std::uint64_t rec_begin_;
+  check::PipelineChecker* checker_;
+  std::uint32_t block_;
+  std::uint64_t chunk_;
   std::array<std::uint64_t, kMaxStreams> read_counter_{};
   std::array<std::uint64_t, kMaxStreams> write_counter_{};
 };

@@ -185,11 +185,44 @@ void Engine::finalize_addresses(BlockState& block, ChunkSlot& slot,
   }
 }
 
+void Engine::report_addr_counts(BlockState& block, ChunkSlot& slot,
+                                std::uint64_t chunk) {
+  const std::uint32_t c_threads = options_.compute_threads_per_block;
+  for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+    const StreamStage& stage = slot.streams[s];
+    std::vector<std::uint32_t> counts(c_threads, 0);
+    if (geometry_.layout == DataLayout::kOriginal) {
+      // Whole-chunk fetch: the staged count per thread is determined by its
+      // chunk range, mirroring the copy in assemble_stream().
+      const StreamBinding& bind = bindings_[s];
+      for (std::uint32_t v = 0; v < c_threads; ++v) {
+        const Range range = thread_chunk_range(block, v, chunk);
+        if (range.empty()) continue;
+        const std::uint64_t base_elem = range.begin * bind.elems_per_record;
+        std::uint64_t count =
+            range.size() * bind.elems_per_record + overfetch_[s];
+        count = std::min(count, bind.num_elements - base_elem);
+        count = std::min(count, stage.slots_per_thread);
+        counts[v] = static_cast<std::uint32_t>(count);
+      }
+    } else {
+      for (std::uint32_t v = 0;
+           v < c_threads && v < stage.read_addrs.size(); ++v) {
+        counts[v] = static_cast<std::uint32_t>(stage.read_addrs[v].count);
+      }
+    }
+    pipecheck_->on_addr_counts(block.index, chunk, s, std::move(counts));
+  }
+}
+
 sim::Task<> Engine::assembly_process(BlockState& block) {
   hostsim::HostThread& thread = *block.assembly_thread;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.addr_ready.wait_ge(chunk + 1);
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    if (pipecheck_ != nullptr) {
+      pipecheck_->on_assembly_begin(block.index, chunk);
+    }
 
     const sim::TimePs start = sim().now();
     std::vector<std::uint64_t> bytes(bindings_.size(), 0);
@@ -377,6 +410,9 @@ sim::Task<> Engine::scatter_process(BlockState& block) {
     co_await thread.commit();
     record_stage(obs::Stage::kWriteback, block.index, chunk, start,
                  sim().now());
+    if (pipecheck_ != nullptr) {
+      pipecheck_->on_slot_release(block.index, chunk);
+    }
     block.ring.release();
   }
 }

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "check/sanitizer.hpp"
 #include "core/contexts.hpp"
 #include "core/device_tables.hpp"
 #include "core/metrics.hpp"
@@ -125,6 +126,14 @@ class Engine {
   /// pipeline stage (data transfer gets one row per ring slot, since up to
   /// buffer_depth transfers are in flight per block). nullptr detaches.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Uses an externally owned bigkcheck sanitizer (already installed on the
+  /// GPU by the caller) instead of constructing one from options().check.
+  /// The caller keeps responsibility for finalize(); the engine only feeds
+  /// the pipeline checker. nullptr detaches.
+  void set_sanitizer(check::Sanitizer* sanitizer) noexcept {
+    sanitizer_ = sanitizer;
+  }
   const std::vector<StreamBinding>& bindings() const noexcept {
     return bindings_;
   }
@@ -215,6 +224,16 @@ class Engine {
   trace::Recorder* recorder_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 
+  // --- bigkcheck ---------------------------------------------------------
+  check::Sanitizer* sanitizer_ = nullptr;  // externally owned, optional
+  std::unique_ptr<check::Sanitizer> owned_sanitizer_;  // from options_.check
+  check::PipelineChecker* pipecheck_ = nullptr;  // active during launch()
+
+  /// Replays the per-thread staged-element counts of (block, chunk, stream)
+  /// to the pipeline checker after address generation settles them.
+  void report_addr_counts(BlockState& block, ChunkSlot& slot,
+                          std::uint64_t chunk);
+
   /// Single accounting point for a stage execution: busy-time metric, legacy
   /// recorder event, and tracer span all come from the same interval, so the
   /// Fig. 6 breakdown and the timeline agree by construction. For the GPU
@@ -252,6 +271,26 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
   }
   tables_ = &tables;
   geometry_ = plan(num_records);
+
+  // bigkcheck: construct and install a sanitizer when options_.check asks
+  // for one and the caller did not provide one via set_sanitizer(). Install
+  // happens before build_blocks() so the memory sanitizer sees the staging
+  // allocations with their exact requested sizes.
+  if (options_.check.enabled && sanitizer_ == nullptr) {
+    owned_sanitizer_ = std::make_unique<check::Sanitizer>(
+        options_.check, runtime_.metrics());
+    owned_sanitizer_->install(runtime_.gpu());
+  }
+  check::Sanitizer* active_sanitizer =
+      sanitizer_ != nullptr ? sanitizer_ : owned_sanitizer_.get();
+  pipecheck_ =
+      active_sanitizer != nullptr ? active_sanitizer->pipecheck() : nullptr;
+  if (pipecheck_ != nullptr) {
+    pipecheck_->begin_launch(geometry_.blocks, options_.buffer_depth,
+                             options_.compute_threads_per_block,
+                             static_cast<std::uint32_t>(bindings_.size()));
+  }
+
   build_blocks(num_records);
   metrics_ = EngineMetrics{};
 
@@ -280,6 +319,16 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
     co_await process.join();
   }
   release_buffers();
+
+  pipecheck_ = nullptr;
+  if (owned_sanitizer_ != nullptr) {
+    // Detach and enforce: throws check::CheckError with the diagnostic
+    // summary when any checker reported a violation. An external sanitizer
+    // (set_sanitizer) is finalized by its owner instead.
+    std::unique_ptr<check::Sanitizer> sanitizer = std::move(owned_sanitizer_);
+    sanitizer->uninstall();
+    sanitizer->finalize();
+  }
 }
 
 template <class Kernel>
@@ -288,6 +337,9 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
   const std::uint32_t c_threads = options_.compute_threads_per_block;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.ring.acquire();
+    if (pipecheck_ != nullptr) {
+      pipecheck_->on_slot_acquire(block.index, chunk);
+    }
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
     for (StreamStage& stage : slot.streams) stage.staged_writes.clear();
 
@@ -315,6 +367,9 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
       finalize_addresses(block, slot, &wire_bytes);
       co_await ctx.sync_overhead();
     }
+    if (pipecheck_ != nullptr) {
+      report_addr_counts(block, slot, chunk);
+    }
 
     metrics_.addr_bytes_sent += wire_bytes;
     // Busy = SM service time; the span ends now and sums to the metric.
@@ -331,8 +386,18 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
                                    const Kernel& kernel) {
   const std::uint32_t c_threads = options_.compute_threads_per_block;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
-    co_await block.data_ready.wait_ge(chunk + 1);
+    if (options_.fault.skip_data_ready_wait) {
+      // Seeded bug: wait for the *previous* chunk's flag only (none at all
+      // for chunk 0) — the compute stage races the staged DMA.
+      if (chunk > 0) co_await block.data_ready.wait_ge(chunk);
+    } else {
+      co_await block.data_ready.wait_ge(chunk + 1);
+    }
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    if (pipecheck_ != nullptr) {
+      pipecheck_->on_compute_begin(block.index, chunk,
+                                   block.data_ready.value());
+    }
 
     const sim::DurationPs busy = co_await ctx.run_threads(
         c_threads, c_threads, [&](gpusim::LaneCtx& lane, std::uint32_t tid) {
@@ -341,7 +406,7 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
           if (range.empty()) return;
           ComputeCtx compute_ctx(lane, slot, bindings_, *tables_,
                                  geometry_.layout, c_threads, vtid,
-                                 range.begin);
+                                 range.begin, pipecheck_, block.index, chunk);
           kernel(compute_ctx, range.begin, range.end, /*stride=*/1);
         });
     ++metrics_.chunks;
@@ -359,7 +424,16 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
       const sim::TimePs landed = runtime_.gpu().post_d2h(wb_bytes);
       runtime_.gpu().set_flag_at(block.wb_landed, chunk + 1,
                                  std::max(landed, sim().now()));
+      if (options_.fault.early_ring_release) {
+        // Seeded bug: hand the ring slot back while the write-back scatter
+        // is still in flight — assembly may overwrite live staged writes.
+        // (Deliberately no on_slot_release: the slot is NOT actually safe.)
+        block.ring.release();
+      }
     } else {
+      if (pipecheck_ != nullptr) {
+        pipecheck_->on_slot_release(block.index, chunk);
+      }
       block.ring.release();
     }
   }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "check/options.hpp"
+
 namespace bigk::core {
 
 struct Options {
@@ -40,6 +42,25 @@ struct Options {
   bool pattern_recognition = true;
   /// Gather one GPU thread's data at a time for CPU cache locality (§IV.B).
   bool locality_assembly = true;
+
+  // --- Correctness checking --------------------------------------------
+  /// bigkcheck configuration; when check.enabled the engine owns a
+  /// check::Sanitizer for the launch and throws check::CheckError on any
+  /// violation (see src/check/).
+  check::CheckOptions check{};
+
+  /// Test-only seeded-bug injection: deliberately breaks a pipeline
+  /// invariant so the checkers' seeded-violation tests can prove they catch
+  /// real protocol bugs. Never enable outside tests.
+  struct FaultInjection {
+    /// Compute stage skips the data_ready wait for the current chunk
+    /// (waits for the previous chunk only), racing ahead of the staged DMA —
+    /// the classic missing flag-after-data bug.
+    bool skip_data_ready_wait = false;
+    /// Compute stage releases the ring slot before the write-back scatter
+    /// drained, letting assembly overwrite an in-flight slot.
+    bool early_ring_release = false;
+  } fault;
 
   void validate() const {
     if (compute_threads_per_block == 0 ||

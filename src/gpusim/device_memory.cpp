@@ -9,7 +9,8 @@ constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
 }  // namespace
 
 std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
-  const std::uint64_t size = align_up(bytes == 0 ? 1 : bytes, kAlignment);
+  const std::uint64_t requested = bytes == 0 ? 1 : bytes;
+  const std::uint64_t size = align_up(requested, kAlignment);
   for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
     const auto [offset, block_size] = *it;
     if (block_size < size) continue;
@@ -19,6 +20,7 @@ std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
     }
     live_allocs_[offset] = size;
     used_ += size;
+    if (observer_ != nullptr) observer_->on_alloc(offset, requested, size);
     return offset;
   }
   throw OutOfDeviceMemory(size, arena_.size());
@@ -27,10 +29,41 @@ std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
 void DeviceMemory::free_offset(std::uint64_t offset) {
   auto alloc = live_allocs_.find(offset);
   if (alloc == live_allocs_.end()) {
-    throw std::invalid_argument("free of unallocated device offset " +
-                                std::to_string(offset));
+    // Diagnose instead of corrupting the free list: an offset inside a free
+    // block is a double free (or a free of never-allocated space); the
+    // interior of a live allocation or a point past the arena is a foreign
+    // offset.
+    auto after = free_blocks_.upper_bound(offset);
+    if (after != free_blocks_.begin()) {
+      const auto& [free_base, free_size] = *std::prev(after);
+      if (offset >= free_base && offset < free_base + free_size) {
+        if (observer_ != nullptr) {
+          observer_->on_bad_free(offset, /*is_double_free=*/true);
+        }
+        throw DoubleFree("double free of device offset " +
+                         std::to_string(offset) +
+                         ": lies in free space (already freed or never "
+                         "allocated)");
+      }
+    }
+    if (observer_ != nullptr) {
+      observer_->on_bad_free(offset, /*is_double_free=*/false);
+    }
+    auto owner = live_allocs_.upper_bound(offset);
+    if (owner != live_allocs_.begin()) {
+      const auto& [base, size] = *std::prev(owner);
+      if (offset > base && offset < base + size) {
+        throw InvalidFree("free of device offset " + std::to_string(offset) +
+                          ": interior of the live allocation at base " +
+                          std::to_string(base) + " (size " +
+                          std::to_string(size) + ")");
+      }
+    }
+    throw InvalidFree("free of device offset " + std::to_string(offset) +
+                      ": not an allocation base");
   }
   std::uint64_t size = alloc->second;
+  if (observer_ != nullptr) observer_->on_free(offset, size);
   live_allocs_.erase(alloc);
   used_ -= size;
 

@@ -29,6 +29,14 @@ sim::Task<sim::DurationPs> BlockCtx::run_threads(std::uint32_t first,
       lane_ctx.atomic_extra_cycles_ = config.atomic_extra_cycles;
       lane_fn(lane_ctx, tid);
     }
+    if (gpu_.access_observer_ != nullptr) {
+      const std::uint32_t warp_index = warp_first / warp_size;
+      tracer.for_each_access([&](std::uint32_t lane, std::uint64_t addr,
+                                 std::uint32_t size, std::uint8_t flags) {
+        gpu_.access_observer_->on_warp_access(block_index_, warp_index, lane,
+                                              addr, size, flags);
+      });
+    }
     const WarpCost cost = tracer.finish(config);
     atomic_ops += cost.atomic_ops;
     total += sm_request_cost(cost, config);
@@ -69,6 +77,9 @@ sim::Task<sim::DurationPs> BlockCtx::run_threads(std::uint32_t first,
 }
 
 sim::Task<> BlockCtx::sync_overhead() {
+  if (gpu_.access_observer_ != nullptr) {
+    gpu_.access_observer_->on_barrier(block_index_);
+  }
   co_await gpu_.sim_.delay(gpu_.config().block_sync_overhead);
 }
 
@@ -217,6 +228,9 @@ sim::Task<> Gpu::run_kernel(const KernelLaunch& launch, BlockFn block_fn) {
         "kernel launch exceeds per-SM resources: no block can become active");
   }
   ++stats_.kernel_launches;
+  if (access_observer_ != nullptr) {
+    access_observer_->on_kernel_begin(launch.num_blocks);
+  }
   if (ctr_kernel_launches_ != nullptr) ctr_kernel_launches_->add(1);
   if (metrics_ != nullptr) {
     metrics_->gauge("gpusim.active_block_window")
@@ -234,6 +248,7 @@ sim::Task<> Gpu::run_kernel(const KernelLaunch& launch, BlockFn block_fn) {
   for (sim::Process& block : blocks) {
     co_await block.join();
   }
+  if (access_observer_ != nullptr) access_observer_->on_kernel_end();
 }
 
 sim::Task<> Gpu::run_block(KernelLaunch launch, const BlockFn& block_fn,

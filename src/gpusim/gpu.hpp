@@ -31,6 +31,23 @@ namespace bigk::gpusim {
 class Gpu;
 class BlockCtx;
 
+/// Observes the per-lane global-memory access stream of every executed warp
+/// (the raw material of the check:: data-race detector) plus the
+/// synchronization events that order accesses: block-wide barriers and
+/// kernel launch boundaries. `warp` is the warp index within the block and
+/// `lane` the lane within that warp; `flags` are WarpTracer::kFlag* bits.
+class WarpAccessObserver {
+ public:
+  virtual ~WarpAccessObserver() = default;
+  virtual void on_kernel_begin(std::uint32_t /*num_blocks*/) {}
+  virtual void on_kernel_end() {}
+  virtual void on_warp_access(std::uint32_t block, std::uint32_t warp,
+                              std::uint32_t lane, std::uint64_t addr,
+                              std::uint32_t size, std::uint8_t flags) = 0;
+  /// One block-wide synchronization round (bar.red) in `block`.
+  virtual void on_barrier(std::uint32_t /*block*/) {}
+};
+
 /// Kernel launch configuration (the <<<grid, block>>> parameters plus the
 /// compile-time resource usage the occupancy calculation of §IV.D needs).
 struct KernelLaunch {
@@ -63,7 +80,8 @@ class LaneCtx {
 
   template <class T>
   void store(DevicePtr<T> ptr, std::uint64_t index, const T& value) {
-    tracer_.record_access(ptr.element_address(index), sizeof(T));
+    tracer_.record_access(ptr.element_address(index), sizeof(T),
+                          WarpTracer::kFlagWrite);
     memory_.write(ptr, index, value);
   }
 
@@ -71,7 +89,8 @@ class LaneCtx {
   /// serialization cycles on top of the traced access).
   template <class T>
   T atomic_add(DevicePtr<T> ptr, std::uint64_t index, T delta) {
-    tracer_.record_access(ptr.element_address(index), sizeof(T));
+    tracer_.record_access(ptr.element_address(index), sizeof(T),
+                          WarpTracer::kFlagWrite | WarpTracer::kFlagAtomic);
     tracer_.record_alu(atomic_extra_cycles_);
     tracer_.record_atomic();
     T old = memory_.read(ptr, index);
@@ -86,7 +105,7 @@ class LaneCtx {
   /// arena — for memory that is modelled but not materialized (e.g. the
   /// resident pages of the demand-paging scheme).
   void trace_access(std::uint64_t addr, std::uint32_t size) {
-    tracer_.record_access(addr, size);
+    tracer_.record_access(addr, size, WarpTracer::kFlagSynthetic);
   }
 
  private:
@@ -165,6 +184,12 @@ class Gpu {
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
 
+  /// Installs (or with nullptr removes) the warp-access observer: every
+  /// traced lane access, block barrier, and kernel boundary is forwarded.
+  void set_access_observer(WarpAccessObserver* observer) noexcept {
+    access_observer_ = observer;
+  }
+
   /// --- PCIe / DMA -------------------------------------------------------
   /// Blocking bulk transfer host->device / device->host (occupies the link
   /// for latency + bytes/bandwidth, completes in FIFO order per direction).
@@ -231,6 +256,7 @@ class Gpu {
   sim::FifoServer h2d_link_;
   sim::FifoServer d2h_link_;
   GpuStats stats_;
+  WarpAccessObserver* access_observer_ = nullptr;
 
   // --- telemetry sinks (optional) ----------------------------------------
   obs::Tracer* tracer_ = nullptr;

@@ -43,6 +43,14 @@ struct WarpCost {
 /// Collects per-lane traces for one warp and merges them into a WarpCost.
 class WarpTracer {
  public:
+  /// Access-kind bits carried by each traced access (the cost model ignores
+  /// them; the data-race checker consumes them).
+  static constexpr std::uint8_t kFlagWrite = 1;
+  static constexpr std::uint8_t kFlagAtomic = 2;
+  /// Synthetic addresses (LaneCtx::trace_access): modelled but never
+  /// materialized in the arena, so they may alias real offsets by accident.
+  static constexpr std::uint8_t kFlagSynthetic = 4;
+
   explicit WarpTracer(std::uint32_t warp_size) : lanes_(warp_size) {}
 
   /// Directs subsequent record_* calls at lane `lane` (0-based in the warp).
@@ -50,8 +58,9 @@ class WarpTracer {
 
   /// Records one global-memory access of `size` bytes at device address
   /// `addr`. Each access also costs one issue cycle.
-  void record_access(std::uint64_t addr, std::uint32_t size) {
-    current_->accesses.push_back(Access{addr, size});
+  void record_access(std::uint64_t addr, std::uint32_t size,
+                     std::uint8_t flags = 0) {
+    current_->accesses.push_back(Access{addr, size, flags});
     current_->alu_cycles += 1.0;
   }
 
@@ -67,10 +76,23 @@ class WarpTracer {
 
   void reset();
 
+  /// Visits every recorded access of every lane in program order:
+  /// fn(lane, addr, size, flags). Used to forward the per-lane access
+  /// streams to a WarpAccessObserver.
+  template <class Fn>
+  void for_each_access(Fn&& fn) const {
+    for (std::uint32_t lane = 0; lane < lanes_.size(); ++lane) {
+      for (const Access& access : lanes_[lane].accesses) {
+        fn(lane, access.addr, access.size, access.flags);
+      }
+    }
+  }
+
  private:
   struct Access {
     std::uint64_t addr;
     std::uint32_t size;
+    std::uint8_t flags = 0;
   };
   struct Lane {
     std::vector<Access> accesses;

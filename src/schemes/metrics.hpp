@@ -46,6 +46,10 @@ struct RunMetrics {
   std::uint64_t kernel_launches = 0;
   std::uint64_t pinned_bytes = 0;
 
+  /// Total bigkcheck violations (0 when checking was off or the run was
+  /// clean; a non-zero value also makes the runner throw check::CheckError).
+  std::uint64_t check_violations = 0;
+
   /// Populated only for BigKernel runs.
   core::EngineMetrics engine;
 
@@ -67,7 +71,8 @@ struct RunMetrics {
         << ",\"comm_fraction\":" << obs::json_number(comm_fraction())
         << ",\"h2d_bytes\":" << h2d_bytes << ",\"d2h_bytes\":" << d2h_bytes
         << ",\"kernel_launches\":" << kernel_launches
-        << ",\"pinned_bytes\":" << pinned_bytes << ",\"engine\":{"
+        << ",\"pinned_bytes\":" << pinned_bytes
+        << ",\"check_violations\":" << check_violations << ",\"engine\":{"
         << "\"stage_busy_ms\":{";
     bool first = true;
     for (obs::Stage stage : obs::all_stages()) {

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/sanitizer.hpp"
 #include "core/device_tables.hpp"
 #include "core/engine.hpp"
 #include "core/options.hpp"
@@ -58,6 +59,12 @@ struct SchemeConfig {
 
   // BigKernel.
   core::Options bigkernel;
+
+  /// bigkcheck configuration shared by the GPU schemes (defaults honour the
+  /// BIGK_CHECK environment variable). When enabled, the runner installs a
+  /// check::Sanitizer on the scheme's GPU for the whole run and throws
+  /// check::CheckError at the end if any checker reported a violation.
+  check::CheckOptions check = check::CheckOptions::from_env();
 
   // Telemetry sinks shared by every scheme (either may be nullptr; both must
   // outlive the run). Runners attach them to the freshly built runtime, and
@@ -425,6 +432,11 @@ RunMetrics run_gpu_chunked(const gpusim::SystemConfig& config, App& app,
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
   runtime.attach_observability(sc.tracer, sc.metrics);
+  std::unique_ptr<check::Sanitizer> sanitizer;
+  if (sc.check.enabled) {
+    sanitizer = std::make_unique<check::Sanitizer>(sc.check, sc.metrics);
+    sanitizer->install(runtime.gpu());
+  }
   auto decls = app.stream_decls();
   auto bindings = detail::make_bindings(decls);
   sim.run_until_complete(
@@ -439,6 +451,11 @@ RunMetrics run_gpu_chunked(const gpusim::SystemConfig& config, App& app,
   metrics.d2h_bytes = runtime.gpu().stats().d2h_bytes;
   metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
   metrics.pinned_bytes = runtime.pinned_bytes();
+  if (sanitizer != nullptr) {
+    metrics.check_violations = sanitizer->reporter().total();
+    sanitizer->uninstall();
+    sanitizer->finalize();  // throws check::CheckError on violations
+  }
   return metrics;
 }
 
@@ -461,8 +478,16 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
   runtime.attach_observability(sc.tracer, sc.metrics);
+  std::unique_ptr<check::Sanitizer> sanitizer;
+  if (sc.check.enabled) {
+    // Installed before table upload so the memory sanitizer tracks every
+    // allocation from birth; the engine feeds the pipeline checker.
+    sanitizer = std::make_unique<check::Sanitizer>(sc.check, sc.metrics);
+    sanitizer->install(runtime.gpu());
+  }
   core::Engine engine(runtime, sc.bigkernel);
   engine.set_tracer(sc.tracer);
+  engine.set_sanitizer(sanitizer.get());
   for (const StreamDecl& decl : app.stream_decls()) {
     engine.map_stream(decl.binding, decl.overfetch_elems);
   }
@@ -486,6 +511,11 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
   metrics.pinned_bytes = runtime.pinned_bytes();
   metrics.engine = engine.metrics();
+  if (sanitizer != nullptr) {
+    metrics.check_violations = sanitizer->reporter().total();
+    sanitizer->uninstall();
+    sanitizer->finalize();  // throws check::CheckError on violations
+  }
   return metrics;
 }
 

@@ -194,6 +194,11 @@ RunMetrics run_gpu_uvm(const gpusim::SystemConfig& config, App& app,
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
   runtime.attach_observability(sc.tracer, sc.metrics);
+  std::unique_ptr<check::Sanitizer> sanitizer;
+  if (sc.check.enabled) {
+    sanitizer = std::make_unique<check::Sanitizer>(sc.check, sc.metrics);
+    sanitizer->install(runtime.gpu());
+  }
   auto decls = app.stream_decls();
   auto bindings = detail::make_bindings(decls);
   const auto kernel = app.kernel();
@@ -259,6 +264,11 @@ RunMetrics run_gpu_uvm(const gpusim::SystemConfig& config, App& app,
   metrics.h2d_bytes = runtime.gpu().stats().h2d_bytes;
   metrics.d2h_bytes = runtime.gpu().stats().d2h_bytes;
   metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
+  if (sanitizer != nullptr) {
+    metrics.check_violations = sanitizer->reporter().total();
+    sanitizer->uninstall();
+    sanitizer->finalize();  // throws check::CheckError on violations
+  }
   return metrics;
 }
 

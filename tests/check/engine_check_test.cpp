@@ -1,0 +1,249 @@
+// End-to-end tests of the bigkcheck sanitizers against the real BigKernel
+// engine. The healthy pipeline must run clean under every checker; the
+// seeded protocol faults (core::Options::fault) must corrupt results
+// silently without the checkers and be precisely diagnosed with them.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "check/options.hpp"
+#include "check/report.hpp"
+#include "check/sanitizer.hpp"
+#include "core/device_tables.hpp"
+#include "core/options.hpp"
+#include "cusim/runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace bigk::core {
+namespace {
+
+// Same toy kernel as engine_test: records of 4 elements [a, b, pad, out];
+// out = a + b + bias.
+struct ScaleKernel {
+  StreamRef<std::uint64_t> data;
+  TableRef<std::uint64_t> bias;
+
+  template <class Ctx>
+  void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
+                  std::uint64_t stride) const {
+    for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
+      const std::uint64_t a = ctx.read(data, r * 4);
+      const std::uint64_t b = ctx.read(data, r * 4 + 1);
+      const std::uint64_t bias_value = ctx.load_table(bias, 0);
+      ctx.alu(5);
+      ctx.write(data, r * 4 + 3, a + b + bias_value);
+    }
+  }
+};
+
+// Misbehaving kernel: the compute stage sneaks in one read per thread-chunk
+// that address generation never produced — the address-coverage bug class.
+struct GreedyKernel {
+  StreamRef<std::uint64_t> data;
+
+  template <class Ctx>
+  void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
+                  std::uint64_t stride) const {
+    for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
+      const std::uint64_t a = ctx.read(data, r * 4);
+      if constexpr (std::is_same_v<Ctx, ComputeCtx>) {
+        if (r == rec_begin) (void)ctx.read(data, r * 4 + 1);
+      }
+      ctx.write(data, r * 4 + 3, a + 1);
+    }
+  }
+};
+
+struct Fixture {
+  static constexpr std::uint64_t kRecords = 20'000;
+
+  sim::Simulation sim;
+  gpusim::SystemConfig config;
+  std::vector<std::uint64_t> host;
+
+  Fixture() {
+    config.gpu.global_memory_bytes = 8 << 20;
+    host.resize(kRecords * 4);
+    for (std::uint64_t r = 0; r < kRecords; ++r) {
+      host[r * 4] = r * 3;
+      host[r * 4 + 1] = r ^ 5;
+      host[r * 4 + 2] = 0xDEAD;
+      host[r * 4 + 3] = 0;
+    }
+  }
+};
+
+Options small_options() {
+  Options options;
+  options.num_blocks = 4;
+  options.compute_threads_per_block = 64;
+  options.data_buf_bytes = 16 << 10;
+  return options;
+}
+
+/// Runs ScaleKernel through the engine; `sanitizer` (optional) is installed
+/// before any engine allocation and fed to the engine for pipeline events.
+void run_scale(Fixture& fixture, Options options,
+               check::Sanitizer* sanitizer = nullptr) {
+  cusim::Runtime runtime(fixture.sim, fixture.config);
+  if (sanitizer != nullptr) sanitizer->install(runtime.gpu());
+  Engine engine(runtime, options);
+  if (sanitizer != nullptr) engine.set_sanitizer(sanitizer);
+  auto stream = engine.streaming_map<std::uint64_t>(
+      std::span(fixture.host), AccessMode::kReadWrite,
+      /*elems_per_record=*/4, /*reads_per_record=*/2, /*writes_per_record=*/1);
+  TableSet tables;
+  auto bias = tables.add<std::uint64_t>(1);
+  tables.host_span(bias)[0] = 7;
+  ScaleKernel kernel{stream, bias};
+
+  fixture.sim.run_until_complete(
+      [](cusim::Runtime& rt, Engine& eng, TableSet& tbl,
+         ScaleKernel k) -> sim::Task<> {
+        DeviceTables device = co_await DeviceTables::upload(rt, tbl);
+        co_await eng.launch(k, Fixture::kRecords, device);
+        device.release();
+      }(runtime, engine, tables, kernel));
+  // The runtime (and its Gpu) dies with this scope; a caller-owned sanitizer
+  // must not keep observing it.
+  if (sanitizer != nullptr) sanitizer->uninstall();
+}
+
+std::uint64_t count_scale_mismatches(const Fixture& fixture) {
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t r = 0; r < Fixture::kRecords; ++r) {
+    if (fixture.host[r * 4 + 3] != r * 3 + (r ^ 5) + 7) ++mismatches;
+  }
+  return mismatches;
+}
+
+TEST(EngineCheckTest, HealthyPipelineRunsCleanUnderAllCheckers) {
+  Fixture fixture;
+  Options options = small_options();
+  options.check = check::CheckOptions::all_enabled();
+  // The engine owns the sanitizer and would throw CheckError on violations.
+  run_scale(fixture, options);
+  EXPECT_EQ(count_scale_mismatches(fixture), 0u);
+}
+
+TEST(EngineCheckTest, ExternalSanitizerCollectsNothingOnHealthyRun) {
+  Fixture fixture;
+  check::Sanitizer sanitizer(check::CheckOptions::all_enabled());
+  run_scale(fixture, small_options(), &sanitizer);
+  EXPECT_EQ(sanitizer.reporter().total(), 0u);
+  EXPECT_NO_THROW(sanitizer.finalize());
+}
+
+TEST(EngineCheckTest, SkippedDataReadyWaitCorruptsResultsSilently) {
+  // The seeded bug without the checker: the run "succeeds" while the compute
+  // stage consumed staging buffers before the DMA landed.
+  Fixture fixture;
+  Options options = small_options();
+  options.fault.skip_data_ready_wait = true;
+  run_scale(fixture, options);
+  EXPECT_GT(count_scale_mismatches(fixture), 0u);
+}
+
+TEST(EngineCheckTest, SkippedDataReadyWaitIsDiagnosedAsFlagBeforeData) {
+  Fixture fixture;
+  Options options = small_options();
+  options.fault.skip_data_ready_wait = true;
+  check::Sanitizer sanitizer(check::CheckOptions::all_enabled());
+  run_scale(fixture, options, &sanitizer);
+
+  ASSERT_GT(sanitizer.reporter().total(), 0u);
+  const check::Violation* flag_violation = nullptr;
+  for (const check::Violation& violation : sanitizer.reporter().recorded()) {
+    if (violation.kind == "flag_before_data") {
+      flag_violation = &violation;
+      break;
+    }
+  }
+  ASSERT_NE(flag_violation, nullptr) << sanitizer.reporter().summary();
+  EXPECT_EQ(flag_violation->checker, "pipecheck");
+  // Chunk 0 skips the wait entirely: the first unserved chunk is diagnosed.
+  EXPECT_EQ(flag_violation->chunk, 0);
+  EXPECT_GE(flag_violation->block, 0);
+  EXPECT_LT(flag_violation->block, 4);
+  EXPECT_GE(flag_violation->slot, 0);
+
+  try {
+    sanitizer.finalize();
+    FAIL() << "finalize() must throw on violations";
+  } catch (const check::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("flag_before_data"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(EngineCheckTest, EngineOwnedSanitizerThrowsOnSeededFault) {
+  Fixture fixture;
+  Options options = small_options();
+  options.fault.skip_data_ready_wait = true;
+  options.check = check::CheckOptions::all_enabled();
+  EXPECT_THROW(run_scale(fixture, options), check::CheckError);
+}
+
+TEST(EngineCheckTest, EarlyRingReleaseIsDiagnosedAsSlotOverrun) {
+  Fixture fixture;
+  Options options = small_options();
+  options.fault.early_ring_release = true;
+  check::Sanitizer sanitizer(check::CheckOptions::all_enabled());
+  run_scale(fixture, options, &sanitizer);
+
+  const check::Violation* overrun = nullptr;
+  for (const check::Violation& violation : sanitizer.reporter().recorded()) {
+    if (violation.kind == "slot_overrun") {
+      overrun = &violation;
+      break;
+    }
+  }
+  ASSERT_NE(overrun, nullptr) << sanitizer.reporter().summary();
+  EXPECT_EQ(overrun->checker, "pipecheck");
+  EXPECT_GE(overrun->block, 0);
+  EXPECT_GE(overrun->chunk, 0);
+  EXPECT_GE(overrun->slot, 0);
+  EXPECT_NE(overrun->message.find("still in flight"), std::string::npos)
+      << overrun->message;
+}
+
+TEST(EngineCheckTest, ComputeReadBeyondGeneratedAddressesIsUncovered) {
+  Fixture fixture;
+  cusim::Runtime runtime(fixture.sim, fixture.config);
+  check::Sanitizer sanitizer(check::CheckOptions::parse("pipecheck"));
+  sanitizer.install(runtime.gpu());
+  Engine engine(runtime, small_options());
+  engine.set_sanitizer(&sanitizer);
+  auto stream = engine.streaming_map<std::uint64_t>(
+      std::span(fixture.host), AccessMode::kReadWrite, 4, 1, 1);
+  TableSet tables;
+  GreedyKernel kernel{stream};
+  fixture.sim.run_until_complete(
+      [](cusim::Runtime& rt, Engine& eng, TableSet& tbl,
+         GreedyKernel k) -> sim::Task<> {
+        DeviceTables device = co_await DeviceTables::upload(rt, tbl);
+        co_await eng.launch(k, Fixture::kRecords, device);
+        device.release();
+      }(runtime, engine, tables, kernel));
+
+  const check::Violation* uncovered = nullptr;
+  for (const check::Violation& violation : sanitizer.reporter().recorded()) {
+    if (violation.kind == "uncovered_read") {
+      uncovered = &violation;
+      break;
+    }
+  }
+  ASSERT_NE(uncovered, nullptr) << sanitizer.reporter().summary();
+  EXPECT_EQ(uncovered->stream, 0);
+  EXPECT_GE(uncovered->thread, 0);
+  EXPECT_GE(uncovered->chunk, 0);
+}
+
+}  // namespace
+}  // namespace bigk::core

@@ -1,0 +1,207 @@
+// Seeded-violation tests for the device-memory sanitizer: every bug class it
+// diagnoses is provoked against a real DeviceMemory arena and the diagnostic
+// must name the exact allocation, offset, and size involved. A control test
+// verifies the same sequences are invisible without the checker installed.
+#include "check/memcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/options.hpp"
+#include "check/report.hpp"
+#include "gpusim/device_memory.hpp"
+
+namespace bigk::check {
+namespace {
+
+struct Fixture {
+  CheckOptions options = CheckOptions::all_enabled();
+  Reporter reporter{options};
+  MemChecker checker{reporter};
+  gpusim::DeviceMemory memory{64 << 10};
+
+  Fixture() {
+    checker.attach(memory);
+    memory.set_observer(&checker);
+  }
+
+  const Violation& only() {
+    EXPECT_EQ(reporter.total(), 1u);
+    EXPECT_EQ(reporter.recorded().size(), 1u);
+    return reporter.recorded().front();
+  }
+};
+
+TEST(MemCheckerTest, CleanLifecycleReportsNothing) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(16);
+  for (std::uint64_t i = 0; i < 16; ++i) f.memory.write(ptr, i, i * 3);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(f.memory.read(ptr, i), i * 3);
+  }
+  f.memory.free(ptr);
+  EXPECT_EQ(f.reporter.total(), 0u);
+}
+
+TEST(MemCheckerTest, ReadIntoAlignmentPaddingIsOutOfBounds) {
+  // 3 x u32 = 12 requested bytes inside a 256-byte aligned block: the arena's
+  // own bounds check cannot see a read of element 3, the sanitizer must.
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint32_t>(3);
+  for (std::uint64_t i = 0; i < 3; ++i) f.memory.write(ptr, i, 7u);
+  (void)f.memory.read(ptr, 3);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.checker, "memcheck");
+  EXPECT_EQ(violation.kind, "out_of_bounds");
+  EXPECT_EQ(violation.offset,
+            static_cast<std::int64_t>(ptr.byte_offset + 12));
+  EXPECT_EQ(violation.allocation, static_cast<std::int64_t>(ptr.byte_offset));
+  EXPECT_EQ(violation.size, 4);
+  EXPECT_NE(violation.message.find("past the end"), std::string::npos)
+      << violation.message;
+}
+
+TEST(MemCheckerTest, WithoutObserverThePaddingReadPassesSilently) {
+  // Control for the seeded OOB: the unchecked arena accepts it.
+  gpusim::DeviceMemory memory{64 << 10};
+  auto ptr = memory.allocate<std::uint32_t>(3);
+  EXPECT_NO_THROW((void)memory.read(ptr, 3));
+}
+
+TEST(MemCheckerTest, UseAfterFreeNamesTheFreedAllocation) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(8);
+  f.memory.write(ptr, 0, std::uint64_t{1});
+  f.memory.free(ptr);
+  (void)f.memory.read(ptr, 0);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "use_after_free");
+  EXPECT_EQ(violation.offset, static_cast<std::int64_t>(ptr.byte_offset));
+  EXPECT_EQ(violation.allocation, static_cast<std::int64_t>(ptr.byte_offset));
+}
+
+TEST(MemCheckerTest, UninitializedReadNamesTheFirstBadByte) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(4);
+  f.memory.write(ptr, 0, std::uint64_t{5});  // element 0 ok, 1..3 untouched
+  (void)f.memory.read(ptr, 0);               // clean
+  EXPECT_EQ(f.reporter.total(), 0u);
+  (void)f.memory.read(ptr, 2);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "uninitialized_read");
+  EXPECT_EQ(violation.offset,
+            static_cast<std::int64_t>(ptr.byte_offset + 16));
+  EXPECT_NE(violation.message.find("byte 16"), std::string::npos)
+      << violation.message;
+}
+
+TEST(MemCheckerTest, H2DCopyInitializesBytesForLaterReads) {
+  // The DMA path: bytes_mut (copy-in) must mark the range initialized so the
+  // staged data can be read back out (copy-out) without a false positive.
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(8);
+  (void)f.memory.bytes_mut(ptr.byte_offset, 64);
+  (void)f.memory.bytes(ptr.byte_offset, 64);
+  (void)f.memory.read(ptr, 7);
+  EXPECT_EQ(f.reporter.total(), 0u);
+}
+
+TEST(MemCheckerTest, D2HCopyOfUninitializedBytesIsFlagged) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(8);
+  (void)f.memory.bytes(ptr.byte_offset, 64);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "uninitialized_read");
+  EXPECT_NE(violation.message.find("D2H"), std::string::npos)
+      << violation.message;
+}
+
+TEST(MemCheckerTest, MisalignedTypedAccessIsFlagged) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(4);
+  f.memory.write(ptr, 0, std::uint64_t{1});
+  gpusim::DevicePtr<std::uint32_t> skewed{ptr.byte_offset + 2};
+  (void)f.memory.read(skewed, 0);
+  ASSERT_GE(f.reporter.total(), 1u);
+  const Violation& violation = f.reporter.recorded().front();
+  EXPECT_EQ(violation.kind, "misaligned_access");
+  EXPECT_EQ(violation.offset,
+            static_cast<std::int64_t>(ptr.byte_offset + 2));
+  EXPECT_EQ(violation.size, 4);
+}
+
+TEST(MemCheckerTest, DoubleFreeIsDiagnosedAndStillThrows) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(8);
+  f.memory.free(ptr);
+  EXPECT_THROW(f.memory.free(ptr), gpusim::DoubleFree);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "double_free");
+  EXPECT_EQ(violation.offset, static_cast<std::int64_t>(ptr.byte_offset));
+  EXPECT_EQ(violation.allocation, static_cast<std::int64_t>(ptr.byte_offset));
+}
+
+TEST(MemCheckerTest, InteriorFreeNamesTheOwningAllocation) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(64);
+  EXPECT_THROW(f.memory.free_offset(ptr.byte_offset + 8), gpusim::InvalidFree);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "invalid_free");
+  EXPECT_EQ(violation.allocation, static_cast<std::int64_t>(ptr.byte_offset));
+  EXPECT_NE(violation.message.find("interior"), std::string::npos)
+      << violation.message;
+}
+
+TEST(MemCheckerTest, WildAccessOutsideEveryAllocationIsFlagged) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint64_t>(4);
+  gpusim::DevicePtr<std::uint64_t> wild{ptr.byte_offset + (32 << 10)};
+  (void)f.memory.read(wild, 0);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "out_of_bounds");
+  EXPECT_NE(violation.message.find("no live allocation"), std::string::npos)
+      << violation.message;
+}
+
+TEST(MemCheckerTest, AttachAdoptsPreExistingAllocationsAsInitialized) {
+  // Tables uploaded before the sanitizer installs must be readable: attach()
+  // adopts live allocations as fully initialized.
+  gpusim::DeviceMemory memory{64 << 10};
+  auto table = memory.allocate<std::uint64_t>(16);
+
+  CheckOptions options = CheckOptions::all_enabled();
+  Reporter reporter(options);
+  MemChecker checker(reporter);
+  checker.attach(memory);
+  memory.set_observer(&checker);
+
+  (void)memory.read(table, 15);
+  EXPECT_EQ(reporter.total(), 0u);
+  memory.free(table);
+  EXPECT_EQ(reporter.total(), 0u);
+}
+
+TEST(MemCheckerTest, PerAllocationDeduplicationKeepsOneReportPerKind) {
+  Fixture f;
+  auto ptr = f.memory.allocate<std::uint32_t>(3);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    (void)f.memory.read(ptr, 3);  // same OOB five times
+  }
+  EXPECT_EQ(f.reporter.recorded().size(), 1u);
+}
+
+TEST(MemCheckerTest, FailFastThrowsAtTheAccess) {
+  CheckOptions options = CheckOptions::all_enabled();
+  options.fail_fast = true;
+  Reporter reporter(options);
+  MemChecker checker(reporter);
+  gpusim::DeviceMemory memory{64 << 10};
+  checker.attach(memory);
+  memory.set_observer(&checker);
+  auto ptr = memory.allocate<std::uint64_t>(4);
+  EXPECT_THROW((void)memory.read(ptr, 0), CheckError);  // uninitialized
+}
+
+}  // namespace
+}  // namespace bigk::check

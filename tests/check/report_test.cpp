@@ -1,0 +1,138 @@
+// Tests for the bigkcheck reporting spine: CheckOptions parsing, violation
+// JSON, counting, fail-fast, and the enforce() failure path.
+#include "check/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/options.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace bigk::check {
+namespace {
+
+TEST(CheckOptionsTest, DefaultAndOffSpellingsStayDisabled) {
+  EXPECT_FALSE(CheckOptions{}.enabled);
+  EXPECT_FALSE(CheckOptions::parse("").enabled);
+  EXPECT_FALSE(CheckOptions::parse("0").enabled);
+  EXPECT_FALSE(CheckOptions::parse("off").enabled);
+}
+
+TEST(CheckOptionsTest, OnSpellingsEnableEverything) {
+  for (const char* spec : {"1", "on", "all"}) {
+    const CheckOptions options = CheckOptions::parse(spec);
+    EXPECT_TRUE(options.enabled) << spec;
+    EXPECT_TRUE(options.memcheck && options.racecheck && options.pipecheck)
+        << spec;
+    EXPECT_FALSE(options.fail_fast) << spec;
+  }
+}
+
+TEST(CheckOptionsTest, CommaListSelectsSubset) {
+  const CheckOptions options = CheckOptions::parse("memcheck,fail_fast");
+  EXPECT_TRUE(options.enabled);
+  EXPECT_TRUE(options.memcheck);
+  EXPECT_FALSE(options.racecheck);
+  EXPECT_FALSE(options.pipecheck);
+  EXPECT_TRUE(options.fail_fast);
+}
+
+TEST(CheckOptionsTest, UnknownItemThrows) {
+  EXPECT_THROW(CheckOptions::parse("memchk"), std::invalid_argument);
+}
+
+TEST(ViolationTest, JsonCarriesOnlySetLocationFields) {
+  Violation violation;
+  violation.checker = "memcheck";
+  violation.kind = "out_of_bounds";
+  violation.message = "4 byte(s) past the end";
+  violation.offset = 260;
+  violation.allocation = 0;
+  violation.size = 4;
+  std::ostringstream out;
+  violation.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"checker\":\"memcheck\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"out_of_bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"offset\":260"), std::string::npos);
+  EXPECT_NE(json.find("\"allocation\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"size\":4"), std::string::npos);
+  // Unset fields (all -1) must be absent, not emitted as -1.
+  EXPECT_EQ(json.find("\"warp\""), std::string::npos);
+  EXPECT_EQ(json.find("-1"), std::string::npos);
+}
+
+Violation make_violation(const std::string& kind) {
+  Violation violation;
+  violation.checker = "pipecheck";
+  violation.kind = kind;
+  violation.message = "slot busy";
+  violation.block = 1;
+  violation.chunk = 5;
+  violation.slot = 2;
+  return violation;
+}
+
+TEST(ReporterTest, CountsAndRecordsUpToCap) {
+  CheckOptions options = CheckOptions::all_enabled();
+  options.max_recorded = 2;
+  Reporter reporter(options);
+  for (int i = 0; i < 5; ++i) reporter.report(make_violation("slot_overrun"));
+  EXPECT_EQ(reporter.total(), 5u);
+  EXPECT_EQ(reporter.recorded().size(), 2u);
+  EXPECT_EQ(reporter.recorded()[0].kind, "slot_overrun");
+}
+
+TEST(ReporterTest, FeedsMetricsRegistryPerChecker) {
+  obs::MetricsRegistry metrics;
+  Reporter reporter(CheckOptions::all_enabled(), &metrics);
+  reporter.report(make_violation("slot_overrun"));
+  reporter.report(make_violation("flag_before_data"));
+  reporter.bump("racecheck.addresses_dropped", 3);
+  EXPECT_EQ(metrics.counter("check.pipecheck.violations").value(), 2u);
+  EXPECT_EQ(metrics.counter("check.racecheck.addresses_dropped").value(), 3u);
+}
+
+TEST(ReporterTest, FailFastThrowsOnFirstReport) {
+  CheckOptions options = CheckOptions::all_enabled();
+  options.fail_fast = true;
+  Reporter reporter(options);
+  EXPECT_THROW(reporter.report(make_violation("slot_overrun")), CheckError);
+  EXPECT_EQ(reporter.total(), 1u);
+}
+
+TEST(ReporterTest, EnforceThrowsWithSummaryNamingTheViolation) {
+  Reporter reporter(CheckOptions::all_enabled());
+  reporter.report(make_violation("slot_overrun"));
+  try {
+    reporter.enforce();
+    FAIL() << "enforce() must throw";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 violation"), std::string::npos) << what;
+    EXPECT_NE(what.find("pipecheck/slot_overrun"), std::string::npos) << what;
+  }
+}
+
+TEST(ReporterTest, CleanReporterEnforcesQuietly) {
+  Reporter reporter(CheckOptions::all_enabled());
+  EXPECT_NO_THROW(reporter.enforce());
+  EXPECT_EQ(reporter.total(), 0u);
+}
+
+TEST(ReporterTest, WriteJsonlEmitsOneObjectPerLine) {
+  Reporter reporter(CheckOptions::all_enabled());
+  reporter.report(make_violation("slot_overrun"));
+  reporter.report(make_violation("stale_slot_read"));
+  std::ostringstream out;
+  reporter.write_jsonl(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(text.find('{'), 0u);
+}
+
+}  // namespace
+}  // namespace bigk::check

@@ -108,6 +108,47 @@ TEST(StreamTest, FlagSignalsAfterPrecedingData) {
   EXPECT_TRUE(checked);
 }
 
+TEST(StreamTest, ChunkedCopyFlagSequenceObservesEachChunkInOrder) {
+  // The pipeline's per-chunk protocol: data_i then flag=i+1 on one stream.
+  // A consumer woken by flag i+1 must see chunk i landed, and must NOT yet
+  // see chunk i+1 (its DMA is still occupying the in-order link).
+  sim::Simulation sim;
+  gpusim::SystemConfig config = small_config();
+  config.pcie.h2d_gbps = 1.0;  // slow link so the ordering is visible
+  config.pcie.transfer_latency = 0;
+  Runtime runtime(sim, config);
+  const std::uint64_t n = 64 << 10;  // ints per chunk: 256 KiB
+  auto device = runtime.device_malloc<int>(2 * n);
+  auto host = runtime.alloc_pinned<int>(2 * n);
+  for (std::uint64_t i = 0; i < 2 * n; ++i) host[i] = i < n ? 1 : 2;
+  sim::Flag ready(sim);
+  std::vector<sim::TimePs> seen(2, 0);
+
+  sim.spawn([](Runtime& rt, sim::Flag& f, gpusim::DevicePtr<int> d,
+               std::uint64_t count,
+               std::vector<sim::TimePs>& at) -> sim::Task<> {
+    co_await f.wait_ge(1);
+    EXPECT_EQ(rt.gpu().memory().read(d, count - 1), 1);      // chunk 0 landed
+    EXPECT_EQ(rt.gpu().memory().read(d, 2 * count - 1), 0);  // chunk 1 not yet
+    at[0] = rt.sim().now();
+    co_await f.wait_ge(2);
+    EXPECT_EQ(rt.gpu().memory().read(d, 2 * count - 1), 2);
+    at[1] = rt.sim().now();
+  }(runtime, ready, device, n, seen));
+
+  Stream stream = runtime.create_stream();
+  stream.memcpy_h2d_async(device.byte_offset, host.data(), n * sizeof(int));
+  stream.signal_flag(ready, 1);
+  stream.memcpy_h2d_async(device.byte_offset + n * sizeof(int),
+                          host.data() + n, n * sizeof(int));
+  stream.signal_flag(ready, 2);
+  sim.run();
+
+  // Each wake-up is gated by its chunk's full transfer time at 1 GB/s.
+  EXPECT_GE(seen[0], sim::transfer_time(n * sizeof(int), 1.0));
+  EXPECT_GE(seen[1], seen[0] + sim::transfer_time(n * sizeof(int), 1.0));
+}
+
 TEST(StreamTest, OpsOnOneStreamAreOrdered) {
   sim::Simulation sim;
   Runtime runtime(sim, small_config());

@@ -83,6 +83,63 @@ TEST(DeviceMemoryTest, PointerArithmeticMatchesElementAddress) {
   EXPECT_EQ(q.byte_offset, 1024u);
 }
 
+TEST(DeviceMemoryTest, NullPointerArithmeticThrowsInsteadOfWrapping) {
+  // kNull is ~0: adding to it used to wrap around to a small valid-looking
+  // address. It must throw.
+  DevicePtr<std::uint64_t> null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_THROW((void)(null + 1), std::logic_error);
+  EXPECT_THROW((void)null.element_address(0), std::logic_error);
+}
+
+TEST(DeviceMemoryTest, PointerArithmeticPastAddressSpaceThrows) {
+  DevicePtr<std::uint64_t> p{1024};
+  EXPECT_THROW((void)(p + (~std::uint64_t{0} / 8)), std::overflow_error);
+  // Zero elements is always fine, even near the top of the address space.
+  DevicePtr<std::uint64_t> high{DevicePtr<std::uint64_t>::kNull - 8};
+  EXPECT_EQ(high.element_address(0), high.byte_offset);
+}
+
+TEST(DeviceMemoryTest, DoubleFreeThrowsTheSpecificType) {
+  DeviceMemory mem(4096);
+  auto a = mem.allocate<std::byte>(128);
+  mem.free(a);
+  EXPECT_THROW(mem.free(a), DoubleFree);
+}
+
+TEST(DeviceMemoryTest, InteriorFreeThrowsInvalidFreeNamingTheBase) {
+  DeviceMemory mem(4096);
+  auto a = mem.allocate<std::uint64_t>(64);
+  try {
+    mem.free_offset(a.byte_offset + 8);
+    FAIL() << "interior free must throw";
+  } catch (const InvalidFree& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("interior of the live allocation at base " +
+                        std::to_string(a.byte_offset)),
+              std::string::npos)
+        << what;
+  }
+  // The allocation is still intact and freeable.
+  EXPECT_NO_THROW(mem.free(a));
+}
+
+TEST(DeviceMemoryTest, FailedFreeDoesNotCorruptTheFreeList) {
+  // Regression for the double-free path: after rejecting bad frees, the free
+  // list must still coalesce back to one arena-sized block.
+  DeviceMemory mem(3 * 1024);
+  auto a = mem.allocate<std::byte>(1024);
+  auto b = mem.allocate<std::byte>(1024);
+  auto c = mem.allocate<std::byte>(1024);
+  mem.free(a);
+  mem.free(c);
+  EXPECT_THROW(mem.free(a), DoubleFree);                       // freed space
+  EXPECT_THROW(mem.free_offset(b.byte_offset + 100), InvalidFree);  // interior
+  mem.free(b);
+  auto all = mem.allocate<std::byte>(3 * 1024);
+  EXPECT_EQ(all.byte_offset, 0u);
+}
+
 TEST(DeviceMemoryTest, RawByteViewsAreBoundsChecked) {
   DeviceMemory mem(4096);
   EXPECT_NO_THROW(mem.bytes(0, 4096));
