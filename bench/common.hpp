@@ -21,10 +21,18 @@
 //                          (memcheck + racecheck + pipecheck); any violation
 //                          aborts the run with a diagnostic. Equivalent to
 //                          BIGK_CHECK=1.
+//   --devices <N>          serving-layer benches: size of the device pool
+//                          (independent GPUs behind one shared host CPU)
+//   --jobs <N>             serving-layer benches: jobs in the workload mix
+//   --policy <name>        serving-layer scheduling policy: round-robin,
+//                          least-bytes (default), or app-affinity
+// Each flag accepts both "--flag=value" and "--flag value". `--help` prints
+// this list before google-benchmark's own help.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -154,6 +162,12 @@ class Harness {
   const std::string& metrics_path() const noexcept { return metrics_path_; }
   const std::string& trace_path() const noexcept { return trace_path_; }
 
+  // Serving-layer knobs (--devices / --jobs / --policy).
+  std::uint32_t devices() const noexcept { return devices_; }
+  std::uint32_t jobs() const noexcept { return jobs_; }
+  const std::string& policy() const noexcept { return policy_; }
+  bool check_requested() const noexcept { return check_requested_; }
+
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
   /// dropping the requested data.
@@ -207,27 +221,77 @@ class Harness {
 
  private:
   void strip_output_flags(int* argc, char** argv) {
+    // Valued flags accept "--flag=value" and "--flag value"; `take` handles
+    // both and consumes the value argument in the space-separated form.
     int kept = 1;
+    std::string value;
+    const auto take = [&](int* i, std::string_view arg,
+                          std::string_view flag) -> bool {
+      if (arg.rfind(flag, 0) == 0 && arg.size() > flag.size() &&
+          arg[flag.size()] == '=') {
+        value = arg.substr(flag.size() + 1);
+        return true;
+      }
+      if (arg == flag && *i + 1 < *argc) {
+        value = argv[++*i];
+        return true;
+      }
+      return false;
+    };
     for (int i = 1; i < *argc; ++i) {
       const std::string_view arg = argv[i];
-      if (arg.rfind("--metrics-json=", 0) == 0) {
-        metrics_path_ = arg.substr(15);
-      } else if (arg.rfind("--trace-out=", 0) == 0) {
-        trace_path_ = arg.substr(12);
+      if (take(&i, arg, "--metrics-json")) {
+        metrics_path_ = value;
+      } else if (take(&i, arg, "--trace-out")) {
+        trace_path_ = value;
       } else if (arg == "--check") {
         check_requested_ = true;
+      } else if (take(&i, arg, "--devices")) {
+        devices_ = parse_count(value, "--devices");
+      } else if (take(&i, arg, "--jobs")) {
+        jobs_ = parse_count(value, "--jobs");
+      } else if (take(&i, arg, "--policy")) {
+        policy_ = value;
       } else {
-        argv[kept++] = argv[i];
+        if (arg == "--help") print_harness_help();
+        argv[kept++] = argv[i];  // --help falls through to google-benchmark
       }
     }
     for (int i = kept; i < *argc; ++i) argv[i] = nullptr;
     *argc = kept;
   }
 
+  static std::uint32_t parse_count(const std::string& value,
+                                   const char* flag) {
+    const long parsed = std::atol(value.c_str());
+    if (parsed <= 0) {
+      std::fprintf(stderr, "error: %s needs a positive integer, got \"%s\"\n",
+                   flag, value.c_str());
+      std::exit(1);
+    }
+    return static_cast<std::uint32_t>(parsed);
+  }
+
+  static void print_harness_help() {
+    std::printf(
+        "bigk harness flags (in addition to google-benchmark's):\n"
+        "  --metrics-json=<file>  write results + telemetry counters as JSON\n"
+        "  --trace-out=<file>     write a Chrome-tracing/Perfetto timeline\n"
+        "  --check                run under the bigkcheck sanitizers\n"
+        "  --devices <N>          serving benches: device-pool size\n"
+        "  --jobs <N>             serving benches: jobs in the workload\n"
+        "  --policy <name>        serving benches: round-robin, least-bytes\n"
+        "                         (default), or app-affinity\n"
+        "Valued flags accept both --flag=value and --flag value.\n\n");
+  }
+
   std::string name_;
   std::string metrics_path_;
   std::string trace_path_;
   bool check_requested_ = false;
+  std::uint32_t devices_ = 1;
+  std::uint32_t jobs_ = 32;
+  std::string policy_ = "least-bytes";
 };
 
 }  // namespace bigk::bench

@@ -1,0 +1,210 @@
+// bigkserve throughput/latency evaluation: multi-GPU job scheduling over a
+// shared host CPU.
+//
+// Scenarios (all deterministic):
+//   serve/mixed/devices1          mixed workload, single device (baseline)
+//   serve/mixed/devices<D>        same workload, --devices pool, --policy
+//   serve/reuse/round-robin       reuse-heavy mix, affinity-blind placement
+//   serve/reuse/app-affinity      same mix, dataset-affinity placement
+//   serve/shed                    saturating burst against a tiny admission
+//                                 queue (load shedding / retry-after)
+//
+// Usage: serve_throughput [--devices N] [--jobs N] [--policy P]
+//                         [--metrics-json=out.json] [--trace-out=trace.json]
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common.hpp"
+#include "serve/job.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using bigk::bench::Harness;
+namespace serve = bigk::serve;
+namespace schemes = bigk::schemes;
+namespace sim = bigk::sim;
+
+schemes::RunMetrics to_run_metrics(const serve::ServeReport& report) {
+  schemes::RunMetrics metrics;
+  metrics.scheme = schemes::Scheme::kBigKernel;
+  metrics.total_time = report.makespan;
+  for (const serve::DeviceReport& dev : report.devices) {
+    metrics.h2d_bytes += dev.h2d_bytes;
+    metrics.d2h_bytes += dev.d2h_bytes;
+    metrics.kernel_launches += dev.kernel_launches;
+  }
+  return metrics;
+}
+
+void print_report_line(const std::string& name,
+                       const serve::ServeReport& report) {
+  std::printf(
+      "  %-26s jobs=%3llu done=%3llu dropped=%2llu rej=%3llu warm=%3llu  "
+      "mks=%9.3f ms  thr=%8.1f job/s  p50=%8.3f p95=%8.3f p99=%8.3f ms\n",
+      name.c_str(), static_cast<unsigned long long>(report.jobs.size()),
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.dropped),
+      static_cast<unsigned long long>(report.rejections),
+      static_cast<unsigned long long>(report.warm_hits),
+      static_cast<double>(report.makespan) / 1e9,
+      report.throughput_jobs_per_s,
+      static_cast<double>(report.latency_p50) / 1e9,
+      static_cast<double>(report.latency_p95) / 1e9,
+      static_cast<double>(report.latency_p99) / 1e9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness harness("serve_throughput", &argc, argv);
+  auto& ctx = harness.ctx;
+  const std::uint32_t devices = harness.devices();
+  const std::uint32_t jobs = harness.jobs();
+  const serve::Policy policy = serve::policy_from_name(harness.policy());
+
+  std::map<std::string, serve::ServeReport> reports;
+
+  const auto base_config = [&](std::uint32_t device_count,
+                               serve::Policy pol,
+                               const std::string& prefix) {
+    serve::ServerConfig config;
+    config.system = ctx.config;
+    config.devices = device_count;
+    config.policy = pol;
+    // Throughput scenarios: a shallow queue (2 jobs per device) keeps
+    // placement late-bound — a job is admitted, and placed, only when pool
+    // capacity is about to free, so the scheduler works from fresh backlog
+    // state instead of freezing the whole mix onto devices at t=0. The
+    // retry budget is effectively unlimited: nothing may drop here.
+    config.queue_depth = device_count;
+    config.retry_after = sim::DurationPs{100'000'000};  // 0.1 ms poll
+    config.max_retries = 100'000;
+    config.engine = ctx.scheme_config.bigkernel;
+    // Few assembly threads per engine: up to `devices` engines share the
+    // host's cores, and oversubscribing them would measure host scheduling
+    // noise instead of device-pool scaling.
+    config.engine.num_blocks = 4;
+    config.check = ctx.scheme_config.check;
+    config.tracer = ctx.scheme_config.tracer;
+    config.metrics = ctx.scheme_config.metrics;
+    config.metrics_prefix = prefix;
+    return config;
+  };
+
+  const auto run_serve = [&](const std::string& key,
+                             serve::ServerConfig config,
+                             serve::WorkloadConfig workload,
+                             std::vector<std::string> names =
+                                 std::vector<std::string>{}) {
+    if (names.empty()) names = bigk::apps::app_names(ctx.suite);
+    const auto specs = serve::make_workload(names, workload);
+    reports[key] = serve::run_server(config, specs, ctx.suite);
+    return to_run_metrics(reports[key]);
+  };
+
+  serve::WorkloadConfig mixed;
+  mixed.num_jobs = jobs;
+  mixed.seed = 2014;
+  mixed.mean_gap = 0;  // batch arrival: the shallow queue late-binds placement
+
+  bigk::bench::register_sim_benchmark(
+      "serve/mixed/devices1", &harness.results, [&, mixed] {
+        return run_serve("mixed/devices1",
+                         base_config(1, policy, "serve.mixed.devices1"),
+                         mixed);
+      });
+  const std::string pool_key =
+      "mixed/devices" + std::to_string(devices);
+  if (devices > 1) {
+    bigk::bench::register_sim_benchmark(
+        "serve/" + pool_key, &harness.results, [&, mixed] {
+          return run_serve(pool_key,
+                           base_config(devices, policy,
+                                       "serve.mixed.devices" +
+                                           std::to_string(devices)),
+                           mixed);
+        });
+  }
+
+  // Reuse-heavy mix: drawn from the staging-heavy apps (big mapped inputs,
+  // short kernels, similar per-job cost), up to one distinct app per pool
+  // device. Affinity placement keeps each app's dataset resident on "its"
+  // device and skips the input staging that affinity-blind placement keeps
+  // paying on the shared host bus.
+  const std::uint32_t reuse_devices = std::max(devices, 2u);
+  std::vector<std::string> reuse_apps{"K-means", "Netflix", "DNA Assembly",
+                                      "MasterCard Affinity (indexed)"};
+  if (reuse_apps.size() > reuse_devices) reuse_apps.resize(reuse_devices);
+  serve::WorkloadConfig reuse = mixed;
+  reuse.seed = 4242;
+  bigk::bench::register_sim_benchmark(
+      "serve/reuse/round-robin", &harness.results, [&, reuse, reuse_apps] {
+        return run_serve("reuse/round-robin",
+                         base_config(reuse_devices, serve::Policy::kRoundRobin,
+                                     "serve.reuse.round-robin"),
+                         reuse, reuse_apps);
+      });
+  bigk::bench::register_sim_benchmark(
+      "serve/reuse/app-affinity", &harness.results, [&, reuse, reuse_apps] {
+        return run_serve("reuse/app-affinity",
+                         base_config(reuse_devices,
+                                     serve::Policy::kAppAffinity,
+                                     "serve.reuse.app-affinity"),
+                         reuse, reuse_apps);
+      });
+
+  // Saturating burst against a tiny queue: admission control sheds load with
+  // retry-after instead of building an unbounded backlog.
+  bigk::bench::register_sim_benchmark(
+      "serve/shed", &harness.results, [&, mixed] {
+        serve::ServerConfig config =
+            base_config(devices, policy, "serve.shed");
+        config.queue_depth = 2;
+        config.max_retries = 1;
+        config.retry_after = sim::DurationPs{100'000'000};  // 0.1 ms
+        return run_serve("shed", config, mixed);
+      });
+
+  const int rc = bigk::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+
+  // Device-pool scaling headline: throughput ratio of the pool vs. one
+  // device on the identical workload.
+  double scaling = 0.0;
+  if (devices > 1 && reports.count("mixed/devices1") != 0 &&
+      reports.count(pool_key) != 0) {
+    const double base = reports["mixed/devices1"].throughput_jobs_per_s;
+    if (base > 0.0) {
+      scaling = reports[pool_key].throughput_jobs_per_s / base;
+    }
+    harness.metrics
+        .gauge("serve.scaling.devices" + std::to_string(devices) + "_vs_1")
+        .set(scaling);
+  }
+  if (!harness.write_outputs()) return 1;
+
+  bigk::bench::print_header(
+      "bigkserve: multi-GPU serving throughput / latency", ctx);
+  std::printf("devices=%u jobs=%u policy=%s\n", devices, jobs,
+              serve::policy_name(policy));
+  for (const auto& [name, report] : reports) print_report_line(name, report);
+  if (devices > 1 && scaling > 0.0) {
+    std::printf("\nscaling: %u devices deliver %.2fx the single-device job "
+                "throughput\n", devices, scaling);
+  }
+  if (reports.count("reuse/round-robin") != 0 &&
+      reports.count("reuse/app-affinity") != 0) {
+    const auto& rr = reports["reuse/round-robin"];
+    const auto& aff = reports["reuse/app-affinity"];
+    if (aff.throughput_jobs_per_s > 0.0 && rr.throughput_jobs_per_s > 0.0) {
+      std::printf("affinity: %.2fx round-robin throughput on the reuse-heavy "
+                  "mix (%llu warm hits vs %llu)\n",
+                  aff.throughput_jobs_per_s / rr.throughput_jobs_per_s,
+                  static_cast<unsigned long long>(aff.warm_hits),
+                  static_cast<unsigned long long>(rr.warm_hits));
+    }
+  }
+  return 0;
+}

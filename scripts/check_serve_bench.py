@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Locks down the serve_throughput --metrics-json document schema.
+
+Runs the bigkserve throughput bench on a tiny 2-device workload (small
+BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
+  * top level carries "benchmark" == serve_throughput, a positive "scale",
+    a "results" array, and a "counters" array,
+  * every expected scenario (mixed baseline, mixed pool, reuse round-robin,
+    reuse app-affinity, shed) appears in "results" with a metrics object,
+  * for every serve scenario prefix the counter registry exports the latency
+    percentiles (p50 <= p95 <= p99), the throughput gauge, and a per-device
+    utilization gauge in (0, 1] for each pool device,
+  * the device-pool scaling gauge (pool vs. single device) is present and
+    positive.
+
+Usage: check_serve_bench.py <path-to-serve_throughput-binary>
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DEVICES = 2
+JOBS = 8
+
+EXPECTED_RESULTS = [
+    "serve/mixed/devices1",
+    f"serve/mixed/devices{DEVICES}",
+    "serve/reuse/round-robin",
+    "serve/reuse/app-affinity",
+    "serve/shed",
+]
+# (metrics prefix, number of devices the scenario runs with)
+EXPECTED_PREFIXES = [
+    ("serve.mixed.devices1", 1),
+    (f"serve.mixed.devices{DEVICES}", DEVICES),
+    ("serve.reuse.round-robin", DEVICES),
+    ("serve.reuse.app-affinity", DEVICES),
+    ("serve.shed", DEVICES),
+]
+SCALAR_GAUGES = [
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "throughput_jobs_per_s",
+    "completed",
+    "dropped",
+    "rejections",
+    "peak_queue_depth",
+]
+
+
+def fail(message):
+    print(f"check_serve_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <serve_throughput binary>")
+    binary = Path(sys.argv[1]).resolve()
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+
+    env = dict(os.environ)
+    # Tiny datasets: the schema, not the performance, is under test here.
+    env.setdefault("BIGK_SCALE", "0.001")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = Path(tmp) / "serve_metrics.json"
+        result = subprocess.run(
+            [
+                str(binary),
+                "--devices",
+                str(DEVICES),
+                "--jobs",
+                str(JOBS),
+                f"--metrics-json={metrics_path}",
+            ],
+            cwd=tmp,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if result.returncode != 0:
+            fail(
+                f"serve_throughput exited {result.returncode}:\n"
+                f"{result.stdout}\n{result.stderr}"
+            )
+        if not metrics_path.exists():
+            fail("no metrics json written")
+        try:
+            document = json.loads(metrics_path.read_text())
+        except json.JSONDecodeError as error:
+            fail(f"metrics json does not parse: {error}")
+
+    if document.get("benchmark") != "serve_throughput":
+        fail(f'bad "benchmark" field: {document.get("benchmark")!r}')
+    scale = document.get("scale")
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        fail(f'bad "scale" field: {scale!r}')
+
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        fail('"results" is not a non-empty array')
+    by_name = {}
+    for entry in results:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            fail(f"malformed results entry: {entry!r}")
+        if not isinstance(entry.get("metrics"), dict) or not entry["metrics"]:
+            fail(f'result {entry["name"]!r} lacks a metrics object')
+        by_name[entry["name"]] = entry["metrics"]
+    for name in EXPECTED_RESULTS:
+        if name not in by_name:
+            fail(f"missing result {name!r} (have {sorted(by_name)})")
+
+    counters = document.get("counters")
+    if not isinstance(counters, list):
+        fail('"counters" is not an array')
+    gauges = {}
+    for entry in counters:
+        if not isinstance(entry, dict) or "type" not in entry or "name" not in entry:
+            fail(f"malformed counters entry: {entry!r}")
+        if entry["type"] == "gauge":
+            value = entry.get("value")
+            if not isinstance(value, (int, float)):
+                fail(f'gauge {entry["name"]!r} has non-numeric value: {value!r}')
+            gauges[entry["name"]] = float(value)
+
+    def gauge(name):
+        if name not in gauges:
+            fail(f"missing gauge {name!r}")
+        return gauges[name]
+
+    for prefix, devices in EXPECTED_PREFIXES:
+        for suffix in SCALAR_GAUGES:
+            gauge(f"{prefix}.{suffix}")
+        p50 = gauge(f"{prefix}.latency_p50_ms")
+        p95 = gauge(f"{prefix}.latency_p95_ms")
+        p99 = gauge(f"{prefix}.latency_p99_ms")
+        if not 0 <= p50 <= p95 <= p99:
+            fail(f"{prefix}: percentiles out of order: {p50} / {p95} / {p99}")
+        for dev in range(devices):
+            utilization = gauge(f"{prefix}.dev{dev}.utilization")
+            if not 0 < utilization <= 1:
+                fail(
+                    f"{prefix}.dev{dev}.utilization out of (0, 1]: {utilization}"
+                )
+        if f"{prefix}.dev{devices}.utilization" in gauges:
+            fail(f"{prefix} exports more devices than the scenario ran with")
+
+    scaling = gauge(f"serve.scaling.devices{DEVICES}_vs_1")
+    if scaling <= 0:
+        fail(f"scaling gauge is not positive: {scaling}")
+
+    completed = gauge(f"serve.mixed.devices{DEVICES}.completed")
+    if completed != JOBS:
+        fail(f"pool scenario completed {completed} of {JOBS} jobs")
+
+    print(
+        f"check_serve_bench: OK: {len(results)} scenarios, "
+        f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,11 @@ for preset in "${presets[@]}"; do
       ;;
     tsan)
       run_preset tsan -DBIGK_SANITIZE=thread
+      # The serving-layer stress test is the sharpest probe for shared
+      # mutable state across concurrent engines; run it explicitly (beyond
+      # its ctest shard) so a TSan hit in it fails the preset by name.
+      echo "=== ci preset tsan: serve stress test ==="
+      "${repo_root}/build-ci-tsan/tests/serve_stress_test"
       ;;
     tidy)
       # Optional extra: static analysis build (no tests; compile = analyze).

@@ -1,15 +1,62 @@
 #include "apps/registry.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "apps/dna.hpp"
 #include "apps/kmeans.hpp"
 #include "apps/mastercard.hpp"
 #include "apps/netflix.hpp"
 #include "apps/opinion.hpp"
 #include "apps/wordcount.hpp"
+#include "core/device_tables.hpp"
+#include "core/engine.hpp"
 
 namespace bigk::apps {
 
 namespace {
+
+/// JobRunner over one concrete app type, mirroring schemes::run_bigkernel's
+/// launch sequence but against a caller-provided device of a pool.
+template <class App>
+class AppJobRunner final : public JobRunner {
+ public:
+  AppJobRunner(const typename App::Params& params, std::string name)
+      : app_(params), name_(std::move(name)) {}
+
+  const std::string& app_name() const noexcept override { return name_; }
+  std::uint64_t num_records() const override { return app_.num_records(); }
+
+  std::uint64_t input_bytes() const override {
+    std::uint64_t total = 0;
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      total += decl.binding.size_bytes();
+    }
+    return total;
+  }
+
+  sim::Task<> run(cusim::Runtime& runtime, const JobRunConfig& cfg) override {
+    app_.reset();
+    core::Engine engine(runtime, cfg.engine);
+    engine.set_tracer(cfg.tracer);
+    engine.set_trace_scope(cfg.trace_scope);
+    engine.set_sanitizer(cfg.sanitizer);
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      engine.map_stream(decl.binding, decl.overfetch_elems);
+    }
+    const auto kernel = app_.kernel();
+    core::DeviceTables tables =
+        co_await core::DeviceTables::upload(runtime, app_.tables());
+    co_await engine.launch(kernel, app_.num_records(), tables);
+    co_await tables.download();
+    tables.release();
+  }
+
+ private:
+  // stream_decls() is non-const on the duck-typed app interface.
+  mutable App app_;
+  std::string name_;
+};
 
 template <class App>
 BenchApp make_entry(const ScaledSystem& scaled, std::uint64_t seed,
@@ -28,6 +75,13 @@ BenchApp make_entry(const ScaledSystem& scaled, std::uint64_t seed,
     App app(params);
     return schemes::run_scheme(scheme, config, app, sc);
   };
+  const std::string name = entry.name;
+  entry.make_runner = [bytes, seed, name]() -> std::unique_ptr<JobRunner> {
+    typename App::Params params;
+    params.data_bytes = bytes;
+    params.seed = seed;
+    return std::make_unique<AppJobRunner<App>>(params, name);
+  };
   return entry;
 }
 
@@ -44,6 +98,24 @@ std::vector<BenchApp> benchmark_apps(const ScaledSystem& scaled) {
   suite.push_back(make_entry<MastercardIndexedApp>(scaled, 77,
                                                    /*pattern_applicable=*/false));
   return suite;
+}
+
+std::vector<std::string> app_names(const std::vector<BenchApp>& suite) {
+  std::vector<std::string> names;
+  names.reserve(suite.size());
+  for (const BenchApp& app : suite) names.push_back(app.name);
+  return names;
+}
+
+const BenchApp& find_app(const std::vector<BenchApp>& suite,
+                         std::string_view name) {
+  for (const BenchApp& app : suite) {
+    if (app.name == name) return app;
+  }
+  std::ostringstream message;
+  message << "unknown app \"" << name << "\"; valid apps:";
+  for (const BenchApp& app : suite) message << " \"" << app.name << "\"";
+  throw std::invalid_argument(message.str());
 }
 
 }  // namespace bigk::apps

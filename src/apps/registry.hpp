@@ -1,18 +1,59 @@
 // Registry of the paper's six benchmark applications (plus the indexed
 // MasterCard variant) in evaluation order, type-erased for the benchmark
-// harness.
+// harness and the serving layer.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/common.hpp"
+#include "check/sanitizer.hpp"
+#include "core/options.hpp"
+#include "cusim/runtime.hpp"
 #include "gpusim/config.hpp"
+#include "obs/tracer.hpp"
 #include "schemes/metrics.hpp"
 #include "schemes/runners.hpp"
+#include "sim/simulation.hpp"
 
 namespace bigk::apps {
+
+/// Everything a JobRunner needs besides the target device. The pointers are
+/// externally owned and may be null; `sanitizer` (when set) must already be
+/// installed on the runtime's GPU by the caller.
+struct JobRunConfig {
+  core::Options engine;
+  obs::Tracer* tracer = nullptr;
+  check::Sanitizer* sanitizer = nullptr;
+  /// Prefix for the engine's trace process rows (e.g. "dev2 job7 ") so
+  /// concurrent engines on different devices write disjoint tracks.
+  std::string trace_scope;
+};
+
+/// One runnable instance of a benchmark application, type-erased so the
+/// serving layer can launch any registered app on any device of a pool
+/// without knowing its concrete type. A runner owns its dataset; run() may
+/// be called repeatedly (each call resets output state first) and multiple
+/// runners execute concurrently against distinct devices.
+class JobRunner {
+ public:
+  virtual ~JobRunner() = default;
+
+  virtual const std::string& app_name() const noexcept = 0;
+  virtual std::uint64_t num_records() const = 0;
+  /// Total bytes of the app's mapped input streams (what a cold job must
+  /// stage through the shared host memory bus before launch).
+  virtual std::uint64_t input_bytes() const = 0;
+
+  /// Executes one BigKernel launch of this app on `runtime` (fresh
+  /// core::Engine per call, as in schemes::run_bigkernel): upload tables,
+  /// launch, download, release.
+  virtual sim::Task<> run(cusim::Runtime& runtime, const JobRunConfig& cfg) = 0;
+};
 
 struct BenchApp {
   std::string name;
@@ -24,10 +65,21 @@ struct BenchApp {
                                     const gpusim::SystemConfig&,
                                     const schemes::SchemeConfig&)>
       run;
+  /// Builds a fresh, independently seeded JobRunner instance of this app
+  /// (dataset generated at construction time).
+  std::function<std::unique_ptr<JobRunner>()> make_runner;
 };
 
 /// Builds the benchmark suite at the given scale (data sizes follow
 /// Table I's paper-scale figures times `scaled.scale`).
 std::vector<BenchApp> benchmark_apps(const ScaledSystem& scaled);
+
+/// Registered app names in evaluation order.
+std::vector<std::string> app_names(const std::vector<BenchApp>& suite);
+
+/// Looks `name` up in `suite`; throws std::invalid_argument listing every
+/// valid app name when there is no such app.
+const BenchApp& find_app(const std::vector<BenchApp>& suite,
+                         std::string_view name);
 
 }  // namespace bigk::apps

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "check/sanitizer.hpp"
@@ -35,7 +36,6 @@
 #include "cusim/runtime.hpp"
 #include "obs/stage.hpp"
 #include "obs/tracer.hpp"
-#include "trace/recorder.hpp"
 #include "gpusim/gpu.hpp"
 #include "hostsim/host_cpu.hpp"
 #include "sim/simulation.hpp"
@@ -115,17 +115,18 @@ class Engine {
   const EngineMetrics& metrics() const noexcept { return metrics_; }
   const Options& options() const noexcept { return options_; }
 
-  /// Attaches a trace recorder: every stage execution of every chunk is
-  /// recorded as a timeline interval (nullptr detaches).
-  void set_recorder(trace::Recorder* recorder) noexcept {
-    recorder_ = recorder;
-  }
-
   /// Attaches the unified tracer: every stage execution of every chunk
   /// becomes a span on an "engine block <b>" process with one thread row per
   /// pipeline stage (data transfer gets one row per ring slot, since up to
   /// buffer_depth transfers are in flight per block). nullptr detaches.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Prefix for this engine's trace process rows (e.g. "dev2 " turns
+  /// "engine block 0" into "dev2 engine block 0"). Concurrent engines on
+  /// distinct devices set distinct scopes so their spans land on per-device
+  /// tracks instead of interleaving on one row. Default: no prefix.
+  void set_trace_scope(std::string scope) { trace_scope_ = std::move(scope); }
+  const std::string& trace_scope() const noexcept { return trace_scope_; }
 
   /// Uses an externally owned bigkcheck sanitizer (already installed on the
   /// GPU by the caller) instead of constructing one from options().check.
@@ -221,8 +222,8 @@ class Engine {
   std::vector<std::unique_ptr<BlockState>> blocks_;
   std::vector<std::uint64_t> device_allocs_;
   EngineMetrics metrics_;
-  trace::Recorder* recorder_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  std::string trace_scope_;
 
   // --- bigkcheck ---------------------------------------------------------
   check::Sanitizer* sanitizer_ = nullptr;  // externally owned, optional
@@ -234,19 +235,17 @@ class Engine {
   void report_addr_counts(BlockState& block, ChunkSlot& slot,
                           std::uint64_t chunk);
 
-  /// Single accounting point for a stage execution: busy-time metric, legacy
-  /// recorder event, and tracer span all come from the same interval, so the
-  /// Fig. 6 breakdown and the timeline agree by construction. For the GPU
-  /// stages callers pass [now - SM service time, now]; for the host/DMA
-  /// stages the wall interval of the stage.
+  /// Single accounting point for a stage execution: the busy-time metric and
+  /// the tracer span come from the same interval, so the Fig. 6 breakdown
+  /// and the timeline agree by construction. For the GPU stages callers pass
+  /// [now - SM service time, now]; for the host/DMA stages the wall interval
+  /// of the stage.
   void record_stage(obs::Stage stage, std::uint32_t block, std::uint64_t chunk,
                     sim::TimePs begin, sim::TimePs end) {
     metrics_.stage_busy(stage) += end - begin;
-    if (recorder_ != nullptr) {
-      recorder_->record(trace::StageEvent{stage, block, chunk, begin, end});
-    }
     if (tracer_ != nullptr && end > begin) {
-      const std::string process = "engine block " + std::to_string(block);
+      const std::string process =
+          trace_scope_ + "engine block " + std::to_string(block);
       std::string thread{obs::stage_name(stage)};
       if (stage == obs::Stage::kTransfer) {
         // One row per ring slot: transfers for consecutive chunks overlap.

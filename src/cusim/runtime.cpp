@@ -94,7 +94,7 @@ Stream Runtime::create_stream() {
   auto state = std::make_shared<Stream::State>(sim_, gpu_);
   if (tracer_ != nullptr) {
     state->tracer = tracer_;
-    state->dma_pid = tracer_->process("DMA streams");
+    state->dma_pid = tracer_->process(trace_prefix() + "DMA streams");
     state->track = tracer_->thread(
         state->dma_pid, "stream " + std::to_string(stream_count_));
   }

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "gpusim/config.hpp"
@@ -171,8 +172,25 @@ class Event {
 
 class Runtime {
  public:
+  /// Stand-alone runtime: owns its device *and* its host CPU (the original
+  /// single-device configuration every scheme runner uses).
   Runtime(sim::Simulation& sim, const gpusim::SystemConfig& config)
-      : sim_(sim), gpu_(sim, config), cpu_(sim, config.cpu) {}
+      : sim_(sim),
+        gpu_(sim, config),
+        owned_cpu_(std::make_unique<hostsim::HostCpu>(sim, config.cpu)),
+        cpu_(owned_cpu_.get()) {}
+
+  /// Pool member: an independent device (own arena, streams, PCIe links)
+  /// whose host-side work contends with sibling devices on one shared
+  /// HostCpu — the memory-bus contention model of a multi-GPU server.
+  /// `device_name` (e.g. "dev1") namespaces this device's trace tracks;
+  /// `shared_cpu` must outlive the runtime.
+  Runtime(sim::Simulation& sim, const gpusim::SystemConfig& config,
+          hostsim::HostCpu& shared_cpu, std::string device_name)
+      : sim_(sim),
+        gpu_(sim, config),
+        cpu_(&shared_cpu),
+        name_(std::move(device_name)) {}
 
   /// cudaGetDeviceProperties: the hardware resources the §IV.D occupancy
   /// calculation probes at run time.
@@ -191,20 +209,31 @@ class Runtime {
 
   sim::Simulation& sim() noexcept { return sim_; }
   gpusim::Gpu& gpu() noexcept { return gpu_; }
-  hostsim::HostCpu& cpu() noexcept { return cpu_; }
+  hostsim::HostCpu& cpu() noexcept { return *cpu_; }
   const gpusim::SystemConfig& config() const noexcept {
     return gpu_.system_config();
   }
 
+  /// Device name inside a pool ("dev0", ...); empty for stand-alone runtimes.
+  const std::string& device_name() const noexcept { return name_; }
+
+  /// Prefix for this device's trace process rows ("dev1 " or "").
+  std::string trace_prefix() const {
+    return name_.empty() ? std::string() : name_ + " ";
+  }
+
   /// Attaches the unified telemetry sinks to every simulated component this
   /// runtime owns (GPU/PCIe, host CPU) and to streams created afterwards.
-  /// Either pointer may be nullptr; both must outlive the runtime.
+  /// Either pointer may be nullptr; both must outlive the runtime. A shared
+  /// (pool-owned) host CPU is attached by its owner, not here.
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics) {
     tracer_ = tracer;
     metrics_ = metrics;
-    gpu_.attach_observability(tracer, metrics);
-    cpu_.attach_observability(tracer, metrics);
+    gpu_.attach_observability(tracer, metrics, trace_prefix());
+    if (owned_cpu_ != nullptr) {
+      owned_cpu_->attach_observability(tracer, metrics);
+    }
     if (metrics_ != nullptr) {
       pinned_gauge_ = &metrics_->gauge("cusim.pinned_bytes");
       pinned_gauge_->set_max(static_cast<double>(pinned_bytes_));
@@ -289,7 +318,9 @@ class Runtime {
 
   sim::Simulation& sim_;
   gpusim::Gpu gpu_;
-  hostsim::HostCpu cpu_;
+  std::unique_ptr<hostsim::HostCpu> owned_cpu_;  // null when the CPU is shared
+  hostsim::HostCpu* cpu_;
+  std::string name_;
   std::uint64_t pinned_bytes_ = 0;
   std::uint32_t next_region_ = 1;
   obs::Tracer* tracer_ = nullptr;

@@ -106,14 +106,16 @@ sim::DurationPs Gpu::link_cost(std::uint64_t bytes, double gbps) const {
 }
 
 void Gpu::attach_observability(obs::Tracer* tracer,
-                               obs::MetricsRegistry* metrics) {
+                               obs::MetricsRegistry* metrics,
+                               std::string_view trace_prefix) {
   tracer_ = tracer;
   metrics_ = metrics;
   if (tracer_ != nullptr) {
-    pcie_pid_ = tracer_->process("pcie");
+    const std::string prefix(trace_prefix);
+    pcie_pid_ = tracer_->process(prefix + "pcie");
     h2d_track_ = tracer_->thread(pcie_pid_, "h2d link");
     d2h_track_ = tracer_->thread(pcie_pid_, "d2h link");
-    gpu_pid_ = tracer_->process("gpu");
+    gpu_pid_ = tracer_->process(prefix + "gpu");
     sm_tracks_.clear();
     for (std::uint32_t i = 0; i < config_.gpu.num_sms; ++i) {
       sm_tracks_.push_back(

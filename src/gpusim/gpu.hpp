@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/config.hpp"
@@ -181,8 +183,11 @@ class Gpu {
   /// tracer, every PCIe transfer becomes a span on the link's track (with a
   /// "bytes in flight" counter), every SM warp segment a span on its SM
   /// track, and kernel launches maintain an "active blocks" counter track.
-  void attach_observability(obs::Tracer* tracer,
-                            obs::MetricsRegistry* metrics);
+  /// `trace_prefix` (e.g. "dev1 ") namespaces the "pcie"/"gpu" process rows
+  /// so several devices share one timeline without colliding; the default
+  /// keeps the single-device names.
+  void attach_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                            std::string_view trace_prefix = {});
 
   /// Installs (or with nullptr removes) the warp-access observer: every
   /// traced lane access, block barrier, and kernel boundary is forwarded.

@@ -1,0 +1,69 @@
+// Bounded admission queue: the server accepts at most `max_depth` jobs that
+// are admitted but not yet finished (queued or running, across all devices).
+// Beyond that, submissions are rejected with a retry-after hint — load is
+// shed at the front door instead of growing an unbounded backlog, the
+// standard admission-control discipline for latency-SLO serving.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace bigk::serve {
+
+class JobQueue {
+ public:
+  struct Admission {
+    bool accepted = false;
+    /// When rejected: how long the client should wait before resubmitting.
+    sim::DurationPs retry_after = 0;
+  };
+
+  JobQueue(std::uint32_t max_depth, sim::DurationPs retry_after)
+      : max_depth_(max_depth), retry_after_(retry_after) {
+    if (max_depth_ == 0) {
+      throw std::invalid_argument("JobQueue depth must be > 0");
+    }
+  }
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits one job or rejects it with the retry-after hint.
+  Admission try_admit() {
+    if (outstanding_ >= max_depth_) {
+      ++rejected_;
+      return Admission{false, retry_after_};
+    }
+    ++outstanding_;
+    ++admitted_;
+    if (outstanding_ > peak_depth_) peak_depth_ = outstanding_;
+    return Admission{true, 0};
+  }
+
+  /// Marks one admitted job finished, freeing its queue slot.
+  void release() {
+    if (outstanding_ == 0) {
+      throw std::logic_error("JobQueue release without outstanding job");
+    }
+    --outstanding_;
+  }
+
+  std::uint32_t outstanding() const noexcept { return outstanding_; }
+  std::uint32_t max_depth() const noexcept { return max_depth_; }
+  std::uint32_t peak_depth() const noexcept { return peak_depth_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  /// Total rejections issued (one job may be rejected several times).
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::uint32_t max_depth_;
+  sim::DurationPs retry_after_;
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t peak_depth_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace bigk::serve

@@ -1,0 +1,147 @@
+// Placement policies for admitted jobs. The scheduler is deliberately pure
+// bookkeeping — it never touches the simulation clock — so every policy is
+// deterministic given the same sequence of dispatch/complete events.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigk::serve {
+
+enum class Policy : std::uint8_t {
+  /// Devices in rotation, ignoring load — the baseline.
+  kRoundRobin,
+  /// Device with the fewest admitted-but-unfinished input bytes (a proxy for
+  /// the shortest backlog when job sizes vary).
+  kLeastOutstandingBytes,
+  /// Prefer a device whose most recent job ran the same app: its mapped
+  /// dataset is still resident, so input staging over the shared host memory
+  /// bus is skipped entirely. The preference is bounded — when the warm
+  /// device's backlog exceeds the emptiest device's by more than the job's
+  /// own input bytes (the most a warm hit can save), the job spills to the
+  /// emptiest device instead of head-of-line blocking behind the warm one.
+  kAppAffinity,
+};
+
+inline const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kLeastOutstandingBytes: return "least-bytes";
+    case Policy::kAppAffinity: return "app-affinity";
+  }
+  return "?";
+}
+
+/// Parses a --policy value; throws std::invalid_argument listing the valid
+/// names on anything unknown.
+inline Policy policy_from_name(std::string_view name) {
+  if (name == "round-robin") return Policy::kRoundRobin;
+  if (name == "least-bytes") return Policy::kLeastOutstandingBytes;
+  if (name == "app-affinity") return Policy::kAppAffinity;
+  throw std::invalid_argument(
+      "unknown scheduling policy \"" + std::string(name) +
+      "\"; valid policies: \"round-robin\" \"least-bytes\" \"app-affinity\"");
+}
+
+class Scheduler {
+ public:
+  Scheduler(Policy policy, std::uint32_t num_devices)
+      : policy_(policy), devices_(num_devices) {
+    if (num_devices == 0) {
+      throw std::invalid_argument("Scheduler needs at least one device");
+    }
+  }
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Policy policy() const noexcept { return policy_; }
+  std::uint32_t num_devices() const noexcept {
+    return static_cast<std::uint32_t>(devices_.size());
+  }
+
+  /// App whose dataset is resident on `device` ("" before the first job).
+  /// Jobs on one device run in dispatch order, so the most recently
+  /// dispatched app is the one resident when the next job starts.
+  const std::string& resident_app(std::uint32_t device) const {
+    return devices_.at(device).resident_app;
+  }
+
+  std::uint64_t outstanding_bytes(std::uint32_t device) const {
+    return devices_.at(device).outstanding_bytes;
+  }
+
+  /// Picks the target device for a job of `app` with `input_bytes` of mapped
+  /// input. Ties break towards the lowest device index.
+  std::uint32_t pick_device(const std::string& app, std::uint64_t input_bytes) {
+    switch (policy_) {
+      case Policy::kRoundRobin: {
+        const std::uint32_t device = rr_next_;
+        rr_next_ = (rr_next_ + 1) % num_devices();
+        return device;
+      }
+      case Policy::kLeastOutstandingBytes:
+        return least_loaded(/*require_app=*/nullptr);
+      case Policy::kAppAffinity: {
+        const std::uint32_t warm = least_loaded(&app);
+        const std::uint32_t cold = least_loaded(/*require_app=*/nullptr);
+        if (warm == num_devices()) return cold;
+        // A warm hit saves at most one input staging pass (`input_bytes` on
+        // the shared host bus); queuing behind the warm device costs its
+        // backlog lead. Take the warm device only while the detour is worth
+        // the saving, otherwise spill to the emptiest device.
+        if (devices_[warm].outstanding_bytes <=
+            devices_[cold].outstanding_bytes + input_bytes) {
+          return warm;
+        }
+        return cold;
+      }
+    }
+    throw std::logic_error("unhandled policy");
+  }
+
+  /// Records that a job was queued to `device` (call right after
+  /// pick_device; also marks `app` as the device's resident dataset).
+  void on_dispatch(std::uint32_t device, const std::string& app,
+                   std::uint64_t input_bytes) {
+    DeviceState& state = devices_.at(device);
+    state.outstanding_bytes += input_bytes;
+    state.resident_app = app;
+  }
+
+  void on_complete(std::uint32_t device, std::uint64_t input_bytes) {
+    DeviceState& state = devices_.at(device);
+    state.outstanding_bytes -= std::min(state.outstanding_bytes, input_bytes);
+  }
+
+ private:
+  struct DeviceState {
+    std::uint64_t outstanding_bytes = 0;
+    std::string resident_app;
+  };
+
+  /// Least outstanding bytes over devices matching `require_app` (all
+  /// devices when null). Returns num_devices() if none matches.
+  std::uint32_t least_loaded(const std::string* require_app) const {
+    std::uint32_t best = num_devices();
+    for (std::uint32_t d = 0; d < num_devices(); ++d) {
+      if (require_app != nullptr && devices_[d].resident_app != *require_app) {
+        continue;
+      }
+      if (best == num_devices() ||
+          devices_[d].outstanding_bytes < devices_[best].outstanding_bytes) {
+        best = d;
+      }
+    }
+    return best;
+  }
+
+  Policy policy_;
+  std::vector<DeviceState> devices_;
+  std::uint32_t rr_next_ = 0;
+};
+
+}  // namespace bigk::serve

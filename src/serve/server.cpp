@@ -1,0 +1,313 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/sanitizer.hpp"
+#include "cusim/device_pool.hpp"
+#include "obs/json.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace bigk::serve {
+
+namespace {
+
+/// Host cache-model region ids for the per-device input-staging scans (far
+/// above core::kStreamRegionBase so they never collide with mapped streams).
+constexpr std::uint32_t kStagingRegionBase = 9000;
+
+struct Job {
+  JobRecord record;
+  std::unique_ptr<apps::JobRunner> runner;
+};
+
+struct ServerState {
+  const ServerConfig& config;
+  sim::Simulation sim;
+  cusim::DevicePool pool;
+  JobQueue queue;
+  Scheduler scheduler;
+  /// One FIFO per device; its worker is the single consumer, so jobs on one
+  /// device serialize in dispatch order.
+  std::vector<std::unique_ptr<sim::Channel<Job*>>> dispatch;
+  std::vector<Job> jobs;
+  std::vector<std::uint64_t> completion_order;
+
+  explicit ServerState(const ServerConfig& cfg)
+      : config(cfg),
+        pool(sim, cfg.system, cfg.devices),
+        queue(cfg.queue_depth, cfg.retry_after),
+        scheduler(cfg.policy, pool.size()) {
+    pool.attach_observability(cfg.tracer, cfg.metrics);
+    for (std::uint32_t d = 0; d < pool.size(); ++d) {
+      dispatch.push_back(std::make_unique<sim::Channel<Job*>>(sim));
+    }
+  }
+};
+
+/// One submitting client: waits until the job's arrival time, then keeps
+/// resubmitting through admission control until accepted or out of retries.
+sim::Task<> client(ServerState& st, Job& job) {
+  if (job.record.spec.submit_time > 0) {
+    co_await st.sim.delay(job.record.spec.submit_time);
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const JobQueue::Admission admission = st.queue.try_admit();
+    if (admission.accepted) {
+      job.record.admitted = true;
+      job.record.admit_time = st.sim.now();
+      const std::uint32_t device =
+          st.scheduler.pick_device(job.record.spec.app, job.record.input_bytes);
+      job.record.device = device;
+      job.record.warm =
+          st.scheduler.resident_app(device) == job.record.spec.app;
+      st.scheduler.on_dispatch(device, job.record.spec.app,
+                               job.record.input_bytes);
+      st.dispatch[device]->push(&job);
+      co_return;
+    }
+    ++job.record.rejections;
+    if (attempt >= st.config.max_retries) co_return;  // shed for good
+    co_await st.sim.delay(admission.retry_after);
+  }
+}
+
+/// Per-device worker: drains the device's dispatch FIFO one job at a time.
+/// Cold jobs first stage their mapped input through the shared host memory
+/// bus (one sequential read + one streamed write of input_bytes); warm jobs
+/// reuse the dataset the previous same-app job left resident.
+sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
+  cusim::Runtime& device = st.pool.device(device_index);
+  hostsim::HostThread staging = st.pool.cpu().make_thread(2);
+  staging.set_trace_label(device.device_name() + " staging");
+  while (true) {
+    std::optional<Job*> item = co_await st.dispatch[device_index]->pop();
+    if (!item.has_value()) break;  // channel closed and drained
+    Job& job = **item;
+    job.record.start_time = st.sim.now();
+    if (!job.record.warm && job.record.input_bytes > 0) {
+      staging.read_sequential(kStagingRegionBase + device_index, 0,
+                              job.record.input_bytes);
+      staging.write_stream(job.record.input_bytes);
+      co_await staging.commit();
+    }
+    std::unique_ptr<check::Sanitizer> sanitizer;
+    if (st.config.check.enabled) {
+      sanitizer =
+          std::make_unique<check::Sanitizer>(st.config.check, st.config.metrics);
+      sanitizer->install(device.gpu());
+    }
+    apps::JobRunConfig run_cfg;
+    run_cfg.engine = st.config.engine;
+    run_cfg.engine.check.enabled = false;  // the server owns the sanitizer
+    run_cfg.tracer = st.config.tracer;
+    run_cfg.sanitizer = sanitizer.get();
+    run_cfg.trace_scope = device.trace_prefix();
+    co_await job.runner->run(device, run_cfg);
+    if (sanitizer != nullptr) {
+      sanitizer->uninstall();
+      sanitizer->finalize();  // throws check::CheckError on violations
+    }
+    job.record.finish_time = st.sim.now();
+    job.record.completed = true;
+    if (job.record.spec.deadline > 0) {
+      job.record.deadline_met =
+          job.record.finish_time - job.record.spec.submit_time <=
+          job.record.spec.deadline;
+    }
+    st.completion_order.push_back(job.record.spec.id);
+    st.scheduler.on_complete(device_index, job.record.input_bytes);
+    st.queue.release();
+    if (st.config.tracer != nullptr) {
+      const obs::TrackId track =
+          st.config.tracer->track("serve", device.device_name());
+      st.config.tracer->complete(
+          track, job.record.spec.app, job.record.start_time,
+          job.record.finish_time, "serve",
+          {{"job", static_cast<double>(job.record.spec.id)},
+           {"warm", job.record.warm ? 1.0 : 0.0}});
+    }
+  }
+}
+
+sim::Task<> serve_main(ServerState& st) {
+  std::vector<sim::Process> clients;
+  clients.reserve(st.jobs.size());
+  for (Job& job : st.jobs) clients.push_back(st.sim.spawn(client(st, job)));
+  std::vector<sim::Process> workers;
+  workers.reserve(st.pool.size());
+  for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+    workers.push_back(st.sim.spawn(device_worker(st, d)));
+  }
+  for (sim::Process& process : clients) co_await process.join();
+  // All submissions settled: no further pushes can happen.
+  for (auto& channel : st.dispatch) channel->close();
+  for (sim::Process& process : workers) co_await process.join();
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+sim::DurationPs percentile(const std::vector<sim::DurationPs>& sorted,
+                           double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+double to_ms(sim::DurationPs ps) { return static_cast<double>(ps) / 1e9; }
+
+}  // namespace
+
+ServeReport run_server(const ServerConfig& config,
+                       const std::vector<JobSpec>& specs,
+                       const std::vector<apps::BenchApp>& suite) {
+  ServerState state(config);
+  state.jobs.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    Job job;
+    job.record.spec = spec;
+    job.runner = apps::find_app(suite, spec.app).make_runner();
+    job.record.input_bytes = job.runner->input_bytes();
+    state.jobs.push_back(std::move(job));
+  }
+
+  state.sim.run_until_complete(serve_main(state));
+
+  ServeReport report;
+  report.makespan = state.sim.now();
+  report.completion_order = std::move(state.completion_order);
+  report.rejections = state.queue.rejected();
+  report.peak_queue_depth = state.queue.peak_depth();
+  report.devices.resize(state.pool.size());
+
+  std::vector<sim::DurationPs> latencies;
+  for (Job& job : state.jobs) {
+    const JobRecord& record = job.record;
+    if (record.completed) {
+      ++report.completed;
+      latencies.push_back(record.latency());
+      DeviceReport& dev = report.devices[record.device];
+      ++dev.jobs;
+      if (record.warm) {
+        ++dev.warm_jobs;
+        ++report.warm_hits;
+      }
+      if (!record.deadline_met) ++report.deadline_misses;
+    } else if (!record.admitted) {
+      ++report.dropped;
+    }
+    report.jobs.push_back(record);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  report.latency_p50 = percentile(latencies, 0.50);
+  report.latency_p95 = percentile(latencies, 0.95);
+  report.latency_p99 = percentile(latencies, 0.99);
+  if (report.makespan > 0) {
+    report.throughput_jobs_per_s = static_cast<double>(report.completed) /
+                                   (static_cast<double>(report.makespan) * 1e-12);
+  }
+  for (std::uint32_t d = 0; d < state.pool.size(); ++d) {
+    const gpusim::Gpu& gpu = state.pool.device(d).gpu();
+    DeviceReport& dev = report.devices[d];
+    dev.h2d_bytes = gpu.stats().h2d_bytes;
+    dev.d2h_bytes = gpu.stats().d2h_bytes;
+    dev.kernel_launches = gpu.stats().kernel_launches;
+    if (report.makespan > 0) {
+      dev.utilization = static_cast<double>(gpu.compute_wall_busy()) /
+                        static_cast<double>(report.makespan);
+    }
+  }
+
+  if (config.metrics != nullptr) {
+    const std::string prefix =
+        config.metrics_prefix.empty()
+            ? std::string("serve.") + policy_name(config.policy) +
+                  ".devices" + std::to_string(state.pool.size())
+            : config.metrics_prefix;
+    report.export_metrics(*config.metrics, prefix);
+  }
+  return report;
+}
+
+void ServeReport::export_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.gauge(prefix + ".jobs").set(static_cast<double>(jobs.size()));
+  registry.gauge(prefix + ".completed").set(static_cast<double>(completed));
+  registry.gauge(prefix + ".dropped").set(static_cast<double>(dropped));
+  registry.gauge(prefix + ".rejections").set(static_cast<double>(rejections));
+  registry.gauge(prefix + ".deadline_misses")
+      .set(static_cast<double>(deadline_misses));
+  registry.gauge(prefix + ".warm_hits").set(static_cast<double>(warm_hits));
+  registry.gauge(prefix + ".peak_queue_depth")
+      .set(static_cast<double>(peak_queue_depth));
+  registry.gauge(prefix + ".makespan_ms").set(to_ms(makespan));
+  registry.gauge(prefix + ".latency_p50_ms").set(to_ms(latency_p50));
+  registry.gauge(prefix + ".latency_p95_ms").set(to_ms(latency_p95));
+  registry.gauge(prefix + ".latency_p99_ms").set(to_ms(latency_p99));
+  registry.gauge(prefix + ".throughput_jobs_per_s").set(throughput_jobs_per_s);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const std::string dev_prefix = prefix + ".dev" + std::to_string(d);
+    registry.gauge(dev_prefix + ".utilization").set(devices[d].utilization);
+    registry.gauge(dev_prefix + ".jobs")
+        .set(static_cast<double>(devices[d].jobs));
+    registry.gauge(dev_prefix + ".warm_jobs")
+        .set(static_cast<double>(devices[d].warm_jobs));
+  }
+}
+
+void ServeReport::write_json(std::ostream& out) const {
+  out << "{\"makespan_ms\":" << obs::json_number(to_ms(makespan))
+      << ",\"jobs\":" << jobs.size() << ",\"completed\":" << completed
+      << ",\"dropped\":" << dropped << ",\"rejections\":" << rejections
+      << ",\"deadline_misses\":" << deadline_misses
+      << ",\"warm_hits\":" << warm_hits
+      << ",\"peak_queue_depth\":" << peak_queue_depth
+      << ",\"throughput_jobs_per_s\":"
+      << obs::json_number(throughput_jobs_per_s) << ",\"latency_ms\":{"
+      << "\"p50\":" << obs::json_number(to_ms(latency_p50))
+      << ",\"p95\":" << obs::json_number(to_ms(latency_p95))
+      << ",\"p99\":" << obs::json_number(to_ms(latency_p99)) << "}"
+      << ",\"devices\":[";
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (d > 0) out << ',';
+    const DeviceReport& dev = devices[d];
+    out << "{\"device\":" << d << ",\"jobs\":" << dev.jobs
+        << ",\"warm_jobs\":" << dev.warm_jobs
+        << ",\"utilization\":" << obs::json_number(dev.utilization)
+        << ",\"h2d_bytes\":" << dev.h2d_bytes
+        << ",\"d2h_bytes\":" << dev.d2h_bytes
+        << ",\"kernel_launches\":" << dev.kernel_launches << "}";
+  }
+  out << "],\"completion_order\":[";
+  for (std::size_t i = 0; i < completion_order.size(); ++i) {
+    if (i > 0) out << ',';
+    out << completion_order[i];
+  }
+  out << "],\"job_records\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0) out << ',';
+    const JobRecord& record = jobs[i];
+    out << "{\"id\":" << record.spec.id
+        << ",\"app\":" << obs::json_quote(record.spec.app)
+        << ",\"device\":" << record.device
+        << ",\"submit_ms\":" << obs::json_number(to_ms(record.spec.submit_time))
+        << ",\"latency_ms\":" << obs::json_number(to_ms(record.latency()))
+        << ",\"rejections\":" << record.rejections
+        << ",\"admitted\":" << (record.admitted ? "true" : "false")
+        << ",\"completed\":" << (record.completed ? "true" : "false")
+        << ",\"warm\":" << (record.warm ? "true" : "false")
+        << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false")
+        << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace bigk::serve

@@ -1,0 +1,115 @@
+// bigkserve: an SLA-aware serving layer over a cusim::DevicePool.
+//
+// run_server() plays a job workload against N simulated devices behind one
+// shared host CPU:
+//   submit -> JobQueue admission (bounded depth, reject with retry-after)
+//          -> Scheduler placement (round-robin / least-bytes / app-affinity)
+//          -> per-device FIFO worker: cold jobs stage their mapped input
+//             through the shared host memory bus, then one core::Engine
+//             launch runs the app's kernel on that device (BigKernel
+//             pipeline, per-job sanitizer when checking is enabled).
+//
+// Everything is deterministic: the same config + workload produce the same
+// schedule, completion order, latencies, and metrics, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "check/options.hpp"
+#include "core/options.hpp"
+#include "gpusim/config.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+#include "serve/job.hpp"
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::serve {
+
+struct ServerConfig {
+  /// Per-device system model (every device is built from this; the shared
+  /// host CPU comes from system.cpu).
+  gpusim::SystemConfig system;
+  std::uint32_t devices = 1;
+  Policy policy = Policy::kRoundRobin;
+
+  /// Admission control: max admitted-but-unfinished jobs across the pool.
+  std::uint32_t queue_depth = 16;
+  /// Retry-after hint returned on rejection.
+  sim::DurationPs retry_after = sim::DurationPs{1'000'000'000};  // 1 ms
+  /// Resubmissions a client attempts before giving up (0 = no retries).
+  std::uint32_t max_retries = 64;
+
+  /// Engine options for every job's BigKernel launch.
+  core::Options engine;
+  /// When enabled, each job runs under a fresh check::Sanitizer installed on
+  /// its device; a violation throws check::CheckError out of run_server.
+  check::CheckOptions check;
+
+  /// Optional telemetry sinks (must outlive the run). With a tracer, every
+  /// device gets its own "devK ..." process rows plus a "serve" process with
+  /// one job span per completion.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Gauge-name prefix for the auto-export into `metrics`; empty picks
+  /// "serve.<policy>.devices<N>". Give each scenario its own prefix when one
+  /// registry collects several runs.
+  std::string metrics_prefix;
+};
+
+struct DeviceReport {
+  std::uint64_t jobs = 0;
+  std::uint64_t warm_jobs = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+  /// SM busy time / makespan.
+  double utilization = 0.0;
+};
+
+struct ServeReport {
+  /// One record per submitted job, in spec order.
+  std::vector<JobRecord> jobs;
+  /// Job ids in the order they finished.
+  std::vector<std::uint64_t> completion_order;
+  std::vector<DeviceReport> devices;
+
+  sim::TimePs makespan = 0;
+  std::uint64_t completed = 0;
+  /// Jobs that exhausted their retries without being admitted.
+  std::uint64_t dropped = 0;
+  /// Total admission rejections (a job may be rejected several times).
+  std::uint64_t rejections = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint32_t peak_queue_depth = 0;
+
+  /// Nearest-rank percentiles over completed-job latencies.
+  sim::DurationPs latency_p50 = 0;
+  sim::DurationPs latency_p95 = 0;
+  sim::DurationPs latency_p99 = 0;
+  double throughput_jobs_per_s = 0.0;
+
+  /// Registers the headline numbers as `<prefix>.*` gauges (latency
+  /// percentiles in ms, throughput, per-device utilization, shedding
+  /// counts), so they ride along in the standard bench JSON counters array.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
+
+  /// Full machine-readable report (one JSON object; deterministic field
+  /// order, no whitespace variation).
+  void write_json(std::ostream& out) const;
+};
+
+/// Runs `specs` against a fresh DevicePool built from `config`, resolving
+/// app names through `suite` (see apps::benchmark_apps / apps::find_app).
+ServeReport run_server(const ServerConfig& config,
+                       const std::vector<JobSpec>& specs,
+                       const std::vector<apps::BenchApp>& suite);
+
+}  // namespace bigk::serve

@@ -1,0 +1,70 @@
+// Registry lookup contract: find_app resolves every registered name, and an
+// unknown name fails fast with a message listing all valid apps.
+#include "apps/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace bigk::apps {
+namespace {
+
+ScaledSystem tiny_system() {
+  ScaledSystem scaled;
+  scaled.scale = 0.0005;
+  return scaled;
+}
+
+TEST(RegistryLookupTest, FindsEveryRegisteredName) {
+  const auto suite = benchmark_apps(tiny_system());
+  const auto names = app_names(suite);
+  ASSERT_EQ(names.size(), suite.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const BenchApp& found = find_app(suite, names[i]);
+    EXPECT_EQ(found.name, names[i]);
+    EXPECT_EQ(&found, &suite[i]) << "lookup must preserve suite order";
+  }
+}
+
+TEST(RegistryLookupTest, UnknownNameThrowsListingValidApps) {
+  const auto suite = benchmark_apps(tiny_system());
+  try {
+    find_app(suite, "grep-acceleration");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("grep-acceleration"), std::string::npos)
+        << "message must echo the bad name: " << message;
+    for (const std::string& name : app_names(suite)) {
+      EXPECT_NE(message.find(name), std::string::npos)
+          << "message must list valid app \"" << name << "\": " << message;
+    }
+  }
+}
+
+TEST(RegistryLookupTest, EveryAppBuildsAJobRunner) {
+  const auto suite = benchmark_apps(tiny_system());
+  for (const BenchApp& entry : suite) {
+    ASSERT_TRUE(entry.make_runner != nullptr) << entry.name;
+    const std::unique_ptr<JobRunner> runner = entry.make_runner();
+    ASSERT_NE(runner, nullptr) << entry.name;
+    EXPECT_EQ(runner->app_name(), entry.name);
+    EXPECT_GT(runner->num_records(), 0u) << entry.name;
+    EXPECT_GT(runner->input_bytes(), 0u) << entry.name;
+  }
+}
+
+TEST(RegistryLookupTest, RunnersAreIndependentInstances) {
+  const auto suite = benchmark_apps(tiny_system());
+  const BenchApp& entry = suite.front();
+  const auto first = entry.make_runner();
+  const auto second = entry.make_runner();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(first->input_bytes(), second->input_bytes())
+      << "same seed must regenerate the same dataset size";
+}
+
+}  // namespace
+}  // namespace bigk::apps

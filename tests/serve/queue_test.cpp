@@ -1,0 +1,57 @@
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bigk::serve {
+namespace {
+
+TEST(JobQueueTest, AdmitsUpToDepthThenRejectsWithRetryAfter) {
+  JobQueue queue(3, sim::DurationPs{500});
+  for (int i = 0; i < 3; ++i) {
+    const JobQueue::Admission admission = queue.try_admit();
+    EXPECT_TRUE(admission.accepted);
+    EXPECT_EQ(admission.retry_after, 0u);
+  }
+  EXPECT_EQ(queue.outstanding(), 3u);
+
+  const JobQueue::Admission rejected = queue.try_admit();
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.retry_after, sim::DurationPs{500});
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.admitted(), 3u);
+  EXPECT_EQ(queue.outstanding(), 3u);
+}
+
+TEST(JobQueueTest, ReleaseFreesASlot) {
+  JobQueue queue(1, sim::DurationPs{10});
+  EXPECT_TRUE(queue.try_admit().accepted);
+  EXPECT_FALSE(queue.try_admit().accepted);
+  queue.release();
+  EXPECT_EQ(queue.outstanding(), 0u);
+  EXPECT_TRUE(queue.try_admit().accepted);
+  EXPECT_EQ(queue.admitted(), 2u);
+  EXPECT_EQ(queue.rejected(), 1u);
+}
+
+TEST(JobQueueTest, TracksPeakDepth) {
+  JobQueue queue(4, sim::DurationPs{10});
+  queue.try_admit();
+  queue.try_admit();
+  queue.try_admit();
+  queue.release();
+  queue.release();
+  queue.try_admit();
+  EXPECT_EQ(queue.peak_depth(), 3u);
+  EXPECT_EQ(queue.outstanding(), 2u);
+}
+
+TEST(JobQueueTest, RejectsInvalidUse) {
+  EXPECT_THROW(JobQueue(0, sim::DurationPs{1}), std::invalid_argument);
+  JobQueue queue(1, sim::DurationPs{1});
+  EXPECT_THROW(queue.release(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bigk::serve

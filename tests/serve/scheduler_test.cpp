@@ -1,0 +1,100 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace bigk::serve {
+namespace {
+
+TEST(PolicyTest, NamesRoundTrip) {
+  EXPECT_EQ(policy_from_name("round-robin"), Policy::kRoundRobin);
+  EXPECT_EQ(policy_from_name("least-bytes"), Policy::kLeastOutstandingBytes);
+  EXPECT_EQ(policy_from_name("app-affinity"), Policy::kAppAffinity);
+  EXPECT_STREQ(policy_name(Policy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(policy_name(Policy::kLeastOutstandingBytes), "least-bytes");
+  EXPECT_STREQ(policy_name(Policy::kAppAffinity), "app-affinity");
+}
+
+TEST(PolicyTest, UnknownNameListsValidPolicies) {
+  try {
+    policy_from_name("fifo");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("fifo"), std::string::npos);
+    EXPECT_NE(message.find("round-robin"), std::string::npos);
+    EXPECT_NE(message.find("least-bytes"), std::string::npos);
+    EXPECT_NE(message.find("app-affinity"), std::string::npos);
+  }
+}
+
+TEST(SchedulerTest, RoundRobinRotates) {
+  Scheduler scheduler(Policy::kRoundRobin, 3);
+  EXPECT_EQ(scheduler.pick_device("a", 10), 0u);
+  EXPECT_EQ(scheduler.pick_device("b", 10), 1u);
+  EXPECT_EQ(scheduler.pick_device("c", 10), 2u);
+  EXPECT_EQ(scheduler.pick_device("d", 10), 0u);
+}
+
+TEST(SchedulerTest, LeastBytesPicksShortestBacklog) {
+  Scheduler scheduler(Policy::kLeastOutstandingBytes, 3);
+  scheduler.on_dispatch(0, "a", 100);
+  scheduler.on_dispatch(1, "b", 10);
+  scheduler.on_dispatch(2, "c", 50);
+  EXPECT_EQ(scheduler.pick_device("d", 5), 1u);
+  scheduler.on_dispatch(1, "d", 200);
+  EXPECT_EQ(scheduler.pick_device("e", 5), 2u);
+  // Completion shrinks the backlog and changes the pick.
+  scheduler.on_complete(0, 100);
+  EXPECT_EQ(scheduler.pick_device("f", 5), 0u);
+  // Ties break toward the lowest device index.
+  Scheduler fresh(Policy::kLeastOutstandingBytes, 2);
+  EXPECT_EQ(fresh.pick_device("a", 5), 0u);
+}
+
+TEST(SchedulerTest, AppAffinityPrefersResidentDataset) {
+  Scheduler scheduler(Policy::kAppAffinity, 3);
+  // Cold start: no resident datasets, falls back to least bytes (device 0).
+  EXPECT_EQ(scheduler.pick_device("a", 10), 0u);
+  scheduler.on_dispatch(0, "a", 10);
+  EXPECT_EQ(scheduler.pick_device("b", 10), 1u);
+  scheduler.on_dispatch(1, "b", 10);
+  // "a" is resident on device 0: affinity wins even though device 2 is idle.
+  EXPECT_EQ(scheduler.pick_device("a", 10), 0u);
+  scheduler.on_dispatch(0, "a", 10);
+  EXPECT_EQ(scheduler.resident_app(0), "a");
+  // An unseen app lands on the emptiest device.
+  EXPECT_EQ(scheduler.pick_device("c", 10), 2u);
+}
+
+TEST(SchedulerTest, AffinityTiesBreakByBacklogAmongWarmDevices) {
+  Scheduler scheduler(Policy::kAppAffinity, 3);
+  scheduler.on_dispatch(0, "a", 100);
+  scheduler.on_dispatch(1, "a", 10);
+  scheduler.on_dispatch(2, "b", 8);
+  // Both 0 and 1 hold "a"; the lighter backlog wins. Device 1's lead over
+  // the emptiest device (10 vs 8) is within the job's own 5 bytes, so the
+  // warm detour is worth it.
+  EXPECT_EQ(scheduler.pick_device("a", 5), 1u);
+}
+
+TEST(SchedulerTest, AffinitySpillsWhenWarmBacklogOutweighsStagingSaving) {
+  Scheduler scheduler(Policy::kAppAffinity, 3);
+  scheduler.on_dispatch(0, "a", 100);
+  scheduler.on_dispatch(1, "a", 110);
+  scheduler.on_dispatch(2, "b", 8);
+  // The best warm device (0, backlog 100) leads the emptiest device (2,
+  // backlog 8) by far more than the 5 input bytes a warm hit could save:
+  // head-of-line blocking behind the warm device would cost more than cold
+  // staging, so the job spills to the emptiest device.
+  EXPECT_EQ(scheduler.pick_device("a", 5), 2u);
+}
+
+TEST(SchedulerTest, RejectsZeroDevices) {
+  EXPECT_THROW(Scheduler(Policy::kRoundRobin, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bigk::serve

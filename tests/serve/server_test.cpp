@@ -1,0 +1,240 @@
+// Functional tests of the bigkserve serving layer over a toy app suite:
+// completion, multi-device scaling, admission-control shedding, app-affinity
+// reuse, deadlines, and clean execution under the bigkcheck sanitizers with
+// concurrent devices.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "serve/job.hpp"
+#include "toy_suite.hpp"
+
+namespace bigk::serve {
+namespace {
+
+using test::make_toy_suite;
+using test::toy_engine_options;
+using test::toy_system;
+
+ServerConfig toy_server(std::uint32_t devices, Policy policy,
+                        std::uint32_t queue_depth) {
+  ServerConfig config;
+  config.system = toy_system();
+  config.devices = devices;
+  config.policy = policy;
+  config.queue_depth = queue_depth;
+  config.retry_after = sim::DurationPs{1'000'000'000};  // 1 ms
+  config.engine = toy_engine_options();
+  return config;
+}
+
+std::vector<JobSpec> toy_workload(std::uint32_t num_jobs,
+                                  std::uint32_t num_apps,
+                                  std::uint64_t seed = 7) {
+  std::vector<std::string> names;
+  for (std::uint32_t i = 0; i < num_apps; ++i) {
+    names.push_back("toy" + std::to_string(i));
+  }
+  WorkloadConfig workload;
+  workload.num_jobs = num_jobs;
+  workload.seed = seed;
+  return make_workload(names, workload);
+}
+
+TEST(ServeServerTest, CompletesAllJobsAcrossDevices) {
+  const auto suite = make_toy_suite(3, 6'000);
+  const auto specs = toy_workload(8, 3);
+  const ServeReport report =
+      run_server(toy_server(2, Policy::kRoundRobin, 8), specs, suite);
+
+  EXPECT_EQ(report.jobs.size(), 8u);
+  EXPECT_EQ(report.completed, 8u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.completion_order.size(), 8u);
+  ASSERT_EQ(report.devices.size(), 2u);
+  EXPECT_EQ(report.devices[0].jobs + report.devices[1].jobs, 8u);
+  // Round-robin across 2 devices splits 8 jobs evenly.
+  EXPECT_EQ(report.devices[0].jobs, 4u);
+  EXPECT_GT(report.latency_p50, 0u);
+  EXPECT_GE(report.latency_p95, report.latency_p50);
+  EXPECT_GE(report.latency_p99, report.latency_p95);
+  EXPECT_GT(report.throughput_jobs_per_s, 0.0);
+  for (const JobRecord& record : report.jobs) {
+    EXPECT_TRUE(record.completed);
+    EXPECT_GE(record.finish_time, record.start_time);
+    EXPECT_GE(record.start_time, record.spec.submit_time);
+  }
+  for (const DeviceReport& device : report.devices) {
+    EXPECT_GT(device.utilization, 0.0);
+    EXPECT_LE(device.utilization, 1.0);
+    EXPECT_GT(device.kernel_launches, 0u);
+  }
+}
+
+TEST(ServeServerTest, MoreDevicesShrinkMakespan) {
+  // Compute-heavy jobs (GPU-bound) so the device pool, not the shared host,
+  // is the bottleneck.
+  const auto suite = make_toy_suite(4, 4'000, /*alu_ops=*/512.0);
+  const auto specs = toy_workload(16, 4);
+  const ServeReport one =
+      run_server(toy_server(1, Policy::kRoundRobin, 16), specs, suite);
+  const ServeReport four =
+      run_server(toy_server(4, Policy::kRoundRobin, 16), specs, suite);
+
+  EXPECT_EQ(one.completed, 16u);
+  EXPECT_EQ(four.completed, 16u);
+  EXPECT_LT(four.makespan, one.makespan);
+  EXPECT_GT(four.throughput_jobs_per_s, 2.0 * one.throughput_jobs_per_s)
+      << "4 devices should deliver well over 2x one device's throughput";
+}
+
+TEST(ServeServerTest, SaturatedQueueShedsLoad) {
+  const auto suite = make_toy_suite(2, 6'000);
+  const auto specs = toy_workload(12, 2);
+  ServerConfig config = toy_server(1, Policy::kRoundRobin, 2);
+  config.max_retries = 1;
+  config.retry_after = sim::DurationPs{1'000'000};  // 1 us: retries too early
+  const ServeReport report = run_server(config, specs, suite);
+
+  EXPECT_GT(report.rejections, 0u);
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_EQ(report.completed + report.dropped, 12u);
+  EXPECT_LE(report.peak_queue_depth, 2u);
+  for (const JobRecord& record : report.jobs) {
+    if (!record.admitted) {
+      EXPECT_GT(record.rejections, 0u);
+    }
+  }
+}
+
+TEST(ServeServerTest, RetryAfterEventuallyAdmits) {
+  const auto suite = make_toy_suite(2, 6'000);
+  const auto specs = toy_workload(12, 2);
+  // Generous retry budget: everything completes despite the tiny queue.
+  ServerConfig config = toy_server(2, Policy::kRoundRobin, 2);
+  config.max_retries = 200;
+  const ServeReport report = run_server(config, specs, suite);
+  EXPECT_EQ(report.completed, 12u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_GT(report.rejections, 0u);
+}
+
+TEST(ServeServerTest, AppAffinityBeatsRoundRobinOnReuseHeavyMix) {
+  // Staging-heavy jobs (large input, light compute) on a reuse-heavy mix of
+  // two apps: affinity keeps datasets resident and skips the staging pass.
+  const auto suite = make_toy_suite(2, 24'000, /*alu_ops=*/1.0);
+  const auto specs = toy_workload(12, 2, /*seed=*/99);
+  const ServeReport rr =
+      run_server(toy_server(2, Policy::kRoundRobin, 12), specs, suite);
+  const ServeReport affinity =
+      run_server(toy_server(2, Policy::kAppAffinity, 12), specs, suite);
+
+  EXPECT_EQ(rr.completed, 12u);
+  EXPECT_EQ(affinity.completed, 12u);
+  EXPECT_GT(affinity.warm_hits, rr.warm_hits);
+  EXPECT_LT(affinity.makespan, rr.makespan);
+}
+
+TEST(ServeServerTest, DeadlinesAreAccounted) {
+  const auto suite = make_toy_suite(2, 6'000);
+  std::vector<JobSpec> specs = toy_workload(6, 2);
+  for (JobSpec& spec : specs) spec.deadline = sim::DurationPs{1};  // 1 ps SLO
+  const ServeReport tight =
+      run_server(toy_server(1, Policy::kRoundRobin, 6), specs, suite);
+  EXPECT_EQ(tight.deadline_misses, tight.completed);
+
+  for (JobSpec& spec : specs) spec.deadline = 0;  // no SLO
+  const ServeReport relaxed =
+      run_server(toy_server(1, Policy::kRoundRobin, 6), specs, suite);
+  EXPECT_EQ(relaxed.deadline_misses, 0u);
+}
+
+TEST(ServeServerTest, RunsCleanUnderCheckersWithTwoDevices) {
+  // The multi-device analogue of the schemes clean-under-check guard:
+  // concurrent engines on distinct devices, each job under a fresh
+  // sanitizer, must produce zero violations (a violation throws).
+  const auto suite = make_toy_suite(2, 8'000);
+  const auto specs = toy_workload(6, 2);
+  ServerConfig config = toy_server(2, Policy::kLeastOutstandingBytes, 6);
+  config.check = check::CheckOptions::all_enabled();
+  const ServeReport report = run_server(config, specs, suite);
+  EXPECT_EQ(report.completed, 6u);
+}
+
+TEST(ServeServerTest, UnknownAppNameThrowsWithValidNames) {
+  const auto suite = make_toy_suite(2, 1'000);
+  std::vector<JobSpec> specs(1);
+  specs[0].app = "nope";
+  try {
+    run_server(toy_server(1, Policy::kRoundRobin, 4), specs, suite);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    EXPECT_NE(message.find("toy0"), std::string::npos);
+    EXPECT_NE(message.find("toy1"), std::string::npos);
+  }
+}
+
+TEST(ServeServerTest, ReportJsonIsWellFormed) {
+  const auto suite = make_toy_suite(2, 4'000);
+  const auto specs = toy_workload(4, 2);
+  const ServeReport report =
+      run_server(toy_server(2, Policy::kAppAffinity, 4), specs, suite);
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"completion_order\""), std::string::npos);
+  EXPECT_NE(json.find("\"devices\""), std::string::npos);
+  EXPECT_NE(json.find("\"job_records\""), std::string::npos);
+}
+
+TEST(ServeServerTest, ExportsMetricsGauges) {
+  const auto suite = make_toy_suite(2, 4'000);
+  const auto specs = toy_workload(4, 2);
+  obs::MetricsRegistry registry;
+  ServerConfig config = toy_server(2, Policy::kRoundRobin, 4);
+  config.metrics = &registry;
+  run_server(config, specs, suite);
+
+  const std::string prefix = "serve.round-robin.devices2";
+  ASSERT_NE(registry.find_gauge(prefix + ".latency_p50_ms"), nullptr);
+  ASSERT_NE(registry.find_gauge(prefix + ".latency_p95_ms"), nullptr);
+  ASSERT_NE(registry.find_gauge(prefix + ".latency_p99_ms"), nullptr);
+  ASSERT_NE(registry.find_gauge(prefix + ".throughput_jobs_per_s"), nullptr);
+  ASSERT_NE(registry.find_gauge(prefix + ".dev0.utilization"), nullptr);
+  ASSERT_NE(registry.find_gauge(prefix + ".dev1.utilization"), nullptr);
+  EXPECT_GT(registry.find_gauge(prefix + ".completed")->value(), 0.0);
+  EXPECT_GT(registry.find_gauge(prefix + ".dev0.utilization")->value(), 0.0);
+}
+
+TEST(ServeServerTest, TracerGetsPerDeviceEngineRowsAndServeSpans) {
+  const auto suite = make_toy_suite(2, 4'000);
+  const auto specs = toy_workload(4, 2);
+  obs::Tracer tracer;
+  ServerConfig config = toy_server(2, Policy::kRoundRobin, 4);
+  config.tracer = &tracer;
+  run_server(config, specs, suite);
+
+  bool saw_dev0_engine = false;
+  bool saw_dev1_engine = false;
+  bool saw_serve_span = false;
+  for (const obs::SpanEvent& span : tracer.spans()) {
+    const std::string_view process = tracer.process_name(span.track.pid);
+    if (process.rfind("dev0 engine block ", 0) == 0) saw_dev0_engine = true;
+    if (process.rfind("dev1 engine block ", 0) == 0) saw_dev1_engine = true;
+    if (process == "serve") saw_serve_span = true;
+  }
+  EXPECT_TRUE(saw_dev0_engine);
+  EXPECT_TRUE(saw_dev1_engine);
+  EXPECT_TRUE(saw_serve_span);
+}
+
+}  // namespace
+}  // namespace bigk::serve

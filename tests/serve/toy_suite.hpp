@@ -1,0 +1,168 @@
+// Shared toy apps for the serving-layer tests: the schemes-test record shape
+// (4 uint64 [a, b, pad, out]; out = a * 2 + b; atomic checksum table) with a
+// tunable ALU weight, wrapped in apps::JobRunner so tests can build small
+// deterministic suites without generating the paper-scale datasets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/device_tables.hpp"
+#include "core/engine.hpp"
+#include "schemes/runners.hpp"
+
+namespace bigk::serve::test {
+
+struct ToyServeApp {
+  static constexpr std::uint32_t kElemsPerRecord = 4;
+  std::uint64_t records;
+  double alu_ops;
+  std::vector<std::uint64_t> data;
+  core::TableSet table_set;
+  core::TableRef<std::uint64_t> checksum;
+
+  ToyServeApp(std::uint64_t n, double alu) : records(n), alu_ops(alu) {
+    data.resize(records * kElemsPerRecord);
+    checksum = table_set.add<std::uint64_t>(1);
+    reset();
+  }
+
+  void reset() {
+    for (std::uint64_t r = 0; r < records; ++r) {
+      data[r * 4] = r * 7 + 1;
+      data[r * 4 + 1] = r ^ 0x55;
+      data[r * 4 + 2] = 99;
+      data[r * 4 + 3] = 0;
+    }
+    table_set.host_span(checksum)[0] = 0;
+  }
+
+  std::uint64_t num_records() const { return records; }
+  core::TableSet& tables() { return table_set; }
+  bool interleaved_records() const { return true; }
+
+  std::vector<schemes::StreamDecl> stream_decls() {
+    schemes::StreamDecl decl;
+    decl.binding.host_data = reinterpret_cast<std::byte*>(data.data());
+    decl.binding.num_elements = data.size();
+    decl.binding.elem_size = 8;
+    decl.binding.mode = core::AccessMode::kReadWrite;
+    decl.binding.elems_per_record = kElemsPerRecord;
+    decl.binding.reads_per_record = 2;
+    decl.binding.writes_per_record = 1;
+    return {decl};
+  }
+
+  struct Kernel {
+    core::StreamRef<std::uint64_t> stream{0};
+    core::TableRef<std::uint64_t> checksum;
+    double alu_ops = 8;
+
+    template <class Ctx>
+    void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
+                    std::uint64_t stride) const {
+      for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
+        const std::uint64_t a = ctx.read(stream, r * 4);
+        const std::uint64_t b = ctx.read(stream, r * 4 + 1);
+        ctx.alu(alu_ops);
+        ctx.write(stream, r * 4 + 3, a * 2 + b);
+        ctx.atomic_add_table(checksum, 0, a + b);
+      }
+    }
+  };
+
+  Kernel kernel() const { return Kernel{{0}, checksum, alu_ops}; }
+
+  void expect_results() const {
+    for (std::uint64_t r = 0; r < records; ++r) {
+      const std::uint64_t a = r * 7 + 1;
+      const std::uint64_t b = r ^ 0x55;
+      if (data[r * 4 + 3] != a * 2 + b) {
+        throw std::logic_error("toy app result mismatch at record " +
+                               std::to_string(r));
+      }
+    }
+  }
+};
+
+/// JobRunner over the toy app, mirroring the registry's per-app runner.
+class ToyRunner final : public apps::JobRunner {
+ public:
+  ToyRunner(std::string name, std::uint64_t records, double alu_ops)
+      : name_(std::move(name)), app_(records, alu_ops) {}
+
+  const std::string& app_name() const noexcept override { return name_; }
+  std::uint64_t num_records() const override { return app_.num_records(); }
+
+  std::uint64_t input_bytes() const override {
+    std::uint64_t total = 0;
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      total += decl.binding.size_bytes();
+    }
+    return total;
+  }
+
+  sim::Task<> run(cusim::Runtime& runtime,
+                  const apps::JobRunConfig& cfg) override {
+    app_.reset();
+    core::Engine engine(runtime, cfg.engine);
+    engine.set_tracer(cfg.tracer);
+    engine.set_trace_scope(cfg.trace_scope);
+    engine.set_sanitizer(cfg.sanitizer);
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      engine.map_stream(decl.binding, decl.overfetch_elems);
+    }
+    const auto kernel = app_.kernel();
+    core::DeviceTables tables =
+        co_await core::DeviceTables::upload(runtime, app_.tables());
+    co_await engine.launch(kernel, app_.num_records(), tables);
+    co_await tables.download();
+    tables.release();
+    app_.expect_results();
+  }
+
+ private:
+  std::string name_;
+  mutable ToyServeApp app_;
+};
+
+/// A suite of `num_apps` toy apps named "toy0".."toyN-1" (only the fields
+/// the serving layer uses are populated).
+inline std::vector<apps::BenchApp> make_toy_suite(std::uint32_t num_apps,
+                                                  std::uint64_t records,
+                                                  double alu_ops = 8.0) {
+  std::vector<apps::BenchApp> suite;
+  for (std::uint32_t i = 0; i < num_apps; ++i) {
+    apps::BenchApp entry;
+    entry.name = "toy" + std::to_string(i);
+    entry.info.name = entry.name;
+    entry.make_runner = [name = entry.name, records, alu_ops] {
+      return std::unique_ptr<apps::JobRunner>(
+          std::make_unique<ToyRunner>(name, records, alu_ops));
+    };
+    suite.push_back(std::move(entry));
+  }
+  return suite;
+}
+
+/// Small per-device system (2 MB GPU arenas, default host CPU).
+inline gpusim::SystemConfig toy_system() {
+  gpusim::SystemConfig config;
+  config.gpu.global_memory_bytes = 2 << 20;
+  return config;
+}
+
+/// Engine options sized for the toy workload (few assembly threads so pools
+/// of engines don't oversubscribe the 4 host cores).
+inline core::Options toy_engine_options() {
+  core::Options options;
+  options.num_blocks = 2;
+  options.compute_threads_per_block = 64;
+  return options;
+}
+
+}  // namespace bigk::serve::test
