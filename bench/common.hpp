@@ -26,6 +26,12 @@
 //   --jobs <N>             serving-layer benches: jobs in the workload mix
 //   --policy <name>        serving-layer scheduling policy: round-robin,
 //                          least-bytes (default), or app-affinity
+//   --cache                serving-layer benches: give every device a
+//                          bigkcache chunk cache + pinned assembly pool
+//   --cache-bytes <N>      cache partition per device in bytes (implies
+//                          --cache; default: a quarter of the device arena)
+//   --cache-policy <name>  cache eviction policy: cost-aware (default) or
+//                          lru (implies --cache)
 // Each flag accepts both "--flag=value" and "--flag value". `--help` prints
 // this list before google-benchmark's own help.
 #pragma once
@@ -43,6 +49,7 @@
 
 #include "apps/common.hpp"
 #include "apps/registry.hpp"
+#include "cache/policy.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
@@ -167,6 +174,9 @@ class Harness {
   std::uint32_t jobs() const noexcept { return jobs_; }
   const std::string& policy() const noexcept { return policy_; }
   bool check_requested() const noexcept { return check_requested_; }
+  bool cache_requested() const noexcept { return cache_requested_; }
+  std::uint64_t cache_bytes() const noexcept { return cache_bytes_; }
+  cache::EvictionKind cache_policy() const noexcept { return cache_policy_; }
 
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
@@ -252,6 +262,14 @@ class Harness {
         jobs_ = parse_count(value, "--jobs");
       } else if (take(&i, arg, "--policy")) {
         policy_ = value;
+      } else if (arg == "--cache") {
+        cache_requested_ = true;
+      } else if (take(&i, arg, "--cache-bytes")) {
+        cache_requested_ = true;
+        cache_bytes_ = parse_bytes(value, "--cache-bytes");
+      } else if (take(&i, arg, "--cache-policy")) {
+        cache_requested_ = true;
+        cache_policy_ = cache::eviction_from_name(value);
       } else {
         if (arg == "--help") print_harness_help();
         argv[kept++] = argv[i];  // --help falls through to google-benchmark
@@ -272,6 +290,17 @@ class Harness {
     return static_cast<std::uint32_t>(parsed);
   }
 
+  static std::uint64_t parse_bytes(const std::string& value,
+                                   const char* flag) {
+    const long long parsed = std::atoll(value.c_str());
+    if (parsed <= 0) {
+      std::fprintf(stderr, "error: %s needs a positive byte count, got \"%s\"\n",
+                   flag, value.c_str());
+      std::exit(1);
+    }
+    return static_cast<std::uint64_t>(parsed);
+  }
+
   static void print_harness_help() {
     std::printf(
         "bigk harness flags (in addition to google-benchmark's):\n"
@@ -282,6 +311,10 @@ class Harness {
         "  --jobs <N>             serving benches: jobs in the workload\n"
         "  --policy <name>        serving benches: round-robin, least-bytes\n"
         "                         (default), or app-affinity\n"
+        "  --cache                serving benches: per-device bigkcache chunk\n"
+        "                         cache + pinned assembly pool\n"
+        "  --cache-bytes <N>      cache partition bytes per device (implies\n"
+        "                         --cache; default: arena / 4)\n"
         "Valued flags accept both --flag=value and --flag value.\n\n");
   }
 
@@ -289,6 +322,9 @@ class Harness {
   std::string metrics_path_;
   std::string trace_path_;
   bool check_requested_ = false;
+  bool cache_requested_ = false;
+  std::uint64_t cache_bytes_ = 0;
+  cache::EvictionKind cache_policy_ = cache::EvictionKind::kCostAware;
   std::uint32_t devices_ = 1;
   std::uint32_t jobs_ = 32;
   std::string policy_ = "least-bytes";

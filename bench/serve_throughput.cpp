@@ -6,10 +6,14 @@
 //   serve/mixed/devices<D>        same workload, --devices pool, --policy
 //   serve/reuse/round-robin       reuse-heavy mix, affinity-blind placement
 //   serve/reuse/app-affinity      same mix, dataset-affinity placement
+//   serve/reuse/app-affinity+cache  (--cache) same mix + per-device bigkcache
+//                                 chunk cache: repeat jobs skip assembly and
+//                                 PCIe transfer for still-resident chunks
 //   serve/shed                    saturating burst against a tiny admission
 //                                 queue (load shedding / retry-after)
 //
 // Usage: serve_throughput [--devices N] [--jobs N] [--policy P]
+//                         [--cache] [--cache-bytes N]
 //                         [--metrics-json=out.json] [--trace-out=trace.json]
 #include <cstdio>
 #include <map>
@@ -154,6 +158,22 @@ int main(int argc, char** argv) {
                                      "serve.reuse.app-affinity"),
                          reuse, reuse_apps);
       });
+  if (harness.cache_requested()) {
+    // Same reuse mix + per-device chunk cache: the no-cache app-affinity run
+    // above stays as the A/B comparator for hit rate and PCIe savings.
+    bigk::bench::register_sim_benchmark(
+        "serve/reuse/app-affinity+cache", &harness.results,
+        [&, reuse, reuse_apps] {
+          serve::ServerConfig config =
+              base_config(reuse_devices, serve::Policy::kAppAffinity,
+                          "serve.reuse.app-affinity+cache");
+          config.cache_enabled = true;
+          config.cache_bytes = harness.cache_bytes();
+          config.cache_eviction = harness.cache_policy();
+          return run_serve("reuse/app-affinity+cache", config, reuse,
+                           reuse_apps);
+        });
+  }
 
   // Saturating burst against a tiny queue: admission control sheds load with
   // retry-after instead of building an unbounded backlog.
@@ -183,6 +203,30 @@ int main(int argc, char** argv) {
         .gauge("serve.scaling.devices" + std::to_string(devices) + "_vs_1")
         .set(scaling);
   }
+  // bigkcache headline: A/B of the reuse mix with and without the cache.
+  std::uint64_t h2d_cache = 0;
+  std::uint64_t h2d_nocache = 0;
+  if (reports.count("reuse/app-affinity+cache") != 0) {
+    const serve::ServeReport& cached = reports["reuse/app-affinity+cache"];
+    for (const serve::DeviceReport& dev : cached.devices) {
+      h2d_cache += dev.h2d_bytes;
+    }
+    harness.metrics.gauge("serve.cache.hit_rate").set(cached.cache_hit_rate);
+    harness.metrics.gauge("serve.cache.hits")
+        .set(static_cast<double>(cached.cache_hits));
+    harness.metrics.gauge("serve.cache.bytes_saved")
+        .set(static_cast<double>(cached.cache_bytes_saved));
+    harness.metrics.gauge("serve.cache.h2d_bytes")
+        .set(static_cast<double>(h2d_cache));
+    if (reports.count("reuse/app-affinity") != 0) {
+      for (const serve::DeviceReport& dev :
+           reports["reuse/app-affinity"].devices) {
+        h2d_nocache += dev.h2d_bytes;
+      }
+      harness.metrics.gauge("serve.nocache.h2d_bytes")
+          .set(static_cast<double>(h2d_nocache));
+    }
+  }
   if (!harness.write_outputs()) return 1;
 
   bigk::bench::print_header(
@@ -205,6 +249,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(aff.warm_hits),
                   static_cast<unsigned long long>(rr.warm_hits));
     }
+  }
+  if (reports.count("reuse/app-affinity+cache") != 0) {
+    const serve::ServeReport& cached = reports["reuse/app-affinity+cache"];
+    std::printf("cache: hit rate %.1f%% (%llu hits / %llu misses), "
+                "%.2f MB PCIe saved; h2d %.2f MB with cache vs %.2f MB "
+                "without\n",
+                cached.cache_hit_rate * 100.0,
+                static_cast<unsigned long long>(cached.cache_hits),
+                static_cast<unsigned long long>(cached.cache_misses),
+                static_cast<double>(cached.cache_bytes_saved) / 1e6,
+                static_cast<double>(h2d_cache) / 1e6,
+                static_cast<double>(h2d_nocache) / 1e6);
   }
   return 0;
 }

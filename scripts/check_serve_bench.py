@@ -11,7 +11,10 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
     percentiles (p50 <= p95 <= p99), the throughput gauge, and a per-device
     utilization gauge in (0, 1] for each pool device,
   * the device-pool scaling gauge (pool vs. single device) is present and
-    positive.
+    positive,
+  * the bigkcache A/B (run under --cache) reports a positive hit rate with
+    positive PCIe bytes saved, and strictly fewer total H2D bytes than the
+    no-cache app-affinity run over the same reuse mix.
 
 Usage: check_serve_bench.py <path-to-serve_throughput-binary>
 Exits non-zero with a diagnostic on the first violation.
@@ -32,6 +35,7 @@ EXPECTED_RESULTS = [
     f"serve/mixed/devices{DEVICES}",
     "serve/reuse/round-robin",
     "serve/reuse/app-affinity",
+    "serve/reuse/app-affinity+cache",
     "serve/shed",
 ]
 # (metrics prefix, number of devices the scenario runs with)
@@ -40,6 +44,7 @@ EXPECTED_PREFIXES = [
     (f"serve.mixed.devices{DEVICES}", DEVICES),
     ("serve.reuse.round-robin", DEVICES),
     ("serve.reuse.app-affinity", DEVICES),
+    ("serve.reuse.app-affinity+cache", DEVICES),
     ("serve.shed", DEVICES),
 ]
 SCALAR_GAUGES = [
@@ -80,6 +85,7 @@ def main():
                 "--jobs",
                 str(JOBS),
                 f"--metrics-json={metrics_path}",
+                "--cache",
             ],
             cwd=tmp,
             env=env,
@@ -162,9 +168,28 @@ def main():
     if completed != JOBS:
         fail(f"pool scenario completed {completed} of {JOBS} jobs")
 
+    # bigkcache A/B over the reuse mix: the cache must actually engage and
+    # must strictly reduce the PCIe traffic against the no-cache run.
+    hit_rate = gauge("serve.cache.hit_rate")
+    if not 0 < hit_rate <= 1:
+        fail(f"serve.cache.hit_rate out of (0, 1]: {hit_rate}")
+    if gauge("serve.cache.hits") <= 0:
+        fail("serve.cache.hits is not positive")
+    if gauge("serve.cache.bytes_saved") <= 0:
+        fail("serve.cache.bytes_saved is not positive")
+    h2d_cache = gauge("serve.cache.h2d_bytes")
+    h2d_nocache = gauge("serve.nocache.h2d_bytes")
+    if not 0 < h2d_cache < h2d_nocache:
+        fail(
+            "cached reuse mix did not reduce H2D traffic: "
+            f"{h2d_cache} (cache) vs {h2d_nocache} (no cache)"
+        )
+
     print(
         f"check_serve_bench: OK: {len(results)} scenarios, "
-        f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}"
+        f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}, "
+        f"cache hit rate {hit_rate:.1%} "
+        f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B)"
     )
 
 

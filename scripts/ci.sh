@@ -47,6 +47,13 @@ for preset in "${presets[@]}"; do
       # its ctest shard) so a TSan hit in it fails the preset by name.
       echo "=== ci preset tsan: serve stress test ==="
       "${repo_root}/build-ci-tsan/tests/serve_stress_test"
+      # bigkcache shares one chunk cache + pinned pool across every engine a
+      # device runs; exercise the cache suites explicitly under TSan so a
+      # data race on the shared cache state fails the preset by name.
+      echo "=== ci preset tsan: cache tests ==="
+      "${repo_root}/build-ci-tsan/tests/cache_chunk_cache_test"
+      "${repo_root}/build-ci-tsan/tests/cache_pinned_pool_test"
+      "${repo_root}/build-ci-tsan/tests/cache_engine_cache_test"
       ;;
     tidy)
       # Optional extra: static analysis build (no tests; compile = analyze).

@@ -41,6 +41,8 @@ class AppJobRunner final : public JobRunner {
     engine.set_tracer(cfg.tracer);
     engine.set_trace_scope(cfg.trace_scope);
     engine.set_sanitizer(cfg.sanitizer);
+    engine.set_chunk_cache(cfg.chunk_cache, cfg.dataset_id);
+    engine.set_pinned_pool(cfg.pinned_pool);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "cache/chunk_cache.hpp"
+#include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
 #include "core/options.hpp"
 #include "cusim/runtime.hpp"
@@ -32,6 +34,13 @@ struct JobRunConfig {
   /// Prefix for the engine's trace process rows (e.g. "dev2 job7 ") so
   /// concurrent engines on different devices write disjoint tracks.
   std::string trace_scope;
+  /// bigkcache: chunk cache + pinned assembly-buffer pool of the target
+  /// device (both owned by the serving layer; must live on the same device
+  /// the job runs on). `dataset_id` identifies the app's generated dataset
+  /// for cache keying — the serving layer hashes the app name.
+  cache::ChunkCache* chunk_cache = nullptr;
+  cache::PinnedPool* pinned_pool = nullptr;
+  std::uint64_t dataset_id = 0;
 };
 
 /// One runnable instance of a benchmark application, type-erased so the

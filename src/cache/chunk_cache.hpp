@@ -1,0 +1,184 @@
+// bigkcache: a device-resident chunk cache over the staging pipeline.
+//
+// The engine re-assembles and re-transfers the same chunk images on every
+// launch, even when a repeat job of the same app lands on a device whose
+// arena still holds them. The chunk cache carves a partition out of the
+// device arena and retains assembled ring-slot contents after their chunk
+// retires, keyed by (dataset, stream, chunk range, layout, pattern
+// signature); on a hit the assembly and DMA stages are skipped and the
+// compute stage reads the cached device range directly.
+//
+// Protocol:
+//   * lookup() pins the entry on a hit; the engine unpins at slot release,
+//     so an entry backing an in-flight chunk can never be evicted.
+//   * On a miss the engine assembles as usual, then insert() allocates an
+//     entry (evicting per policy under pressure) and the H2D DMA targets the
+//     entry's device range directly — no device-to-device copy; the entry is
+//     born pinned and the engine unpins it at slot release.
+//   * invalidate_dataset() / invalidate_entry() drop entries whose source
+//     bytes mutated; a still-pinned entry turns zombie (removed from the
+//     index immediately, storage reclaimed at the last unpin) and the
+//     pipeline checker is told so a read after the invalidation is flagged
+//     as stale_cache_read.
+//
+// Everything is deterministic: ordered containers, monotonic entry ids, and
+// a recency tick instead of wall clocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cache/key.hpp"
+#include "cache/policy.hpp"
+#include "check/pipecheck.hpp"
+#include "gpusim/device_memory.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::cache {
+
+class ChunkCache {
+ public:
+  struct Config {
+    /// Partition carved from the device arena at construction.
+    std::uint64_t capacity_bytes = 0;
+    EvictionKind eviction = EvictionKind::kCostAware;
+    /// Admission window for kCostAware: a resident entry is evictable for a
+    /// new, unproven image only after it has gone this many ticks of cache
+    /// traffic (lookups + insertions) without a use. 0 = every unpinned
+    /// entry is immediately evictable (pure cost ranking, no admission
+    /// control). Ignored by kLru.
+    std::uint64_t stale_ticks = 256;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t insert_failures = 0;  // no unpinned victim / oversized
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+    /// PCIe H2D bytes avoided by hits (the assembled image per hit).
+    std::uint64_t bytes_saved = 0;
+  };
+
+  /// Result of lookup()/insert(): a pinned device range the engine may DMA
+  /// into (insert) or read directly (hit). `entry` feeds unpin().
+  struct Lease {
+    std::uint64_t entry = 0;
+    std::uint64_t dev_base = 0;  // absolute device offset
+    std::uint64_t bytes = 0;
+  };
+
+  /// Reserves the partition from `memory`; throws gpusim::OutOfDeviceMemory
+  /// when the arena cannot spare `config.capacity_bytes`.
+  ChunkCache(gpusim::DeviceMemory& memory, Config config);
+  ~ChunkCache();
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Registers the live counters (`cache.<name>.hits` etc.) and the
+  /// per-device trace track ("<name> cache" process: hit/insert/evict
+  /// instants plus a resident-bytes counter series). Both sinks optional.
+  void attach_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                            const std::string& name);
+
+  /// Pipeline checker notified of invalidations/evictions (so it can prove
+  /// a cached read is never stale). The engine installs it per launch;
+  /// nullptr detaches.
+  void set_checker(check::PipelineChecker* checker) noexcept {
+    checker_ = checker;
+  }
+
+  /// Hit: pins the entry and returns its lease. Miss: counts it and returns
+  /// nullopt (the caller assembles, then offers the image via insert()).
+  std::optional<Lease> lookup(const CacheKey& key, sim::TimePs now);
+
+  /// Allocates a pinned entry of `bytes` for `key`, evicting unpinned
+  /// entries per policy under pressure. Returns nullopt when the image
+  /// cannot fit (oversized, or everything else is pinned); the caller then
+  /// falls back to the ring slot's own buffer.
+  std::optional<Lease> insert(const CacheKey& key, std::uint64_t bytes,
+                              sim::TimePs now);
+
+  /// Releases the pin taken by lookup()/insert(). A zombie entry (one
+  /// invalidated while pinned) is reclaimed at its last unpin.
+  void unpin(std::uint64_t entry);
+
+  /// Drops every entry of `dataset` (input mutated in place).
+  void invalidate_dataset(std::uint64_t dataset, sim::TimePs now);
+  /// Drops one entry by id (arena reclaim, fault injection); no-op when the
+  /// id is unknown or already invalidated.
+  void invalidate_entry(std::uint64_t entry, sim::TimePs now);
+
+  /// Live bytes cached for `dataset` — the scheduler's warm-benefit
+  /// estimate (what an affinity hit would actually save on PCIe).
+  std::uint64_t resident_bytes(std::uint64_t dataset) const;
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::uint64_t bytes_used() const noexcept { return used_; }
+  std::uint64_t entry_count() const noexcept { return entries_.size(); }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats_.hits) /
+                                  static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::uint64_t offset = 0;  // absolute device offset
+    std::uint64_t bytes = 0;
+    std::uint32_t pins = 0;
+    bool zombie = false;  // invalidated while pinned
+    std::uint64_t hits = 0;
+    std::uint64_t saved_bytes = 0;  // accumulated PCIe savings
+    std::uint64_t last_use = 0;     // recency tick
+  };
+
+  /// First-fit from the partition free list (256-byte aligned, neighbours
+  /// coalesced on free — the same discipline as the arena allocator).
+  std::optional<std::uint64_t> allocate(std::uint64_t bytes);
+  void free_range(std::uint64_t offset, std::uint64_t bytes);
+
+  /// Eviction victim per policy among unpinned live entries; entries_.end()
+  /// when everything is pinned.
+  std::map<std::uint64_t, Entry>::iterator pick_victim();
+  void evict(std::map<std::uint64_t, Entry>::iterator victim,
+             sim::TimePs now);
+  void reclaim(Entry& entry);
+  void trace_instant(const char* name, sim::TimePs now);
+  void trace_usage(sim::TimePs now);
+
+  gpusim::DeviceMemory& memory_;
+  Config config_;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t partition_base_ = 0;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_entry_ = 1;
+  std::uint64_t tick_ = 0;
+
+  std::map<CacheKey, std::uint64_t> index_;     // key -> entry id
+  std::map<std::uint64_t, Entry> entries_;      // entry id -> entry
+  std::map<std::uint64_t, std::uint64_t> free_;  // offset -> size
+
+  Stats stats_;
+  check::PipelineChecker* checker_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  obs::TrackId trace_events_{};
+  obs::Counter* ctr_hits_ = nullptr;
+  obs::Counter* ctr_misses_ = nullptr;
+  obs::Counter* ctr_evictions_ = nullptr;
+  obs::Counter* ctr_bytes_saved_ = nullptr;
+  obs::Counter* ctr_insertions_ = nullptr;
+  obs::Counter* ctr_insert_failures_ = nullptr;
+  obs::Counter* ctr_invalidations_ = nullptr;
+};
+
+}  // namespace bigk::cache

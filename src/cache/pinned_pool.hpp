@@ -1,0 +1,79 @@
+// Host-side pinned assembly-buffer pool.
+//
+// Every engine launch needs one pinned prefetch buffer per ring slot, and
+// cudaMallocHost-style pinned allocation is expensive and accumulates in the
+// host's pinned footprint. The pool recycles buffers (with their cache-model
+// region ids) across launches and across jobs on the same device: a reused
+// buffer keeps its region id, so the host cache model sees the same hot
+// region instead of an ever-growing set of cold ones, and the runtime's
+// pinned-bytes gauge only grows on genuinely fresh allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cusim/runtime.hpp"
+
+namespace bigk::cache {
+
+class PinnedPool {
+ public:
+  struct Buffer {
+    std::vector<std::byte> data;
+    std::uint32_t region = 0;
+  };
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t fresh_allocations = 0;
+    std::uint64_t bytes_allocated = 0;  // pinned footprint ever allocated
+  };
+
+  explicit PinnedPool(cusim::Runtime& runtime) : runtime_(runtime) {}
+
+  PinnedPool(const PinnedPool&) = delete;
+  PinnedPool& operator=(const PinnedPool&) = delete;
+
+  /// Returns a pinned buffer of exactly `bytes` bytes: the smallest free
+  /// buffer whose capacity covers the request (no reallocation, region id
+  /// preserved), or a fresh pinned allocation.
+  Buffer acquire(std::uint64_t bytes) {
+    ++stats_.acquires;
+    auto it = free_.lower_bound(bytes);
+    if (it != free_.end()) {
+      Buffer buffer = std::move(it->second);
+      free_.erase(it);
+      buffer.data.resize(bytes);
+      ++stats_.reuses;
+      return buffer;
+    }
+    Buffer buffer;
+    buffer.data.resize(bytes);
+    buffer.region = runtime_.next_region_id();
+    runtime_.note_pinned(bytes);
+    ++stats_.fresh_allocations;
+    stats_.bytes_allocated += bytes;
+    return buffer;
+  }
+
+  /// Hands a buffer back for reuse. Keyed by capacity: a later, smaller
+  /// acquire can shrink-fit into it without reallocating.
+  void release(Buffer buffer) {
+    const std::uint64_t capacity = buffer.data.capacity();
+    free_.emplace(capacity, std::move(buffer));
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t free_buffers() const noexcept { return free_.size(); }
+
+ private:
+  cusim::Runtime& runtime_;
+  std::multimap<std::uint64_t, Buffer> free_;  // capacity -> buffer
+  Stats stats_;
+};
+
+}  // namespace bigk::cache

@@ -1,0 +1,43 @@
+// Eviction policies for the bigkcache chunk cache.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bigk::cache {
+
+enum class EvictionKind : std::uint8_t {
+  /// Pure recency: evict the entry with the oldest last use.
+  kLru,
+  /// Cost-aware with admission control: a resident entry is only evictable
+  /// for a new, unproven image after it has gone Config::stale_ticks of
+  /// cache traffic without a use; among stale entries the one with the
+  /// least accumulated PCIe savings (hits x bytes) goes first, then the
+  /// oldest. This makes the policy scan-resistant: a sequential chunk scan
+  /// bigger than the partition keeps a stable resident prefix that serves
+  /// every later pass, instead of the LRU pathology of evicting each chunk
+  /// moments before its reuse.
+  kCostAware,
+};
+
+inline const char* eviction_name(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kCostAware: return "cost-aware";
+  }
+  return "?";
+}
+
+/// Parses a --cache-policy value; throws std::invalid_argument listing the
+/// valid names on anything unknown.
+inline EvictionKind eviction_from_name(std::string_view name) {
+  if (name == "lru") return EvictionKind::kLru;
+  if (name == "cost-aware") return EvictionKind::kCostAware;
+  throw std::invalid_argument("unknown cache eviction policy \"" +
+                              std::string(name) +
+                              "\"; valid policies: \"lru\" \"cost-aware\"");
+}
+
+}  // namespace bigk::cache

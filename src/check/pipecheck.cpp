@@ -32,7 +32,11 @@ void PipelineChecker::begin_launch(std::uint32_t num_blocks,
   for (SlotState& slot : slots_) {
     slot.counts.assign(num_streams, {});
     slot.reported_uncovered.assign(num_streams, 0);
+    slot.cache_entry.assign(num_streams, -1);
+    slot.cache_hit.assign(num_streams, 0);
+    slot.reported_cache.assign(num_streams, 0);
   }
+  entry_states_.clear();
 }
 
 void PipelineChecker::on_slot_acquire(std::uint32_t block,
@@ -56,6 +60,9 @@ void PipelineChecker::on_slot_acquire(std::uint32_t block,
   for (auto& counts : slot->counts) counts.clear();
   for (auto& reported : slot->reported_uncovered) reported = 0;
   slot->reported_stale = false;
+  for (auto& entry : slot->cache_entry) entry = -1;
+  for (auto& hit : slot->cache_hit) hit = 0;
+  for (auto& reported : slot->reported_cache) reported = 0;
 }
 
 void PipelineChecker::on_addr_counts(std::uint32_t block, std::uint64_t chunk,
@@ -150,6 +157,64 @@ void PipelineChecker::on_compute_read(std::uint32_t block, std::uint64_t chunk,
                    " element(s) for this thread");
     reporter_.report(std::move(violation));
   }
+
+  // bigkcache freshness: a cache-served stream must still point at a live
+  // entry when compute reads it.
+  if (stream >= slot->cache_entry.size() || slot->cache_entry[stream] < 0) {
+    return;
+  }
+  const std::uint64_t entry =
+      static_cast<std::uint64_t>(slot->cache_entry[stream]);
+  const auto state_it = entry_states_.find(entry);
+  const EntryState state =
+      state_it == entry_states_.end() ? EntryState::kValid : state_it->second;
+  if (state == EntryState::kValid) {
+    if (slot->cache_hit[stream] != 0) {
+      reporter_.bump("pipecheck.cache_hit_reads");
+    }
+    return;
+  }
+  if (slot->reported_cache[stream] != 0) return;
+  slot->reported_cache[stream] = 1;
+  const bool evicted = state == EntryState::kEvicted;
+  Violation violation = base_violation(
+      evicted ? "evicted_slot_read" : "stale_cache_read", block, chunk,
+      static_cast<std::uint32_t>(chunk % depth_));
+  violation.stream = stream;
+  violation.thread = thread;
+  violation.allocation = static_cast<std::int64_t>(entry);
+  violation.message =
+      std::string(evicted ? "evicted_slot_read" : "stale_cache_read") +
+      ": block " + std::to_string(block) + " compute for chunk " +
+      std::to_string(chunk) + " stream " + std::to_string(stream) +
+      " reads cache entry " + std::to_string(entry) +
+      (evicted
+           ? " after eviction — its device range may have been reallocated"
+           : " invalidated after the hit was declared "
+             "(reuse-after-invalidation)");
+  reporter_.report(std::move(violation));
+}
+
+void PipelineChecker::on_cache_slot(std::uint32_t block, std::uint64_t chunk,
+                                    std::uint32_t stream, std::uint64_t entry,
+                                    bool hit) {
+  SlotState* slot = slot_for(block, chunk);
+  if (slot == nullptr || stream >= slot->cache_entry.size()) return;
+  if (slot->occupant != static_cast<std::int64_t>(chunk)) return;
+  slot->cache_entry[stream] = static_cast<std::int64_t>(entry);
+  slot->cache_hit[stream] = hit ? 1 : 0;
+  slot->reported_cache[stream] = 0;
+  // Register the entry as valid unless an earlier invalidate/evict event
+  // already condemned it (entry ids are never reused).
+  entry_states_.emplace(entry, EntryState::kValid);
+}
+
+void PipelineChecker::on_cache_invalidate(std::uint64_t entry) {
+  entry_states_[entry] = EntryState::kInvalidated;
+}
+
+void PipelineChecker::on_cache_evict(std::uint64_t entry) {
+  entry_states_[entry] = EntryState::kEvicted;
 }
 
 void PipelineChecker::on_slot_release(std::uint32_t block,

@@ -13,11 +13,18 @@
 //      staging slot must have been produced by the address-generation stage
 //      for that (chunk, stream, virtual thread) — reading past the staged
 //      count returns stale or foreign bytes.
+//   4. cache freshness (bigkcache): when a stream of a chunk is served from
+//      the chunk cache, every compute read of it must land on an entry that
+//      is still valid — neither invalidated after the hit was declared
+//      (stale_cache_read) nor evicted while the chunk was in flight
+//      (evicted_slot_read). Clean cached reads are counted as the
+//      informational `cache_hit_read` state.
 // The engine drives this checker directly with stage events; violations name
 // the block, chunk, ring slot, stream, and virtual thread involved.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "check/report.hpp"
@@ -57,7 +64,22 @@ class PipelineChecker {
   /// has writes, the write-back scatter drained).
   void on_slot_release(std::uint32_t block, std::uint64_t chunk);
 
+  // --- bigkcache lifecycle (cached-slot freshness) -----------------------
+  /// Stream `stream` of (block, chunk) is served from cache entry `entry`
+  /// (`hit` false when the entry was freshly inserted this chunk). Compute
+  /// reads of that stream are checked against the entry's state.
+  void on_cache_slot(std::uint32_t block, std::uint64_t chunk,
+                     std::uint32_t stream, std::uint64_t entry, bool hit);
+  /// `entry` was invalidated (input mutation / explicit drop); any further
+  /// compute read through it is a stale_cache_read.
+  void on_cache_invalidate(std::uint64_t entry);
+  /// `entry` was evicted and its device range may be reallocated; any
+  /// further compute read through it is an evicted_slot_read.
+  void on_cache_evict(std::uint64_t entry);
+
  private:
+  enum class EntryState : std::uint8_t { kValid, kInvalidated, kEvicted };
+
   struct SlotState {
     std::int64_t occupant = -1;  // chunk currently owning the slot, -1 free
     bool released = true;
@@ -65,6 +87,11 @@ class PipelineChecker {
     std::vector<std::vector<std::uint32_t>> counts;
     std::vector<std::uint8_t> reported_uncovered;  // per stream
     bool reported_stale = false;
+    // Cache lease per stream: entry id (-1 when not cache-served), whether
+    // it was a hit (vs. a fresh insert), and violation dedup.
+    std::vector<std::int64_t> cache_entry;
+    std::vector<std::uint8_t> cache_hit;
+    std::vector<std::uint8_t> reported_cache;
   };
 
   SlotState* slot_for(std::uint32_t block, std::uint64_t chunk);
@@ -73,6 +100,9 @@ class PipelineChecker {
   std::vector<SlotState> slots_;  // block * depth_ + (chunk % depth_)
   std::uint32_t depth_ = 0;
   std::uint32_t num_streams_ = 0;
+  /// Cache entries observed this launch (registered by on_cache_slot,
+  /// updated by invalidate/evict events; ids are never reused).
+  std::map<std::uint64_t, EntryState> entry_states_;
 };
 
 }  // namespace bigk::check

@@ -101,6 +101,7 @@ void Engine::build_blocks(std::uint64_t num_records) {
     }
 
     block->slots.resize(depth);
+    block->slot_leases.resize(depth);
     std::uint64_t pinned_addr_bytes = 0;
     for (ChunkSlot& slot : block->slots) {
       slot.streams.resize(bindings_.size());
@@ -135,9 +136,15 @@ void Engine::build_blocks(std::uint64_t num_records) {
         pinned_addr_bytes +=
             std::uint64_t{c_threads} * stage.slots_per_thread * 8;
       }
-      slot.prefetch.resize(total);
-      slot.prefetch_region = runtime_.next_region_id();
-      runtime_.note_pinned(total);
+      if (pinned_pool_ != nullptr) {
+        cache::PinnedPool::Buffer buffer = pinned_pool_->acquire(total);
+        slot.prefetch = std::move(buffer.data);
+        slot.prefetch_region = buffer.region;
+      } else {
+        slot.prefetch.resize(total);
+        slot.prefetch_region = runtime_.next_region_id();
+        runtime_.note_pinned(total);
+      }
     }
     runtime_.note_pinned(pinned_addr_bytes);
     blocks_.push_back(std::move(block));
@@ -149,6 +156,16 @@ void Engine::release_buffers() {
     runtime_.gpu().memory().free_offset(offset);
   }
   device_allocs_.clear();
+  if (pinned_pool_ != nullptr) {
+    for (auto& block : blocks_) {
+      for (ChunkSlot& slot : block->slots) {
+        if (slot.prefetch.empty() && slot.prefetch_region == 0) continue;
+        pinned_pool_->release(cache::PinnedPool::Buffer{
+            std::move(slot.prefetch), slot.prefetch_region});
+        slot.prefetch_region = 0;
+      }
+    }
+  }
   blocks_.clear();
 }
 
@@ -226,8 +243,52 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
 
     const sim::TimePs start = sim().now();
     std::vector<std::uint64_t> bytes(bindings_.size(), 0);
+    std::vector<std::uint64_t>& leases =
+        block.slot_leases[chunk % options_.buffer_depth];
     for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
+      StreamStage& stage = slot.streams[s];
+      if (chunk_cache_ == nullptr || !stream_cacheable(s)) {
+        bytes[s] = assemble_stream(block, slot, s, chunk, thread);
+        continue;
+      }
+      cache::CacheKey key;
+      key.dataset = cache_dataset_;
+      key.stream = s;
+      key.range_begin = block.records.begin;
+      key.range_end = block.records.end;
+      key.chunk = chunk;
+      key.layout = static_cast<std::uint8_t>(geometry_.layout);
+      key.signature = chunk_signature(block, slot, s, chunk);
+      if (auto lease = chunk_cache_->lookup(key, sim().now())) {
+        // Hit: the entry's device range already holds this exact image —
+        // skip assembly and the H2D DMA entirely; compute reads the entry.
+        stage.cached_dev_base = lease->dev_base;
+        leases.push_back(lease->entry);
+        ++metrics_.cache_hits;
+        metrics_.cache_bytes_saved += lease->bytes;
+        if (pipecheck_ != nullptr) {
+          pipecheck_->on_cache_slot(block.index, chunk, s, lease->entry,
+                                    /*hit=*/true);
+        }
+        // Lookup + bookkeeping cost on the assembly thread (tiny next to
+        // the gather it replaces).
+        thread.compute(
+            static_cast<double>(options_.compute_threads_per_block) * 0.25);
+        continue;
+      }
+      ++metrics_.cache_misses;
       bytes[s] = assemble_stream(block, slot, s, chunk, thread);
+      if (bytes[s] == 0) continue;
+      if (auto lease = chunk_cache_->insert(key, bytes[s], sim().now())) {
+        // The DMA below lands in the entry's range directly, so the image
+        // is cached as a side effect of the transfer it had to do anyway.
+        stage.cached_dev_base = lease->dev_base;
+        leases.push_back(lease->entry);
+        if (pipecheck_ != nullptr) {
+          pipecheck_->on_cache_slot(block.index, chunk, s, lease->entry,
+                                    /*hit=*/false);
+        }
+      }
     }
     co_await thread.commit();
     record_stage(obs::Stage::kAssembly, block.index, chunk, start,
@@ -237,7 +298,7 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       if (bytes[s] == 0) continue;
       const StreamStage& stage = slot.streams[s];
       block.dma.memcpy_h2d_async(
-          stage.dev_data_base,
+          stage.active_data_base(),
           slot.prefetch.data() + slot.prefetch_offset[s], bytes[s]);
       metrics_.data_bytes_sent += bytes[s];
     }
@@ -384,6 +445,50 @@ std::uint64_t Engine::assemble_stream(BlockState& block, ChunkSlot& slot,
   return used_bytes;
 }
 
+std::uint64_t Engine::chunk_signature(const BlockState& block,
+                                      const ChunkSlot& slot,
+                                      std::uint32_t stream,
+                                      std::uint64_t chunk) const {
+  const StreamStage& stage = slot.streams[stream];
+  const std::uint32_t c_threads = options_.compute_threads_per_block;
+  cache::Fnv1a hash;
+  hash.mix(c_threads);
+  hash.mix(stage.slots_per_thread);
+  hash.mix(geometry_.rptc);
+  if (geometry_.layout == DataLayout::kOriginal) {
+    // Whole-chunk fetch: the image is fully determined by the per-thread
+    // chunk ranges (mirroring the copy in assemble_stream).
+    for (std::uint32_t v = 0; v < c_threads; ++v) {
+      const Range range = thread_chunk_range(block, v, chunk);
+      hash.mix(range.begin);
+      hash.mix(range.size());
+    }
+    return hash.state;
+  }
+  for (std::uint32_t v = 0; v < c_threads && v < stage.read_addrs.size();
+       ++v) {
+    const ThreadAddrs& addrs = stage.read_addrs[v];
+    hash.mix(addrs.count);
+    if (addrs.pattern) {
+      hash.mix(addrs.pattern->base);
+      for (std::int64_t stride : addrs.pattern->strides) {
+        hash.mix(static_cast<std::uint64_t>(stride));
+      }
+    } else {
+      for (std::uint64_t elem : addrs.elems) hash.mix(elem);
+    }
+  }
+  return hash.state;
+}
+
+void Engine::release_slot_leases(BlockState& block, std::uint64_t chunk) {
+  if (chunk_cache_ == nullptr || block.slot_leases.empty()) return;
+  std::vector<std::uint64_t>& leases =
+      block.slot_leases[chunk % options_.buffer_depth];
+  for (std::uint64_t entry : leases) chunk_cache_->unpin(entry);
+  leases.clear();
+}
+
 sim::Task<> Engine::scatter_process(BlockState& block) {
   hostsim::HostThread& thread = *block.scatter_thread;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
@@ -410,6 +515,7 @@ sim::Task<> Engine::scatter_process(BlockState& block) {
     co_await thread.commit();
     record_stage(obs::Stage::kWriteback, block.index, chunk, start,
                  sim().now());
+    release_slot_leases(block, chunk);
     if (pipecheck_ != nullptr) {
       pipecheck_->on_slot_release(block.index, chunk);
     }

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/chunk_cache.hpp"
+#include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
 #include "core/contexts.hpp"
 #include "core/device_tables.hpp"
@@ -50,9 +52,38 @@ constexpr std::uint32_t kTableRegionBase = 2000;
 
 class Engine {
  public:
+  /// Validates `options` against both the static invariants
+  /// (Options::validate) and the device this engine will run on: the
+  /// computation thread count must be a multiple of the *device's* warp size
+  /// (not just the default 32), and an explicit data_buf_bytes must leave a
+  /// ring of buffer_depth slots fitting the device arena.
   Engine(cusim::Runtime& runtime, Options options)
       : runtime_(runtime), options_(options) {
     options_.validate();
+    const std::uint32_t warp = runtime_.device_properties().warp_size;
+    if (warp != 0 && options_.compute_threads_per_block % warp != 0) {
+      throw std::invalid_argument(
+          "compute_threads_per_block (" +
+          std::to_string(options_.compute_threads_per_block) +
+          ") must be a multiple of the device warp size (" +
+          std::to_string(warp) +
+          ") so address-generation and computation threads never share a "
+          "warp");
+    }
+    if (options_.data_buf_bytes > 0) {
+      const std::uint64_t ring_bytes =
+          options_.data_buf_bytes * options_.buffer_depth;
+      const std::uint64_t arena = runtime_.gpu().memory().capacity();
+      if (ring_bytes > arena) {
+        throw std::invalid_argument(
+            "data_buf_bytes (" + std::to_string(options_.data_buf_bytes) +
+            ") x buffer_depth (" + std::to_string(options_.buffer_depth) +
+            ") = " + std::to_string(ring_bytes) +
+            " bytes: even a single block's staging ring exceeds the device "
+            "arena (" +
+            std::to_string(arena) + " bytes)");
+      }
+    }
   }
 
   Engine(const Engine&) = delete;
@@ -135,6 +166,26 @@ class Engine {
   void set_sanitizer(check::Sanitizer* sanitizer) noexcept {
     sanitizer_ = sanitizer;
   }
+
+  /// Attaches a bigkcache chunk cache (externally owned; must live on this
+  /// engine's device). Read-only streams are then looked up per chunk: on a
+  /// hit the assembly and DMA stages are skipped and compute reads the
+  /// cached device range; on a miss the assembled image is inserted and the
+  /// DMA targets the entry directly. `dataset_id` names the mapped-stream
+  /// contents (same id = identical bytes — the caller's contract; the
+  /// serving layer hashes the app name). nullptr detaches.
+  void set_chunk_cache(cache::ChunkCache* chunk_cache,
+                       std::uint64_t dataset_id = 0) noexcept {
+    chunk_cache_ = chunk_cache;
+    cache_dataset_ = dataset_id;
+  }
+
+  /// Attaches a pinned assembly-buffer pool (externally owned): per-slot
+  /// prefetch buffers are acquired from / released to it instead of being
+  /// freshly pinned every launch. nullptr detaches.
+  void set_pinned_pool(cache::PinnedPool* pool) noexcept {
+    pinned_pool_ = pool;
+  }
   const std::vector<StreamBinding>& bindings() const noexcept {
     return bindings_;
   }
@@ -178,6 +229,9 @@ class Engine {
     sim::Flag wb_landed;
     sim::Semaphore ring;
     std::vector<ChunkSlot> slots;
+    /// Cache leases pinned for the chunk currently in each ring slot;
+    /// released (unpinned) when the slot is handed back.
+    std::vector<std::vector<std::uint64_t>> slot_leases;
     std::uint32_t addr_region = 0;  // pinned address-buffer region id
     std::optional<hostsim::HostThread> assembly_thread;
     std::optional<hostsim::HostThread> scatter_thread;
@@ -200,6 +254,23 @@ class Engine {
                                 hostsim::HostThread& thread);
   void finalize_addresses(BlockState& block, ChunkSlot& slot,
                           std::uint64_t* wire_bytes);
+
+  // --- bigkcache helpers (engine.cpp) -------------------------------------
+  /// A stream is cacheable when the kernel never writes it: a cached device
+  /// image of a read-only chunk stays valid across launches.
+  bool stream_cacheable(std::uint32_t stream) const noexcept {
+    return bindings_[stream].writes_per_record == 0;
+  }
+  /// Content signature of one stream-chunk: geometry plus the generated
+  /// per-thread address streams (patterns or explicit elements), so two
+  /// launches only ever share an entry when compute would read identical
+  /// staged bytes.
+  std::uint64_t chunk_signature(const BlockState& block, const ChunkSlot& slot,
+                                std::uint32_t stream,
+                                std::uint64_t chunk) const;
+  /// Unpins every cache lease taken for the chunk occupying `chunk`'s ring
+  /// slot; called right before the slot is handed back to the ring.
+  void release_slot_leases(BlockState& block, std::uint64_t chunk);
 
   // --- GPU-side drivers (templates over the kernel) ----------------------
   template <class Kernel>
@@ -224,6 +295,11 @@ class Engine {
   EngineMetrics metrics_;
   obs::Tracer* tracer_ = nullptr;
   std::string trace_scope_;
+
+  // --- bigkcache ---------------------------------------------------------
+  cache::ChunkCache* chunk_cache_ = nullptr;  // externally owned, optional
+  std::uint64_t cache_dataset_ = 0;
+  cache::PinnedPool* pinned_pool_ = nullptr;  // externally owned, optional
 
   // --- bigkcheck ---------------------------------------------------------
   check::Sanitizer* sanitizer_ = nullptr;  // externally owned, optional
@@ -289,6 +365,11 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
                              options_.compute_threads_per_block,
                              static_cast<std::uint32_t>(bindings_.size()));
   }
+  if (chunk_cache_ != nullptr) {
+    // The cache reports invalidations/evictions to the same pipeline checker
+    // for the duration of this launch (cache freshness invariant).
+    chunk_cache_->set_checker(pipecheck_);
+  }
 
   build_blocks(num_records);
   metrics_ = EngineMetrics{};
@@ -319,6 +400,7 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
   }
   release_buffers();
 
+  if (chunk_cache_ != nullptr) chunk_cache_->set_checker(nullptr);
   pipecheck_ = nullptr;
   if (owned_sanitizer_ != nullptr) {
     // Detach and enforce: throws check::CheckError with the diagnostic
@@ -340,7 +422,10 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
       pipecheck_->on_slot_acquire(block.index, chunk);
     }
     ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
-    for (StreamStage& stage : slot.streams) stage.staged_writes.clear();
+    for (StreamStage& stage : slot.streams) {
+      stage.staged_writes.clear();
+      stage.cached_dev_base = kNoCachedBase;
+    }
 
     std::uint64_t wire_bytes = 0;
     sim::DurationPs busy = 0;
@@ -397,6 +482,15 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
       pipecheck_->on_compute_begin(block.index, chunk,
                                    block.data_ready.value());
     }
+    if (options_.fault.stale_cache && chunk_cache_ != nullptr) {
+      // Seeded bug: yank every cache entry backing this chunk out from under
+      // the compute stage after the hit was declared — the
+      // reuse-after-invalidation protocol violation.
+      for (std::uint64_t entry :
+           block.slot_leases[chunk % options_.buffer_depth]) {
+        chunk_cache_->invalidate_entry(entry, sim().now());
+      }
+    }
 
     const sim::DurationPs busy = co_await ctx.run_threads(
         c_threads, c_threads, [&](gpusim::LaneCtx& lane, std::uint32_t tid) {
@@ -430,6 +524,7 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
         block.ring.release();
       }
     } else {
+      release_slot_leases(block, chunk);
       if (pipecheck_ != nullptr) {
         pipecheck_->on_slot_release(block.index, chunk);
       }

@@ -53,6 +53,11 @@ struct EngineMetrics {
   std::uint64_t elements_fetched = 0;   // elements gathered by assembly
   std::uint64_t elements_written = 0;   // elements scattered back
 
+  // --- bigkcache (chunk cache attached via set_chunk_cache) ---------------
+  std::uint64_t cache_hits = 0;         // stream-chunks served from cache
+  std::uint64_t cache_misses = 0;       // cacheable stream-chunks assembled
+  std::uint64_t cache_bytes_saved = 0;  // PCIe H2D bytes skipped on hits
+
   double pattern_hit_rate() const {
     return thread_chunks == 0
                ? 0.0

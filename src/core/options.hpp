@@ -60,6 +60,10 @@ struct Options {
     /// Compute stage releases the ring slot before the write-back scatter
     /// drained, letting assembly overwrite an in-flight slot.
     bool early_ring_release = false;
+    /// With a chunk cache attached: invalidate every cache entry backing the
+    /// current chunk after the hit was declared but before compute reads it —
+    /// the reuse-after-invalidation bug pipecheck's stale_cache_read catches.
+    bool stale_cache = false;
   } fault;
 
   void validate() const {

@@ -80,6 +80,9 @@ struct ThreadAddrs {
   }
 };
 
+/// Sentinel for StreamStage::cached_dev_base: the chunk is not cache-served.
+constexpr std::uint64_t kNoCachedBase = ~std::uint64_t{0};
+
 /// Per-stream staging within one ring slot.
 struct StreamStage {
   std::vector<ThreadAddrs> read_addrs;   // one per computation thread
@@ -95,6 +98,14 @@ struct StreamStage {
   /// Per-thread slot capacity (reads) or element capacity (kOriginal).
   std::uint64_t slots_per_thread = 0;
   std::uint64_t write_slots_per_thread = 0;
+  /// When the chunk cache serves this stream's current chunk, the cache
+  /// entry's device range replaces the slot's own data buffer for both the
+  /// DMA target (insert) and compute reads (hit). Reset every chunk.
+  std::uint64_t cached_dev_base = kNoCachedBase;
+
+  std::uint64_t active_data_base() const noexcept {
+    return cached_dev_base != kNoCachedBase ? cached_dev_base : dev_data_base;
+  }
 };
 
 /// One ring slot: staging for every stream plus the pinned prefetch buffer
@@ -107,21 +118,32 @@ struct ChunkSlot {
   std::vector<std::uint64_t> prefetch_offset;
 };
 
-/// Device address of the k-th assembled element of computation thread `vtid`
-/// under `layout` (C = computation threads per block).
+/// Byte offset of the k-th assembled element of computation thread `vtid`
+/// within the data buffer under `layout` (C = computation threads per
+/// block). Base-independent: the same offset applies to the slot's own
+/// buffer, a cache entry's range, and the pinned prefetch buffer.
+inline std::uint64_t data_slot_offset(const StreamStage& stage,
+                                      DataLayout layout, std::uint32_t c,
+                                      std::uint32_t vtid, std::uint64_t k,
+                                      std::uint32_t elem_size) {
+  switch (layout) {
+    case DataLayout::kInterleaved:
+      return (k * c + vtid) * elem_size;
+    case DataLayout::kThreadMajor:
+    case DataLayout::kOriginal:
+      return (std::uint64_t{vtid} * stage.slots_per_thread + k) * elem_size;
+  }
+  return 0;
+}
+
+/// Device address of the k-th assembled element (the cache entry's range
+/// when the chunk is cache-served, the slot's own data buffer otherwise).
 inline std::uint64_t data_slot_address(const StreamStage& stage,
                                        DataLayout layout, std::uint32_t c,
                                        std::uint32_t vtid, std::uint64_t k,
                                        std::uint32_t elem_size) {
-  switch (layout) {
-    case DataLayout::kInterleaved:
-      return stage.dev_data_base + (k * c + vtid) * elem_size;
-    case DataLayout::kThreadMajor:
-    case DataLayout::kOriginal:
-      return stage.dev_data_base +
-             (std::uint64_t{vtid} * stage.slots_per_thread + k) * elem_size;
-  }
-  return stage.dev_data_base;
+  return stage.active_data_base() +
+         data_slot_offset(stage, layout, c, vtid, k, elem_size);
 }
 
 /// Matching position inside the pinned prefetch buffer (same layout, so the
@@ -130,8 +152,7 @@ inline std::uint64_t prefetch_position(const StreamStage& stage,
                                        DataLayout layout, std::uint32_t c,
                                        std::uint32_t vtid, std::uint64_t k,
                                        std::uint32_t elem_size) {
-  return data_slot_address(stage, layout, c, vtid, k, elem_size) -
-         stage.dev_data_base;
+  return data_slot_offset(stage, layout, c, vtid, k, elem_size);
 }
 
 /// Write-buffer device address (always interleaved: writes from lock-step

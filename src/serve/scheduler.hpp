@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace bigk::serve {
@@ -74,6 +76,18 @@ class Scheduler {
     return devices_.at(device).outstanding_bytes;
   }
 
+  /// Replaces the app-affinity warm-preference bound ("a warm hit saves at
+  /// most the job's input bytes") with a caller-supplied estimate of what a
+  /// hit on `device` would actually save — the serving layer plugs in the
+  /// chunk cache's live resident-bytes figure on top of the staging skip, so
+  /// a device holding a hot cached dataset is worth a proportionally longer
+  /// detour. Empty function restores the input-bytes default.
+  using WarmBenefitFn = std::function<std::uint64_t(
+      std::uint32_t device, const std::string& app, std::uint64_t input_bytes)>;
+  void set_warm_benefit(WarmBenefitFn estimator) {
+    warm_benefit_ = std::move(estimator);
+  }
+
   /// Picks the target device for a job of `app` with `input_bytes` of mapped
   /// input. Ties break towards the lowest device index.
   std::uint32_t pick_device(const std::string& app, std::uint64_t input_bytes) {
@@ -89,12 +103,16 @@ class Scheduler {
         const std::uint32_t warm = least_loaded(&app);
         const std::uint32_t cold = least_loaded(/*require_app=*/nullptr);
         if (warm == num_devices()) return cold;
-        // A warm hit saves at most one input staging pass (`input_bytes` on
-        // the shared host bus); queuing behind the warm device costs its
-        // backlog lead. Take the warm device only while the detour is worth
-        // the saving, otherwise spill to the emptiest device.
+        // A warm hit saves input staging on the shared host bus (at most
+        // `input_bytes`) — plus, when a warm-benefit estimator is installed,
+        // whatever the device's chunk cache would skip on PCIe. Queuing
+        // behind the warm device costs its backlog lead; take it only while
+        // the detour is worth the saving, otherwise spill to the emptiest.
+        const std::uint64_t benefit =
+            warm_benefit_ ? warm_benefit_(warm, app, input_bytes)
+                          : input_bytes;
         if (devices_[warm].outstanding_bytes <=
-            devices_[cold].outstanding_bytes + input_bytes) {
+            devices_[cold].outstanding_bytes + benefit) {
           return warm;
         }
         return cold;
@@ -142,6 +160,7 @@ class Scheduler {
   Policy policy_;
   std::vector<DeviceState> devices_;
   std::uint32_t rr_next_ = 0;
+  WarmBenefitFn warm_benefit_;
 };
 
 }  // namespace bigk::serve

@@ -9,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "cache/chunk_cache.hpp"
+#include "cache/key.hpp"
+#include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
 #include "cusim/device_pool.hpp"
 #include "obs/json.hpp"
@@ -22,6 +25,15 @@ namespace {
 /// Host cache-model region ids for the per-device input-staging scans (far
 /// above core::kStreamRegionBase so they never collide with mapped streams).
 constexpr std::uint32_t kStagingRegionBase = 9000;
+
+/// Cache dataset identity of an app's generated input: apps regenerate the
+/// same dataset from the same seed on every runner, so the app name is the
+/// dataset.
+std::uint64_t dataset_id_of(const std::string& app) {
+  cache::Fnv1a hash;
+  hash.mix_bytes(app.data(), app.size());
+  return hash.state;
+}
 
 struct Job {
   JobRecord record;
@@ -39,6 +51,10 @@ struct ServerState {
   std::vector<std::unique_ptr<sim::Channel<Job*>>> dispatch;
   std::vector<Job> jobs;
   std::vector<std::uint64_t> completion_order;
+  /// bigkcache: one chunk cache + pinned pool per device (empty when the
+  /// cache is disabled). Shared by every job dispatched to that device.
+  std::vector<std::unique_ptr<cache::ChunkCache>> caches;
+  std::vector<std::unique_ptr<cache::PinnedPool>> pools;
 
   explicit ServerState(const ServerConfig& cfg)
       : config(cfg),
@@ -48,6 +64,30 @@ struct ServerState {
     pool.attach_observability(cfg.tracer, cfg.metrics);
     for (std::uint32_t d = 0; d < pool.size(); ++d) {
       dispatch.push_back(std::make_unique<sim::Channel<Job*>>(sim));
+    }
+    if (cfg.cache_enabled) {
+      const std::uint64_t capacity =
+          cfg.cache_bytes != 0 ? cfg.cache_bytes
+                               : cfg.system.gpu.global_memory_bytes / 4;
+      for (std::uint32_t d = 0; d < pool.size(); ++d) {
+        cusim::Runtime& device = pool.device(d);
+        auto chunk_cache = std::make_unique<cache::ChunkCache>(
+            device.gpu().memory(),
+            cache::ChunkCache::Config{capacity, cfg.cache_eviction});
+        chunk_cache->attach_observability(cfg.metrics, cfg.tracer,
+                                          device.device_name());
+        caches.push_back(std::move(chunk_cache));
+        pools.push_back(std::make_unique<cache::PinnedPool>(device));
+      }
+      // Warm-preference bound: what an affinity hit would actually save —
+      // the staged input skip plus the PCIe bytes the device's cache holds
+      // for this app's dataset.
+      scheduler.set_warm_benefit(
+          [this](std::uint32_t device, const std::string& app,
+                 std::uint64_t input_bytes) {
+            return input_bytes +
+                   caches[device]->resident_bytes(dataset_id_of(app));
+          });
     }
   }
 };
@@ -110,6 +150,11 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     run_cfg.tracer = st.config.tracer;
     run_cfg.sanitizer = sanitizer.get();
     run_cfg.trace_scope = device.trace_prefix();
+    if (!st.caches.empty()) {
+      run_cfg.chunk_cache = st.caches[device_index].get();
+      run_cfg.pinned_pool = st.pools[device_index].get();
+      run_cfg.dataset_id = dataset_id_of(job.record.spec.app);
+    }
     co_await job.runner->run(device, run_cfg);
     if (sanitizer != nullptr) {
       sanitizer->uninstall();
@@ -224,6 +269,22 @@ ServeReport run_server(const ServerConfig& config,
       dev.utilization = static_cast<double>(gpu.compute_wall_busy()) /
                         static_cast<double>(report.makespan);
     }
+    if (!state.caches.empty()) {
+      const cache::ChunkCache::Stats& stats = state.caches[d]->stats();
+      dev.cache_hits = stats.hits;
+      dev.cache_misses = stats.misses;
+      dev.cache_evictions = stats.evictions;
+      dev.cache_bytes_saved = stats.bytes_saved;
+      dev.cache_hit_rate = state.caches[d]->hit_rate();
+      report.cache_hits += stats.hits;
+      report.cache_misses += stats.misses;
+      report.cache_bytes_saved += stats.bytes_saved;
+    }
+  }
+  if (report.cache_hits + report.cache_misses > 0) {
+    report.cache_hit_rate =
+        static_cast<double>(report.cache_hits) /
+        static_cast<double>(report.cache_hits + report.cache_misses);
   }
 
   if (config.metrics != nullptr) {
@@ -246,6 +307,12 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".deadline_misses")
       .set(static_cast<double>(deadline_misses));
   registry.gauge(prefix + ".warm_hits").set(static_cast<double>(warm_hits));
+  registry.gauge(prefix + ".cache.hits").set(static_cast<double>(cache_hits));
+  registry.gauge(prefix + ".cache.misses")
+      .set(static_cast<double>(cache_misses));
+  registry.gauge(prefix + ".cache.bytes_saved")
+      .set(static_cast<double>(cache_bytes_saved));
+  registry.gauge(prefix + ".cache.hit_rate").set(cache_hit_rate);
   registry.gauge(prefix + ".peak_queue_depth")
       .set(static_cast<double>(peak_queue_depth));
   registry.gauge(prefix + ".makespan_ms").set(to_ms(makespan));
@@ -270,6 +337,9 @@ void ServeReport::write_json(std::ostream& out) const {
       << ",\"deadline_misses\":" << deadline_misses
       << ",\"warm_hits\":" << warm_hits
       << ",\"peak_queue_depth\":" << peak_queue_depth
+      << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
+      << ",\"bytes_saved\":" << cache_bytes_saved
+      << ",\"hit_rate\":" << obs::json_number(cache_hit_rate) << "}"
       << ",\"throughput_jobs_per_s\":"
       << obs::json_number(throughput_jobs_per_s) << ",\"latency_ms\":{"
       << "\"p50\":" << obs::json_number(to_ms(latency_p50))
@@ -284,7 +354,11 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"utilization\":" << obs::json_number(dev.utilization)
         << ",\"h2d_bytes\":" << dev.h2d_bytes
         << ",\"d2h_bytes\":" << dev.d2h_bytes
-        << ",\"kernel_launches\":" << dev.kernel_launches << "}";
+        << ",\"kernel_launches\":" << dev.kernel_launches
+        << ",\"cache_hits\":" << dev.cache_hits
+        << ",\"cache_misses\":" << dev.cache_misses
+        << ",\"cache_evictions\":" << dev.cache_evictions
+        << ",\"cache_bytes_saved\":" << dev.cache_bytes_saved << "}";
   }
   out << "],\"completion_order\":[";
   for (std::size_t i = 0; i < completion_order.size(); ++i) {

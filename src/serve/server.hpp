@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "cache/policy.hpp"
 #include "check/options.hpp"
 #include "core/options.hpp"
 #include "gpusim/config.hpp"
@@ -47,6 +48,17 @@ struct ServerConfig {
 
   /// Engine options for every job's BigKernel launch.
   core::Options engine;
+
+  /// bigkcache: when enabled, every device gets a chunk cache (a partition
+  /// of its arena) plus a pinned assembly-buffer pool, shared by all jobs on
+  /// that device. Repeat jobs of an app whose chunks are still resident skip
+  /// the assembly + PCIe transfer for those chunks, and the app-affinity
+  /// warm-preference bound upgrades from "job input bytes" to the cache's
+  /// live resident-bytes estimate.
+  bool cache_enabled = false;
+  /// Cache partition per device; 0 = a quarter of the device arena.
+  std::uint64_t cache_bytes = 0;
+  cache::EvictionKind cache_eviction = cache::EvictionKind::kCostAware;
   /// When enabled, each job runs under a fresh check::Sanitizer installed on
   /// its device; a violation throws check::CheckError out of run_server.
   check::CheckOptions check;
@@ -70,6 +82,12 @@ struct DeviceReport {
   std::uint64_t kernel_launches = 0;
   /// SM busy time / makespan.
   double utilization = 0.0;
+  /// bigkcache (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes_saved = 0;
+  double cache_hit_rate = 0.0;
 };
 
 struct ServeReport {
@@ -88,6 +106,12 @@ struct ServeReport {
   std::uint64_t deadline_misses = 0;
   std::uint64_t warm_hits = 0;
   std::uint32_t peak_queue_depth = 0;
+
+  /// bigkcache totals across devices (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes_saved = 0;
+  double cache_hit_rate = 0.0;
 
   /// Nearest-rank percentiles over completed-job latencies.
   sim::DurationPs latency_p50 = 0;

@@ -1,0 +1,101 @@
+// Unit tests for the pinned assembly-buffer pool: reuse semantics, region-id
+// stability across recycles, and the pinned-footprint accounting that only
+// grows on genuinely fresh allocations.
+#include "cache/pinned_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cusim/runtime.hpp"
+#include "gpusim/config.hpp"
+#include "sim/simulation.hpp"
+
+namespace bigk::cache {
+namespace {
+
+struct PoolFixture {
+  sim::Simulation sim;
+  gpusim::SystemConfig config;
+  cusim::Runtime runtime{sim, config};
+  PinnedPool pool{runtime};
+};
+
+TEST(PinnedPoolTest, FreshAcquireAllocatesAndPins) {
+  PoolFixture fx;
+  const std::uint64_t pinned_before = fx.runtime.pinned_bytes();
+  PinnedPool::Buffer buffer = fx.pool.acquire(4096);
+  EXPECT_EQ(buffer.data.size(), 4096u);
+  EXPECT_NE(buffer.region, 0u);
+  EXPECT_EQ(fx.pool.stats().fresh_allocations, 1u);
+  EXPECT_EQ(fx.pool.stats().reuses, 0u);
+  EXPECT_EQ(fx.runtime.pinned_bytes(), pinned_before + 4096);
+}
+
+TEST(PinnedPoolTest, ReleaseThenAcquireReusesBufferAndRegion) {
+  PoolFixture fx;
+  PinnedPool::Buffer buffer = fx.pool.acquire(4096);
+  const std::uint32_t region = buffer.region;
+  fx.pool.release(std::move(buffer));
+  EXPECT_EQ(fx.pool.free_buffers(), 1u);
+
+  const std::uint64_t pinned = fx.runtime.pinned_bytes();
+  PinnedPool::Buffer again = fx.pool.acquire(4096);
+  EXPECT_EQ(again.region, region);  // same hot region for the cache model
+  EXPECT_EQ(fx.pool.stats().reuses, 1u);
+  EXPECT_EQ(fx.pool.stats().fresh_allocations, 1u);
+  EXPECT_EQ(fx.runtime.pinned_bytes(), pinned);  // no new pinned footprint
+  EXPECT_EQ(fx.pool.free_buffers(), 0u);
+}
+
+TEST(PinnedPoolTest, SmallerAcquireShrinkFitsIntoFreeBuffer) {
+  PoolFixture fx;
+  PinnedPool::Buffer big = fx.pool.acquire(8192);
+  fx.pool.release(std::move(big));
+  PinnedPool::Buffer small = fx.pool.acquire(1024);
+  EXPECT_EQ(small.data.size(), 1024u);
+  EXPECT_EQ(fx.pool.stats().reuses, 1u);
+  EXPECT_EQ(fx.pool.stats().fresh_allocations, 1u);
+}
+
+TEST(PinnedPoolTest, LargerAcquireAllocatesFreshInsteadOfRealloc) {
+  PoolFixture fx;
+  PinnedPool::Buffer small = fx.pool.acquire(1024);
+  const std::uint32_t small_region = small.region;
+  fx.pool.release(std::move(small));
+  // 8 KiB does not fit in the 1 KiB cast-off: a realloc would silently move
+  // the "pinned" storage, so the pool allocates fresh instead.
+  PinnedPool::Buffer big = fx.pool.acquire(8192);
+  EXPECT_NE(big.region, small_region);
+  EXPECT_EQ(fx.pool.stats().fresh_allocations, 2u);
+  EXPECT_EQ(fx.pool.stats().reuses, 0u);
+  EXPECT_EQ(fx.pool.free_buffers(), 1u);  // the small one stays pooled
+}
+
+TEST(PinnedPoolTest, PicksSmallestSufficientBuffer) {
+  PoolFixture fx;
+  PinnedPool::Buffer a = fx.pool.acquire(2048);
+  PinnedPool::Buffer b = fx.pool.acquire(16384);
+  const std::uint32_t small_region = a.region;
+  fx.pool.release(std::move(b));
+  fx.pool.release(std::move(a));
+  // 1 KiB fits both; best-fit takes the 2 KiB buffer, not the 16 KiB one.
+  PinnedPool::Buffer c = fx.pool.acquire(1024);
+  EXPECT_EQ(c.region, small_region);
+  EXPECT_EQ(fx.pool.free_buffers(), 1u);
+}
+
+TEST(PinnedPoolTest, BytesAllocatedTracksOnlyFreshAllocations) {
+  PoolFixture fx;
+  PinnedPool::Buffer a = fx.pool.acquire(4096);
+  fx.pool.release(std::move(a));
+  PinnedPool::Buffer b = fx.pool.acquire(4096);
+  fx.pool.release(std::move(b));
+  PinnedPool::Buffer c = fx.pool.acquire(8192);
+  fx.pool.release(std::move(c));
+  EXPECT_EQ(fx.pool.stats().acquires, 3u);
+  EXPECT_EQ(fx.pool.stats().bytes_allocated, 4096u + 8192u);
+}
+
+}  // namespace
+}  // namespace bigk::cache

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "cache/chunk_cache.hpp"
 #include "check/options.hpp"
 #include "check/report.hpp"
 #include "check/sanitizer.hpp"
@@ -243,6 +244,81 @@ TEST(EngineCheckTest, ComputeReadBeyondGeneratedAddressesIsUncovered) {
   EXPECT_EQ(uncovered->stream, 0);
   EXPECT_GE(uncovered->thread, 0);
   EXPECT_GE(uncovered->chunk, 0);
+}
+
+// Read-only stream (cacheable) + read-write output, for the cache faults.
+struct CachedSumKernel {
+  StreamRef<std::uint64_t> in;
+  StreamRef<std::uint64_t> out;
+
+  template <class Ctx>
+  void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
+                  std::uint64_t stride) const {
+    for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
+      const std::uint64_t a = ctx.read(in, r * 2);
+      const std::uint64_t b = ctx.read(in, r * 2 + 1);
+      ctx.write(out, r, a + b);
+    }
+  }
+};
+
+/// One cached launch over a read-only stream with an external sanitizer.
+void run_cached_sum(Fixture& fixture, Options options,
+                    check::Sanitizer& sanitizer) {
+  cusim::Runtime runtime(fixture.sim, fixture.config);
+  sanitizer.install(runtime.gpu());
+  cache::ChunkCache cache(runtime.gpu().memory(),
+                          cache::ChunkCache::Config{2 << 20});
+  std::vector<std::uint64_t> output(Fixture::kRecords);
+  Engine engine(runtime, options);
+  engine.set_sanitizer(&sanitizer);
+  engine.set_chunk_cache(&cache, /*dataset_id=*/1);
+  auto in_ref = engine.streaming_map<std::uint64_t>(
+      std::span(fixture.host).first(Fixture::kRecords * 2),
+      AccessMode::kReadOnly, 2, 2);
+  auto out_ref = engine.streaming_map<std::uint64_t>(
+      std::span(output), AccessMode::kReadWrite, 1, 0, 1);
+  TableSet tables;
+  CachedSumKernel kernel{in_ref, out_ref};
+  fixture.sim.run_until_complete(
+      [](cusim::Runtime& rt, Engine& eng, TableSet& tbl,
+         CachedSumKernel k) -> sim::Task<> {
+        DeviceTables device = co_await DeviceTables::upload(rt, tbl);
+        co_await eng.launch(k, Fixture::kRecords, device);
+        device.release();
+      }(runtime, engine, tables, kernel));
+  sanitizer.uninstall();
+}
+
+TEST(EngineCheckTest, CachedLaunchRunsCleanUnderAllCheckers) {
+  Fixture fixture;
+  check::Sanitizer sanitizer(check::CheckOptions::all_enabled());
+  run_cached_sum(fixture, small_options(), sanitizer);
+  EXPECT_EQ(sanitizer.reporter().total(), 0u)
+      << sanitizer.reporter().summary();
+}
+
+TEST(EngineCheckTest, StaleCacheFaultIsDiagnosedAsStaleCacheRead) {
+  Fixture fixture;
+  Options options = small_options();
+  options.fault.stale_cache = true;
+  check::Sanitizer sanitizer(check::CheckOptions::all_enabled());
+  run_cached_sum(fixture, options, sanitizer);
+
+  const check::Violation* stale = nullptr;
+  for (const check::Violation& violation : sanitizer.reporter().recorded()) {
+    if (violation.kind == "stale_cache_read") {
+      stale = &violation;
+      break;
+    }
+  }
+  ASSERT_NE(stale, nullptr) << sanitizer.reporter().summary();
+  EXPECT_EQ(stale->checker, "pipecheck");
+  EXPECT_EQ(stale->stream, 0);  // only the read-only stream is cache-served
+  EXPECT_GE(stale->allocation, 0);  // the condemned cache entry id
+  EXPECT_NE(stale->message.find("reuse-after-invalidation"),
+            std::string::npos)
+      << stale->message;
 }
 
 }  // namespace

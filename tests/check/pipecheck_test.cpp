@@ -179,5 +179,102 @@ TEST(PipelineCheckerTest, BlocksTrackSlotsIndependently) {
   EXPECT_EQ(f.reporter.total(), 0u);
 }
 
+// --- bigkcache lifecycle states ------------------------------------------
+
+TEST(PipelineCheckerTest, CleanCachedChunkReportsNothing) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_assembly_begin(0, 0);
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_compute_begin(0, 0, 1);
+  for (std::uint32_t thread = 0; thread < 2; ++thread) {
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      f.checker.on_compute_read(0, 0, 0, thread, k);
+    }
+  }
+  f.checker.on_slot_release(0, 0);
+  EXPECT_EQ(f.reporter.total(), 0u);
+}
+
+TEST(PipelineCheckerTest, ReadAfterInvalidateIsStaleCacheRead) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_compute_begin(0, 0, 1);
+  // The reuse-after-invalidation bug: the entry dies between the hit
+  // declaration and the compute read.
+  f.checker.on_cache_invalidate(7);
+  f.checker.on_compute_read(0, 0, 0, 0, 0);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.checker, "pipecheck");
+  EXPECT_EQ(violation.kind, "stale_cache_read");
+  EXPECT_EQ(violation.block, 0);
+  EXPECT_EQ(violation.chunk, 0);
+  EXPECT_EQ(violation.stream, 0);
+  EXPECT_EQ(violation.allocation, 7);
+  EXPECT_NE(violation.message.find("cache entry 7"), std::string::npos)
+      << violation.message;
+}
+
+TEST(PipelineCheckerTest, ReadAfterEvictIsEvictedSlotRead) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  // hit=false: even a freshly inserted image must outlive its chunk.
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/9, /*hit=*/false);
+  f.checker.on_compute_begin(0, 0, 1);
+  f.checker.on_cache_evict(9);
+  f.checker.on_compute_read(0, 0, 0, 0, 0);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "evicted_slot_read");
+  EXPECT_EQ(violation.allocation, 9);
+  EXPECT_NE(violation.message.find("after eviction"), std::string::npos)
+      << violation.message;
+}
+
+TEST(PipelineCheckerTest, CacheViolationsDeduplicatePerSlotAndStream) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_compute_begin(0, 0, 1);
+  f.checker.on_cache_invalidate(7);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    f.checker.on_compute_read(0, 0, 0, 0, k);
+  }
+  EXPECT_EQ(f.reporter.total(), 1u);
+}
+
+TEST(PipelineCheckerTest, InvalidateBeforeServeStillCondemnsTheEntry) {
+  Fixture f;
+  // The invalidate arrives before the slot registers the lease (entry ids
+  // are never reused, so the condemned state must win).
+  f.checker.on_cache_invalidate(7);
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_compute_begin(0, 0, 1);
+  f.checker.on_compute_read(0, 0, 0, 0, 0);
+  EXPECT_EQ(f.only().kind, "stale_cache_read");
+}
+
+TEST(PipelineCheckerTest, SlotReacquisitionClearsCacheLease) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_slot_release(0, 0);
+  f.checker.on_cache_evict(7);
+  // Chunk 2 reuses the ring slot without a cache lease: its reads must not
+  // inherit chunk 0's (now evicted) entry.
+  f.checker.on_slot_acquire(0, 2);
+  f.checker.on_addr_counts(0, 2, 0, {4, 4});
+  f.checker.on_compute_begin(0, 2, 3);
+  f.checker.on_compute_read(0, 2, 0, 0, 0);
+  EXPECT_EQ(f.reporter.total(), 0u);
+}
+
 }  // namespace
 }  // namespace bigk::check

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/device_tables.hpp"
@@ -301,7 +302,10 @@ TEST(EngineTest, OversizedExplicitBuffersThrow) {
   Fixture fixture;
   Options options = small_options();
   options.data_buf_bytes = 1ull << 30;  // far beyond the 8 MB device
-  EXPECT_THROW(run_scale(fixture, options), gpusim::OutOfDeviceMemory);
+  // Caught by the engine's construction-time validation, before any device
+  // allocation happens (tests/core/options_validate_test.cpp covers the
+  // diagnostics in detail).
+  EXPECT_THROW(run_scale(fixture, options), std::invalid_argument);
 }
 
 TEST(EngineTest, LaunchWithoutStreamsThrows) {

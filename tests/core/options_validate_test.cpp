@@ -1,0 +1,88 @@
+// Unit tests for core::Options validation: static invariants via
+// Options::validate() plus the device-aware checks the Engine constructor
+// layers on top (warp-size multiple, staging ring vs. arena capacity).
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "cusim/runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace bigk::core {
+namespace {
+
+TEST(OptionsValidateTest, DefaultsAreValid) {
+  EXPECT_NO_THROW(Options{}.validate());
+  EXPECT_NO_THROW(Options::overlap_only().validate());
+  EXPECT_NO_THROW(Options::with_transfer_reduction().validate());
+  EXPECT_NO_THROW(Options::full().validate());
+}
+
+TEST(OptionsValidateTest, RejectsThreadsNotMultipleOfWarp) {
+  Options options;
+  options.compute_threads_per_block = 96;
+  EXPECT_NO_THROW(options.validate());  // 3 warps: fine
+  options.compute_threads_per_block = 100;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.compute_threads_per_block = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(OptionsValidateTest, RejectsZeroBlocks) {
+  Options options;
+  options.num_blocks = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(OptionsValidateTest, RejectsSingleBufferRing) {
+  Options options;
+  options.buffer_depth = 1;  // no slot to produce into while one is consumed
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.buffer_depth = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.buffer_depth = 2;
+  EXPECT_NO_THROW(options.validate());
+}
+
+struct EngineCtorFixture {
+  sim::Simulation sim;
+  gpusim::SystemConfig config;
+
+  EngineCtorFixture() { config.gpu.global_memory_bytes = 4 << 20; }
+};
+
+TEST(OptionsValidateTest, EngineConstructorRunsStaticValidation) {
+  EngineCtorFixture fx;
+  cusim::Runtime runtime(fx.sim, fx.config);
+  Options options;
+  options.buffer_depth = 1;
+  EXPECT_THROW(Engine(runtime, options), std::invalid_argument);
+}
+
+TEST(OptionsValidateTest, EngineRejectsThreadsNotMultipleOfDeviceWarp) {
+  EngineCtorFixture fx;
+  fx.config.gpu.warp_size = 64;  // wavefront-style device
+  cusim::Runtime runtime(fx.sim, fx.config);
+  Options options;
+  options.compute_threads_per_block = 96;  // 3x32 but 1.5x64
+  EXPECT_THROW(Engine(runtime, options), std::invalid_argument);
+  options.compute_threads_per_block = 128;
+  EXPECT_NO_THROW(Engine(runtime, options));
+}
+
+TEST(OptionsValidateTest, EngineRejectsRingLargerThanArena) {
+  EngineCtorFixture fx;
+  cusim::Runtime runtime(fx.sim, fx.config);
+  Options options;
+  options.buffer_depth = 3;
+  options.data_buf_bytes = 2 << 20;  // 3 x 2 MiB ring > 4 MiB arena
+  EXPECT_THROW(Engine(runtime, options), std::invalid_argument);
+  options.data_buf_bytes = 256 << 10;
+  EXPECT_NO_THROW(Engine(runtime, options));
+}
+
+}  // namespace
+}  // namespace bigk::core

@@ -24,7 +24,8 @@ struct RunOutput {
   std::string metrics_json;
 };
 
-RunOutput run_once(Policy policy, std::uint64_t seed) {
+RunOutput run_once(Policy policy, std::uint64_t seed,
+                   bool cache_enabled = false) {
   const auto suite = make_toy_suite(3, 5'000);
   std::vector<std::string> names{"toy0", "toy1", "toy2"};
   WorkloadConfig workload;
@@ -41,6 +42,8 @@ RunOutput run_once(Policy policy, std::uint64_t seed) {
   config.max_retries = 100;
   config.engine = toy_engine_options();
   config.metrics = &registry;
+  config.cache_enabled = cache_enabled;
+  config.cache_bytes = 256 << 10;  // toy arena is 2 MiB; keep the ring's share
 
   RunOutput output;
   output.report = run_server(config, make_workload(names, workload), suite);
@@ -88,6 +91,40 @@ INSTANTIATE_TEST_SUITE_P(Policies, ServeDeterminismTest,
                              default: return "Unknown";
                            }
                          });
+
+TEST(ServeDeterminismTest2, CachedRunsAreByteIdentical) {
+  // The chunk cache must not perturb determinism: two cached runs produce the
+  // same schedule, report JSON, and metrics JSON — and the cache actually
+  // engages (repeat jobs under app affinity hit the read-only lut images).
+  const RunOutput first = run_once(Policy::kAppAffinity, 21, true);
+  const RunOutput second = run_once(Policy::kAppAffinity, 21, true);
+
+  EXPECT_GT(first.report.cache_hits, 0u);
+  EXPECT_GT(first.report.cache_bytes_saved, 0u);
+  EXPECT_EQ(first.report.completion_order, second.report.completion_order);
+  EXPECT_EQ(first.report.cache_hits, second.report.cache_hits);
+  EXPECT_EQ(first.report.cache_bytes_saved, second.report.cache_bytes_saved);
+  EXPECT_EQ(first.report_json, second.report_json);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+TEST(ServeDeterminismTest2, CacheOnAndOffAgreeOnResults) {
+  // Byte-identical app output with the cache on vs off: every job's
+  // expect_results() runs inside ToyRunner (a mismatch throws and fails the
+  // job), so equal completion sets prove the cached reads returned the same
+  // bytes the assembly path would have produced.
+  const RunOutput cached = run_once(Policy::kAppAffinity, 21, true);
+  const RunOutput uncached = run_once(Policy::kAppAffinity, 21, false);
+
+  ASSERT_EQ(cached.report.jobs.size(), uncached.report.jobs.size());
+  EXPECT_EQ(cached.report.rejections, uncached.report.rejections);
+  for (std::size_t i = 0; i < cached.report.jobs.size(); ++i) {
+    EXPECT_EQ(cached.report.jobs[i].completed, uncached.report.jobs[i].completed);
+  }
+  EXPECT_GT(cached.report.cache_hits, 0u);
+  EXPECT_EQ(uncached.report.cache_hits, 0u);
+  EXPECT_EQ(uncached.report.cache_bytes_saved, 0u);
+}
 
 TEST(ServeDeterminismTest2, DifferentSeedsChangeTheWorkload) {
   std::vector<std::string> names{"toy0", "toy1", "toy2"};

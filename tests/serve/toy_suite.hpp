@@ -1,7 +1,9 @@
 // Shared toy apps for the serving-layer tests: the schemes-test record shape
-// (4 uint64 [a, b, pad, out]; out = a * 2 + b; atomic checksum table) with a
-// tunable ALU weight, wrapped in apps::JobRunner so tests can build small
-// deterministic suites without generating the paper-scale datasets.
+// (4 uint64 [a, b, pad, out]; out = a * 2 + b + lut[r]; atomic checksum
+// table) with a tunable ALU weight, wrapped in apps::JobRunner so tests can
+// build small deterministic suites without generating the paper-scale
+// datasets. The lut stream is read-only, so it is the toy suite's cacheable
+// stream when a server wires in a bigkcache chunk cache.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +24,13 @@ struct ToyServeApp {
   std::uint64_t records;
   double alu_ops;
   std::vector<std::uint64_t> data;
+  std::vector<std::uint64_t> lut;  // read-only per-record stream (cacheable)
   core::TableSet table_set;
   core::TableRef<std::uint64_t> checksum;
 
   ToyServeApp(std::uint64_t n, double alu) : records(n), alu_ops(alu) {
     data.resize(records * kElemsPerRecord);
+    lut.resize(records);
     checksum = table_set.add<std::uint64_t>(1);
     reset();
   }
@@ -37,6 +41,7 @@ struct ToyServeApp {
       data[r * 4 + 1] = r ^ 0x55;
       data[r * 4 + 2] = 99;
       data[r * 4 + 3] = 0;
+      lut[r] = r % 13;
     }
     table_set.host_span(checksum)[0] = 0;
   }
@@ -54,11 +59,20 @@ struct ToyServeApp {
     decl.binding.elems_per_record = kElemsPerRecord;
     decl.binding.reads_per_record = 2;
     decl.binding.writes_per_record = 1;
-    return {decl};
+    schemes::StreamDecl lut_decl;
+    lut_decl.binding.host_data = reinterpret_cast<std::byte*>(lut.data());
+    lut_decl.binding.num_elements = lut.size();
+    lut_decl.binding.elem_size = 8;
+    lut_decl.binding.mode = core::AccessMode::kReadOnly;
+    lut_decl.binding.elems_per_record = 1;
+    lut_decl.binding.reads_per_record = 1;
+    lut_decl.binding.writes_per_record = 0;
+    return {decl, lut_decl};
   }
 
   struct Kernel {
     core::StreamRef<std::uint64_t> stream{0};
+    core::StreamRef<std::uint64_t> lut{1};
     core::TableRef<std::uint64_t> checksum;
     double alu_ops = 8;
 
@@ -68,20 +82,21 @@ struct ToyServeApp {
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
         const std::uint64_t a = ctx.read(stream, r * 4);
         const std::uint64_t b = ctx.read(stream, r * 4 + 1);
+        const std::uint64_t c = ctx.read(lut, r);
         ctx.alu(alu_ops);
-        ctx.write(stream, r * 4 + 3, a * 2 + b);
+        ctx.write(stream, r * 4 + 3, a * 2 + b + c);
         ctx.atomic_add_table(checksum, 0, a + b);
       }
     }
   };
 
-  Kernel kernel() const { return Kernel{{0}, checksum, alu_ops}; }
+  Kernel kernel() const { return Kernel{{0}, {1}, checksum, alu_ops}; }
 
   void expect_results() const {
     for (std::uint64_t r = 0; r < records; ++r) {
       const std::uint64_t a = r * 7 + 1;
       const std::uint64_t b = r ^ 0x55;
-      if (data[r * 4 + 3] != a * 2 + b) {
+      if (data[r * 4 + 3] != a * 2 + b + r % 13) {
         throw std::logic_error("toy app result mismatch at record " +
                                std::to_string(r));
       }
@@ -113,6 +128,8 @@ class ToyRunner final : public apps::JobRunner {
     engine.set_tracer(cfg.tracer);
     engine.set_trace_scope(cfg.trace_scope);
     engine.set_sanitizer(cfg.sanitizer);
+    engine.set_chunk_cache(cfg.chunk_cache, cfg.dataset_id);
+    engine.set_pinned_pool(cfg.pinned_pool);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }
