@@ -32,6 +32,13 @@
 //                          --cache; default: a quarter of the device arena)
 //   --cache-policy <name>  cache eviction policy: cost-aware (default) or
 //                          lru (implies --cache)
+//   --fault <spec>         install a bigkfault injection plane
+//                          (fault::FaultSpec::parse grammar, ';'-separated)
+//                          on every BigKernel scheme run; serving-layer
+//                          benches install it on every scenario's device
+//                          pool instead.
+//   --fault-seed <N>       seed for the fault plane's probability triggers
+//                          (default 1)
 // Each flag accepts both "--flag=value" and "--flag value". `--help` prints
 // this list before google-benchmark's own help.
 #pragma once
@@ -43,6 +50,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +58,7 @@
 #include "apps/common.hpp"
 #include "apps/registry.hpp"
 #include "cache/policy.hpp"
+#include "fault/fault.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
@@ -156,6 +165,22 @@ class Harness {
       ctx.scheme_config.check = check::CheckOptions::all_enabled();
       std::printf("bigkcheck: memcheck+racecheck+pipecheck enabled\n");
     }
+    if (!fault_spec_.empty()) {
+      // One plane shared by every BigKernel run of the binary (baseline
+      // schemes have no recovery path and do not inject): injection
+      // counters accumulate across runs, and nth/every triggers count
+      // eligible operations binary-wide. Serving-layer benches instead pass
+      // fault_spec() through ServerConfig so each device pool gets its own
+      // plane.
+      fault_plane_.emplace(fault_seed_);
+      fault_plane_->add_all(fault::FaultSpec::parse(fault_spec_));
+      fault_plane_->attach_observability(&metrics,
+                                         ctx.scheme_config.tracer);
+      ctx.scheme_config.fault_plane = &*fault_plane_;
+      std::printf("bigkfault: injecting \"%s\" (seed %llu)\n",
+                  fault_spec_.c_str(),
+                  static_cast<unsigned long long>(fault_seed_));
+    }
   }
 
   /// Runs the registered benchmarks and, on success, writes the requested
@@ -177,6 +202,9 @@ class Harness {
   bool cache_requested() const noexcept { return cache_requested_; }
   std::uint64_t cache_bytes() const noexcept { return cache_bytes_; }
   cache::EvictionKind cache_policy() const noexcept { return cache_policy_; }
+  // bigkfault knobs (--fault / --fault-seed).
+  const std::string& fault_spec() const noexcept { return fault_spec_; }
+  std::uint64_t fault_seed() const noexcept { return fault_seed_; }
 
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
@@ -270,6 +298,11 @@ class Harness {
       } else if (take(&i, arg, "--cache-policy")) {
         cache_requested_ = true;
         cache_policy_ = cache::eviction_from_name(value);
+      } else if (take(&i, arg, "--fault")) {
+        fault_spec_ = value;
+      } else if (take(&i, arg, "--fault-seed")) {
+        fault_seed_ = static_cast<std::uint64_t>(parse_count(value,
+                                                             "--fault-seed"));
       } else {
         if (arg == "--help") print_harness_help();
         argv[kept++] = argv[i];  // --help falls through to google-benchmark
@@ -315,6 +348,9 @@ class Harness {
         "                         cache + pinned assembly pool\n"
         "  --cache-bytes <N>      cache partition bytes per device (implies\n"
         "                         --cache; default: arena / 4)\n"
+        "  --fault <spec>         serving benches: fault spec(s) for the\n"
+        "                         device pool (e.g. dma_error,nth=3)\n"
+        "  --fault-seed <N>       fault-plane seed (default 1)\n"
         "Valued flags accept both --flag=value and --flag value.\n\n");
   }
 
@@ -328,6 +364,9 @@ class Harness {
   std::uint32_t devices_ = 1;
   std::uint32_t jobs_ = 32;
   std::string policy_ = "least-bytes";
+  std::string fault_spec_;
+  std::uint64_t fault_seed_ = 1;
+  std::optional<fault::FaultPlane> fault_plane_;
 };
 
 }  // namespace bigk::bench

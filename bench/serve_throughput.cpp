@@ -11,9 +11,17 @@
 //                                 PCIe transfer for still-resident chunks
 //   serve/shed                    saturating burst against a tiny admission
 //                                 queue (load shedding / retry-after)
+//   serve/recover                 bigkfault availability run: a 4-device pool
+//                                 loses device 0 mid-workload (or runs the
+//                                 --fault spec instead); the quarantine +
+//                                 redispatch + reinstatement path must finish
+//                                 every job
+//
+// --fault <spec> additionally installs the spec on every scenario's pool.
 //
 // Usage: serve_throughput [--devices N] [--jobs N] [--policy P]
 //                         [--cache] [--cache-bytes N]
+//                         [--fault SPEC] [--fault-seed N]
 //                         [--metrics-json=out.json] [--trace-out=trace.json]
 #include <cstdio>
 #include <map>
@@ -94,6 +102,10 @@ int main(int argc, char** argv) {
     config.tracer = ctx.scheme_config.tracer;
     config.metrics = ctx.scheme_config.metrics;
     config.metrics_prefix = prefix;
+    // --fault installs the operator's spec on every scenario's pool (empty =
+    // no plane; behavior is byte-identical to a fault-free build).
+    config.fault_spec = harness.fault_spec();
+    config.fault_seed = harness.fault_seed();
     return config;
   };
 
@@ -175,6 +187,22 @@ int main(int argc, char** argv) {
         });
   }
 
+  // bigkfault availability run: one device of a 4-wide pool dies on its
+  // first DMA and is quarantined; its jobs are redispatched, the probe
+  // daemon reinstates it after the outage, and every job must still finish.
+  // An explicit --fault spec replaces the default outage.
+  const std::uint32_t recover_devices = std::max(devices, 4u);
+  bigk::bench::register_sim_benchmark(
+      "serve/recover", &harness.results, [&, mixed] {
+        serve::ServerConfig config =
+            base_config(recover_devices, policy, "serve.recover");
+        if (config.fault_spec.empty()) {
+          config.fault_spec = "device_lost,nth=1,device=0,down_us=1";
+        }
+        config.probe_interval = sim::DurationPs{50'000'000};  // 50 us
+        return run_serve("recover", config, mixed);
+      });
+
   // Saturating burst against a tiny queue: admission control sheds load with
   // retry-after instead of building an unbounded backlog.
   bigk::bench::register_sim_benchmark(
@@ -249,6 +277,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(aff.warm_hits),
                   static_cast<unsigned long long>(rr.warm_hits));
     }
+  }
+  if (reports.count("recover") != 0) {
+    const serve::ServeReport& recover = reports["recover"];
+    std::printf("recover: %llu injected / %llu recovered, %llu quarantines, "
+                "%llu reinstatements, %llu redispatches, %llu failed jobs "
+                "across %u devices\n",
+                static_cast<unsigned long long>(recover.fault_injected),
+                static_cast<unsigned long long>(recover.fault_recovered),
+                static_cast<unsigned long long>(recover.quarantines),
+                static_cast<unsigned long long>(recover.reinstatements),
+                static_cast<unsigned long long>(recover.redispatches),
+                static_cast<unsigned long long>(recover.failed_jobs),
+                recover_devices);
   }
   if (reports.count("reuse/app-affinity+cache") != 0) {
     const serve::ServeReport& cached = reports["reuse/app-affinity+cache"];

@@ -14,7 +14,11 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
     positive,
   * the bigkcache A/B (run under --cache) reports a positive hit rate with
     positive PCIe bytes saved, and strictly fewer total H2D bytes than the
-    no-cache app-affinity run over the same reuse mix.
+    no-cache app-affinity run over the same reuse mix,
+  * the bigkfault recovery scenario (serve/recover: one device lost
+    mid-workload, quarantined, and reinstated) injects at least one fault,
+    recovers every injected fault, quarantines and reinstates the device,
+    and finishes every job with zero failures attributable to the outage.
 
 Usage: check_serve_bench.py <path-to-serve_throughput-binary>
 Exits non-zero with a diagnostic on the first violation.
@@ -29,6 +33,9 @@ from pathlib import Path
 
 DEVICES = 2
 JOBS = 8
+# serve/recover always runs with at least 4 devices so the pool can absorb
+# the quarantined one (mirrors recover_devices in bench/serve_throughput.cpp).
+RECOVER_DEVICES = max(DEVICES, 4)
 
 EXPECTED_RESULTS = [
     "serve/mixed/devices1",
@@ -36,6 +43,7 @@ EXPECTED_RESULTS = [
     "serve/reuse/round-robin",
     "serve/reuse/app-affinity",
     "serve/reuse/app-affinity+cache",
+    "serve/recover",
     "serve/shed",
 ]
 # (metrics prefix, number of devices the scenario runs with)
@@ -45,6 +53,7 @@ EXPECTED_PREFIXES = [
     ("serve.reuse.round-robin", DEVICES),
     ("serve.reuse.app-affinity", DEVICES),
     ("serve.reuse.app-affinity+cache", DEVICES),
+    ("serve.recover", RECOVER_DEVICES),
     ("serve.shed", DEVICES),
 ]
 SCALAR_GAUGES = [
@@ -185,11 +194,41 @@ def main():
             f"{h2d_cache} (cache) vs {h2d_nocache} (no cache)"
         )
 
+    # bigkfault recovery: the device_lost injection must fire, every injected
+    # fault must be recovered, the device must round-trip through quarantine
+    # and reinstatement, and no job may fail because of the outage.
+    injected = gauge("serve.recover.fault.injected")
+    recovered = gauge("serve.recover.fault.recovered")
+    if injected <= 0:
+        fail(f"recover scenario injected no faults: {injected}")
+    if recovered != injected:
+        fail(
+            "recover scenario did not recover every injected fault: "
+            f"{recovered} recovered vs {injected} injected"
+        )
+    if gauge("serve.recover.failed_jobs") != 0:
+        fail(
+            "recover scenario shed jobs to the outage: "
+            f"{gauge('serve.recover.failed_jobs')} failed"
+        )
+    if gauge("serve.recover.completed") != JOBS:
+        fail(
+            f"recover scenario completed {gauge('serve.recover.completed')} "
+            f"of {JOBS} jobs"
+        )
+    if gauge("serve.recover.quarantines") < 1:
+        fail("recover scenario never quarantined the lost device")
+    if gauge("serve.recover.reinstatements") < 1:
+        fail("recover scenario never reinstated the lost device")
+    if gauge("serve.recover.redispatches") < 1:
+        fail("recover scenario never redispatched the in-flight job")
+
     print(
         f"check_serve_bench: OK: {len(results)} scenarios, "
         f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}, "
         f"cache hit rate {hit_rate:.1%} "
-        f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B)"
+        f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B), "
+        f"recover {recovered:.0f}/{injected:.0f} faults recovered"
     )
 
 

@@ -39,6 +39,16 @@ for preset in "${presets[@]}"; do
       ;;
     asan-ubsan)
       run_preset asan-ubsan -DBIGK_SANITIZE=address,undefined
+      # bigkfault drives the error paths the happy-path suites never reach
+      # (chunk retry, degraded rings, quarantine/redispatch); run the fault
+      # suites explicitly so a leak or UB on a recovery path fails the
+      # preset by name.
+      echo "=== ci preset asan-ubsan: fault tests ==="
+      "${repo_root}/build-ci-asan-ubsan/tests/fault_plane_test"
+      "${repo_root}/build-ci-asan-ubsan/tests/fault_queue_escalation_test"
+      "${repo_root}/build-ci-asan-ubsan/tests/fault_cache_reset_test"
+      "${repo_root}/build-ci-asan-ubsan/tests/fault_engine_recovery_test"
+      "${repo_root}/build-ci-asan-ubsan/tests/fault_serve_recovery_test"
       ;;
     tsan)
       run_preset tsan -DBIGK_SANITIZE=thread
@@ -54,6 +64,15 @@ for preset in "${presets[@]}"; do
       "${repo_root}/build-ci-tsan/tests/cache_chunk_cache_test"
       "${repo_root}/build-ci-tsan/tests/cache_pinned_pool_test"
       "${repo_root}/build-ci-tsan/tests/cache_engine_cache_test"
+      # The fault plane is consulted from every worker an engine spawns and
+      # the probe daemon mutates quarantine state concurrently with the
+      # dispatch loop; run the fault suites explicitly under TSan too.
+      echo "=== ci preset tsan: fault tests ==="
+      "${repo_root}/build-ci-tsan/tests/fault_plane_test"
+      "${repo_root}/build-ci-tsan/tests/fault_queue_escalation_test"
+      "${repo_root}/build-ci-tsan/tests/fault_cache_reset_test"
+      "${repo_root}/build-ci-tsan/tests/fault_engine_recovery_test"
+      "${repo_root}/build-ci-tsan/tests/fault_serve_recovery_test"
       ;;
     tidy)
       # Optional extra: static analysis build (no tests; compile = analyze).

@@ -128,15 +128,37 @@ void ChunkCache::invalidate_dataset(std::uint64_t dataset, sim::TimePs now) {
   for (const std::uint64_t id : ids) invalidate_entry(id, now);
 }
 
+void ChunkCache::invalidate_all(sim::TimePs now, bool device_reset) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.zombie) ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    invalidate_entry_impl(id, now, device_reset);
+  }
+}
+
 void ChunkCache::invalidate_entry(std::uint64_t entry_id, sim::TimePs now) {
+  invalidate_entry_impl(entry_id, now, /*device_reset=*/false);
+}
+
+void ChunkCache::invalidate_entry_impl(std::uint64_t entry_id, sim::TimePs now,
+                                       bool device_reset) {
   const auto it = entries_.find(entry_id);
   if (it == entries_.end() || it->second.zombie) return;
   Entry& entry = it->second;
   index_.erase(entry.key);
   ++stats_.invalidations;
   if (ctr_invalidations_ != nullptr) ctr_invalidations_->add();
-  if (checker_ != nullptr) checker_->on_cache_invalidate(entry_id);
-  trace_instant("cache invalidate", now);
+  if (checker_ != nullptr) {
+    if (device_reset) {
+      checker_->on_cache_device_reset(entry_id);
+    } else {
+      checker_->on_cache_invalidate(entry_id);
+    }
+  }
+  trace_instant(device_reset ? "cache device reset" : "cache invalidate", now);
   if (entry.pins > 0) {
     // Still backing an in-flight chunk: drop it from the index now, reclaim
     // the storage at the last unpin. The checker flags any read after this

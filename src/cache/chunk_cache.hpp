@@ -114,6 +114,11 @@ class ChunkCache {
   /// Drops one entry by id (arena reclaim, fault injection); no-op when the
   /// id is unknown or already invalidated.
   void invalidate_entry(std::uint64_t entry, sim::TimePs now);
+  /// Drops every entry. With `device_reset` (serve quarantining the device
+  /// after a fault) the checker is told on_cache_device_reset instead of a
+  /// plain invalidation, so a read through a surviving lease is flagged as
+  /// read_after_device_reset; subsequent lookups miss and restage.
+  void invalidate_all(sim::TimePs now, bool device_reset = false);
 
   /// Live bytes cached for `dataset` — the scheduler's warm-benefit
   /// estimate (what an affinity hit would actually save on PCIe).
@@ -145,6 +150,9 @@ class ChunkCache {
   /// coalesced on free — the same discipline as the arena allocator).
   std::optional<std::uint64_t> allocate(std::uint64_t bytes);
   void free_range(std::uint64_t offset, std::uint64_t bytes);
+
+  void invalidate_entry_impl(std::uint64_t entry, sim::TimePs now,
+                             bool device_reset);
 
   /// Eviction victim per policy among unpinned live entries; entries_.end()
   /// when everything is pinned.

@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "cusim/runtime.hpp"
+#include "fault/fault.hpp"
 
 namespace bigk::cache {
 
@@ -40,8 +42,18 @@ class PinnedPool {
 
   /// Returns a pinned buffer of exactly `bytes` bytes: the smallest free
   /// buffer whose capacity covers the request (no reallocation, region id
-  /// preserved), or a fresh pinned allocation.
+  /// preserved), or a fresh pinned allocation. When the runtime carries a
+  /// fault plane, a firing pinned_alloc_fail spec throws PinnedAllocError —
+  /// the engine responds by degrading ring depth instead of crashing.
   Buffer acquire(std::uint64_t bytes) {
+    if (fault::FaultPlane* plane = runtime_.fault_plane();
+        plane != nullptr &&
+        plane->should_inject(fault::FaultKind::kPinnedAllocFail,
+                             runtime_.fault_device(), runtime_.sim().now())) {
+      throw fault::PinnedAllocError("pinned allocation of " +
+                                    std::to_string(bytes) +
+                                    " bytes failed (injected)");
+    }
     ++stats_.acquires;
     auto it = free_.lower_bound(bytes);
     if (it != free_.end()) {

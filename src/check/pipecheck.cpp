@@ -176,22 +176,25 @@ void PipelineChecker::on_compute_read(std::uint32_t block, std::uint64_t chunk,
   }
   if (slot->reported_cache[stream] != 0) return;
   slot->reported_cache[stream] = 1;
-  const bool evicted = state == EntryState::kEvicted;
+  const char* kind = "stale_cache_read";
+  const char* why =
+      " invalidated after the hit was declared (reuse-after-invalidation)";
+  if (state == EntryState::kEvicted) {
+    kind = "evicted_slot_read";
+    why = " after eviction — its device range may have been reallocated";
+  } else if (state == EntryState::kReset) {
+    kind = "read_after_device_reset";
+    why = " dropped by a device reset — the arena contents are untrusted";
+  }
   Violation violation = base_violation(
-      evicted ? "evicted_slot_read" : "stale_cache_read", block, chunk,
-      static_cast<std::uint32_t>(chunk % depth_));
+      kind, block, chunk, static_cast<std::uint32_t>(chunk % depth_));
   violation.stream = stream;
   violation.thread = thread;
   violation.allocation = static_cast<std::int64_t>(entry);
-  violation.message =
-      std::string(evicted ? "evicted_slot_read" : "stale_cache_read") +
-      ": block " + std::to_string(block) + " compute for chunk " +
-      std::to_string(chunk) + " stream " + std::to_string(stream) +
-      " reads cache entry " + std::to_string(entry) +
-      (evicted
-           ? " after eviction — its device range may have been reallocated"
-           : " invalidated after the hit was declared "
-             "(reuse-after-invalidation)");
+  violation.message = std::string(kind) + ": block " + std::to_string(block) +
+                      " compute for chunk " + std::to_string(chunk) +
+                      " stream " + std::to_string(stream) +
+                      " reads cache entry " + std::to_string(entry) + why;
   reporter_.report(std::move(violation));
 }
 
@@ -215,6 +218,10 @@ void PipelineChecker::on_cache_invalidate(std::uint64_t entry) {
 
 void PipelineChecker::on_cache_evict(std::uint64_t entry) {
   entry_states_[entry] = EntryState::kEvicted;
+}
+
+void PipelineChecker::on_cache_device_reset(std::uint64_t entry) {
+  entry_states_[entry] = EntryState::kReset;
 }
 
 void PipelineChecker::on_slot_release(std::uint32_t block,

@@ -76,9 +76,18 @@ class PipelineChecker {
   /// `entry` was evicted and its device range may be reallocated; any
   /// further compute read through it is an evicted_slot_read.
   void on_cache_evict(std::uint64_t entry);
+  /// `entry` was dropped because its device was reset (serve quarantine
+  /// after a device_lost fault); any further compute read through it is a
+  /// read_after_device_reset — the arena contents are no longer trustworthy.
+  void on_cache_device_reset(std::uint64_t entry);
 
  private:
-  enum class EntryState : std::uint8_t { kValid, kInvalidated, kEvicted };
+  enum class EntryState : std::uint8_t {
+    kValid,
+    kInvalidated,
+    kEvicted,
+    kReset,
+  };
 
   struct SlotState {
     std::int64_t occupant = -1;  // chunk currently owning the slot, -1 free

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <array>
 #include <cassert>
 #include <cstring>
 
@@ -101,12 +102,15 @@ void Engine::build_blocks(std::uint64_t num_records) {
     }
 
     block->slots.resize(depth);
-    block->slot_leases.resize(depth);
     std::uint64_t pinned_addr_bytes = 0;
-    for (ChunkSlot& slot : block->slots) {
+    for (std::uint32_t slot_idx = 0; slot_idx < block->slots.size();
+         ++slot_idx) {
+      ChunkSlot& slot = block->slots[slot_idx];
+      const std::size_t allocs_before = device_allocs_.size();
       slot.streams.resize(bindings_.size());
       slot.prefetch_offset.resize(bindings_.size());
       std::uint64_t total = 0;
+      std::uint64_t slot_addr_bytes = 0;
       for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
         const StreamBinding& bind = bindings_[s];
         StreamStage& stage = slot.streams[s];
@@ -133,11 +137,39 @@ void Engine::build_blocks(std::uint64_t num_records) {
         stage.write_addrs.resize(c_threads);
         slot.prefetch_offset[s] = total;
         total += stage.data_capacity_bytes;
-        pinned_addr_bytes +=
+        slot_addr_bytes +=
             std::uint64_t{c_threads} * stage.slots_per_thread * 8;
       }
       if (pinned_pool_ != nullptr) {
-        cache::PinnedPool::Buffer buffer = pinned_pool_->acquire(total);
+        cache::PinnedPool::Buffer buffer;
+        try {
+          buffer = pinned_pool_->acquire(total);
+        } catch (const fault::PinnedAllocError&) {
+          if (slot_idx < 2) {
+            // A ring needs two slots to pipeline at all; below that the
+            // failure is fatal and propagates to the caller.
+            throw;
+          }
+          // Graceful degradation: run this block with the slots already
+          // built. The extra ring tokens are withheld permanently so the
+          // pipeline never acquires the abandoned slot.
+          for (std::size_t a = device_allocs_.size(); a > allocs_before; --a) {
+            memory.free_offset(device_allocs_[a - 1]);
+          }
+          device_allocs_.resize(allocs_before);
+          block->slots.resize(slot_idx);
+          block->depth = slot_idx;
+          for (std::uint32_t k = slot_idx; k < depth; ++k) {
+            block->ring.try_acquire();
+          }
+          degraded_ = true;
+          ++metrics_.degraded_blocks;
+          if (fault::FaultPlane* plane = runtime_.fault_plane()) {
+            plane->on_degraded();
+            plane->on_recovered(fault::FaultKind::kPinnedAllocFail);
+          }
+          break;
+        }
         slot.prefetch = std::move(buffer.data);
         slot.prefetch_region = buffer.region;
       } else {
@@ -145,7 +177,9 @@ void Engine::build_blocks(std::uint64_t num_records) {
         slot.prefetch_region = runtime_.next_region_id();
         runtime_.note_pinned(total);
       }
+      pinned_addr_bytes += slot_addr_bytes;
     }
+    block->slot_leases.resize(block->depth);
     runtime_.note_pinned(pinned_addr_bytes);
     blocks_.push_back(std::move(block));
   }
@@ -234,9 +268,31 @@ void Engine::report_addr_counts(BlockState& block, ChunkSlot& slot,
 
 sim::Task<> Engine::assembly_process(BlockState& block) {
   hostsim::HostThread& thread = *block.assembly_thread;
+  fault::FaultPlane* plane = runtime_.fault_plane();
+  const std::uint32_t device = runtime_.fault_device();
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.addr_ready.wait_ge(chunk + 1);
-    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    if (aborted_) co_return;
+    if (plane != nullptr) {
+      if (const auto stall = plane->stall_duration(device, sim().now())) {
+        if (*stall == 0 || *stall >= options_.recovery.watchdog_timeout) {
+          // The stage would hang (stall=0 models "forever") or outlast the
+          // watchdog: the watchdog fires at the timeout and converts the
+          // stall into a TimeoutError instead of wedging the pipeline.
+          co_await sim().delay(options_.recovery.watchdog_timeout);
+          abort_launch(std::make_exception_ptr(fault::TimeoutError(
+              "stage watchdog: assembly for block " +
+              std::to_string(block.index) + " chunk " + std::to_string(chunk) +
+              " stalled past the watchdog timeout")));
+          co_return;
+        }
+        // Finite stall: absorbed as pipeline delay and counted recovered.
+        co_await sim().delay(*stall);
+        if (aborted_) co_return;
+        plane->on_recovered(fault::FaultKind::kStageStall);
+      }
+    }
+    ChunkSlot& slot = block.slots[chunk % block.depth];
     if (pipecheck_ != nullptr) {
       pipecheck_->on_assembly_begin(block.index, chunk);
     }
@@ -244,7 +300,7 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
     const sim::TimePs start = sim().now();
     std::vector<std::uint64_t> bytes(bindings_.size(), 0);
     std::vector<std::uint64_t>& leases =
-        block.slot_leases[chunk % options_.buffer_depth];
+        block.slot_leases[chunk % block.depth];
     for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
       StreamStage& stage = slot.streams[s];
       if (chunk_cache_ == nullptr || !stream_cacheable(s)) {
@@ -291,16 +347,30 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       }
     }
     co_await thread.commit();
+    if (aborted_) co_return;
     record_stage(obs::Stage::kAssembly, block.index, chunk, start,
                  sim().now());
 
+    std::vector<PendingCopy> copies;
     for (std::uint32_t s = 0; s < bindings_.size(); ++s) {
       if (bytes[s] == 0) continue;
       const StreamStage& stage = slot.streams[s];
-      block.dma.memcpy_h2d_async(
-          stage.active_data_base(),
-          slot.prefetch.data() + slot.prefetch_offset[s], bytes[s]);
+      const std::byte* host = slot.prefetch.data() + slot.prefetch_offset[s];
+      const std::uint64_t op =
+          block.dma.memcpy_h2d_async(stage.active_data_base(), host, bytes[s]);
       metrics_.data_bytes_sent += bytes[s];
+      if (plane != nullptr) {
+        copies.push_back(
+            PendingCopy{s, op, stage.active_data_base(), host, bytes[s]});
+      }
+    }
+    if (plane != nullptr) {
+      // Fault path: the ready flag is raised by a supervisor that verifies
+      // (and retries) the chunk's copies instead of riding the stream
+      // in-order — a failed op must not signal data that never landed.
+      supervisors_.push_back(sim().spawn(
+          transfer_supervisor(block, chunk, std::move(copies), sim().now())));
+      continue;
     }
     block.dma.signal_flag(block.data_ready, chunk + 1);
     // Measure the transfer stage as wall time from enqueue to the ready
@@ -313,6 +383,96 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       engine->record_stage(obs::Stage::kTransfer, blk->index, c, begin,
                            engine->sim().now());
     }(this, &block, chunk));
+  }
+}
+
+sim::Task<> Engine::transfer_supervisor(BlockState& block, std::uint64_t chunk,
+                                        std::vector<PendingCopy> copies,
+                                        sim::TimePs begin) {
+  fault::FaultPlane* plane = runtime_.fault_plane();
+  const std::uint32_t device = runtime_.fault_device();
+  std::array<std::uint64_t, fault::kNumFaultKinds> absorbed{};
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    for (const PendingCopy& copy : copies) {
+      co_await block.dma.wait_for(copy.op);
+    }
+    if (aborted_) co_return;
+    std::vector<PendingCopy> failed;
+    bool lost = false;
+    for (const PendingCopy& copy : copies) {
+      if (const auto fault = block.dma.take_failure(copy.op)) {
+        if (*fault == fault::FaultKind::kDeviceLost) {
+          lost = true;
+        } else {
+          ++absorbed[static_cast<std::size_t>(*fault)];
+        }
+        failed.push_back(copy);
+      }
+    }
+    if (lost || (plane != nullptr && plane->device_lost(device))) {
+      abort_launch(std::make_exception_ptr(fault::DeviceLostError(
+          "device lost during the chunk " + std::to_string(chunk) +
+          " transfer (block " + std::to_string(block.index) + ")")));
+      co_return;
+    }
+    if (failed.empty()) break;
+    if (attempt >= options_.recovery.max_chunk_retries) {
+      abort_launch(std::make_exception_ptr(fault::DmaError(
+          "block " + std::to_string(block.index) + " chunk " +
+          std::to_string(chunk) + " H2D still failing after " +
+          std::to_string(attempt + 1) + " attempts")));
+      co_return;
+    }
+    // Capped exponential backoff before the redo.
+    const sim::DurationPs base = options_.recovery.retry_backoff;
+    const sim::DurationPs backoff =
+        std::min<sim::DurationPs>(base << std::min<std::uint32_t>(attempt, 4),
+                                  base * 16);
+    co_await sim().delay(backoff);
+    if (aborted_) co_return;
+    ++metrics_.chunk_retries;
+    for (PendingCopy& copy : failed) {
+      // Idempotent chunk redo: the pinned image for this ring slot stays
+      // intact until the slot is released, so re-issuing the same copy
+      // replays the transfer (and overwrites ECC-corrupted device bytes).
+      copy.op = block.dma.memcpy_h2d_async(copy.dev_base, copy.host,
+                                           copy.bytes);
+      metrics_.retried_bytes += copy.bytes;
+    }
+    copies = std::move(failed);
+  }
+  // In-order flag protocol: chunk N's flag must not overtake chunk N-1's (a
+  // retry can finish after the next chunk's clean transfer), so each
+  // supervisor chains behind its predecessor before raising.
+  co_await block.data_ready.wait_ge(chunk);
+  if (aborted_) co_return;
+  block.data_ready.advance_to(chunk + 1);
+  record_stage(obs::Stage::kTransfer, block.index, chunk, begin, sim().now());
+  if (plane != nullptr) {
+    for (std::size_t k = 0; k < absorbed.size(); ++k) {
+      if (absorbed[k] > 0) {
+        plane->on_recovered(static_cast<fault::FaultKind>(k), absorbed[k]);
+      }
+    }
+  }
+}
+
+void Engine::abort_launch(std::exception_ptr error) {
+  if (!aborted_) {
+    aborted_ = true;
+    abort_error_ = std::move(error);
+  }
+  // Wake every parked stage: flags flood past any chunk index and enough
+  // ring tokens are handed out that blocked drivers resume, observe
+  // aborted_, and exit. Flags are monotone, so the flood is idempotent.
+  for (auto& block : blocks_) {
+    const std::uint64_t flood = block->chunks + block->depth + 2;
+    block->addr_ready.advance_to(flood);
+    block->data_ready.advance_to(flood);
+    block->wb_landed.advance_to(flood);
+    for (std::uint32_t k = 0; k < block->depth; ++k) {
+      block->ring.release();
+    }
   }
 }
 
@@ -484,7 +644,7 @@ std::uint64_t Engine::chunk_signature(const BlockState& block,
 void Engine::release_slot_leases(BlockState& block, std::uint64_t chunk) {
   if (chunk_cache_ == nullptr || block.slot_leases.empty()) return;
   std::vector<std::uint64_t>& leases =
-      block.slot_leases[chunk % options_.buffer_depth];
+      block.slot_leases[chunk % block.depth];
   for (std::uint64_t entry : leases) chunk_cache_->unpin(entry);
   leases.clear();
 }
@@ -493,7 +653,8 @@ sim::Task<> Engine::scatter_process(BlockState& block) {
   hostsim::HostThread& thread = *block.scatter_thread;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.wb_landed.wait_ge(chunk + 1);
-    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    if (aborted_) co_return;
+    ChunkSlot& slot = block.slots[chunk % block.depth];
 
     const sim::TimePs start = sim().now();
     for (std::uint32_t s = 0; s < bindings_.size(); ++s) {

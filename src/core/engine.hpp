@@ -29,6 +29,7 @@
 #include "cache/chunk_cache.hpp"
 #include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
+#include "fault/fault.hpp"
 #include "core/contexts.hpp"
 #include "core/device_tables.hpp"
 #include "core/metrics.hpp"
@@ -213,13 +214,18 @@ class Engine {
 
   struct BlockState {
     BlockState(sim::Simulation& sim, std::uint32_t depth, cusim::Stream dma)
-        : addr_ready(sim),
+        : depth(depth),
+          addr_ready(sim),
           data_ready(sim),
           wb_landed(sim),
           ring(sim, depth),
           dma(std::move(dma)) {}
 
     std::uint32_t index = 0;
+    /// Ring depth this block actually runs with. Normally
+    /// options_.buffer_depth; shrunk when a pinned_alloc_fail degraded the
+    /// block to fewer slots (the withheld ring tokens are never released).
+    std::uint32_t depth = 0;
     Range records;
     std::uint64_t per_thread = 0;  // record-slice length per compute thread
     std::uint64_t chunks = 0;
@@ -245,6 +251,40 @@ class Engine {
   Range thread_chunk_range(const BlockState& block, std::uint32_t vtid,
                            std::uint64_t chunk) const;
   gpusim::KernelLaunch launch_shape() const;
+
+  // --- bigkfault recovery (engine.cpp) -----------------------------------
+  /// One H2D copy in flight for a chunk, retained so a failed op can be
+  /// re-issued verbatim (the pinned image stays intact until slot release —
+  /// the idempotent chunk redo).
+  struct PendingCopy {
+    std::uint32_t stream = 0;
+    std::uint64_t op = 0;        // stream sequence id of the latest issue
+    std::uint64_t dev_base = 0;  // destination (ring slot or cache entry)
+    const std::byte* host = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Awaits the chunk's H2D ops, retries failed ones with capped exponential
+  /// backoff, then raises data_ready in chunk order (chained behind the
+  /// previous chunk so a slow retry never lets a later flag overtake it).
+  /// Aborts the launch on device_lost or exhausted retries.
+  sim::Task<> transfer_supervisor(BlockState& block, std::uint64_t chunk,
+                                  std::vector<PendingCopy> copies,
+                                  sim::TimePs begin);
+
+  /// Marks the launch failed with `error` (first abort wins) and wakes every
+  /// stage: stage flags flood past any chunk index and ring tokens are handed
+  /// out so blocked drivers observe aborted_ and exit.
+  void abort_launch(std::exception_ptr error);
+
+  /// Effective state of a seeded protocol bug: the legacy Options::fault
+  /// toggle ORed with a matching always-on spec on the runtime's fault plane.
+  bool seeded_bug(fault::FaultKind kind, bool legacy_toggle) const {
+    if (legacy_toggle) return true;
+    fault::FaultPlane* plane = runtime_.fault_plane();
+    return plane != nullptr &&
+           plane->protocol_bug(kind, runtime_.fault_device());
+  }
 
   // --- host-side pipeline stages (engine.cpp) ----------------------------
   sim::Task<> assembly_process(BlockState& block);
@@ -293,6 +333,20 @@ class Engine {
   std::vector<std::unique_ptr<BlockState>> blocks_;
   std::vector<std::uint64_t> device_allocs_;
   EngineMetrics metrics_;
+
+  // --- bigkfault ----------------------------------------------------------
+  /// Launch-failure latch: transfer supervisors and the stage watchdog set it
+  /// via abort_launch(); every pipeline loop checks it after each wait and
+  /// exits, and launch() rethrows abort_error_ after draining.
+  bool aborted_ = false;
+  std::exception_ptr abort_error_;
+  /// Any block shrank its ring this launch (pinned_alloc_fail absorbed).
+  /// Pipecheck is detached for the launch: its slot geometry is fixed at
+  /// begin_launch and cannot describe a per-block depth.
+  bool degraded_ = false;
+  /// Per-chunk transfer supervisors (fault path only); joined by launch()
+  /// after the kernel and host stages complete.
+  std::vector<sim::Process> supervisors_;
   obs::Tracer* tracer_ = nullptr;
   std::string trace_scope_;
 
@@ -346,6 +400,10 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
   }
   tables_ = &tables;
   geometry_ = plan(num_records);
+  aborted_ = false;
+  abort_error_ = nullptr;
+  degraded_ = false;
+  supervisors_.clear();
 
   // bigkcheck: construct and install a sanitizer when options_.check asks
   // for one and the caller did not provide one via set_sanitizer(). Install
@@ -371,8 +429,14 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
     chunk_cache_->set_checker(pipecheck_);
   }
 
-  build_blocks(num_records);
   metrics_ = EngineMetrics{};
+  build_blocks(num_records);
+  if (degraded_) {
+    // A shrunken ring invalidates the slot geometry pipecheck was armed
+    // with; run the launch without it rather than raise false violations.
+    pipecheck_ = nullptr;
+    if (chunk_cache_ != nullptr) chunk_cache_->set_checker(nullptr);
+  }
 
   std::vector<sim::Process> host_processes;
   for (auto& block : blocks_) {
@@ -398,6 +462,18 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
   for (sim::Process& process : host_processes) {
     co_await process.join();
   }
+  for (sim::Process& process : supervisors_) {
+    co_await process.join();
+  }
+  supervisors_.clear();
+  if (aborted_) {
+    // Drain the DMA streams before tearing the staging buffers down: an
+    // aborted launch can leave retried or later-chunk copies in flight that
+    // still reference the device ranges release_buffers() frees.
+    for (auto& block : blocks_) {
+      co_await block->dma.synchronize();
+    }
+  }
   release_buffers();
 
   if (chunk_cache_ != nullptr) chunk_cache_->set_checker(nullptr);
@@ -405,10 +481,17 @@ sim::Task<> Engine::launch(const Kernel& kernel, std::uint64_t num_records,
   if (owned_sanitizer_ != nullptr) {
     // Detach and enforce: throws check::CheckError with the diagnostic
     // summary when any checker reported a violation. An external sanitizer
-    // (set_sanitizer) is finalized by its owner instead.
+    // (set_sanitizer) is finalized by its owner instead. An aborted launch
+    // skips enforcement — the fault error below is the diagnosis.
     std::unique_ptr<check::Sanitizer> sanitizer = std::move(owned_sanitizer_);
     sanitizer->uninstall();
-    sanitizer->finalize();
+    if (!aborted_) sanitizer->finalize();
+  }
+  if (aborted_) {
+    std::exception_ptr error = abort_error_;
+    abort_error_ = nullptr;
+    aborted_ = false;
+    std::rethrow_exception(error);
   }
 }
 
@@ -418,10 +501,11 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
   const std::uint32_t c_threads = options_.compute_threads_per_block;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.ring.acquire();
+    if (aborted_) co_return;
     if (pipecheck_ != nullptr) {
       pipecheck_->on_slot_acquire(block.index, chunk);
     }
-    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    ChunkSlot& slot = block.slots[chunk % block.depth];
     for (StreamStage& stage : slot.streams) {
       stage.staged_writes.clear();
       stage.cached_dev_base = kNoCachedBase;
@@ -470,24 +554,26 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
                                    const Kernel& kernel) {
   const std::uint32_t c_threads = options_.compute_threads_per_block;
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
-    if (options_.fault.skip_data_ready_wait) {
+    if (seeded_bug(fault::FaultKind::kSkipDataReadyWait,
+                   options_.fault.skip_data_ready_wait)) {
       // Seeded bug: wait for the *previous* chunk's flag only (none at all
       // for chunk 0) — the compute stage races the staged DMA.
       if (chunk > 0) co_await block.data_ready.wait_ge(chunk);
     } else {
       co_await block.data_ready.wait_ge(chunk + 1);
     }
-    ChunkSlot& slot = block.slots[chunk % options_.buffer_depth];
+    if (aborted_) co_return;
+    ChunkSlot& slot = block.slots[chunk % block.depth];
     if (pipecheck_ != nullptr) {
       pipecheck_->on_compute_begin(block.index, chunk,
                                    block.data_ready.value());
     }
-    if (options_.fault.stale_cache && chunk_cache_ != nullptr) {
+    if (chunk_cache_ != nullptr &&
+        seeded_bug(fault::FaultKind::kStaleCache, options_.fault.stale_cache)) {
       // Seeded bug: yank every cache entry backing this chunk out from under
       // the compute stage after the hit was declared — the
       // reuse-after-invalidation protocol violation.
-      for (std::uint64_t entry :
-           block.slot_leases[chunk % options_.buffer_depth]) {
+      for (std::uint64_t entry : block.slot_leases[chunk % block.depth]) {
         chunk_cache_->invalidate_entry(entry, sim().now());
       }
     }
@@ -506,6 +592,7 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
     record_stage(obs::Stage::kCompute, block.index, chunk, sim().now() - busy,
                  sim().now());
     co_await ctx.sync_overhead();
+    if (aborted_) co_return;
 
     if (has_writes_) {
       std::uint64_t wb_bytes = 0;
@@ -517,7 +604,8 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
       const sim::TimePs landed = runtime_.gpu().post_d2h(wb_bytes);
       runtime_.gpu().set_flag_at(block.wb_landed, chunk + 1,
                                  std::max(landed, sim().now()));
-      if (options_.fault.early_ring_release) {
+      if (seeded_bug(fault::FaultKind::kEarlyRingRelease,
+                     options_.fault.early_ring_release)) {
         // Seeded bug: hand the ring slot back while the write-back scatter
         // is still in flight — assembly may overwrite live staged writes.
         // (Deliberately no on_slot_release: the slot is NOT actually safe.)

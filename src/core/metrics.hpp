@@ -58,6 +58,11 @@ struct EngineMetrics {
   std::uint64_t cache_misses = 0;       // cacheable stream-chunks assembled
   std::uint64_t cache_bytes_saved = 0;  // PCIe H2D bytes skipped on hits
 
+  // --- bigkfault (fault plane attached on the runtime) --------------------
+  std::uint64_t chunk_retries = 0;   // failed H2D rounds re-issued
+  std::uint64_t retried_bytes = 0;   // H2D bytes re-transferred by retries
+  std::uint64_t degraded_blocks = 0;  // blocks running a shrunken ring
+
   double pattern_hit_rate() const {
     return thread_chunks == 0
                ? 0.0

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "check/options.hpp"
+#include "sim/time.hpp"
 
 namespace bigk::core {
 
@@ -49,9 +50,30 @@ struct Options {
   /// violation (see src/check/).
   check::CheckOptions check{};
 
+  // --- bigkfault recovery policy ----------------------------------------
+  /// How the engine responds to faults injected by the runtime's
+  /// fault::FaultPlane (dma_error / ecc_corrupt retries, stage_stall
+  /// watchdog). Inert when no plane is attached.
+  struct Recovery {
+    /// Re-issued H2D rounds per chunk before the launch aborts with
+    /// fault::DmaError.
+    std::uint32_t max_chunk_retries = 4;
+    /// Backoff before the first retry; doubles per attempt, capped at 16x.
+    sim::DurationPs retry_backoff = 200'000'000;  // 200 us
+    /// An assembly stall at or past this converts into fault::TimeoutError
+    /// (the stage watchdog) instead of being absorbed as a delay.
+    sim::DurationPs watchdog_timeout = 50'000'000'000;  // 50 ms
+  };
+  Recovery recovery{};
+
   /// Test-only seeded-bug injection: deliberately breaks a pipeline
   /// invariant so the checkers' seeded-violation tests can prove they catch
   /// real protocol bugs. Never enable outside tests.
+  ///
+  /// These toggles are the legacy spelling of the fault::FaultPlane protocol
+  /// bugs: the engine ORs each with the plane's matching spec
+  /// ("skip_data_ready_wait" / "early_ring_release" / "stale_cache", also
+  /// accepted with a "fault." prefix), so either registry triggers the bug.
   struct FaultInjection {
     /// Compute stage skips the data_ready wait for the current chunk
     /// (waits for the previous chunk only), racing ahead of the staged DMA —

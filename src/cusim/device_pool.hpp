@@ -50,6 +50,15 @@ class DevicePool {
   /// Attaches the telemetry sinks to the shared CPU and every device.
   void attach_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Attaches (or with nullptr removes) one fault plane across the pool;
+  /// device i injects under its pool index, so specs can target a single
+  /// device with `device=i`.
+  void set_fault_plane(fault::FaultPlane* plane) {
+    for (std::uint32_t i = 0; i < size(); ++i) {
+      devices_[i]->set_fault_plane(plane, i);
+    }
+  }
+
   /// Aggregates across all devices (for pool-level reporting).
   std::uint64_t total_h2d_bytes() const;
   std::uint64_t total_d2h_bytes() const;

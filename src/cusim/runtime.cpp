@@ -8,8 +8,9 @@ Stream::~Stream() {
   if (state_ && !state_->ops.closed()) state_->ops.close();
 }
 
-void Stream::memcpy_h2d_async(std::uint64_t device_offset,
-                              const void* host_src, std::uint64_t bytes) {
+std::uint64_t Stream::memcpy_h2d_async(std::uint64_t device_offset,
+                                       const void* host_src,
+                                       std::uint64_t bytes) {
   Op op;
   op.kind = Op::Kind::kH2D;
   op.host_src = host_src;
@@ -17,10 +18,12 @@ void Stream::memcpy_h2d_async(std::uint64_t device_offset,
   op.bytes = bytes;
   state_->note_enqueue();
   state_->ops.push(op);
+  return state_->enqueued;
 }
 
-void Stream::memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
-                              std::uint64_t bytes) {
+std::uint64_t Stream::memcpy_d2h_async(void* host_dst,
+                                       std::uint64_t device_offset,
+                                       std::uint64_t bytes) {
   Op op;
   op.kind = Op::Kind::kD2H;
   op.host_dst = host_dst;
@@ -28,6 +31,7 @@ void Stream::memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
   op.bytes = bytes;
   state_->note_enqueue();
   state_->ops.push(op);
+  return state_->enqueued;
 }
 
 void Stream::signal_flag(sim::Flag& flag, std::uint64_t value) {
@@ -45,22 +49,93 @@ sim::Task<> Stream::synchronize() {
   co_await state->completed.wait_ge(target);
 }
 
+sim::Task<> Stream::wait_for(std::uint64_t op_id) {
+  auto state = state_;
+  co_await state->completed.wait_ge(op_id);
+}
+
+std::optional<fault::FaultKind> Stream::take_failure(std::uint64_t op_id) {
+  const auto it = state_->failed.find(op_id);
+  if (it == state_->failed.end()) return std::nullopt;
+  const fault::FaultKind kind = it->second;
+  state_->failed.erase(it);
+  return kind;
+}
+
+namespace {
+
+// Fault check for one copy op, run when the transfer's link time elapses. A
+// faulted op still occupies the link and completes in order — like a real DMA
+// engine, the error surfaces at completion — but the data is dropped
+// (dma_error / device_lost), and the op id lands in State::failed for the
+// owner to retry.
+std::optional<fault::FaultKind> drop_fault(fault::FaultPlane* plane,
+                                           std::uint32_t device,
+                                           sim::TimePs now) {
+  if (plane == nullptr) return std::nullopt;
+  if (plane->should_inject(fault::FaultKind::kDeviceLost, device, now) ||
+      plane->device_lost(device)) {
+    return fault::FaultKind::kDeviceLost;
+  }
+  if (plane->should_inject(fault::FaultKind::kDmaError, device, now)) {
+    return fault::FaultKind::kDmaError;
+  }
+  return std::nullopt;
+}
+
+// ecc_corrupt (H2D only): the copy lands, then the device-arena bytes are
+// deterministically corrupted — the injection site at the DeviceMemory
+// boundary. A retried copy overwrites the corruption, which is exactly what
+// the byte-exactness recovery tests prove.
+bool ecc_fault(fault::FaultPlane* plane, std::uint32_t device,
+               sim::TimePs now, gpusim::DeviceMemory& memory,
+               std::uint64_t device_offset, std::uint64_t bytes) {
+  if (plane == nullptr ||
+      !plane->should_inject(fault::FaultKind::kEccCorrupt, device, now)) {
+    return false;
+  }
+  auto span = memory.bytes_mut(device_offset, bytes);
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(bytes, 8); ++i) {
+    span[i] ^= std::byte{0xff};
+  }
+  return true;
+}
+
+}  // namespace
+
 sim::Task<> Stream::worker(std::shared_ptr<State> state) {
   while (true) {
     std::optional<Op> op = co_await state->ops.pop();
     if (!op) break;
     const sim::TimePs dequeued = state->sim.now();
+    const std::uint64_t op_id = state->completed.value() + 1;
     switch (op->kind) {
       case Op::Kind::kH2D: {
         co_await state->gpu.h2d_transfer(op->bytes);
-        auto dst = state->gpu.memory().bytes_mut(op->device_offset, op->bytes);
-        std::memcpy(dst.data(), op->host_src, op->bytes);
+        std::optional<fault::FaultKind> fault =
+            drop_fault(state->fault, state->device, state->sim.now());
+        if (!fault) {
+          auto dst =
+              state->gpu.memory().bytes_mut(op->device_offset, op->bytes);
+          std::memcpy(dst.data(), op->host_src, op->bytes);
+          if (ecc_fault(state->fault, state->device, state->sim.now(),
+                        state->gpu.memory(), op->device_offset, op->bytes)) {
+            fault = fault::FaultKind::kEccCorrupt;
+          }
+        }
+        if (fault) state->failed.emplace(op_id, *fault);
         break;
       }
       case Op::Kind::kD2H: {
         co_await state->gpu.d2h_transfer(op->bytes);
-        auto src = state->gpu.memory().bytes(op->device_offset, op->bytes);
-        std::memcpy(op->host_dst, src.data(), op->bytes);
+        const std::optional<fault::FaultKind> fault =
+            drop_fault(state->fault, state->device, state->sim.now());
+        if (!fault) {
+          auto src = state->gpu.memory().bytes(op->device_offset, op->bytes);
+          std::memcpy(op->host_dst, src.data(), op->bytes);
+        } else {
+          state->failed.emplace(op_id, *fault);
+        }
         break;
       }
       case Op::Kind::kFlag:
@@ -92,6 +167,8 @@ sim::Task<> Stream::worker(std::shared_ptr<State> state) {
 
 Stream Runtime::create_stream() {
   auto state = std::make_shared<Stream::State>(sim_, gpu_);
+  state->fault = fault_plane_;
+  state->device = fault_device_;
   if (tracer_ != nullptr) {
     state->tracer = tracer_;
     state->dma_pid = tracer_->process(trace_prefix() + "DMA streams");

@@ -14,11 +14,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "gpusim/config.hpp"
 #include "gpusim/gpu.hpp"
 #include "hostsim/host_cpu.hpp"
@@ -74,12 +77,13 @@ class Stream {
 
   /// Async host->device copy of `bytes`; `host_src` must stay valid and
   /// unmodified until the op completes (standard pinned-buffer contract).
-  void memcpy_h2d_async(std::uint64_t device_offset, const void* host_src,
-                        std::uint64_t bytes);
+  /// Returns the op's 1-based sequence id on this stream (see wait_for).
+  std::uint64_t memcpy_h2d_async(std::uint64_t device_offset,
+                                 const void* host_src, std::uint64_t bytes);
 
-  /// Async device->host copy of `bytes`.
-  void memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
-                        std::uint64_t bytes);
+  /// Async device->host copy of `bytes`. Returns the op's sequence id.
+  std::uint64_t memcpy_d2h_async(void* host_dst, std::uint64_t device_offset,
+                                 std::uint64_t bytes);
 
   /// Enqueues raising `flag` to `value` behind everything already enqueued —
   /// the DMA-in-order signalling of §IV.C.
@@ -87,6 +91,16 @@ class Stream {
 
   /// Awaits completion of every operation enqueued so far.
   sim::Task<> synchronize();
+
+  /// Awaits completion of op `op_id` (ops complete strictly in order, so this
+  /// is completed-count >= op_id). An op that faulted still completes — check
+  /// take_failure afterwards.
+  sim::Task<> wait_for(std::uint64_t op_id);
+
+  /// When the fault plane failed op `op_id` (dma_error / ecc_corrupt /
+  /// device_lost), yields the fault kind and clears the record so a re-issued
+  /// copy starts clean. std::nullopt means the op completed successfully.
+  std::optional<fault::FaultKind> take_failure(std::uint64_t op_id);
 
  private:
   friend class Runtime;
@@ -109,6 +123,12 @@ class Stream {
     sim::Channel<Op> ops;
     sim::Flag completed;  // count of finished ops
     std::uint64_t enqueued = 0;
+
+    // Fault injection (optional): ops that fault complete in order but land
+    // in `failed` keyed by their sequence id, for the owner to retry.
+    fault::FaultPlane* fault = nullptr;
+    std::uint32_t device = 0;
+    std::map<std::uint64_t, fault::FaultKind> failed;
 
     // Telemetry (optional): per-op spans on this stream's track plus a
     // process-wide "queue depth" counter track for the DMA work queues.
@@ -242,6 +262,19 @@ class Runtime {
   obs::Tracer* tracer() const noexcept { return tracer_; }
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
 
+  /// Attaches (or with nullptr removes) the fault plane for this device;
+  /// `device` is its index in the pool (0 for stand-alone runtimes). Streams
+  /// created afterwards inject dma_error/ecc_corrupt/device_lost, the GPU's
+  /// PCIe link injects pcie_degrade, and the engine/pinned-pool layers pull
+  /// the plane from here for their own sites.
+  void set_fault_plane(fault::FaultPlane* plane, std::uint32_t device = 0) {
+    fault_plane_ = plane;
+    fault_device_ = device;
+    gpu_.set_fault_plane(plane, device);
+  }
+  fault::FaultPlane* fault_plane() const noexcept { return fault_plane_; }
+  std::uint32_t fault_device() const noexcept { return fault_device_; }
+
   /// cudaMalloc.
   template <class T>
   gpusim::DevicePtr<T> device_malloc(std::uint64_t count) {
@@ -326,6 +359,8 @@ class Runtime {
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Gauge* pinned_gauge_ = nullptr;
+  fault::FaultPlane* fault_plane_ = nullptr;
+  std::uint32_t fault_device_ = 0;
   std::uint32_t stream_count_ = 0;
 };
 

@@ -102,6 +102,9 @@ Gpu::Gpu(sim::Simulation& sim, const SystemConfig& config)
 }
 
 sim::DurationPs Gpu::link_cost(std::uint64_t bytes, double gbps) const {
+  if (fault_plane_ != nullptr) {
+    gbps /= fault_plane_->pcie_factor(fault_device_, sim_.now());
+  }
   return config_.pcie.transfer_latency + sim::transfer_time(bytes, gbps);
 }
 

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "gpusim/config.hpp"
 #include "gpusim/device_memory.hpp"
 #include "gpusim/warp_trace.hpp"
@@ -195,6 +196,16 @@ class Gpu {
     access_observer_ = observer;
   }
 
+  /// Attaches (or with nullptr removes) the fault plane; `device` is this
+  /// GPU's index in its pool. The only gpusim site is the PCIe link:
+  /// pcie_degrade divides the configured bandwidth by the spec's factor.
+  void set_fault_plane(fault::FaultPlane* plane, std::uint32_t device) {
+    fault_plane_ = plane;
+    fault_device_ = device;
+  }
+  fault::FaultPlane* fault_plane() const noexcept { return fault_plane_; }
+  std::uint32_t fault_device() const noexcept { return fault_device_; }
+
   /// --- PCIe / DMA -------------------------------------------------------
   /// Blocking bulk transfer host->device / device->host (occupies the link
   /// for latency + bytes/bandwidth, completes in FIFO order per direction).
@@ -262,6 +273,8 @@ class Gpu {
   sim::FifoServer d2h_link_;
   GpuStats stats_;
   WarpAccessObserver* access_observer_ = nullptr;
+  fault::FaultPlane* fault_plane_ = nullptr;
+  std::uint32_t fault_device_ = 0;
 
   // --- telemetry sinks (optional) ----------------------------------------
   obs::Tracer* tracer_ = nullptr;

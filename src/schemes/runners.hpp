@@ -28,6 +28,7 @@
 #include "core/options.hpp"
 #include "core/stream.hpp"
 #include "cusim/runtime.hpp"
+#include "fault/fault.hpp"
 #include "gpusim/config.hpp"
 #include "hostsim/host_cpu.hpp"
 #include "obs/metrics_registry.hpp"
@@ -71,6 +72,14 @@ struct SchemeConfig {
   // run_bigkernel additionally attaches the tracer to the engine.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// bigkfault injection plane (nullptr = no injection; must outlive the
+  /// run). Only run_bigkernel installs it: the engine's supervisor is the
+  /// recovery machinery (chunk retry, watchdog, ring degradation), while
+  /// the CPU schemes never touch an injection site and the chunked GPU
+  /// baselines have no retry path — injecting into them would silently
+  /// drop data instead of modelling a survivable fault.
+  fault::FaultPlane* fault_plane = nullptr;
 };
 
 namespace detail {
@@ -478,6 +487,7 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   sim::Simulation sim;
   cusim::Runtime runtime(sim, config);
   runtime.attach_observability(sc.tracer, sc.metrics);
+  if (sc.fault_plane != nullptr) runtime.set_fault_plane(sc.fault_plane);
   std::unique_ptr<check::Sanitizer> sanitizer;
   if (sc.check.enabled) {
     // Installed before table upload so the memory sanitizer tracks every

@@ -1,0 +1,94 @@
+// Per-device health bookkeeping for the serving layer (bigkfault).
+//
+// Each device carries a consecutive-failure streak: a job that fails on the
+// device (a fault::FaultError out of its engine launch) increments it, a
+// success resets it, and crossing `quarantine_after` trips quarantine. A
+// fatal failure — the device itself was lost — quarantines immediately. The
+// monitor is pure bookkeeping; the server drives the consequences off the
+// transition edge it reports (mark the device unavailable, invalidate its
+// chunk cache as a device reset, redispatch its jobs, start probing for
+// reinstatement).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace bigk::serve {
+
+class HealthMonitor {
+ public:
+  struct Config {
+    /// Consecutive ordinary failures before quarantine. Fatal failures
+    /// (device lost) quarantine on the first one.
+    std::uint32_t quarantine_after = 2;
+  };
+
+  HealthMonitor(std::uint32_t num_devices, Config config)
+      : config_(config), devices_(num_devices) {
+    if (config_.quarantine_after == 0) {
+      throw std::invalid_argument(
+          "HealthMonitor quarantine_after must be > 0");
+    }
+  }
+  explicit HealthMonitor(std::uint32_t num_devices)
+      : HealthMonitor(num_devices, Config{}) {}
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void on_success(std::uint32_t device) { devices_.at(device).streak = 0; }
+
+  /// Records one failed job on `device`; true exactly when this failure
+  /// transitions the device into quarantine.
+  bool on_failure(std::uint32_t device, bool fatal = false) {
+    State& state = devices_.at(device);
+    ++failures_;
+    ++state.streak;
+    if (state.quarantined) return false;
+    if (!fatal && state.streak < config_.quarantine_after) return false;
+    state.quarantined = true;
+    state.streak = 0;
+    ++quarantines_;
+    return true;
+  }
+
+  /// A reinstatement probe succeeded: the device serves traffic again.
+  void reinstate(std::uint32_t device) {
+    State& state = devices_.at(device);
+    if (!state.quarantined) return;
+    state.quarantined = false;
+    state.streak = 0;
+    ++reinstatements_;
+  }
+
+  bool quarantined(std::uint32_t device) const {
+    return devices_.at(device).quarantined;
+  }
+
+  std::uint32_t healthy_devices() const {
+    std::uint32_t healthy = 0;
+    for (const State& state : devices_) {
+      if (!state.quarantined) ++healthy;
+    }
+    return healthy;
+  }
+
+  std::uint64_t failures() const noexcept { return failures_; }
+  std::uint64_t quarantines() const noexcept { return quarantines_; }
+  std::uint64_t reinstatements() const noexcept { return reinstatements_; }
+
+ private:
+  struct State {
+    std::uint32_t streak = 0;
+    bool quarantined = false;
+  };
+
+  Config config_;
+  std::vector<State> devices_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t reinstatements_ = 0;
+};
+
+}  // namespace bigk::serve

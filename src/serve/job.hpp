@@ -28,8 +28,14 @@ struct JobRecord {
   std::uint32_t device = 0;
   /// Admission rejections before acceptance (or before the job gave up).
   std::uint32_t rejections = 0;
+  /// bigkfault: times the job was handed to another device after its device
+  /// failed mid-run or was quarantined with the job still queued.
+  std::uint32_t redispatches = 0;
   bool admitted = false;
   bool completed = false;
+  /// bigkfault: admitted but never finished — the run failed and no
+  /// available device remained to take the redispatch.
+  bool failed = false;
   /// Device already held this app's dataset, so input staging was skipped.
   bool warm = false;
   bool deadline_met = true;

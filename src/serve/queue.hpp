@@ -3,43 +3,117 @@
 // Beyond that, submissions are rejected with a retry-after hint — load is
 // shed at the front door instead of growing an unbounded backlog, the
 // standard admission-control discipline for latency-SLO serving.
+//
+// bigkfault hardening: the hint escalates per client. A client's consecutive
+// rejections double its retry-after (base, 2x, 4x, ...) up to a cap, with an
+// optional deterministic jitter drawn from a seeded splitmix64 hash of
+// (client, streak) so synchronized clients fan out instead of re-colliding —
+// the classic thundering-herd fix, reproduced bit-for-bit on every run. An
+// acceptance resets the client's streak. Rejections are also broken down by
+// cause (queue full vs. no available device) for the shedding reports.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 
 #include "sim/time.hpp"
 
 namespace bigk::serve {
 
+/// Why a submission was turned away.
+enum class RejectCause : std::uint8_t {
+  /// Admitted-but-unfinished depth is at max_depth.
+  kQueueFull = 0,
+  /// Every device in the pool is quarantined; nothing could run the job.
+  kNoDevice,
+};
+
+inline constexpr std::size_t kNumRejectCauses = 2;
+
+inline const char* reject_cause_name(RejectCause cause) {
+  switch (cause) {
+    case RejectCause::kQueueFull: return "queue_full";
+    case RejectCause::kNoDevice: return "no_device";
+  }
+  return "?";
+}
+
 class JobQueue {
  public:
+  struct Config {
+    std::uint32_t max_depth = 16;
+    /// Hint for a client's first rejection; doubles per consecutive
+    /// rejection of the same client.
+    sim::DurationPs retry_after = sim::DurationPs{1'000'000'000};  // 1 ms
+    /// Escalation ceiling. 0 = 8x retry_after; equal to retry_after
+    /// disables escalation (every hint is the base).
+    sim::DurationPs max_retry_after = 0;
+    /// Seed for the deterministic per-(client, streak) jitter in
+    /// [0, hint/4]; 0 = no jitter.
+    std::uint64_t jitter_seed = 0;
+  };
+
   struct Admission {
     bool accepted = false;
     /// When rejected: how long the client should wait before resubmitting.
     sim::DurationPs retry_after = 0;
+    RejectCause cause = RejectCause::kQueueFull;
   };
 
-  JobQueue(std::uint32_t max_depth, sim::DurationPs retry_after)
-      : max_depth_(max_depth), retry_after_(retry_after) {
-    if (max_depth_ == 0) {
+  explicit JobQueue(Config config) : config_(config) {
+    if (config_.max_depth == 0) {
       throw std::invalid_argument("JobQueue depth must be > 0");
     }
+    if (config_.max_retry_after == 0) {
+      config_.max_retry_after = 8 * config_.retry_after;
+    }
   }
+
+  /// Constant-hint queue (no escalation, no jitter): every rejection returns
+  /// `retry_after` verbatim.
+  JobQueue(std::uint32_t max_depth, sim::DurationPs retry_after)
+      : JobQueue(Config{max_depth, retry_after, retry_after, 0}) {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Admits one job or rejects it with the retry-after hint.
-  Admission try_admit() {
-    if (outstanding_ >= max_depth_) {
-      ++rejected_;
-      return Admission{false, retry_after_};
+  /// Admits one job or rejects it with the client's escalated retry-after
+  /// hint. `client` keys the escalation streak (the server passes the job
+  /// id); acceptance resets it.
+  Admission try_admit(std::uint64_t client = 0) {
+    if (outstanding_ >= config_.max_depth) {
+      return Admission{false, reject(RejectCause::kQueueFull, client),
+                       RejectCause::kQueueFull};
     }
     ++outstanding_;
     ++admitted_;
+    streaks_.erase(client);
     if (outstanding_ > peak_depth_) peak_depth_ = outstanding_;
-    return Admission{true, 0};
+    return Admission{true, 0, RejectCause::kQueueFull};
+  }
+
+  /// Counts a rejection the caller decided on (e.g. the whole pool is
+  /// quarantined) and returns the client's escalated hint — the same
+  /// bookkeeping a queue-full rejection runs.
+  sim::DurationPs reject(RejectCause cause, std::uint64_t client = 0) {
+    ++rejected_;
+    ++rejected_by_cause_[static_cast<std::size_t>(cause)];
+    std::uint32_t& streak = streaks_[client];
+    sim::DurationPs hint = config_.retry_after;
+    for (std::uint32_t i = 0; i < streak && hint < config_.max_retry_after;
+         ++i) {
+      hint *= 2;
+    }
+    if (hint > config_.max_retry_after) hint = config_.max_retry_after;
+    if (config_.jitter_seed != 0) {
+      hint += splitmix64(config_.jitter_seed ^ (client * 0x9e3779b97f4a7c15ull)
+                         ^ streak) %
+              (hint / 4 + 1);
+    }
+    ++streak;
+    return hint;
   }
 
   /// Marks one admitted job finished, freeing its queue slot.
@@ -51,19 +125,31 @@ class JobQueue {
   }
 
   std::uint32_t outstanding() const noexcept { return outstanding_; }
-  std::uint32_t max_depth() const noexcept { return max_depth_; }
+  std::uint32_t max_depth() const noexcept { return config_.max_depth; }
   std::uint32_t peak_depth() const noexcept { return peak_depth_; }
   std::uint64_t admitted() const noexcept { return admitted_; }
   /// Total rejections issued (one job may be rejected several times).
   std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t rejected(RejectCause cause) const noexcept {
+    return rejected_by_cause_[static_cast<std::size_t>(cause)];
+  }
 
  private:
-  std::uint32_t max_depth_;
-  sim::DurationPs retry_after_;
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  Config config_;
   std::uint32_t outstanding_ = 0;
   std::uint32_t peak_depth_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::array<std::uint64_t, kNumRejectCauses> rejected_by_cause_{};
+  /// Consecutive rejections per client since its last acceptance.
+  std::map<std::uint64_t, std::uint32_t> streaks_;
 };
 
 }  // namespace bigk::serve

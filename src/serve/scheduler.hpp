@@ -76,6 +76,23 @@ class Scheduler {
     return devices_.at(device).outstanding_bytes;
   }
 
+  /// bigkfault: a quarantined device is marked unavailable and every policy
+  /// skips it until it is reinstated.
+  void set_available(std::uint32_t device, bool available) {
+    devices_.at(device).available = available;
+  }
+  bool available(std::uint32_t device) const {
+    return devices_.at(device).available;
+  }
+  std::uint32_t num_available() const {
+    std::uint32_t count = 0;
+    for (const DeviceState& state : devices_) {
+      if (state.available) ++count;
+    }
+    return count;
+  }
+  bool any_available() const { return num_available() > 0; }
+
   /// Replaces the app-affinity warm-preference bound ("a warm hit saves at
   /// most the job's input bytes") with a caller-supplied estimate of what a
   /// hit on `device` would actually save — the serving layer plugs in the
@@ -89,13 +106,17 @@ class Scheduler {
   }
 
   /// Picks the target device for a job of `app` with `input_bytes` of mapped
-  /// input. Ties break towards the lowest device index.
+  /// input. Ties break towards the lowest device index. Returns the
+  /// num_devices() sentinel when every device is unavailable.
   std::uint32_t pick_device(const std::string& app, std::uint64_t input_bytes) {
     switch (policy_) {
       case Policy::kRoundRobin: {
-        const std::uint32_t device = rr_next_;
-        rr_next_ = (rr_next_ + 1) % num_devices();
-        return device;
+        for (std::uint32_t i = 0; i < num_devices(); ++i) {
+          const std::uint32_t device = rr_next_;
+          rr_next_ = (rr_next_ + 1) % num_devices();
+          if (devices_[device].available) return device;
+        }
+        return num_devices();
       }
       case Policy::kLeastOutstandingBytes:
         return least_loaded(/*require_app=*/nullptr);
@@ -139,13 +160,15 @@ class Scheduler {
   struct DeviceState {
     std::uint64_t outstanding_bytes = 0;
     std::string resident_app;
+    bool available = true;  // false while quarantined
   };
 
-  /// Least outstanding bytes over devices matching `require_app` (all
-  /// devices when null). Returns num_devices() if none matches.
+  /// Least outstanding bytes over available devices matching `require_app`
+  /// (all of them when null). Returns num_devices() if none matches.
   std::uint32_t least_loaded(const std::string* require_app) const {
     std::uint32_t best = num_devices();
     for (std::uint32_t d = 0; d < num_devices(); ++d) {
+      if (!devices_[d].available) continue;
       if (require_app != nullptr && devices_[d].resident_app != *require_app) {
         continue;
       }

@@ -14,7 +14,9 @@
 #include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
 #include "cusim/device_pool.hpp"
+#include "fault/fault.hpp"
 #include "obs/json.hpp"
+#include "serve/health.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 
@@ -46,6 +48,7 @@ struct ServerState {
   cusim::DevicePool pool;
   JobQueue queue;
   Scheduler scheduler;
+  HealthMonitor health;
   /// One FIFO per device; its worker is the single consumer, so jobs on one
   /// device serialize in dispatch order.
   std::vector<std::unique_ptr<sim::Channel<Job*>>> dispatch;
@@ -55,13 +58,31 @@ struct ServerState {
   /// cache is disabled). Shared by every job dispatched to that device.
   std::vector<std::unique_ptr<cache::ChunkCache>> caches;
   std::vector<std::unique_ptr<cache::PinnedPool>> pools;
+  /// bigkfault: the pool-wide fault plane (null without a fault_spec).
+  std::unique_ptr<fault::FaultPlane> fault_plane;
+  /// Jobs settled (completed, failed, or shed); serve_main waits for all of
+  /// them before shutting the workers and the probe daemon down.
+  std::uint64_t settled = 0;
+  sim::Flag all_settled{sim};
+  bool shutdown = false;
+  /// Captured when the last job settles, before the shutdown handshake, so
+  /// the makespan never includes a trailing probe tick.
+  sim::TimePs finish_time = 0;
 
   explicit ServerState(const ServerConfig& cfg)
       : config(cfg),
         pool(sim, cfg.system, cfg.devices),
-        queue(cfg.queue_depth, cfg.retry_after),
-        scheduler(cfg.policy, pool.size()) {
+        queue(JobQueue::Config{cfg.queue_depth, cfg.retry_after,
+                               cfg.retry_after_cap, cfg.retry_jitter_seed}),
+        scheduler(cfg.policy, pool.size()),
+        health(pool.size(), HealthMonitor::Config{cfg.quarantine_after}) {
     pool.attach_observability(cfg.tracer, cfg.metrics);
+    if (!cfg.fault_spec.empty()) {
+      fault_plane = std::make_unique<fault::FaultPlane>(cfg.fault_seed);
+      fault_plane->add_all(fault::FaultSpec::parse(cfg.fault_spec));
+      fault_plane->attach_observability(cfg.metrics, cfg.tracer);
+      pool.set_fault_plane(fault_plane.get());
+    }
     for (std::uint32_t d = 0; d < pool.size(); ++d) {
       dispatch.push_back(std::make_unique<sim::Channel<Job*>>(sim));
     }
@@ -90,32 +111,112 @@ struct ServerState {
           });
     }
   }
+
+  void settle_one() { all_settled.advance_to(++settled); }
+
+  void trace_serve_instant(const std::string& name) {
+    if (config.tracer == nullptr) return;
+    const obs::TrackId track = config.tracer->track("serve", "health");
+    config.tracer->instant(track, name, sim.now(), "serve");
+  }
 };
 
 /// One submitting client: waits until the job's arrival time, then keeps
 /// resubmitting through admission control until accepted or out of retries.
+/// Rejections — queue full, or the whole pool quarantined — return an
+/// escalating per-client retry-after hint the client honors verbatim.
 sim::Task<> client(ServerState& st, Job& job) {
   if (job.record.spec.submit_time > 0) {
     co_await st.sim.delay(job.record.spec.submit_time);
   }
   for (std::uint32_t attempt = 0;; ++attempt) {
-    const JobQueue::Admission admission = st.queue.try_admit();
-    if (admission.accepted) {
-      job.record.admitted = true;
-      job.record.admit_time = st.sim.now();
-      const std::uint32_t device =
-          st.scheduler.pick_device(job.record.spec.app, job.record.input_bytes);
-      job.record.device = device;
-      job.record.warm =
-          st.scheduler.resident_app(device) == job.record.spec.app;
-      st.scheduler.on_dispatch(device, job.record.spec.app,
-                               job.record.input_bytes);
-      st.dispatch[device]->push(&job);
-      co_return;
+    sim::DurationPs retry_after = 0;
+    if (!st.scheduler.any_available()) {
+      retry_after = st.queue.reject(RejectCause::kNoDevice, job.record.spec.id);
+    } else {
+      const JobQueue::Admission admission =
+          st.queue.try_admit(job.record.spec.id);
+      if (admission.accepted) {
+        job.record.admitted = true;
+        job.record.admit_time = st.sim.now();
+        const std::uint32_t device = st.scheduler.pick_device(
+            job.record.spec.app, job.record.input_bytes);
+        job.record.device = device;
+        job.record.warm =
+            st.scheduler.resident_app(device) == job.record.spec.app;
+        st.scheduler.on_dispatch(device, job.record.spec.app,
+                                 job.record.input_bytes);
+        st.dispatch[device]->push(&job);
+        co_return;  // settles when its worker finishes it
+      }
+      retry_after = admission.retry_after;
     }
     ++job.record.rejections;
-    if (attempt >= st.config.max_retries) co_return;  // shed for good
-    co_await st.sim.delay(admission.retry_after);
+    if (attempt >= st.config.max_retries) {  // shed for good
+      st.settle_one();
+      co_return;
+    }
+    co_await st.sim.delay(retry_after);
+  }
+}
+
+/// Hands an admitted job that cannot run on `from_device` (its run failed,
+/// or it was queued behind a quarantine) to the best available device; with
+/// the whole pool quarantined the job is abandoned as failed.
+void redispatch(ServerState& st, std::uint32_t from_device, Job& job) {
+  st.scheduler.on_complete(from_device, job.record.input_bytes);
+  const std::uint32_t target =
+      st.scheduler.any_available()
+          ? st.scheduler.pick_device(job.record.spec.app,
+                                     job.record.input_bytes)
+          : st.pool.size();
+  if (target >= st.pool.size()) {
+    job.record.failed = true;
+    st.queue.release();
+    st.trace_serve_instant("job " + std::to_string(job.record.spec.id) +
+                           " failed: no device");
+    st.settle_one();
+    return;
+  }
+  ++job.record.redispatches;
+  job.record.device = target;
+  job.record.warm = st.scheduler.resident_app(target) == job.record.spec.app;
+  st.scheduler.on_dispatch(target, job.record.spec.app,
+                           job.record.input_bytes);
+  st.dispatch[target]->push(&job);
+}
+
+/// Quarantine transition for `device`: no new placements, and its chunk
+/// cache is dropped as a device reset (device memory is not trusted across
+/// the outage; pipecheck flags any read through a surviving lease).
+void quarantine_device(ServerState& st, std::uint32_t device) {
+  st.scheduler.set_available(device, false);
+  if (!st.caches.empty()) {
+    st.caches[device]->invalidate_all(st.sim.now(), /*device_reset=*/true);
+  }
+  if (st.config.metrics != nullptr) {
+    st.config.metrics->counter("serve.quarantines").add(1);
+  }
+  st.trace_serve_instant("quarantine dev" + std::to_string(device));
+}
+
+/// Periodically probes quarantined devices and reinstates the ones whose
+/// outage has elapsed (for a device that was never lost — quarantined on
+/// consecutive DMA failures — the first probe succeeds).
+sim::Task<> probe_daemon(ServerState& st) {
+  while (!st.shutdown) {
+    co_await st.sim.delay(st.config.probe_interval);
+    if (st.shutdown) break;
+    for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+      if (!st.health.quarantined(d)) continue;
+      if (!st.fault_plane->probe_device(d, st.sim.now())) continue;
+      st.health.reinstate(d);
+      st.scheduler.set_available(d, true);
+      if (st.config.metrics != nullptr) {
+        st.config.metrics->counter("serve.reinstatements").add(1);
+      }
+      st.trace_serve_instant("reinstate dev" + std::to_string(d));
+    }
   }
 }
 
@@ -131,6 +232,11 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     std::optional<Job*> item = co_await st.dispatch[device_index]->pop();
     if (!item.has_value()) break;  // channel closed and drained
     Job& job = **item;
+    if (st.health.quarantined(device_index)) {
+      // The device went down with this job still queued behind it.
+      redispatch(st, device_index, job);
+      continue;
+    }
     job.record.start_time = st.sim.now();
     if (!job.record.warm && job.record.input_bytes > 0) {
       staging.read_sequential(kStagingRegionBase + device_index, 0,
@@ -155,11 +261,33 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
       run_cfg.pinned_pool = st.pools[device_index].get();
       run_cfg.dataset_id = dataset_id_of(job.record.spec.app);
     }
-    co_await job.runner->run(device, run_cfg);
+    // Unrecovered faults (retries exhausted, device lost, watchdog timeout)
+    // surface here; anything else — checker violations included — still
+    // propagates out of run_server.
+    std::exception_ptr failure;
+    bool fatal = false;
+    try {
+      co_await job.runner->run(device, run_cfg);
+    } catch (const fault::DeviceLostError&) {
+      failure = std::current_exception();
+      fatal = true;
+    } catch (const fault::FaultError&) {
+      failure = std::current_exception();
+    }
     if (sanitizer != nullptr) {
       sanitizer->uninstall();
-      sanitizer->finalize();  // throws check::CheckError on violations
+      if (failure == nullptr) {
+        sanitizer->finalize();  // throws check::CheckError on violations
+      }
     }
+    if (failure != nullptr) {
+      if (st.health.on_failure(device_index, fatal)) {
+        quarantine_device(st, device_index);
+      }
+      redispatch(st, device_index, job);
+      continue;
+    }
+    st.health.on_success(device_index);
     job.record.finish_time = st.sim.now();
     job.record.completed = true;
     if (job.record.spec.deadline > 0) {
@@ -170,6 +298,7 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     st.completion_order.push_back(job.record.spec.id);
     st.scheduler.on_complete(device_index, job.record.input_bytes);
     st.queue.release();
+    st.settle_one();
     if (st.config.tracer != nullptr) {
       const obs::TrackId track =
           st.config.tracer->track("serve", device.device_name());
@@ -191,10 +320,20 @@ sim::Task<> serve_main(ServerState& st) {
   for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
     workers.push_back(st.sim.spawn(device_worker(st, d)));
   }
+  sim::Process probe;
+  if (st.fault_plane != nullptr) {
+    probe = st.sim.spawn(probe_daemon(st));
+  }
   for (sim::Process& process : clients) co_await process.join();
-  // All submissions settled: no further pushes can happen.
+  // Redispatch can push a failed job onto another device's queue long after
+  // every client returned, so the channels stay open until every job has
+  // actually settled (completed, failed, or shed).
+  co_await st.all_settled.wait_ge(st.jobs.size());
+  st.finish_time = st.sim.now();
+  st.shutdown = true;
   for (auto& channel : st.dispatch) channel->close();
   for (sim::Process& process : workers) co_await process.join();
+  if (probe.valid()) co_await probe.join();
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample.
@@ -226,15 +365,24 @@ ServeReport run_server(const ServerConfig& config,
   state.sim.run_until_complete(serve_main(state));
 
   ServeReport report;
-  report.makespan = state.sim.now();
+  report.makespan = state.finish_time;
   report.completion_order = std::move(state.completion_order);
   report.rejections = state.queue.rejected();
+  report.rejections_queue_full = state.queue.rejected(RejectCause::kQueueFull);
+  report.rejections_no_device = state.queue.rejected(RejectCause::kNoDevice);
   report.peak_queue_depth = state.queue.peak_depth();
+  report.quarantines = state.health.quarantines();
+  report.reinstatements = state.health.reinstatements();
+  if (state.fault_plane != nullptr) {
+    report.fault_injected = state.fault_plane->stats().injected;
+    report.fault_recovered = state.fault_plane->stats().recovered;
+  }
   report.devices.resize(state.pool.size());
 
   std::vector<sim::DurationPs> latencies;
   for (Job& job : state.jobs) {
     const JobRecord& record = job.record;
+    report.redispatches += record.redispatches;
     if (record.completed) {
       ++report.completed;
       latencies.push_back(record.latency());
@@ -245,6 +393,8 @@ ServeReport run_server(const ServerConfig& config,
         ++report.warm_hits;
       }
       if (!record.deadline_met) ++report.deadline_misses;
+    } else if (record.failed) {
+      ++report.failed_jobs;
     } else if (!record.admitted) {
       ++report.dropped;
     }
@@ -307,6 +457,20 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".deadline_misses")
       .set(static_cast<double>(deadline_misses));
   registry.gauge(prefix + ".warm_hits").set(static_cast<double>(warm_hits));
+  registry.gauge(prefix + ".failed_jobs").set(static_cast<double>(failed_jobs));
+  registry.gauge(prefix + ".redispatches")
+      .set(static_cast<double>(redispatches));
+  registry.gauge(prefix + ".quarantines").set(static_cast<double>(quarantines));
+  registry.gauge(prefix + ".reinstatements")
+      .set(static_cast<double>(reinstatements));
+  registry.gauge(prefix + ".rejections.queue_full")
+      .set(static_cast<double>(rejections_queue_full));
+  registry.gauge(prefix + ".rejections.no_device")
+      .set(static_cast<double>(rejections_no_device));
+  registry.gauge(prefix + ".fault.injected")
+      .set(static_cast<double>(fault_injected));
+  registry.gauge(prefix + ".fault.recovered")
+      .set(static_cast<double>(fault_recovered));
   registry.gauge(prefix + ".cache.hits").set(static_cast<double>(cache_hits));
   registry.gauge(prefix + ".cache.misses")
       .set(static_cast<double>(cache_misses));
@@ -337,6 +501,14 @@ void ServeReport::write_json(std::ostream& out) const {
       << ",\"deadline_misses\":" << deadline_misses
       << ",\"warm_hits\":" << warm_hits
       << ",\"peak_queue_depth\":" << peak_queue_depth
+      << ",\"fault\":{\"injected\":" << fault_injected
+      << ",\"recovered\":" << fault_recovered
+      << ",\"failed_jobs\":" << failed_jobs
+      << ",\"redispatches\":" << redispatches
+      << ",\"quarantines\":" << quarantines
+      << ",\"reinstatements\":" << reinstatements
+      << ",\"rejections_queue_full\":" << rejections_queue_full
+      << ",\"rejections_no_device\":" << rejections_no_device << "}"
       << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
       << ",\"bytes_saved\":" << cache_bytes_saved
       << ",\"hit_rate\":" << obs::json_number(cache_hit_rate) << "}"
@@ -375,8 +547,10 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"submit_ms\":" << obs::json_number(to_ms(record.spec.submit_time))
         << ",\"latency_ms\":" << obs::json_number(to_ms(record.latency()))
         << ",\"rejections\":" << record.rejections
+        << ",\"redispatches\":" << record.redispatches
         << ",\"admitted\":" << (record.admitted ? "true" : "false")
         << ",\"completed\":" << (record.completed ? "true" : "false")
+        << ",\"failed\":" << (record.failed ? "true" : "false")
         << ",\"warm\":" << (record.warm ? "true" : "false")
         << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false")
         << "}";

@@ -63,6 +63,24 @@ struct ServerConfig {
   /// its device; a violation throws check::CheckError out of run_server.
   check::CheckOptions check;
 
+  // --- bigkfault ---------------------------------------------------------
+  /// Fault specs (fault::FaultSpec::parse grammar, ';'-separated) installed
+  /// on a pool-wide fault::FaultPlane; every engine launch and DMA stream
+  /// injects from it under the device's pool index. Empty = no plane, and
+  /// the server behaves byte-identically to the fault-free build.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
+  /// Consecutive job failures on one device before it is quarantined; a
+  /// device-lost failure quarantines immediately.
+  std::uint32_t quarantine_after = 2;
+  /// Period of the reinstatement probe run against quarantined devices.
+  sim::DurationPs probe_interval = sim::DurationPs{2'000'000'000};  // 2 ms
+  /// Ceiling for the per-client escalating retry-after hint (0 = 8x
+  /// retry_after; equal to retry_after disables escalation).
+  sim::DurationPs retry_after_cap = 0;
+  /// Seed for the deterministic retry-after jitter (0 = no jitter).
+  std::uint64_t retry_jitter_seed = 0;
+
   /// Optional telemetry sinks (must outlive the run). With a tracer, every
   /// device gets its own "devK ..." process rows plus a "serve" process with
   /// one job span per completion.
@@ -106,6 +124,20 @@ struct ServeReport {
   std::uint64_t deadline_misses = 0;
   std::uint64_t warm_hits = 0;
   std::uint32_t peak_queue_depth = 0;
+
+  /// bigkfault (all zero without a fault plane).
+  std::uint64_t fault_injected = 0;
+  std::uint64_t fault_recovered = 0;
+  /// Jobs admitted but abandoned: their run failed with every other device
+  /// quarantined.
+  std::uint64_t failed_jobs = 0;
+  /// Jobs handed to another device after a failure or quarantine.
+  std::uint64_t redispatches = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t reinstatements = 0;
+  /// Rejection breakdown by cause (sums to `rejections`).
+  std::uint64_t rejections_queue_full = 0;
+  std::uint64_t rejections_no_device = 0;
 
   /// bigkcache totals across devices (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;

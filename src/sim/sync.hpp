@@ -102,6 +102,17 @@ class Semaphore {
     return Awaiter{*this};
   }
 
+  /// Takes a token without suspending; false when none is immediately
+  /// available (or waiters are queued ahead). Used to permanently withhold
+  /// ring tokens when a block degrades to a shallower buffer depth.
+  bool try_acquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
   void release() {
     if (!waiters_.empty()) {
       std::coroutine_handle<> next = waiters_.front();

@@ -1,0 +1,179 @@
+// Unit tests for the bigkfault fault plane: the FaultSpec grammar, the
+// nth/every/max and probability triggers (seed-deterministic), per-device
+// targeting, the device-lost state machine behind the serve quarantine
+// probe, and the injected/recovered bookkeeping contract.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bigk::fault {
+namespace {
+
+TEST(FaultSpecTest, ParsesKindAndTriggerKeys) {
+  const FaultSpec spec =
+      FaultSpec::parse_one("dma_error,nth=3,every=2,max=5,device=1");
+  EXPECT_EQ(spec.kind, FaultKind::kDmaError);
+  EXPECT_EQ(spec.nth, 3u);
+  EXPECT_EQ(spec.every, 2u);
+  EXPECT_EQ(spec.max_injections, 5u);
+  EXPECT_EQ(spec.device, 1u);
+  EXPECT_EQ(spec.probability, 0.0);
+}
+
+TEST(FaultSpecTest, ParsesProbabilityDurationsAndFactor) {
+  const FaultSpec stall = FaultSpec::parse_one("stage_stall,p=0.25,stall_us=50");
+  EXPECT_EQ(stall.kind, FaultKind::kStageStall);
+  EXPECT_DOUBLE_EQ(stall.probability, 0.25);
+  EXPECT_EQ(stall.stall, sim::DurationPs{50'000'000});
+
+  const FaultSpec lost = FaultSpec::parse_one("device_lost,nth=1,down_ms=2");
+  EXPECT_EQ(lost.kind, FaultKind::kDeviceLost);
+  EXPECT_EQ(lost.down, sim::DurationPs{2'000'000'000});
+
+  const FaultSpec pcie = FaultSpec::parse_one("pcie_degrade,nth=1,factor=8");
+  EXPECT_DOUBLE_EQ(pcie.factor, 8.0);
+}
+
+TEST(FaultSpecTest, ParsesSemicolonSeparatedListAndLegacyAliases) {
+  const std::vector<FaultSpec> specs =
+      FaultSpec::parse("dma_error,nth=1;fault.stale_cache;ecc_corrupt,p=0.5");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].kind, FaultKind::kDmaError);
+  EXPECT_EQ(specs[1].kind, FaultKind::kStaleCache);
+  EXPECT_EQ(specs[2].kind, FaultKind::kEccCorrupt);
+}
+
+TEST(FaultSpecTest, RejectsUnknownKindsAndKeys) {
+  EXPECT_THROW(FaultSpec::parse_one("flux_capacitor,nth=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse_one("dma_error,wibble=1"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlaneTest, NthTriggerFiresExactlyOnce) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("dma_error,nth=3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(plane.should_inject(FaultKind::kDmaError, 0, i));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(plane.stats().injected, 1u);
+  EXPECT_EQ(plane.stats().injected_by_kind[static_cast<std::size_t>(
+                FaultKind::kDmaError)],
+            1u);
+}
+
+TEST(FaultPlaneTest, EveryRepeatsAndMaxCaps) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("dma_error,nth=2,every=2,max=3"));
+  std::uint64_t count = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (plane.should_inject(FaultKind::kDmaError, 0, i)) ++count;
+  }
+  EXPECT_EQ(count, 3u);  // trials 2, 4, 6; capped after max
+}
+
+TEST(FaultPlaneTest, ProbabilityTriggerIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlane plane(seed);
+    plane.add(FaultSpec::parse_one("dma_error,p=0.3"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(plane.should_inject(FaultKind::kDmaError, 0, i));
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // 64 trials at p=0.3: collision ~impossible
+}
+
+TEST(FaultPlaneTest, DeviceFilterRestrictsInjection) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("dma_error,nth=1,device=2"));
+  EXPECT_FALSE(plane.should_inject(FaultKind::kDmaError, 0, 0));
+  EXPECT_FALSE(plane.should_inject(FaultKind::kDmaError, 1, 0));
+  // Filtered trials do not consume the counter, so the first trial on the
+  // matching device is still trial 1.
+  EXPECT_TRUE(plane.should_inject(FaultKind::kDmaError, 2, 0));
+}
+
+TEST(FaultPlaneTest, DeviceLostTripsPersistentStateUntilProbe) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("device_lost,nth=1,down_us=10"));
+  EXPECT_FALSE(plane.device_lost(0));
+  EXPECT_TRUE(plane.should_inject(FaultKind::kDeviceLost, 0, 100));
+  EXPECT_TRUE(plane.device_lost(0));
+  // Probe before the outage elapsed: still down.
+  EXPECT_FALSE(plane.probe_device(0, 100 + 5'000'000));
+  EXPECT_TRUE(plane.device_lost(0));
+  // After the outage: reinstated, and the injection counts as recovered.
+  EXPECT_TRUE(plane.probe_device(0, 100 + 10'000'000));
+  EXPECT_FALSE(plane.device_lost(0));
+  EXPECT_EQ(plane.stats().injected, 1u);
+  EXPECT_EQ(plane.stats().recovered, 1u);
+}
+
+TEST(FaultPlaneTest, ProbingAHealthyDeviceSucceedsWithoutBookkeeping) {
+  FaultPlane plane(1);
+  EXPECT_TRUE(plane.probe_device(3, 0));
+  EXPECT_EQ(plane.stats().recovered, 0u);
+}
+
+TEST(FaultPlaneTest, PcieDegradeIsStickyAndSelfRecovering) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("pcie_degrade,nth=2,factor=4"));
+  EXPECT_DOUBLE_EQ(plane.pcie_factor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(plane.pcie_factor(0, 1), 4.0);  // trial 2 fires
+  EXPECT_DOUBLE_EQ(plane.pcie_factor(0, 2), 4.0);  // sticky
+  // Perf-only fault: recovered the moment it lands.
+  EXPECT_EQ(plane.stats().injected, 1u);
+  EXPECT_EQ(plane.stats().recovered, 1u);
+}
+
+TEST(FaultPlaneTest, StallDurationDistinguishesFiringFromSilence) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("stage_stall,nth=2,stall_us=7"));
+  EXPECT_FALSE(plane.stall_duration(0, 0).has_value());
+  const auto stall = plane.stall_duration(0, 1);
+  ASSERT_TRUE(stall.has_value());
+  EXPECT_EQ(*stall, sim::DurationPs{7'000'000});
+  // A spec without a duration fires with 0 — "stalled forever", which the
+  // engine watchdog converts into TimeoutError.
+  FaultPlane hang(1);
+  hang.add(FaultSpec::parse_one("stage_stall,nth=1"));
+  const auto forever = hang.stall_duration(0, 0);
+  ASSERT_TRUE(forever.has_value());
+  EXPECT_EQ(*forever, sim::DurationPs{0});
+}
+
+TEST(FaultPlaneTest, ProtocolBugIgnoresTriggerFields) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("stale_cache,device=1"));
+  EXPECT_TRUE(plane.protocol_bug(FaultKind::kStaleCache, 1));
+  EXPECT_FALSE(plane.protocol_bug(FaultKind::kStaleCache, 0));
+  EXPECT_FALSE(plane.protocol_bug(FaultKind::kSkipDataReadyWait, 1));
+}
+
+TEST(FaultPlaneTest, RecoveryBookkeepingBalancesInjections) {
+  FaultPlane plane(1);
+  plane.add(FaultSpec::parse_one("dma_error,nth=1,every=1,max=4"));
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (plane.should_inject(FaultKind::kDmaError, 0, i)) ++injected;
+  }
+  EXPECT_EQ(injected, 4u);
+  plane.on_recovered(FaultKind::kDmaError, 3);
+  plane.on_recovered(FaultKind::kDmaError);
+  EXPECT_EQ(plane.stats().recovered, plane.stats().injected);
+  EXPECT_EQ(plane.stats().recovered_by_kind[static_cast<std::size_t>(
+                FaultKind::kDmaError)],
+            4u);
+}
+
+}  // namespace
+}  // namespace bigk::fault
