@@ -39,6 +39,17 @@
 //                          pool instead.
 //   --fault-seed <N>       seed for the fault plane's probability triggers
 //                          (default 1)
+//   --prof-window <us>     bigkprof: attach a windowed bottleneck profiler
+//                          (window in simulated microseconds) to every
+//                          BigKernel run; serving benches pass it through
+//                          ServerConfig::prof_window instead
+//   --slo <rules>          serving benches: ';'-separated SLO rules
+//                          ("p99_ms <= 5; utilization >= 0.2", see
+//                          obs::prof::parse_slo_rules) evaluated once per
+//                          profiling window
+//   --bench-prof=<file>    write the canonical BENCH_prof.json performance
+//                          baseline (per-result total/stage-busy/bottleneck/
+//                          traffic) for scripts/bench_compare.py
 // Each flag accepts both "--flag=value" and "--flag value". `--help` prints
 // this list before google-benchmark's own help.
 #pragma once
@@ -64,6 +75,7 @@
 #include "obs/tracer.hpp"
 #include "schemes/metrics.hpp"
 #include "schemes/runners.hpp"
+#include "sim/time.hpp"
 
 namespace bigk::bench {
 
@@ -156,6 +168,10 @@ class Harness {
   Harness(std::string name, int* argc, char** argv)
       : ctx(Context::from_env()), name_(std::move(name)) {
     strip_output_flags(argc, argv);
+    if (prof_window_us_ > 0) {
+      ctx.scheme_config.prof_window =
+          static_cast<sim::DurationPs>(prof_window_us_) * sim::kMicrosecond;
+    }
     // The registry is always live (counters are cheap and feed the JSON
     // dump); the tracer only when a trace was requested, since it retains
     // every span of every benchmark run.
@@ -205,6 +221,15 @@ class Harness {
   // bigkfault knobs (--fault / --fault-seed).
   const std::string& fault_spec() const noexcept { return fault_spec_; }
   std::uint64_t fault_seed() const noexcept { return fault_seed_; }
+  // bigkprof knobs (--prof-window / --slo / --bench-prof).
+  /// Attribution window in picoseconds (0 = not requested).
+  sim::DurationPs prof_window() const noexcept {
+    return static_cast<sim::DurationPs>(prof_window_us_) * sim::kMicrosecond;
+  }
+  const std::string& slo_spec() const noexcept { return slo_spec_; }
+  const std::string& bench_prof_path() const noexcept {
+    return bench_prof_path_;
+  }
 
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
@@ -234,6 +259,17 @@ class Harness {
                     trace_path_.c_str());
       }
     }
+    if (!bench_prof_path_.empty()) {
+      std::ofstream out(bench_prof_path_);
+      write_bench_prof(out);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write bench prof baseline to %s\n",
+                     bench_prof_path_.c_str());
+        ok = false;
+      } else {
+        std::printf("bench prof baseline: %s\n", bench_prof_path_.c_str());
+      }
+    }
     return ok;
   }
 
@@ -255,6 +291,44 @@ class Harness {
     out << "],\"counters\":";
     metrics.write_json_array(out);
     out << "}\n";
+  }
+
+  /// The --bench-prof document consumed by scripts/bench_compare.py: one
+  /// entry per benchmark result with the timing, attribution, and traffic
+  /// signals the regression gate diffs against a committed baseline. The
+  /// result store is an ordered map and every value comes from the
+  /// deterministic simulation, so two runs of the same build produce
+  /// byte-identical documents.
+  void write_bench_prof(std::ostream& out) const {
+    const auto ms = [](sim::DurationPs ps) {
+      return static_cast<double>(ps) / 1e9;
+    };
+    out << "{\"benchmark\":" << obs::json_quote(name_)
+        << ",\"scale\":" << obs::json_number(ctx.scaled.scale)
+        << ",\"schema\":1,\"entries\":{";
+    bool first = true;
+    for (const auto& [key, run_metrics] : results) {
+      if (!first) out << ',';
+      first = false;
+      out << obs::json_quote(key)
+          << ":{\"total_ms\":" << obs::json_number(ms(run_metrics.total_time))
+          << ",\"bottleneck_stage\":"
+          << obs::json_quote(run_metrics.bottleneck_stage_name())
+          << ",\"overlap_efficiency\":"
+          << obs::json_number(run_metrics.prof.overlap_efficiency)
+          << ",\"stage_busy_ms\":{";
+      bool first_stage = true;
+      for (obs::Stage stage : obs::all_stages()) {
+        if (!first_stage) out << ',';
+        first_stage = false;
+        out << obs::json_quote(obs::stage_name(stage)) << ':'
+            << obs::json_number(ms(run_metrics.engine.stage_busy(stage)));
+      }
+      out << "},\"h2d_bytes\":" << run_metrics.h2d_bytes
+          << ",\"d2h_bytes\":" << run_metrics.d2h_bytes
+          << ",\"chunks\":" << run_metrics.engine.chunks << '}';
+    }
+    out << "}}\n";
   }
 
  private:
@@ -303,6 +377,12 @@ class Harness {
       } else if (take(&i, arg, "--fault-seed")) {
         fault_seed_ = static_cast<std::uint64_t>(parse_count(value,
                                                              "--fault-seed"));
+      } else if (take(&i, arg, "--prof-window")) {
+        prof_window_us_ = parse_count(value, "--prof-window");
+      } else if (take(&i, arg, "--slo")) {
+        slo_spec_ = value;
+      } else if (take(&i, arg, "--bench-prof")) {
+        bench_prof_path_ = value;
       } else {
         if (arg == "--help") print_harness_help();
         argv[kept++] = argv[i];  // --help falls through to google-benchmark
@@ -351,6 +431,12 @@ class Harness {
         "  --fault <spec>         serving benches: fault spec(s) for the\n"
         "                         device pool (e.g. dma_error,nth=3)\n"
         "  --fault-seed <N>       fault-plane seed (default 1)\n"
+        "  --prof-window <us>     bigkprof attribution window in simulated\n"
+        "                         microseconds (0 = run-level only)\n"
+        "  --slo <rules>          serving benches: ';'-separated SLO rules,\n"
+        "                         e.g. \"p99_ms <= 5; utilization >= 0.2\"\n"
+        "  --bench-prof=<file>    write the BENCH_prof.json perf baseline\n"
+        "                         (input to scripts/bench_compare.py)\n"
         "Valued flags accept both --flag=value and --flag value.\n\n");
   }
 
@@ -367,6 +453,9 @@ class Harness {
   std::string fault_spec_;
   std::uint64_t fault_seed_ = 1;
   std::optional<fault::FaultPlane> fault_plane_;
+  std::uint32_t prof_window_us_ = 0;
+  std::string slo_spec_;
+  std::string bench_prof_path_;
 };
 
 }  // namespace bigk::bench

@@ -22,6 +22,7 @@
 // Usage: serve_throughput [--devices N] [--jobs N] [--policy P]
 //                         [--cache] [--cache-bytes N]
 //                         [--fault SPEC] [--fault-seed N]
+//                         [--prof-window US] [--slo RULES]
 //                         [--metrics-json=out.json] [--trace-out=trace.json]
 #include <cstdio>
 #include <map>
@@ -106,6 +107,10 @@ int main(int argc, char** argv) {
     // no plane; behavior is byte-identical to a fault-free build).
     config.fault_spec = harness.fault_spec();
     config.fault_seed = harness.fault_seed();
+    // bigkprof: --prof-window overrides the 100 us default attribution /
+    // telemetry window; --slo arms the per-window SLO monitor.
+    if (harness.prof_window() > 0) config.prof_window = harness.prof_window();
+    config.slo_spec = harness.slo_spec();
     return config;
   };
 

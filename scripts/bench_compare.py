@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the --bench-prof baseline (BENCH_prof.json).
+
+Compares a freshly produced bench-prof document against a committed baseline
+and fails (exit 1) on any regression outside tolerance:
+
+  * total_ms / per-stage stage_busy_ms: current may not exceed baseline by
+    more than --tolerance (default 2%),
+  * bottleneck_stage: must match the baseline exactly (a flipped limiting
+    stage is an attribution regression even when the total holds),
+  * overlap_efficiency: may not drop more than --overlap-drop (default 0.02)
+    below the baseline,
+  * h2d_bytes / d2h_bytes: must stay within --bytes-tolerance (default 0.5%)
+    of the baseline in either direction (traffic is deterministic; any drift
+    means the pipeline changed what it moves),
+  * chunks: exact match (chunking is a pure function of config + input),
+  * the entry sets must agree: a scenario missing from either side fails.
+
+The simulation is deterministic, so running the gate twice on the same build
+must report zero regressions; improvements (current faster than baseline)
+never fail, they are just reported.
+
+Usage:
+  bench_compare.py --baseline bench/BENCH_prof.json --current out.json
+  bench_compare.py --baseline bench/BENCH_prof.json \
+                   --bench build/bench/fig6_stages --scale 0.001
+  bench_compare.py ... --update        # rewrite the baseline and exit 0
+
+With --bench, the binary is run with BIGK_SCALE=<scale> and
+--bench-prof=<tmpfile> to produce the current document.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(message):
+    print(f"bench_compare: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_document(path):
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {path}: {error}")
+    for key in ("benchmark", "schema", "entries"):
+        if key not in document:
+            fail(f'{path}: missing "{key}" field')
+    if document["schema"] != 1:
+        fail(f'{path}: unsupported schema {document["schema"]!r}')
+    if not isinstance(document["entries"], dict) or not document["entries"]:
+        fail(f'{path}: "entries" is not a non-empty object')
+    return document
+
+
+def run_bench(binary, scale, out_path, extra_args):
+    binary = Path(binary).resolve()
+    if not binary.exists():
+        fail(f"bench binary not found: {binary}")
+    env = dict(os.environ)
+    if scale is not None:
+        env["BIGK_SCALE"] = str(scale)
+    command = [str(binary), f"--bench-prof={out_path}"] + list(extra_args)
+    result = subprocess.run(
+        command, capture_output=True, text=True, timeout=1200, env=env
+    )
+    if result.returncode != 0:
+        fail(
+            f"{binary.name} exited {result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    if not Path(out_path).exists():
+        fail(f"{binary.name} wrote no bench-prof document to {out_path}")
+
+
+def compare_entry(key, base, cur, args, problems):
+    def record(metric, detail):
+        problems.append(f"{key}: {metric}: {detail}")
+
+    # Timing: one-sided (slower than baseline + tolerance fails; faster is an
+    # improvement, never a failure).
+    limit = base["total_ms"] * (1.0 + args.tolerance)
+    if cur["total_ms"] > limit:
+        record(
+            "total_ms",
+            f"{cur['total_ms']:.6f} exceeds baseline "
+            f"{base['total_ms']:.6f} by more than {args.tolerance:.1%}",
+        )
+    for stage, base_ms in base.get("stage_busy_ms", {}).items():
+        cur_ms = cur.get("stage_busy_ms", {}).get(stage)
+        if cur_ms is None:
+            record("stage_busy_ms", f"stage {stage!r} missing from current")
+            continue
+        if cur_ms > base_ms * (1.0 + args.tolerance) + 1e-9:
+            record(
+                f"stage_busy_ms[{stage}]",
+                f"{cur_ms:.6f} exceeds baseline {base_ms:.6f} "
+                f"by more than {args.tolerance:.1%}",
+            )
+
+    # Attribution: the limiting stage and the overlap quality must hold.
+    if cur["bottleneck_stage"] != base["bottleneck_stage"]:
+        record(
+            "bottleneck_stage",
+            f"{cur['bottleneck_stage']!r} != baseline "
+            f"{base['bottleneck_stage']!r}",
+        )
+    if cur["overlap_efficiency"] < base["overlap_efficiency"] - args.overlap_drop:
+        record(
+            "overlap_efficiency",
+            f"{cur['overlap_efficiency']:.4f} dropped more than "
+            f"{args.overlap_drop} below baseline "
+            f"{base['overlap_efficiency']:.4f}",
+        )
+
+    # Traffic: two-sided (the simulation is deterministic; any drift beyond
+    # tolerance means the pipeline moves different bytes).
+    for metric in ("h2d_bytes", "d2h_bytes"):
+        base_bytes = base[metric]
+        cur_bytes = cur[metric]
+        band = base_bytes * args.bytes_tolerance
+        if abs(cur_bytes - base_bytes) > band:
+            record(
+                metric,
+                f"{cur_bytes} outside +/-{args.bytes_tolerance:.2%} of "
+                f"baseline {base_bytes}",
+            )
+    if cur["chunks"] != base["chunks"]:
+        record("chunks", f"{cur['chunks']} != baseline {base['chunks']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_prof.json to compare against")
+    parser.add_argument("--current",
+                        help="bench-prof document produced by this build")
+    parser.add_argument("--bench",
+                        help="bench binary to run (writes the current "
+                             "document itself via --bench-prof)")
+    parser.add_argument("--scale", type=float,
+                        help="BIGK_SCALE for --bench (default: environment)")
+    parser.add_argument("--bench-args", nargs=argparse.REMAINDER, default=[],
+                        help="extra arguments forwarded to --bench")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative slowdown allowed on total_ms and "
+                             "stage_busy_ms (default 0.02)")
+    parser.add_argument("--overlap-drop", type=float, default=0.02,
+                        help="absolute overlap_efficiency drop allowed "
+                             "(default 0.02)")
+    parser.add_argument("--bytes-tolerance", type=float, default=0.005,
+                        help="relative two-sided band on h2d/d2h bytes "
+                             "(default 0.005)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current document "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    if bool(args.current) == bool(args.bench):
+        fail("exactly one of --current / --bench is required")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        current_path = args.current
+        if args.bench:
+            current_path = Path(tmp) / "bench_prof.json"
+            run_bench(args.bench, args.scale, current_path, args.bench_args)
+        current = load_document(current_path)
+
+        if args.update:
+            Path(args.baseline).write_text(
+                Path(current_path).read_text()
+            )
+            print(f"bench_compare: baseline updated: {args.baseline} "
+                  f"({len(current['entries'])} entries)")
+            return
+
+        baseline = load_document(args.baseline)
+
+    if baseline["benchmark"] != current["benchmark"]:
+        fail(
+            f"benchmark mismatch: baseline {baseline['benchmark']!r} vs "
+            f"current {current['benchmark']!r}"
+        )
+    if baseline.get("scale") != current.get("scale"):
+        fail(
+            f"scale mismatch: baseline {baseline.get('scale')!r} vs current "
+            f"{current.get('scale')!r} (rerun with the baseline's BIGK_SCALE "
+            "or regenerate with --update)"
+        )
+
+    problems = []
+    base_entries = baseline["entries"]
+    cur_entries = current["entries"]
+    for key in sorted(base_entries):
+        if key not in cur_entries:
+            problems.append(f"{key}: missing from current run")
+            continue
+        compare_entry(key, base_entries[key], cur_entries[key], args, problems)
+    for key in sorted(cur_entries):
+        if key not in base_entries:
+            problems.append(
+                f"{key}: not in baseline (regenerate with --update)"
+            )
+
+    compared = len(set(base_entries) & set(cur_entries))
+    if problems:
+        print(
+            f"bench_compare: {len(problems)} regression(s) across "
+            f"{compared} compared entries:",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"bench_compare: OK: {compared} entries within tolerance "
+        f"(total_ms/stage +{args.tolerance:.1%}, bytes "
+        f"+/-{args.bytes_tolerance:.2%}, overlap -{args.overlap_drop})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,10 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
   * for every serve scenario prefix the counter registry exports the latency
     percentiles (p50 <= p95 <= p99), the throughput gauge, and a per-device
     utilization gauge in (0, 1] for each pool device,
+  * every prefix also carries the bigkprof plane: a bottleneck_stage index in
+    [0, 5), overlap_efficiency in [0, 1), at least one profiling window, a
+    queueing-delay breakdown whose five parts sum to breakdown.total_ms, SLO
+    rule/violation gauges, and a per-device bottleneck_stage gauge,
   * the device-pool scaling gauge (pool vs. single device) is present and
     positive,
   * the bigkcache A/B (run under --cache) reports a positive hit rate with
@@ -65,7 +69,21 @@ SCALAR_GAUGES = [
     "dropped",
     "rejections",
     "peak_queue_depth",
+    "prof.bottleneck_stage",
+    "prof.overlap_efficiency",
+    "prof.windows",
+    "prof.bottleneck_flips",
+    "breakdown.admission_ms",
+    "breakdown.queue_ms",
+    "breakdown.staging_ms",
+    "breakdown.execution_ms",
+    "breakdown.writeback_ms",
+    "breakdown.total_ms",
+    "slo.rules",
+    "slo.violations",
 ]
+# Stage count of the BigKernel pipeline (obs::kStageCount).
+STAGE_COUNT = 5
 
 
 def fail(message):
@@ -166,8 +184,51 @@ def main():
                 fail(
                     f"{prefix}.dev{dev}.utilization out of (0, 1]: {utilization}"
                 )
+            bottleneck = gauge(f"{prefix}.dev{dev}.bottleneck_stage")
+            if not 0 <= bottleneck < STAGE_COUNT:
+                fail(
+                    f"{prefix}.dev{dev}.bottleneck_stage out of "
+                    f"[0, {STAGE_COUNT}): {bottleneck}"
+                )
         if f"{prefix}.dev{devices}.utilization" in gauges:
             fail(f"{prefix} exports more devices than the scenario ran with")
+
+        # bigkprof attribution plane: pool bottleneck, overlap, windows.
+        bottleneck = gauge(f"{prefix}.prof.bottleneck_stage")
+        if not 0 <= bottleneck < STAGE_COUNT:
+            fail(
+                f"{prefix}.prof.bottleneck_stage out of "
+                f"[0, {STAGE_COUNT}): {bottleneck}"
+            )
+        overlap = gauge(f"{prefix}.prof.overlap_efficiency")
+        if not 0 <= overlap < 1:
+            fail(f"{prefix}.prof.overlap_efficiency out of [0, 1): {overlap}")
+        if gauge(f"{prefix}.prof.windows") < 1:
+            fail(f"{prefix}.prof.windows: no profiled windows")
+
+        # Queueing-delay breakdown: five parts partition the mean latency.
+        parts = sum(
+            gauge(f"{prefix}.breakdown.{part}_ms")
+            for part in ("admission", "queue", "staging", "execution",
+                         "writeback")
+        )
+        total = gauge(f"{prefix}.breakdown.total_ms")
+        if total <= 0:
+            fail(f"{prefix}.breakdown.total_ms is not positive: {total}")
+        # The gauges round-trip through the JSON writer's 9-significant-digit
+        # formatting, so allow serialization rounding on the partition check.
+        if abs(parts - total) > max(1e-6, total * 1e-6):
+            fail(
+                f"{prefix}: breakdown parts sum {parts} != total {total}"
+            )
+        if gauge(f"{prefix}.breakdown.execution_ms") <= 0:
+            fail(f"{prefix}: execution breakdown share is not positive")
+
+        # No --slo spec was passed: the gauges exist but stay 0/0.
+        if gauge(f"{prefix}.slo.rules") != 0:
+            fail(f"{prefix}.slo.rules nonzero without an --slo spec")
+        if gauge(f"{prefix}.slo.violations") != 0:
+            fail(f"{prefix}.slo.violations nonzero without an --slo spec")
 
     scaling = gauge(f"serve.scaling.devices{DEVICES}_vs_1")
     if scaling <= 0:

@@ -36,6 +36,15 @@ for preset in "${presets[@]}"; do
   case "${preset}" in
     plain)
       run_preset plain
+      # bigkprof perf-regression gate: rerun the fig6 stage bench at the
+      # committed baseline's scale and fail on any timing / attribution /
+      # traffic drift outside tolerance (also runs as the bench_prof_gate
+      # ctest; running it by name here keeps the gate visible in CI logs).
+      echo "=== ci preset plain: bench_compare perf gate ==="
+      python3 "${repo_root}/scripts/bench_compare.py" \
+        --baseline "${repo_root}/bench/BENCH_prof.json" \
+        --bench "${repo_root}/build-ci-plain/bench/fig6_stages" \
+        --scale 0.001
       ;;
     asan-ubsan)
       run_preset asan-ubsan -DBIGK_SANITIZE=address,undefined
@@ -57,6 +66,11 @@ for preset in "${presets[@]}"; do
       # its ctest shard) so a TSan hit in it fails the preset by name.
       echo "=== ci preset tsan: serve stress test ==="
       "${repo_root}/build-ci-tsan/tests/serve_stress_test"
+      # bigkprof: the full telemetry plane (tracer + registry + per-device
+      # profilers + latency sketch + SLO monitor) under a 4-engine serve run;
+      # a data race in any shared telemetry sink fails the preset by name.
+      echo "=== ci preset tsan: concurrent telemetry test ==="
+      "${repo_root}/build-ci-tsan/tests/obs_concurrent_telemetry_test"
       # bigkcache shares one chunk cache + pinned pool across every engine a
       # device runs; exercise the cache suites explicitly under TSan so a
       # data race on the shared cache state fails the preset by name.

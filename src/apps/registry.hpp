@@ -17,6 +17,7 @@
 #include "core/options.hpp"
 #include "cusim/runtime.hpp"
 #include "gpusim/config.hpp"
+#include "obs/prof/attribution.hpp"
 #include "obs/tracer.hpp"
 #include "schemes/metrics.hpp"
 #include "schemes/runners.hpp"
@@ -41,6 +42,13 @@ struct JobRunConfig {
   cache::ChunkCache* chunk_cache = nullptr;
   cache::PinnedPool* pinned_pool = nullptr;
   std::uint64_t dataset_id = 0;
+  /// bigkprof: per-device bottleneck profiler the engine feeds its stage
+  /// intervals to (owned by the serving layer; may be null).
+  obs::prof::StageProfiler* profiler = nullptr;
+  /// bigkprof: when set, the runner writes the sim time at which the engine
+  /// launch completed (before table download / epilogue) — the serving
+  /// layer's execution/write-back boundary for the latency breakdown.
+  sim::TimePs* exec_done = nullptr;
 };
 
 /// One runnable instance of a benchmark application, type-erased so the

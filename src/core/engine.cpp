@@ -287,9 +287,15 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
           co_return;
         }
         // Finite stall: absorbed as pipeline delay and counted recovered.
+        // The stall occupies the assembly stage, so it is attributed as
+        // assembly busy time — a stalled stage must show up as the
+        // bottleneck in the profiler's window, not vanish from accounting.
+        const sim::TimePs stall_begin = sim().now();
         co_await sim().delay(*stall);
         if (aborted_) co_return;
         plane->on_recovered(fault::FaultKind::kStageStall);
+        record_stage(obs::Stage::kAssembly, block.index, chunk, stall_begin,
+                     sim().now());
       }
     }
     ChunkSlot& slot = block.slots[chunk % block.depth];

@@ -37,6 +37,7 @@
 #include "core/staging.hpp"
 #include "core/stream.hpp"
 #include "cusim/runtime.hpp"
+#include "obs/prof/attribution.hpp"
 #include "obs/stage.hpp"
 #include "obs/tracer.hpp"
 #include "gpusim/gpu.hpp"
@@ -152,6 +153,14 @@ class Engine {
   /// pipeline stage (data transfer gets one row per ring slot, since up to
   /// buffer_depth transfers are in flight per block). nullptr detaches.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attaches a bigkprof bottleneck profiler (externally owned): every stage
+  /// interval that feeds the busy-time metrics is also attributed to the
+  /// profiler's time windows, so online attribution, the tracer timeline,
+  /// and the Fig. 6 sums all describe the same intervals. nullptr detaches.
+  void set_profiler(obs::prof::StageProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
 
   /// Prefix for this engine's trace process rows (e.g. "dev2 " turns
   /// "engine block 0" into "dev2 engine block 0"). Concurrent engines on
@@ -349,6 +358,7 @@ class Engine {
   std::vector<sim::Process> supervisors_;
   obs::Tracer* tracer_ = nullptr;
   std::string trace_scope_;
+  obs::prof::StageProfiler* profiler_ = nullptr;  // externally owned
 
   // --- bigkcache ---------------------------------------------------------
   cache::ChunkCache* chunk_cache_ = nullptr;  // externally owned, optional
@@ -373,6 +383,9 @@ class Engine {
   void record_stage(obs::Stage stage, std::uint32_t block, std::uint64_t chunk,
                     sim::TimePs begin, sim::TimePs end) {
     metrics_.stage_busy(stage) += end - begin;
+    if (profiler_ != nullptr && end > begin) {
+      profiler_->record(stage, begin, end);
+    }
     if (tracer_ != nullptr && end > begin) {
       const std::string process =
           trace_scope_ + "engine block " + std::to_string(block);

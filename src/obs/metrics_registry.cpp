@@ -155,22 +155,31 @@ void MetricsRegistry::write_json_array(std::ostream& out,
 }
 
 void MetricsRegistry::write_csv(std::ostream& out) const {
-  out << "type,name,value,count,sum,min,max\n";
+  out << "type,name,value,count,sum,min,max,bucket_le,bucket_count\n";
   for (const auto& entry : entries_) {
     switch (entry->kind) {
       case Kind::kCounter:
         out << "counter," << entry->name << ',' << entry->counter->value()
-            << ",,,,\n";
+            << ",,,,,,\n";
         break;
       case Kind::kGauge:
         out << "gauge," << entry->name << ','
-            << json_number(entry->gauge->value()) << ",,,,\n";
+            << json_number(entry->gauge->value()) << ",,,,,,\n";
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry->histogram;
         out << "histogram," << entry->name << ",," << h.count() << ','
             << json_number(h.sum()) << ',' << json_number(h.min()) << ','
-            << json_number(h.max()) << '\n';
+            << json_number(h.max()) << ",,\n";
+        for (std::size_t b = 0; b < h.bucket_counts().size(); ++b) {
+          out << "histogram.bucket," << entry->name << ",,,,,,";
+          if (b < h.upper_bounds().size()) {
+            out << json_number(h.upper_bounds()[b]);
+          } else {
+            out << "inf";
+          }
+          out << ',' << h.bucket_counts()[b] << '\n';
+        }
         break;
       }
     }

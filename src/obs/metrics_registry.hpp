@@ -102,8 +102,12 @@ class MetricsRegistry {
   /// `indent` prefixes every element line.
   void write_json_array(std::ostream& out, const char* indent = "  ") const;
 
-  /// Flat CSV: type,name,value,count,sum,min,max (value empty for
-  /// histograms; count/sum/min/max empty for counters and gauges).
+  /// Flat CSV: type,name,value,count,sum,min,max,bucket_le,bucket_count
+  /// (value empty for histograms; count/sum/min/max empty for counters and
+  /// gauges; bucket columns empty except on bucket rows). Every histogram
+  /// summary row is followed by one "histogram.bucket" row per bucket giving
+  /// its inclusive upper bound ("inf" for the overflow bucket) and count, so
+  /// the full distribution survives the flat export.
   void write_csv(std::ostream& out) const;
 
  private:

@@ -1,0 +1,87 @@
+#include "obs/prof/attribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bigk::obs::prof {
+
+StageProfiler::StageProfiler(sim::DurationPs window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("StageProfiler: zero window");
+}
+
+void StageProfiler::record(Stage stage, sim::TimePs begin, sim::TimePs end) {
+  if (end <= begin) return;
+  const std::size_t s = stage_index(stage);
+  total_busy_[s] += end - begin;
+  sim::TimePs cursor = begin;
+  while (cursor < end) {
+    const std::uint64_t index = cursor / window_;
+    const sim::TimePs window_end = (index + 1) * window_;
+    const sim::TimePs slice_end = std::min<sim::TimePs>(end, window_end);
+    windows_[index][s] += slice_end - cursor;
+    cursor = slice_end;
+  }
+}
+
+namespace {
+
+Stage argmax_stage(const std::array<sim::DurationPs, kStageCount>& busy) {
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < kStageCount; ++s) {
+    if (busy[s] > busy[best]) best = s;
+  }
+  return static_cast<Stage>(best);
+}
+
+}  // namespace
+
+Stage StageProfiler::bottleneck() const noexcept {
+  return argmax_stage(total_busy_);
+}
+
+double StageProfiler::overlap_efficiency(
+    sim::DurationPs total_time) const noexcept {
+  sim::DurationPs busy_sum = 0;
+  for (const sim::DurationPs busy : total_busy_) busy_sum += busy;
+  if (busy_sum == 0) return 0.0;
+  const double ratio =
+      static_cast<double>(total_time) / static_cast<double>(busy_sum);
+  return std::max(0.0, 1.0 - ratio);
+}
+
+std::vector<WindowAttribution> StageProfiler::windows() const {
+  std::vector<WindowAttribution> out;
+  out.reserve(windows_.size());
+  for (const auto& [index, busy] : windows_) {
+    WindowAttribution w;
+    w.index = index;
+    w.begin = index * window_;
+    w.end = w.begin + window_;
+    w.busy = busy;
+    w.bottleneck = argmax_stage(busy);
+    sim::DurationPs busy_sum = 0;
+    for (const sim::DurationPs b : busy) busy_sum += b;
+    if (busy_sum > 0) {
+      const double ratio =
+          static_cast<double>(window_) / static_cast<double>(busy_sum);
+      w.overlap_efficiency = std::max(0.0, 1.0 - ratio);
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::uint64_t StageProfiler::bottleneck_flips() const {
+  std::uint64_t flips = 0;
+  bool first = true;
+  Stage prev = Stage::kAddrGen;
+  for (const auto& [index, busy] : windows_) {
+    const Stage current = argmax_stage(busy);
+    if (!first && current != prev) ++flips;
+    prev = current;
+    first = false;
+  }
+  return flips;
+}
+
+}  // namespace bigk::obs::prof

@@ -1,0 +1,75 @@
+// Online bottleneck attribution for bigkprof.
+//
+// StageProfiler consumes the same per-stage [begin, end) intervals the Engine
+// feeds its tracer/metrics and maintains a windowed per-stage busy-time
+// timeline: for each fixed-width time window it can report the limiting
+// stage (argmax busy), the overlap efficiency (1 − wall / Σ stage busy,
+// clamped at 0 — 0 means fully serialized, values approaching 1 − 1/k mean
+// the pipeline hides k-way work), and how often the attributed bottleneck
+// flipped between consecutive windows. Intervals that span window
+// boundaries are split exactly, so window sums and run-level sums agree to
+// the picosecond and attribution stays deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/stage.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::obs::prof {
+
+/// One fully-attributed time window.
+struct WindowAttribution {
+  std::uint64_t index = 0;          ///< window number: [index*W, (index+1)*W)
+  sim::TimePs begin = 0;
+  sim::TimePs end = 0;
+  std::array<sim::DurationPs, kStageCount> busy{};
+  Stage bottleneck = Stage::kAddrGen;
+  double overlap_efficiency = 0.0;  ///< 1 - window_span / sum(busy), >= 0
+};
+
+class StageProfiler {
+ public:
+  explicit StageProfiler(sim::DurationPs window);
+
+  /// Attribute a stage-busy interval. Intervals may arrive out of order and
+  /// may overlap window boundaries; they are split across windows exactly.
+  void record(Stage stage, sim::TimePs begin, sim::TimePs end);
+
+  sim::DurationPs window() const noexcept { return window_; }
+
+  /// Total attributed busy time per stage across all windows.
+  sim::DurationPs stage_busy(Stage stage) const noexcept {
+    return total_busy_[stage_index(stage)];
+  }
+
+  /// Run-level limiting stage: argmax of stage_busy (earlier stage wins
+  /// ties). Meaningful only after at least one record().
+  Stage bottleneck() const noexcept;
+
+  /// Run-level overlap efficiency given the measured wall time:
+  /// 1 - total_time / sum(stage_busy), clamped to >= 0.
+  double overlap_efficiency(sim::DurationPs total_time) const noexcept;
+
+  /// Chronological per-window attribution timeline.
+  std::vector<WindowAttribution> windows() const;
+
+  /// Number of windows with any attributed busy time.
+  std::uint64_t window_count() const noexcept { return windows_.size(); }
+
+  /// Number of times the attributed bottleneck changed between consecutive
+  /// (chronological) windows.
+  std::uint64_t bottleneck_flips() const;
+
+ private:
+  sim::DurationPs window_;
+  // window index -> per-stage busy within that window; std::map keeps the
+  // timeline chronologically ordered regardless of record() arrival order.
+  std::map<std::uint64_t, std::array<sim::DurationPs, kStageCount>> windows_;
+  std::array<sim::DurationPs, kStageCount> total_busy_{};
+};
+
+}  // namespace bigk::obs::prof

@@ -1,0 +1,169 @@
+// Streaming quantile estimation for bigkprof.
+//
+// Implements the P² algorithm (Jain & Chlamtac, CACM 1985): one five-marker
+// cell per requested quantile, updated in O(1) per observation with no
+// sample buffer — the "exact-ish p50/p95/p99 without fixed buckets" the
+// serving layer and the SLO monitor consume. Until five observations have
+// arrived the sketch answers from the buffered samples exactly; afterwards
+// each cell's middle marker tracks its quantile with the classic parabolic
+// (piecewise-parabolic, hence P²) marker adjustment.
+//
+// Everything is plain double arithmetic on the observation stream in arrival
+// order, so results are bit-reproducible across runs and machines — the same
+// determinism contract as the rest of the simulator.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace bigk::obs::prof {
+
+class QuantileSketch {
+ public:
+  /// `quantiles` must be strictly inside (0, 1); defaults to the serving
+  /// layer's latency percentiles.
+  explicit QuantileSketch(std::vector<double> quantiles = {0.5, 0.95, 0.99})
+      : quantiles_(std::move(quantiles)) {
+    if (quantiles_.empty()) {
+      throw std::invalid_argument("QuantileSketch needs at least one quantile");
+    }
+    for (const double q : quantiles_) {
+      if (!(q > 0.0 && q < 1.0)) {
+        throw std::invalid_argument(
+            "QuantileSketch quantiles must be strictly inside (0, 1)");
+      }
+    }
+    cells_.resize(quantiles_.size());
+  }
+
+  void observe(double x) {
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    if (count_ <= kMarkers) {
+      initial_[count_ - 1] = x;
+      if (count_ == kMarkers) {
+        std::array<double, kMarkers> sorted = initial_;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t c = 0; c < cells_.size(); ++c) {
+          cells_[c].init(quantiles_[c], sorted);
+        }
+      }
+      return;
+    }
+    for (Cell& cell : cells_) cell.observe(x);
+  }
+
+  /// Estimate for quantile `q`, which must be one of the constructor's
+  /// quantiles. Exact (nearest-rank) while fewer than five observations have
+  /// arrived; always clamped to [min, max]. Returns 0 on an empty sketch.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (count_ < kMarkers) {
+      std::array<double, kMarkers> sorted = initial_;
+      std::sort(sorted.begin(), sorted.begin() + count_);
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(count_)));
+      return sorted[std::min(std::max<std::size_t>(rank, 1), count_) - 1];
+    }
+    for (std::size_t c = 0; c < quantiles_.size(); ++c) {
+      if (quantiles_[c] == q) {
+        return std::clamp(cells_[c].estimate(), min_, max_);
+      }
+    }
+    throw std::invalid_argument(
+        "QuantileSketch::quantile: q was not registered at construction");
+  }
+
+  const std::vector<double>& quantiles() const noexcept { return quantiles_; }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  static constexpr std::size_t kMarkers = 5;
+
+  /// One P² cell: five markers bracketing a single quantile p at desired
+  /// positions {1, (n-1)p/2+1, (n-1)p+1, (n-1)(1+p)/2+1, n}.
+  struct Cell {
+    double p = 0.5;
+    std::array<double, kMarkers> q{};   // marker heights
+    std::array<double, kMarkers> n{};   // actual marker positions
+    std::array<double, kMarkers> np{};  // desired marker positions
+    std::array<double, kMarkers> dn{};  // desired-position increments
+
+    void init(double quantile, const std::array<double, kMarkers>& sorted) {
+      p = quantile;
+      q = sorted;
+      n = {1.0, 2.0, 3.0, 4.0, 5.0};
+      np = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+      dn = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+    }
+
+    void observe(double x) {
+      std::size_t k;  // cell index of x: markers k..4 shift right
+      if (x < q[0]) {
+        q[0] = x;
+        k = 0;
+      } else if (x >= q[4]) {
+        q[4] = x;
+        k = 3;
+      } else {
+        k = 0;
+        while (k < 3 && x >= q[k + 1]) ++k;
+      }
+      for (std::size_t i = k + 1; i < kMarkers; ++i) n[i] += 1.0;
+      for (std::size_t i = 0; i < kMarkers; ++i) np[i] += dn[i];
+
+      for (std::size_t i = 1; i <= 3; ++i) {
+        const double d = np[i] - n[i];
+        if ((d >= 1.0 && n[i + 1] - n[i] > 1.0) ||
+            (d <= -1.0 && n[i - 1] - n[i] < -1.0)) {
+          const double step = d >= 0.0 ? 1.0 : -1.0;
+          const double candidate = parabolic(i, step);
+          if (q[i - 1] < candidate && candidate < q[i + 1]) {
+            q[i] = candidate;
+          } else {
+            q[i] = linear(i, step);
+          }
+          n[i] += step;
+        }
+      }
+    }
+
+    double parabolic(std::size_t i, double d) const {
+      return q[i] + d / (n[i + 1] - n[i - 1]) *
+                        ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) /
+                             (n[i + 1] - n[i]) +
+                         (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) /
+                             (n[i] - n[i - 1]));
+    }
+
+    double linear(std::size_t i, double d) const {
+      const std::size_t j = d >= 0.0 ? i + 1 : i - 1;
+      return q[i] + d * (q[j] - q[i]) / (n[j] - n[i]);
+    }
+
+    double estimate() const { return q[2]; }
+  };
+
+  std::vector<double> quantiles_;
+  std::vector<Cell> cells_;
+  std::array<double, kMarkers> initial_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace bigk::obs::prof

@@ -1,0 +1,124 @@
+#include "obs/prof/slo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bigk::obs::prof {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+const char* op_text(SloRule::Op op) {
+  switch (op) {
+    case SloRule::Op::kLt: return "<";
+    case SloRule::Op::kLe: return "<=";
+    case SloRule::Op::kGt: return ">";
+    case SloRule::Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool SloRule::holds(double value) const noexcept {
+  switch (op) {
+    case Op::kLt: return value < threshold;
+    case Op::kLe: return value <= threshold;
+    case Op::kGt: return value > threshold;
+    case Op::kGe: return value >= threshold;
+  }
+  return true;
+}
+
+std::string SloRule::to_string() const {
+  std::string out = metric;
+  out += ' ';
+  out += op_text(op);
+  out += ' ';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", threshold);
+  out += buf;
+  return out;
+}
+
+SloRule SloRule::parse(std::string_view text) {
+  const std::string_view rule_text = trim(text);
+  // Two-character operators first so "<=" is not read as "<" + "=...".
+  static constexpr struct {
+    std::string_view token;
+    Op op;
+  } kOps[] = {
+      {"<=", Op::kLe}, {">=", Op::kGe}, {"<", Op::kLt}, {">", Op::kGt}};
+  for (const auto& candidate : kOps) {
+    const std::size_t pos = rule_text.find(candidate.token);
+    if (pos == std::string_view::npos) continue;
+    SloRule rule;
+    rule.metric = std::string(trim(rule_text.substr(0, pos)));
+    rule.op = candidate.op;
+    const std::string threshold_text(
+        trim(rule_text.substr(pos + candidate.token.size())));
+    if (rule.metric.empty() || threshold_text.empty()) break;
+    char* end = nullptr;
+    rule.threshold = std::strtod(threshold_text.c_str(), &end);
+    if (end == nullptr || *end != '\0') break;
+    return rule;
+  }
+  throw std::invalid_argument("malformed SLO rule: '" + std::string(text) +
+                              "' (expected '<metric> <op> <threshold>' with "
+                              "op one of < <= > >=)");
+}
+
+std::vector<SloRule> parse_slo_rules(std::string_view spec) {
+  std::vector<SloRule> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t sep = spec.find(';', start);
+    if (sep == std::string_view::npos) sep = spec.size();
+    const std::string_view segment = trim(spec.substr(start, sep - start));
+    if (!segment.empty()) rules.push_back(SloRule::parse(segment));
+    start = sep + 1;
+  }
+  return rules;
+}
+
+SloMonitor::SloMonitor(std::vector<SloRule> rules)
+    : rules_(std::move(rules)) {}
+
+void SloMonitor::attach(MetricsRegistry* metrics, Tracer* tracer,
+                        std::string scope) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  scope_ = std::move(scope);
+}
+
+std::uint64_t SloMonitor::evaluate(
+    sim::TimePs now, const std::map<std::string, double>& values) {
+  std::uint64_t violated = 0;
+  for (const SloRule& rule : rules_) {
+    const auto it = values.find(rule.metric);
+    if (it == values.end()) continue;  // metric not observable yet
+    if (rule.holds(it->second)) continue;
+    ++violated;
+    ++violations_;
+    if (metrics_ != nullptr) {
+      metrics_->counter(scope_ + "slo.violation").add();
+      metrics_->counter(scope_ + "slo.violation." + rule.metric).add();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracer_->track(scope_ + "slo", rule.metric),
+                       rule.to_string(), now, "slo");
+    }
+  }
+  return violated;
+}
+
+}  // namespace bigk::obs::prof

@@ -53,6 +53,29 @@ struct RunMetrics {
   /// Populated only for BigKernel runs.
   core::EngineMetrics engine;
 
+  /// bigkprof attribution summary, populated only for BigKernel runs.
+  struct ProfSummary {
+    /// Run-level limiting stage as an obs::Stage index; -1 = not profiled.
+    std::int32_t bottleneck = -1;
+    /// 1 - total_time / sum(stage busy), clamped at 0.
+    double overlap_efficiency = 0.0;
+    /// Window count / flip count from the windowed timeline (0 when the run
+    /// was not profiled with a window).
+    std::uint64_t windows = 0;
+    std::uint64_t bottleneck_flips = 0;
+    /// Attribution window width in milliseconds (0 = run-level only).
+    double window_ms = 0.0;
+  };
+  ProfSummary prof;
+
+  const char* bottleneck_stage_name() const {
+    if (prof.bottleneck < 0 ||
+        prof.bottleneck >= static_cast<std::int32_t>(obs::kStageCount)) {
+      return "n/a";
+    }
+    return obs::stage_name(static_cast<obs::Stage>(prof.bottleneck));
+  }
+
   double comm_fraction() const {
     const double total = static_cast<double>(comm_busy + comp_busy);
     return total == 0.0 ? 0.0 : static_cast<double>(comm_busy) / total;
@@ -91,7 +114,14 @@ struct RunMetrics {
         << ",\"pattern_hit_rate\":"
         << obs::json_number(engine.pattern_hit_rate())
         << ",\"elements_fetched\":" << engine.elements_fetched
-        << ",\"elements_written\":" << engine.elements_written << "}}";
+        << ",\"elements_written\":" << engine.elements_written << "}"
+        << ",\"prof\":{\"bottleneck_stage\":"
+        << obs::json_quote(bottleneck_stage_name())
+        << ",\"overlap_efficiency\":"
+        << obs::json_number(prof.overlap_efficiency)
+        << ",\"windows\":" << prof.windows
+        << ",\"bottleneck_flips\":" << prof.bottleneck_flips
+        << ",\"window_ms\":" << obs::json_number(prof.window_ms) << "}}";
   }
 };
 

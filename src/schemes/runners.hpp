@@ -32,6 +32,7 @@
 #include "gpusim/config.hpp"
 #include "hostsim/host_cpu.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/prof/attribution.hpp"
 #include "obs/tracer.hpp"
 #include "schemes/kernel_ctx.hpp"
 #include "schemes/metrics.hpp"
@@ -80,6 +81,13 @@ struct SchemeConfig {
   /// baselines have no retry path — injecting into them would silently
   /// drop data instead of modelling a survivable fault.
   fault::FaultPlane* fault_plane = nullptr;
+
+  /// bigkprof attribution window (picoseconds). When non-zero,
+  /// run_bigkernel attaches an obs::prof::StageProfiler with this window to
+  /// the engine and fills RunMetrics::prof with the windowed timeline
+  /// (window count, bottleneck flips); the run-level bottleneck and overlap
+  /// efficiency are computed either way from the engine's stage sums.
+  sim::DurationPs prof_window = 0;
 };
 
 namespace detail {
@@ -498,6 +506,11 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   core::Engine engine(runtime, sc.bigkernel);
   engine.set_tracer(sc.tracer);
   engine.set_sanitizer(sanitizer.get());
+  std::unique_ptr<obs::prof::StageProfiler> profiler;
+  if (sc.prof_window > 0) {
+    profiler = std::make_unique<obs::prof::StageProfiler>(sc.prof_window);
+    engine.set_profiler(profiler.get());
+  }
   for (const StreamDecl& decl : app.stream_decls()) {
     engine.map_stream(decl.binding, decl.overfetch_elems);
   }
@@ -521,6 +534,32 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
   metrics.pinned_bytes = runtime.pinned_bytes();
   metrics.engine = engine.metrics();
+  {
+    // Run-level attribution comes straight from the engine's stage sums so
+    // prof.bottleneck_stage always agrees with the Fig. 6 breakdown.
+    sim::DurationPs busy_sum = 0;
+    std::size_t best = 0;
+    for (obs::Stage stage : obs::all_stages()) {
+      const sim::DurationPs busy = metrics.engine.stage_busy(stage);
+      busy_sum += busy;
+      if (busy > metrics.engine.stage_busy(
+                     static_cast<obs::Stage>(best))) {
+        best = obs::stage_index(stage);
+      }
+    }
+    if (busy_sum > 0) {
+      metrics.prof.bottleneck = static_cast<std::int32_t>(best);
+      metrics.prof.overlap_efficiency =
+          std::max(0.0, 1.0 - static_cast<double>(metrics.total_time) /
+                                  static_cast<double>(busy_sum));
+    }
+    if (profiler != nullptr) {
+      metrics.prof.windows = profiler->window_count();
+      metrics.prof.bottleneck_flips = profiler->bottleneck_flips();
+      metrics.prof.window_ms =
+          static_cast<double>(sc.prof_window) / 1e9;
+    }
+  }
   if (sanitizer != nullptr) {
     metrics.check_violations = sanitizer->reporter().total();
     sanitizer->uninstall();

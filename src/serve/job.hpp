@@ -41,10 +41,49 @@ struct JobRecord {
   bool deadline_met = true;
   sim::TimePs admit_time = 0;
   sim::TimePs start_time = 0;
+  /// bigkprof: input staging finished on the worker (== start_time for warm
+  /// jobs, which skip staging).
+  sim::TimePs staging_done_time = 0;
+  /// bigkprof: kernel pipeline finished; the remainder up to finish_time is
+  /// table download / write-back on the serving side.
+  sim::TimePs exec_done_time = 0;
   sim::TimePs finish_time = 0;
 
   sim::DurationPs latency() const noexcept {
     return completed ? finish_time - spec.submit_time : 0;
+  }
+
+  /// bigkprof queueing-delay breakdown: an exact partition of
+  /// [submit_time, finish_time], so the parts always sum to latency().
+  struct Breakdown {
+    sim::DurationPs admission = 0;  ///< submit -> admitted
+    sim::DurationPs queue = 0;      ///< admitted -> worker picked it up
+    sim::DurationPs staging = 0;    ///< input staging on the worker
+    sim::DurationPs execution = 0;  ///< engine pipeline (launch to exec done)
+    sim::DurationPs writeback = 0;  ///< table download / epilogue -> finish
+
+    sim::DurationPs total() const noexcept {
+      return admission + queue + staging + execution + writeback;
+    }
+  };
+
+  /// Valid only for completed jobs (returns all-zero otherwise).
+  Breakdown breakdown() const noexcept {
+    Breakdown b;
+    if (!completed) return b;
+    b.admission = admit_time - spec.submit_time;
+    b.queue = start_time - admit_time;
+    const sim::TimePs staged =
+        staging_done_time >= start_time ? staging_done_time : start_time;
+    b.staging = staged - start_time;
+    // A redispatched job can carry a stale exec timestamp from the failed
+    // attempt; clamp into [staged, finish] so the partition stays exact.
+    sim::TimePs exec = exec_done_time;
+    if (exec < staged) exec = finish_time;
+    if (exec > finish_time) exec = finish_time;
+    b.execution = exec - staged;
+    b.writeback = finish_time - exec;
+    return b;
   }
 };
 

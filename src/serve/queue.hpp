@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <stdexcept>
 
@@ -91,6 +92,7 @@ class JobQueue {
     ++admitted_;
     streaks_.erase(client);
     if (outstanding_ > peak_depth_) peak_depth_ = outstanding_;
+    if (depth_observer_) depth_observer_(outstanding_);
     return Admission{true, 0, RejectCause::kQueueFull};
   }
 
@@ -122,6 +124,14 @@ class JobQueue {
       throw std::logic_error("JobQueue release without outstanding job");
     }
     --outstanding_;
+    if (depth_observer_) depth_observer_(outstanding_);
+  }
+
+  /// bigkprof: called with the new outstanding depth on every admit and
+  /// release, so windowed telemetry can sample queue depth at the exact
+  /// transition instants instead of polling. Empty function detaches.
+  void set_depth_observer(std::function<void(std::uint32_t)> observer) {
+    depth_observer_ = std::move(observer);
   }
 
   std::uint32_t outstanding() const noexcept { return outstanding_; }
@@ -150,6 +160,7 @@ class JobQueue {
   std::array<std::uint64_t, kNumRejectCauses> rejected_by_cause_{};
   /// Consecutive rejections per client since its last acceptance.
   std::map<std::uint64_t, std::uint32_t> streaks_;
+  std::function<void(std::uint32_t)> depth_observer_;
 };
 
 }  // namespace bigk::serve

@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -16,6 +18,10 @@
 #include "cusim/device_pool.hpp"
 #include "fault/fault.hpp"
 #include "obs/json.hpp"
+#include "obs/prof/attribution.hpp"
+#include "obs/prof/quantile.hpp"
+#include "obs/prof/slo.hpp"
+#include "obs/prof/windowed.hpp"
 #include "serve/health.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
@@ -27,6 +33,8 @@ namespace {
 /// Host cache-model region ids for the per-device input-staging scans (far
 /// above core::kStreamRegionBase so they never collide with mapped streams).
 constexpr std::uint32_t kStagingRegionBase = 9000;
+
+double to_ms(sim::DurationPs ps) { return static_cast<double>(ps) / 1e9; }
 
 /// Cache dataset identity of an app's generated input: apps regenerate the
 /// same dataset from the same seed on every runner, so the app name is the
@@ -60,6 +68,30 @@ struct ServerState {
   std::vector<std::unique_ptr<cache::PinnedPool>> pools;
   /// bigkfault: the pool-wide fault plane (null without a fault_spec).
   std::unique_ptr<fault::FaultPlane> fault_plane;
+  // --- bigkprof -----------------------------------------------------------
+  /// One bottleneck profiler per device (empty when prof_window == 0); every
+  /// engine launch on the device feeds it via JobRunConfig::profiler.
+  std::vector<std::unique_ptr<obs::prof::StageProfiler>> profilers;
+  /// P² latency sketch over completed-job latencies in ms (always on — this
+  /// is the source of the report's p50/p95/p99).
+  obs::prof::QuantileSketch latency_sketch;
+  /// Windowed completion streams: pool-wide plus one per device.
+  std::unique_ptr<obs::WindowedStats> completions;
+  std::vector<std::unique_ptr<obs::WindowedStats>> device_completions;
+  /// Windowed PCIe bytes per pipeline side (fed by the telemetry daemon
+  /// from per-tick deltas of the pool's DMA totals).
+  std::unique_ptr<obs::WindowedStats> h2d_window;
+  std::unique_ptr<obs::WindowedStats> d2h_window;
+  /// Queue depth sampled at every admit/release transition.
+  std::unique_ptr<obs::WindowedStats> queue_depth_window;
+  obs::prof::SloMonitor slo;
+  /// Effective gauge prefix (also the SLO counter scope).
+  std::string metrics_scope;
+  /// Telemetry-daemon tick state (deltas since the previous window).
+  std::uint64_t last_h2d_bytes = 0;
+  std::uint64_t last_d2h_bytes = 0;
+  std::uint64_t last_compute_busy = 0;
+  std::uint64_t last_fault_injected = 0;
   /// Jobs settled (completed, failed, or shed); serve_main waits for all of
   /// them before shutting the workers and the probe daemon down.
   std::uint64_t settled = 0;
@@ -75,7 +107,29 @@ struct ServerState {
         queue(JobQueue::Config{cfg.queue_depth, cfg.retry_after,
                                cfg.retry_after_cap, cfg.retry_jitter_seed}),
         scheduler(cfg.policy, pool.size()),
-        health(pool.size(), HealthMonitor::Config{cfg.quarantine_after}) {
+        health(pool.size(), HealthMonitor::Config{cfg.quarantine_after}),
+        slo(obs::prof::parse_slo_rules(cfg.slo_spec)) {
+    metrics_scope = cfg.metrics_prefix.empty()
+                        ? std::string("serve.") + policy_name(cfg.policy) +
+                              ".devices" + std::to_string(pool.size())
+                        : cfg.metrics_prefix;
+    slo.attach(cfg.metrics, cfg.tracer, metrics_scope + ".");
+    if (cfg.prof_window > 0) {
+      for (std::uint32_t d = 0; d < pool.size(); ++d) {
+        profilers.push_back(
+            std::make_unique<obs::prof::StageProfiler>(cfg.prof_window));
+        device_completions.push_back(
+            std::make_unique<obs::WindowedStats>(cfg.prof_window));
+      }
+      completions = std::make_unique<obs::WindowedStats>(cfg.prof_window);
+      h2d_window = std::make_unique<obs::WindowedStats>(cfg.prof_window);
+      d2h_window = std::make_unique<obs::WindowedStats>(cfg.prof_window);
+      queue_depth_window =
+          std::make_unique<obs::WindowedStats>(cfg.prof_window);
+      queue.set_depth_observer([this](std::uint32_t depth) {
+        queue_depth_window->add(sim.now(), static_cast<double>(depth));
+      });
+    }
     pool.attach_observability(cfg.tracer, cfg.metrics);
     if (!cfg.fault_spec.empty()) {
       fault_plane = std::make_unique<fault::FaultPlane>(cfg.fault_seed);
@@ -220,6 +274,86 @@ sim::Task<> probe_daemon(ServerState& st) {
   }
 }
 
+/// bigkprof telemetry daemon: once per profiling window, folds per-tick
+/// deltas of the pool's DMA/compute totals into the windowed stats, publishes
+/// the live throughput signals as tracer counter tracks, and evaluates the
+/// SLO rules against a snapshot of the windowed metrics.
+sim::Task<> telemetry_daemon(ServerState& st) {
+  const sim::DurationPs window = st.config.prof_window;
+  const double window_s = static_cast<double>(window) * 1e-12;
+  while (!st.shutdown) {
+    co_await st.sim.delay(window);
+    if (st.shutdown) break;
+    const sim::TimePs now = st.sim.now();
+
+    std::uint64_t h2d = 0;
+    std::uint64_t d2h = 0;
+    std::uint64_t busy = 0;
+    for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+      const gpusim::Gpu& gpu = st.pool.device(d).gpu();
+      h2d += gpu.stats().h2d_bytes;
+      d2h += gpu.stats().d2h_bytes;
+      busy += gpu.compute_wall_busy();
+    }
+    st.h2d_window->add(now, static_cast<double>(h2d - st.last_h2d_bytes));
+    st.d2h_window->add(now, static_cast<double>(d2h - st.last_d2h_bytes));
+    const double utilization =
+        static_cast<double>(busy - st.last_compute_busy) /
+        (static_cast<double>(window) * static_cast<double>(st.pool.size()));
+    st.last_h2d_bytes = h2d;
+    st.last_d2h_bytes = d2h;
+    st.last_compute_busy = busy;
+
+    double fault_rate = 0.0;
+    if (st.fault_plane != nullptr) {
+      const std::uint64_t injected = st.fault_plane->stats().injected;
+      fault_rate =
+          static_cast<double>(injected - st.last_fault_injected) / window_s;
+      st.last_fault_injected = injected;
+    }
+
+    if (st.config.tracer != nullptr) {
+      const std::uint32_t pid = st.config.tracer->process("serve");
+      st.config.tracer->counter_set(pid, "prof.jobs_per_s", now,
+                                    st.completions->rate_per_s(now));
+      st.config.tracer->counter_set(pid, "prof.h2d_gbps", now,
+                                    st.h2d_window->sum_per_s(now) / 1e9);
+      st.config.tracer->counter_set(pid, "prof.d2h_gbps", now,
+                                    st.d2h_window->sum_per_s(now) / 1e9);
+      for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+        const std::uint32_t dev_pid = st.config.tracer->process(
+            st.pool.device(d).device_name());
+        st.config.tracer->counter_set(
+            dev_pid, "prof.jobs_per_s", now,
+            st.device_completions[d]->rate_per_s(now));
+      }
+    }
+
+    if (!st.slo.rules().empty()) {
+      std::map<std::string, double> values;
+      if (st.latency_sketch.count() > 0) {
+        const double p50 = st.latency_sketch.quantile(0.50);
+        const double p95 = std::max(p50, st.latency_sketch.quantile(0.95));
+        const double p99 = std::max(p95, st.latency_sketch.quantile(0.99));
+        values["p50_ms"] = p50;
+        values["p95_ms"] = p95;
+        values["p99_ms"] = p99;
+      }
+      values["throughput_jobs_per_s"] = st.completions->rate_per_s(now);
+      values["queue_depth"] =
+          st.queue_depth_window->events(now) > 0
+              ? st.queue_depth_window->sum(now) /
+                    static_cast<double>(st.queue_depth_window->events(now))
+              : static_cast<double>(st.queue.outstanding());
+      values["utilization"] = utilization;
+      values["fault_rate"] = fault_rate;
+      values["h2d_gbps"] = st.h2d_window->sum_per_s(now) / 1e9;
+      values["d2h_gbps"] = st.d2h_window->sum_per_s(now) / 1e9;
+      st.slo.evaluate(now, values);
+    }
+  }
+}
+
 /// Per-device worker: drains the device's dispatch FIFO one job at a time.
 /// Cold jobs first stage their mapped input through the shared host memory
 /// bus (one sequential read + one streamed write of input_bytes); warm jobs
@@ -244,6 +378,7 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
       staging.write_stream(job.record.input_bytes);
       co_await staging.commit();
     }
+    job.record.staging_done_time = st.sim.now();
     std::unique_ptr<check::Sanitizer> sanitizer;
     if (st.config.check.enabled) {
       sanitizer =
@@ -261,6 +396,10 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
       run_cfg.pinned_pool = st.pools[device_index].get();
       run_cfg.dataset_id = dataset_id_of(job.record.spec.app);
     }
+    if (!st.profilers.empty()) {
+      run_cfg.profiler = st.profilers[device_index].get();
+    }
+    run_cfg.exec_done = &job.record.exec_done_time;
     // Unrecovered faults (retries exhausted, device lost, watchdog timeout)
     // surface here; anything else — checker violations included — still
     // propagates out of run_server.
@@ -298,6 +437,11 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     st.completion_order.push_back(job.record.spec.id);
     st.scheduler.on_complete(device_index, job.record.input_bytes);
     st.queue.release();
+    st.latency_sketch.observe(to_ms(job.record.latency()));
+    if (st.completions != nullptr) {
+      st.completions->add(job.record.finish_time);
+      st.device_completions[device_index]->add(job.record.finish_time);
+    }
     st.settle_one();
     if (st.config.tracer != nullptr) {
       const obs::TrackId track =
@@ -324,6 +468,10 @@ sim::Task<> serve_main(ServerState& st) {
   if (st.fault_plane != nullptr) {
     probe = st.sim.spawn(probe_daemon(st));
   }
+  sim::Process telemetry;
+  if (st.config.prof_window > 0) {
+    telemetry = st.sim.spawn(telemetry_daemon(st));
+  }
   for (sim::Process& process : clients) co_await process.join();
   // Redispatch can push a failed job onto another device's queue long after
   // every client returned, so the channels stay open until every job has
@@ -334,18 +482,8 @@ sim::Task<> serve_main(ServerState& st) {
   for (auto& channel : st.dispatch) channel->close();
   for (sim::Process& process : workers) co_await process.join();
   if (probe.valid()) co_await probe.join();
+  if (telemetry.valid()) co_await telemetry.join();
 }
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-sim::DurationPs percentile(const std::vector<sim::DurationPs>& sorted,
-                           double q) {
-  if (sorted.empty()) return 0;
-  const std::size_t rank = static_cast<std::size_t>(
-      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
-  return sorted[std::min(rank, sorted.size()) - 1];
-}
-
-double to_ms(sim::DurationPs ps) { return static_cast<double>(ps) / 1e9; }
 
 }  // namespace
 
@@ -379,13 +517,18 @@ ServeReport run_server(const ServerConfig& config,
   }
   report.devices.resize(state.pool.size());
 
-  std::vector<sim::DurationPs> latencies;
+  JobRecord::Breakdown breakdown_sums;
   for (Job& job : state.jobs) {
     const JobRecord& record = job.record;
     report.redispatches += record.redispatches;
     if (record.completed) {
       ++report.completed;
-      latencies.push_back(record.latency());
+      const JobRecord::Breakdown b = record.breakdown();
+      breakdown_sums.admission += b.admission;
+      breakdown_sums.queue += b.queue;
+      breakdown_sums.staging += b.staging;
+      breakdown_sums.execution += b.execution;
+      breakdown_sums.writeback += b.writeback;
       DeviceReport& dev = report.devices[record.device];
       ++dev.jobs;
       if (record.warm) {
@@ -401,10 +544,30 @@ ServeReport run_server(const ServerConfig& config,
     report.jobs.push_back(record);
   }
 
-  std::sort(latencies.begin(), latencies.end());
-  report.latency_p50 = percentile(latencies, 0.50);
-  report.latency_p95 = percentile(latencies, 0.95);
-  report.latency_p99 = percentile(latencies, 0.99);
+  if (state.latency_sketch.count() > 0) {
+    // Streaming P² estimates, clamped monotone so p50 <= p95 <= p99 always
+    // holds in the report (the per-quantile cells are independent).
+    const double p50_ms = state.latency_sketch.quantile(0.50);
+    const double p95_ms = std::max(p50_ms, state.latency_sketch.quantile(0.95));
+    const double p99_ms = std::max(p95_ms, state.latency_sketch.quantile(0.99));
+    const auto to_ps = [](double ms) {
+      return static_cast<sim::DurationPs>(ms * 1e9 + 0.5);
+    };
+    report.latency_p50 = to_ps(p50_ms);
+    report.latency_p95 = to_ps(p95_ms);
+    report.latency_p99 = to_ps(p99_ms);
+  }
+  if (report.completed > 0) {
+    const double n = static_cast<double>(report.completed);
+    report.breakdown_admission_ms = to_ms(breakdown_sums.admission) / n;
+    report.breakdown_queue_ms = to_ms(breakdown_sums.queue) / n;
+    report.breakdown_staging_ms = to_ms(breakdown_sums.staging) / n;
+    report.breakdown_execution_ms = to_ms(breakdown_sums.execution) / n;
+    report.breakdown_writeback_ms = to_ms(breakdown_sums.writeback) / n;
+    report.breakdown_total_ms = to_ms(breakdown_sums.total()) / n;
+  }
+  report.slo_rules = state.slo.rules().size();
+  report.slo_violations = state.slo.violations();
   if (report.makespan > 0) {
     report.throughput_jobs_per_s = static_cast<double>(report.completed) /
                                    (static_cast<double>(report.makespan) * 1e-12);
@@ -429,6 +592,42 @@ ServeReport run_server(const ServerConfig& config,
       report.cache_hits += stats.hits;
       report.cache_misses += stats.misses;
       report.cache_bytes_saved += stats.bytes_saved;
+    }
+    if (!state.profilers.empty()) {
+      const obs::prof::StageProfiler& prof = *state.profilers[d];
+      sim::DurationPs busy_sum = 0;
+      for (obs::Stage stage : obs::all_stages()) {
+        busy_sum += prof.stage_busy(stage);
+      }
+      if (busy_sum > 0) {
+        dev.bottleneck_stage =
+            static_cast<std::int32_t>(obs::stage_index(prof.bottleneck()));
+        dev.overlap_efficiency = prof.overlap_efficiency(report.makespan);
+      }
+      dev.prof_windows = prof.window_count();
+      dev.bottleneck_flips = prof.bottleneck_flips();
+    }
+  }
+  if (!state.profilers.empty()) {
+    std::array<sim::DurationPs, obs::kStageCount> pool_busy{};
+    for (const auto& prof : state.profilers) {
+      for (obs::Stage stage : obs::all_stages()) {
+        pool_busy[obs::stage_index(stage)] += prof->stage_busy(stage);
+      }
+      report.prof_windows += prof->window_count();
+      report.bottleneck_flips += prof->bottleneck_flips();
+    }
+    sim::DurationPs busy_sum = 0;
+    std::size_t best = 0;
+    for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+      busy_sum += pool_busy[s];
+      if (pool_busy[s] > pool_busy[best]) best = s;
+    }
+    if (busy_sum > 0) {
+      report.bottleneck_stage = static_cast<std::int32_t>(best);
+      report.overlap_efficiency =
+          std::max(0.0, 1.0 - static_cast<double>(report.makespan) /
+                                  static_cast<double>(busy_sum));
     }
   }
   if (report.cache_hits + report.cache_misses > 0) {
@@ -484,6 +683,22 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".latency_p95_ms").set(to_ms(latency_p95));
   registry.gauge(prefix + ".latency_p99_ms").set(to_ms(latency_p99));
   registry.gauge(prefix + ".throughput_jobs_per_s").set(throughput_jobs_per_s);
+  registry.gauge(prefix + ".prof.bottleneck_stage")
+      .set(static_cast<double>(bottleneck_stage));
+  registry.gauge(prefix + ".prof.overlap_efficiency").set(overlap_efficiency);
+  registry.gauge(prefix + ".prof.windows")
+      .set(static_cast<double>(prof_windows));
+  registry.gauge(prefix + ".prof.bottleneck_flips")
+      .set(static_cast<double>(bottleneck_flips));
+  registry.gauge(prefix + ".breakdown.admission_ms").set(breakdown_admission_ms);
+  registry.gauge(prefix + ".breakdown.queue_ms").set(breakdown_queue_ms);
+  registry.gauge(prefix + ".breakdown.staging_ms").set(breakdown_staging_ms);
+  registry.gauge(prefix + ".breakdown.execution_ms").set(breakdown_execution_ms);
+  registry.gauge(prefix + ".breakdown.writeback_ms").set(breakdown_writeback_ms);
+  registry.gauge(prefix + ".breakdown.total_ms").set(breakdown_total_ms);
+  registry.gauge(prefix + ".slo.rules").set(static_cast<double>(slo_rules));
+  registry.gauge(prefix + ".slo.violations")
+      .set(static_cast<double>(slo_violations));
   for (std::size_t d = 0; d < devices.size(); ++d) {
     const std::string dev_prefix = prefix + ".dev" + std::to_string(d);
     registry.gauge(dev_prefix + ".utilization").set(devices[d].utilization);
@@ -491,6 +706,8 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
         .set(static_cast<double>(devices[d].jobs));
     registry.gauge(dev_prefix + ".warm_jobs")
         .set(static_cast<double>(devices[d].warm_jobs));
+    registry.gauge(dev_prefix + ".bottleneck_stage")
+        .set(static_cast<double>(devices[d].bottleneck_stage));
   }
 }
 
@@ -517,6 +734,25 @@ void ServeReport::write_json(std::ostream& out) const {
       << "\"p50\":" << obs::json_number(to_ms(latency_p50))
       << ",\"p95\":" << obs::json_number(to_ms(latency_p95))
       << ",\"p99\":" << obs::json_number(to_ms(latency_p99)) << "}"
+      << ",\"prof\":{\"bottleneck_stage\":"
+      << obs::json_quote(
+             bottleneck_stage >= 0 &&
+                     bottleneck_stage <
+                         static_cast<std::int32_t>(obs::kStageCount)
+                 ? obs::stage_name(static_cast<obs::Stage>(bottleneck_stage))
+                 : "n/a")
+      << ",\"overlap_efficiency\":" << obs::json_number(overlap_efficiency)
+      << ",\"windows\":" << prof_windows
+      << ",\"bottleneck_flips\":" << bottleneck_flips << "}"
+      << ",\"breakdown_ms\":{\"admission\":"
+      << obs::json_number(breakdown_admission_ms)
+      << ",\"queue\":" << obs::json_number(breakdown_queue_ms)
+      << ",\"staging\":" << obs::json_number(breakdown_staging_ms)
+      << ",\"execution\":" << obs::json_number(breakdown_execution_ms)
+      << ",\"writeback\":" << obs::json_number(breakdown_writeback_ms)
+      << ",\"total\":" << obs::json_number(breakdown_total_ms) << "}"
+      << ",\"slo\":{\"rules\":" << slo_rules
+      << ",\"violations\":" << slo_violations << "}"
       << ",\"devices\":[";
   for (std::size_t d = 0; d < devices.size(); ++d) {
     if (d > 0) out << ',';
@@ -530,7 +766,10 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"cache_hits\":" << dev.cache_hits
         << ",\"cache_misses\":" << dev.cache_misses
         << ",\"cache_evictions\":" << dev.cache_evictions
-        << ",\"cache_bytes_saved\":" << dev.cache_bytes_saved << "}";
+        << ",\"cache_bytes_saved\":" << dev.cache_bytes_saved
+        << ",\"bottleneck_stage\":" << dev.bottleneck_stage
+        << ",\"overlap_efficiency\":"
+        << obs::json_number(dev.overlap_efficiency) << "}";
   }
   out << "],\"completion_order\":[";
   for (std::size_t i = 0; i < completion_order.size(); ++i) {
@@ -552,8 +791,14 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"completed\":" << (record.completed ? "true" : "false")
         << ",\"failed\":" << (record.failed ? "true" : "false")
         << ",\"warm\":" << (record.warm ? "true" : "false")
-        << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false")
-        << "}";
+        << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false");
+    const JobRecord::Breakdown b = record.breakdown();
+    out << ",\"breakdown_ms\":{\"admission\":"
+        << obs::json_number(to_ms(b.admission))
+        << ",\"queue\":" << obs::json_number(to_ms(b.queue))
+        << ",\"staging\":" << obs::json_number(to_ms(b.staging))
+        << ",\"execution\":" << obs::json_number(to_ms(b.execution))
+        << ",\"writeback\":" << obs::json_number(to_ms(b.writeback)) << "}}";
   }
   out << "]}";
 }

@@ -81,6 +81,19 @@ struct ServerConfig {
   /// Seed for the deterministic retry-after jitter (0 = no jitter).
   std::uint64_t retry_jitter_seed = 0;
 
+  // --- bigkprof -----------------------------------------------------------
+  /// Attribution / telemetry window: every device gets a StageProfiler with
+  /// this window, windowed throughput + latency-sketch signals tick at this
+  /// period, and the SLO monitor is evaluated once per window. 0 disables
+  /// the windowed plane (the latency sketch still replaces the percentile
+  /// sort). Default 100 us.
+  sim::DurationPs prof_window = sim::DurationPs{100'000'000};
+  /// Declarative SLO rules over the windowed metrics, ';'-separated
+  /// "<metric> <op> <threshold>" (obs::prof::parse_slo_rules grammar).
+  /// Metrics: p50_ms p95_ms p99_ms throughput_jobs_per_s queue_depth
+  /// utilization fault_rate h2d_gbps d2h_gbps. Empty = no rules.
+  std::string slo_spec;
+
   /// Optional telemetry sinks (must outlive the run). With a tracer, every
   /// device gets its own "devK ..." process rows plus a "serve" process with
   /// one job span per completion.
@@ -106,6 +119,12 @@ struct DeviceReport {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_bytes_saved = 0;
   double cache_hit_rate = 0.0;
+  /// bigkprof (from the device's StageProfiler; bottleneck_stage is an
+  /// obs::Stage index, -1 when the device ran no profiled work).
+  std::int32_t bottleneck_stage = -1;
+  double overlap_efficiency = 0.0;
+  std::uint64_t prof_windows = 0;
+  std::uint64_t bottleneck_flips = 0;
 };
 
 struct ServeReport {
@@ -145,11 +164,34 @@ struct ServeReport {
   std::uint64_t cache_bytes_saved = 0;
   double cache_hit_rate = 0.0;
 
-  /// Nearest-rank percentiles over completed-job latencies.
+  /// Streaming-sketch (P²) percentiles over completed-job latencies,
+  /// clamped monotone (p50 <= p95 <= p99).
   sim::DurationPs latency_p50 = 0;
   sim::DurationPs latency_p95 = 0;
   sim::DurationPs latency_p99 = 0;
   double throughput_jobs_per_s = 0.0;
+
+  // --- bigkprof -----------------------------------------------------------
+  /// Mean queueing-delay breakdown over completed jobs, in ms. The five
+  /// parts partition [submit, finish] exactly, so they sum to the mean
+  /// latency (breakdown_total_ms).
+  double breakdown_admission_ms = 0.0;
+  double breakdown_queue_ms = 0.0;
+  double breakdown_staging_ms = 0.0;
+  double breakdown_execution_ms = 0.0;
+  double breakdown_writeback_ms = 0.0;
+  double breakdown_total_ms = 0.0;
+  /// Pool-level limiting stage (argmax of summed per-device stage busy;
+  /// obs::Stage index, -1 without profiling) and overlap efficiency
+  /// (1 - makespan / sum of stage busy, clamped at 0).
+  std::int32_t bottleneck_stage = -1;
+  double overlap_efficiency = 0.0;
+  /// Sums over devices of the windowed timeline sizes.
+  std::uint64_t prof_windows = 0;
+  std::uint64_t bottleneck_flips = 0;
+  /// SLO monitoring outcome (0/0 when no slo_spec was configured).
+  std::uint64_t slo_rules = 0;
+  std::uint64_t slo_violations = 0;
 
   /// Registers the headline numbers as `<prefix>.*` gauges (latency
   /// percentiles in ms, throughput, per-device utilization, shedding

@@ -53,6 +53,13 @@ TEST(BenchMetricsJson, SampleMatchesSchema) {
       EXPECT_TRUE(stages.has(std::string(obs::stage_name(stage))))
           << obs::stage_name(stage);
     }
+    // bigkprof attribution summary rides along on every result.
+    const testjson::Value& prof = m.at("prof");
+    EXPECT_FALSE(prof.at("bottleneck_stage").str.empty());
+    EXPECT_GE(prof.at("overlap_efficiency").number, 0.0);
+    EXPECT_LT(prof.at("overlap_efficiency").number, 1.0);
+    EXPECT_TRUE(prof.has("windows"));
+    EXPECT_TRUE(prof.has("bottleneck_flips"));
   }
 
   // The cross-subsystem counter registry rode along and is non-empty.

@@ -132,7 +132,7 @@ TEST(MetricsRegistry, JsonArrayParsesAndPreservesOrder) {
   EXPECT_EQ(doc.items[2].at("type").str, "histogram");
 }
 
-TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerInstrument) {
+TEST(MetricsRegistry, CsvHasHeaderAndBucketRows) {
   MetricsRegistry registry;
   populated(registry);
   std::ostringstream out;
@@ -140,12 +140,16 @@ TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerInstrument) {
   std::istringstream lines(out.str());
   std::string line;
   ASSERT_TRUE(std::getline(lines, line));
-  EXPECT_EQ(line, "type,name,value,count,sum,min,max");
-  std::size_t rows = 0;
+  EXPECT_EQ(line, "type,name,value,count,sum,min,max,bucket_le,bucket_count");
+  std::vector<std::string> rows;
   while (std::getline(lines, line)) {
-    if (!line.empty()) ++rows;
+    if (!line.empty()) rows.push_back(line);
   }
-  EXPECT_EQ(rows, 3u);
+  // counter + gauge + histogram summary + 3 bucket rows (2 bounds + inf).
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[3], "histogram.bucket,sizes,,,,,,10,0");
+  EXPECT_EQ(rows[4], "histogram.bucket,sizes,,,,,,100,1");
+  EXPECT_EQ(rows[5], "histogram.bucket,sizes,,,,,,inf,0");
 }
 
 TEST(MetricsRegistry, EmptyExports) {

@@ -1,0 +1,92 @@
+// Unit tests for the P² streaming quantile sketch: constructor validation,
+// the exact small-count path, estimation accuracy on known distributions,
+// clamping, and determinism.
+#include "obs/prof/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace bigk::obs::prof {
+namespace {
+
+TEST(QuantileSketch, RejectsBadQuantiles) {
+  EXPECT_THROW(QuantileSketch(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({0.0}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({1.0}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({0.5, -0.1}), std::invalid_argument);
+}
+
+TEST(QuantileSketch, EmptySketchAnswersZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketch, SmallCountsAreExactNearestRank) {
+  QuantileSketch sketch;
+  sketch.observe(30.0);
+  sketch.observe(10.0);
+  sketch.observe(20.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  // Nearest rank over {10, 20, 30}: p50 -> rank ceil(1.5)=2 -> 20.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), 30.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 10.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 30.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 60.0);
+}
+
+TEST(QuantileSketch, UnregisteredQuantileThrowsOnceStreaming) {
+  QuantileSketch sketch({0.5});
+  for (int i = 0; i < 10; ++i) sketch.observe(static_cast<double>(i));
+  EXPECT_THROW(sketch.quantile(0.25), std::invalid_argument);
+  EXPECT_NO_THROW(sketch.quantile(0.5));
+}
+
+TEST(QuantileSketch, TracksUniformStream) {
+  // 1..10'000 in a deterministic shuffled order (LCG permutation walk).
+  QuantileSketch sketch;
+  constexpr std::uint64_t kN = 10'000;
+  std::uint64_t state = 12345;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    sketch.observe(static_cast<double>(state % kN) + 1.0);
+  }
+  EXPECT_EQ(sketch.count(), kN);
+  // P² is approximate: a few percent of the range is plenty for uniform data.
+  EXPECT_NEAR(sketch.quantile(0.5), kN * 0.5, kN * 0.05);
+  EXPECT_NEAR(sketch.quantile(0.95), kN * 0.95, kN * 0.05);
+  EXPECT_NEAR(sketch.quantile(0.99), kN * 0.99, kN * 0.05);
+}
+
+TEST(QuantileSketch, EstimatesStayWithinObservedRange) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 100; ++i) sketch.observe(5.0);  // degenerate stream
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), 5.0);
+  sketch.observe(7.0);
+  EXPECT_GE(sketch.quantile(0.99), 5.0);
+  EXPECT_LE(sketch.quantile(0.99), 7.0);
+}
+
+TEST(QuantileSketch, DeterministicAcrossRuns) {
+  const auto run = [] {
+    QuantileSketch sketch;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 5'000; ++i) {
+      state = state * 2862933555777941757ull + 3037000493ull;
+      sketch.observe(static_cast<double>(state % 1'000));
+    }
+    return std::vector<double>{sketch.quantile(0.5), sketch.quantile(0.95),
+                               sketch.quantile(0.99)};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace bigk::obs::prof

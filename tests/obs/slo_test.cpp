@@ -1,0 +1,90 @@
+// Unit tests for the declarative SLO monitor: rule grammar, evaluation
+// semantics (absent metrics are skipped, not violated), and the counter +
+// trace-instant sinks.
+#include "obs/prof/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace bigk::obs::prof {
+namespace {
+
+TEST(SloRule, ParsesEveryOperator) {
+  const SloRule le = SloRule::parse("p99_ms <= 5.5");
+  EXPECT_EQ(le.metric, "p99_ms");
+  EXPECT_EQ(le.op, SloRule::Op::kLe);
+  EXPECT_DOUBLE_EQ(le.threshold, 5.5);
+
+  EXPECT_EQ(SloRule::parse("x < 1").op, SloRule::Op::kLt);
+  EXPECT_EQ(SloRule::parse("x > 1").op, SloRule::Op::kGt);
+  EXPECT_EQ(SloRule::parse("utilization>=0.25").op, SloRule::Op::kGe);
+  EXPECT_DOUBLE_EQ(SloRule::parse("utilization>=0.25").threshold, 0.25);
+}
+
+TEST(SloRule, RejectsMalformedRules) {
+  EXPECT_THROW(SloRule::parse(""), std::invalid_argument);
+  EXPECT_THROW(SloRule::parse("p99_ms"), std::invalid_argument);
+  EXPECT_THROW(SloRule::parse("<= 5"), std::invalid_argument);
+  EXPECT_THROW(SloRule::parse("p99_ms <="), std::invalid_argument);
+  EXPECT_THROW(SloRule::parse("p99_ms <= five"), std::invalid_argument);
+  EXPECT_THROW(SloRule::parse("p99_ms == 5"), std::invalid_argument);
+}
+
+TEST(SloRule, HoldsAndRoundTrips) {
+  const SloRule rule = SloRule::parse("p95_ms <= 2");
+  EXPECT_TRUE(rule.holds(2.0));
+  EXPECT_FALSE(rule.holds(2.1));
+  EXPECT_EQ(rule.to_string(), "p95_ms <= 2");
+  EXPECT_EQ(SloRule::parse(rule.to_string()).to_string(), rule.to_string());
+}
+
+TEST(ParseSloRules, SplitsOnSemicolonsIgnoringEmptySegments) {
+  const auto rules =
+      parse_slo_rules("p99_ms <= 5; ; utilization >= 0.2;");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].metric, "p99_ms");
+  EXPECT_EQ(rules[1].metric, "utilization");
+  EXPECT_TRUE(parse_slo_rules("").empty());
+  EXPECT_TRUE(parse_slo_rules(" ; ; ").empty());
+}
+
+TEST(SloMonitor, CountsViolationsAndSkipsAbsentMetrics) {
+  SloMonitor monitor(parse_slo_rules("p99_ms <= 5; queue_depth < 4"));
+  ASSERT_EQ(monitor.rules().size(), 2u);
+
+  // p99_ms is not observable yet: only queue_depth is evaluated.
+  EXPECT_EQ(monitor.evaluate(0, {{"queue_depth", 2.0}}), 0u);
+  EXPECT_EQ(monitor.evaluate(1, {{"queue_depth", 9.0}}), 1u);
+  // Both rules fail against this snapshot.
+  EXPECT_EQ(monitor.evaluate(2, {{"queue_depth", 9.0}, {"p99_ms", 7.0}}), 2u);
+  EXPECT_EQ(monitor.violations(), 3u);
+}
+
+TEST(SloMonitor, ExportsCountersAndTraceInstants) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  SloMonitor monitor(parse_slo_rules("p99_ms <= 5"));
+  monitor.attach(&registry, &tracer, "serve.");
+
+  monitor.evaluate(10, {{"p99_ms", 4.0}});  // holds: no sink traffic
+  EXPECT_EQ(registry.find_counter("serve.slo.violation"), nullptr);
+
+  monitor.evaluate(20, {{"p99_ms", 6.0}});
+  monitor.evaluate(30, {{"p99_ms", 8.0}});
+  ASSERT_NE(registry.find_counter("serve.slo.violation"), nullptr);
+  EXPECT_EQ(registry.find_counter("serve.slo.violation")->value(), 2u);
+  ASSERT_NE(registry.find_counter("serve.slo.violation.p99_ms"), nullptr);
+  EXPECT_EQ(registry.find_counter("serve.slo.violation.p99_ms")->value(), 2u);
+
+  ASSERT_EQ(tracer.instants().size(), 2u);
+  EXPECT_EQ(tracer.instants()[0].name, "p99_ms <= 5");
+  EXPECT_EQ(tracer.instants()[0].category, "slo");
+}
+
+}  // namespace
+}  // namespace bigk::obs::prof

@@ -130,6 +130,7 @@ class ToyRunner final : public apps::JobRunner {
     engine.set_sanitizer(cfg.sanitizer);
     engine.set_chunk_cache(cfg.chunk_cache, cfg.dataset_id);
     engine.set_pinned_pool(cfg.pinned_pool);
+    engine.set_profiler(cfg.profiler);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }
@@ -137,6 +138,7 @@ class ToyRunner final : public apps::JobRunner {
     core::DeviceTables tables =
         co_await core::DeviceTables::upload(runtime, app_.tables());
     co_await engine.launch(kernel, app_.num_records(), tables);
+    if (cfg.exec_done != nullptr) *cfg.exec_done = runtime.sim().now();
     co_await tables.download();
     tables.release();
     app_.expect_results();
