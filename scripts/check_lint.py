@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Locks down the bigkstatic lint-gate JSON schema end to end.
+
+Runs bigklint --violators --json into a temp directory and validates the
+produced document:
+  * top level is one JSON object with schema "bigklint-v1", an "apps" array
+    and a "violators" array,
+  * every app report carries the five named contract checks, passed == AND
+    of the checks, and (when passed) affine_reads agrees with
+    pattern_applicable,
+  * every pattern-applicable app derives at least one detector-confirmed
+    affine read-stride cycle and a nonzero 16-hex-digit pattern signature,
+  * every seeded violator is detected: its expected check is false, and at
+    least one violation of that check names a call-site in violators.hpp
+    with a positive line number,
+  * violation records carry file/line + origin_file/origin_line provenance.
+
+Usage: check_lint.py <path-to-bigklint-binary>
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CHECKS = [
+    "streaming_restriction",
+    "addr_gen_purity",
+    "phase_agreement",
+    "alias_overlap",
+    "pattern_consistency",
+]
+SIGNATURE_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+def fail(message):
+    print(f"check_lint: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_report(report, where):
+    for key in ("app", "passed", "affine_reads", "pattern_signature",
+                "checks", "streams", "violations"):
+        if key not in report:
+            fail(f"{where}: report missing key {key!r}")
+    checks = report["checks"]
+    for check in CHECKS:
+        if not isinstance(checks.get(check), bool):
+            fail(f"{where}: checks.{check} missing or not a bool")
+    if report["passed"] != all(checks[c] for c in CHECKS):
+        fail(f"{where}: passed != AND of the five checks")
+    if not SIGNATURE_RE.match(report["pattern_signature"]):
+        fail(f"{where}: bad pattern_signature "
+             f"{report['pattern_signature']!r}")
+    if not report["passed"] and report["pattern_signature"] != "0x" + "0" * 16:
+        fail(f"{where}: failed report must not carry a signature")
+    for stream in report["streams"]:
+        for key in ("stream", "has_reads", "has_writes", "affine",
+                    "read_strides", "write_strides", "detector_confirmed"):
+            if key not in stream:
+                fail(f"{where}: stream record missing key {key!r}")
+        for cycle in (stream["read_strides"], stream["write_strides"]):
+            if not all(isinstance(s, int) for s in cycle):
+                fail(f"{where}: non-integer stride in {cycle!r}")
+    for violation in report["violations"]:
+        for key in ("check", "kind", "message", "file", "line",
+                    "origin_file", "origin_line", "stream", "thread"):
+            if key not in violation:
+                fail(f"{where}: violation missing key {key!r}")
+        if violation["check"] not in CHECKS:
+            fail(f"{where}: unknown check {violation['check']!r}")
+        if "/" in violation["file"]:
+            fail(f"{where}: call-site file must be a basename, got "
+                 f"{violation['file']!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_lint.py <path-to-bigklint-binary>")
+    binary = Path(sys.argv[1])
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = Path(tmp) / "lint.json"
+        proc = subprocess.run(
+            [str(binary), "--violators", "--quiet", "--json", str(out_path)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            fail(f"bigklint exited {proc.returncode}:\n{proc.stderr}")
+        try:
+            document = json.loads(out_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            fail(f"cannot parse {out_path}: {error}")
+
+    if document.get("schema") != "bigklint-v1":
+        fail(f"bad schema tag {document.get('schema')!r}")
+    apps = document.get("apps")
+    violators = document.get("violators")
+    if not isinstance(apps, list) or not apps:
+        fail("apps must be a non-empty array")
+    if not isinstance(violators, list) or not violators:
+        fail("violators must be a non-empty array (ran with --violators)")
+
+    patterning = 0
+    for entry in apps:
+        if "pattern_applicable" not in entry or "report" not in entry:
+            fail("app entry missing pattern_applicable/report")
+        report = entry["report"]
+        name = report.get("app", "<unnamed>")
+        validate_report(report, f"app {name}")
+        if not report["passed"]:
+            fail(f"registered app {name} failed verification")
+        if report["affine_reads"] != entry["pattern_applicable"]:
+            fail(f"app {name}: affine_reads != pattern_applicable")
+        if entry["pattern_applicable"]:
+            patterning += 1
+            confirmed = [
+                s for s in report["streams"]
+                if s["has_reads"] and s["affine"] and s["detector_confirmed"]
+                and s["read_strides"]
+            ]
+            if not confirmed:
+                fail(f"app {name}: no detector-confirmed read cycle")
+            if report["pattern_signature"] == "0x" + "0" * 16:
+                fail(f"app {name}: missing pattern signature")
+    if patterning == 0:
+        fail("no pattern-applicable apps in the suite")
+
+    for violator in violators:
+        for key in ("name", "expected_check", "detected", "report"):
+            if key not in violator:
+                fail(f"violator entry missing key {key!r}")
+        name = violator["name"]
+        expected = violator["expected_check"]
+        if expected not in CHECKS:
+            fail(f"violator {name}: unknown expected_check {expected!r}")
+        report = violator["report"]
+        validate_report(report, f"violator {name}")
+        if not violator["detected"]:
+            fail(f"violator {name} was not detected")
+        if report["checks"][expected]:
+            fail(f"violator {name}: expected check {expected} still true")
+        sited = [
+            v for v in report["violations"]
+            if v["check"] == expected and v["file"] == "violators.hpp"
+            and v["line"] > 0
+        ]
+        if not sited:
+            fail(f"violator {name}: no {expected} violation names a "
+                 f"violators.hpp call-site")
+
+    expected_checks = {v["expected_check"] for v in violators}
+    if expected_checks != set(CHECKS):
+        fail(f"violator suite covers {sorted(expected_checks)}, "
+             f"expected all of {CHECKS}")
+
+    print(f"check_lint: OK ({len(apps)} apps, {patterning} patterning, "
+          f"{len(violators)} violators all detected)")
+
+
+if __name__ == "__main__":
+    main()

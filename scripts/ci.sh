@@ -5,10 +5,10 @@
 # bench harness and observers do touch std::atomic state, so TSan stays in
 # the matrix.
 #
-#   scripts/ci.sh [preset ...]     presets: plain asan-ubsan tsan
+#   scripts/ci.sh [preset ...]     presets: lint plain asan-ubsan tsan
 #
-# With no arguments all three presets run. Set BIGK_CI_JOBS to override the
-# parallelism (defaults to nproc).
+# With no arguments the lint gate plus all three build presets run. Set
+# BIGK_CI_JOBS to override the parallelism (defaults to nproc).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -29,7 +29,7 @@ run_preset() {
 
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
-  presets=(plain asan-ubsan tsan)
+  presets=(lint plain asan-ubsan tsan)
 fi
 
 for preset in "${presets[@]}"; do
@@ -88,8 +88,26 @@ for preset in "${presets[@]}"; do
       "${repo_root}/build-ci-tsan/tests/fault_engine_recovery_test"
       "${repo_root}/build-ci-tsan/tests/fault_serve_recovery_test"
       ;;
+    lint)
+      # bigkstatic gate: build only the bigklint CLI, verify every
+      # registered app kernel against the static contracts with the seeded
+      # violators armed, and lock the JSON report schema. Fast (no test
+      # suite), so it fronts the default matrix and fails first on a
+      # contract or schema break.
+      lint_dir="${repo_root}/build-ci-lint"
+      echo "=== ci preset lint: configure ==="
+      cmake -B "${lint_dir}" -S "${repo_root}"
+      echo "=== ci preset lint: build bigklint ==="
+      cmake --build "${lint_dir}" -j "${jobs}" --target bigklint
+      echo "=== ci preset lint: bigklint --violators ==="
+      "${lint_dir}/src/bigklint" --violators
+      echo "=== ci preset lint: check_lint schema gate ==="
+      python3 "${repo_root}/scripts/check_lint.py" "${lint_dir}/src/bigklint"
+      echo "=== ci preset lint: OK ==="
+      ;;
     tidy)
-      # Optional extra: static analysis build (no tests; compile = analyze).
+      # Optional extra: static analysis build (no tests; compile = analyze;
+      # .clang-tidy sets WarningsAsErrors so any finding fails the build).
       run_preset tidy -DBIGK_CLANG_TIDY=ON
       ;;
     *)

@@ -11,9 +11,15 @@
 #include <cstdint>
 #include <string>
 
+#include "core/stream.hpp"
 #include "gpusim/config.hpp"
 
 namespace bigk::apps {
+
+/// Kernel-value cast: resolves to static_cast on executing contexts and to
+/// the taint-preserving overload (via ADL) when kernels run under
+/// bigkstatic's abstract contexts.
+using core::value_cast;
 
 /// Deterministic 64-bit RNG (splitmix64): seedable, fast, and identical on
 /// every platform, so generated datasets and results are reproducible.
@@ -53,10 +59,15 @@ constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ull;
 /// SIMD (GPU) contexts. Divergent branches make lock-step warps execute both
 /// paths; each kernel declares how branchy its inner loop is (1.0 = uniform
 /// control flow, e.g. K-means; ~3 = heavily data-dependent text processing).
-/// CPU contexts execute scalar code and pay the plain cost.
-template <class Ctx>
-void charge_alu(Ctx& ctx, double ops, double warp_divergence) {
-  ctx.alu(Ctx::kSimd ? ops * warp_divergence : ops);
+/// CPU contexts execute scalar code and pay the plain cost. `ops` is a
+/// template so abstract (tainted) values can flow through unchanged.
+template <class Ctx, class Ops>
+void charge_alu(Ctx& ctx, Ops ops, double warp_divergence) {
+  if (Ctx::kSimd) {
+    ctx.alu(ops * warp_divergence);
+  } else {
+    ctx.alu(ops);
+  }
 }
 
 /// A Table I row: the paper-scale characteristics of an app's mapped data.

@@ -46,9 +46,9 @@ class DnaApp {
                     std::uint64_t stride) const {
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
         const std::uint64_t base = r * kElemsPerRecord;
-        std::uint64_t hash = kFnvBasis;
+        core::Val<Ctx, std::uint64_t> hash = kFnvBasis;
         for (std::uint32_t i = 0; i < kReadsPerRecord; ++i) {
-          const std::uint64_t packed_bases = ctx.read(fragments, base + i);
+          const auto packed_bases = ctx.read(fragments, base + i);
           hash = fnv1a(hash, packed_bases);
         }
         ctx.alu(4 * 16 + 10);  // base unpacking + canonicalization

@@ -49,8 +49,9 @@ class KmeansApp {
                     std::uint64_t stride) const {
       // Centroids are staged once per slice (shared memory in a real
       // kernel); values are dummies during address generation, which is fine
-      // because they do not influence any stream address.
-      double centroid[kClusters][kDims];
+      // because they do not influence any stream address. Locals derived
+      // from stream/table values use core::Val so bigkstatic can track them.
+      core::Val<Ctx, double> centroid[kClusters][kDims];
       for (std::uint32_t c = 0; c < kClusters; ++c) {
         for (std::uint32_t d = 0; d < kDims; ++d) {
           centroid[c][d] = ctx.load_table(centroids, c * kDims + d);
@@ -58,16 +59,16 @@ class KmeansApp {
       }
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
         const std::uint64_t base = r * kElemsPerRecord;
-        double point[kDims];
+        core::Val<Ctx, double> point[kDims];
         for (std::uint32_t d = 0; d < kDims; ++d) {
           point[d] = ctx.read(particles, base + d);
         }
-        double best = 1e300;
+        core::Val<Ctx, double> best = 1e300;
         std::uint32_t best_cluster = 0;
         for (std::uint32_t c = 0; c < kClusters; ++c) {
-          double dist = 0.0;
+          core::Val<Ctx, double> dist = 0.0;
           for (std::uint32_t d = 0; d < kDims; ++d) {
-            const double delta = point[d] - centroid[c][d];
+            const auto delta = point[d] - centroid[c][d];
             dist += delta * delta;
           }
           if (dist < best) {
@@ -76,7 +77,7 @@ class KmeansApp {
           }
         }
         ctx.alu(kClusters * (3.0 * kDims + 2.0));
-        ctx.write(particles, base + 4, static_cast<double>(best_cluster));
+        ctx.write(particles, base + 4, value_cast<double>(best_cluster));
       }
     }
   };

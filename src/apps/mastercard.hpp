@@ -69,14 +69,14 @@ class MastercardApp {
       const std::uint64_t window_end =
           std::min(num_bytes, end + kMaxRecordBytes);
       bool capturing = begin == 0;  // virtual '\n' before byte 0
-      std::uint64_t card = 0;
-      std::uint64_t merchant = 0;
+      core::Val<Ctx, std::uint64_t> card = 0;
+      core::Val<Ctx, std::uint64_t> merchant = 0;
       std::uint32_t field = 0;
       // Reads are unconditional over the whole window so the access sequence
       // is independent of stream values (the BigKernel restriction); only
       // the *processing* below is conditional.
       for (std::uint64_t i = begin; i < window_end; ++i) {
-        const std::uint8_t c = ctx.read(log, i);
+        const auto c = ctx.read(log, i);
         charge_alu(ctx, 4, kDivergence);
         if (c == '\n') {
           if (capturing) {
@@ -157,9 +157,9 @@ class MastercardIndexedApp {
           const std::uint64_t record = g * kGroupRecords + t;
           // The index read *feeds address computation*: the transformation
           // keeps it in the address-generation stage.
-          const std::uint32_t offset = ctx.load_addr_table(index, record);
-          const std::uint64_t card = ctx.read(log, offset);
-          const std::uint64_t merchant = ctx.read(log, offset + 1);
+          const auto offset = ctx.load_addr_table(index, record);
+          const auto card = ctx.read(log, offset);
+          const auto merchant = ctx.read(log, offset + 1);
           charge_alu(ctx, 10, kDivergence);
           if (ctx.load_table(customers, card % kCustomerBuckets) != 0) {
             ctx.atomic_add_table(merchant_counts,

@@ -44,12 +44,12 @@ class NetflixApp {
                     std::uint64_t stride) const {
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
         const std::uint64_t base = r * kElemsPerRecord;
-        const std::uint64_t pair_key = ctx.read(ratings, base);
-        const std::uint64_t rating_a = ctx.read(ratings, base + 1);
-        const std::uint64_t rating_b = ctx.read(ratings, base + 2);
+        const auto pair_key = ctx.read(ratings, base);
+        const auto rating_a = ctx.read(ratings, base + 1);
+        const auto rating_b = ctx.read(ratings, base + 2);
         // Pearson-style contribution (means handled in a later CPU pass):
         // accumulate a*b and the marginals packed into one counter.
-        const std::uint64_t contribution =
+        const auto contribution =
             rating_a * rating_b + (rating_a << 16) + (rating_b << 32);
         ctx.alu(18);
         ctx.atomic_add_table(correlation, pair_key % kPairBuckets,

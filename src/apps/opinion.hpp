@@ -54,30 +54,30 @@ class OpinionApp {
                     std::uint64_t stride) const {
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
         const std::uint64_t base = r * kElemsPerRecord;
-        const std::uint64_t timestamp = ctx.read(tweets, base);
-        std::int64_t sentiment = 0;
-        std::int64_t emphasis = 1;
+        const auto timestamp = ctx.read(tweets, base);
+        core::Val<Ctx, std::int64_t> sentiment = 0;
+        core::Val<Ctx, std::int64_t> emphasis = 1;
         for (std::uint32_t t = 0; t < kTokens; ++t) {
-          const std::uint64_t token = ctx.read(tweets, base + 9 + t);
-          const std::uint64_t h = token % kDictBuckets;
-          const std::uint32_t is_positive = ctx.load_table(positive, h);
-          const std::uint32_t is_negative = ctx.load_table(negative, h);
-          const std::uint32_t is_adverb = ctx.load_table(adverbs, h);
+          const auto token = ctx.read(tweets, base + 9 + t);
+          const auto h = token % kDictBuckets;
+          const auto is_positive = ctx.load_table(positive, h);
+          const auto is_negative = ctx.load_table(negative, h);
+          const auto is_adverb = ctx.load_table(adverbs, h);
           // Lexical analysis: stemming, precedence rules, window scoring —
           // modelled as a heavy per-token arithmetic cost.
           charge_alu(ctx, 260, kDivergence);
           if (is_adverb != 0) {
             emphasis = 2;
           } else {
-            sentiment += emphasis * (static_cast<std::int64_t>(is_positive) -
-                                     static_cast<std::int64_t>(is_negative));
+            sentiment += emphasis * (value_cast<std::int64_t>(is_positive) -
+                                     value_cast<std::int64_t>(is_negative));
             emphasis = 1;
           }
         }
-        charge_alu(ctx, 12.0 + static_cast<double>(timestamp % 2),
+        charge_alu(ctx, 12.0 + value_cast<double>(timestamp % 2),
                    kDivergence);  // aggregation
         ctx.atomic_add_table(score, 0,
-                             static_cast<std::uint64_t>(sentiment));
+                             value_cast<std::uint64_t>(sentiment));
       }
     }
   };

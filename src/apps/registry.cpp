@@ -11,6 +11,7 @@
 #include "apps/wordcount.hpp"
 #include "core/device_tables.hpp"
 #include "core/engine.hpp"
+#include "verify/verifier.hpp"
 
 namespace bigk::apps {
 
@@ -44,6 +45,7 @@ class AppJobRunner final : public JobRunner {
     engine.set_chunk_cache(cfg.chunk_cache, cfg.dataset_id);
     engine.set_pinned_pool(cfg.pinned_pool);
     engine.set_profiler(cfg.profiler);
+    engine.set_static_signature(cfg.static_signature);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }
@@ -86,6 +88,15 @@ BenchApp make_entry(const ScaledSystem& scaled, std::uint64_t seed,
     params.seed = seed;
     return std::make_unique<AppJobRunner<App>>(params, name);
   };
+  entry.verify = [seed, name]() {
+    typename App::Params params;
+    params.data_bytes = 1u << 16;  // contracts depend on code, not scale
+    params.seed = seed;
+    App app(params);
+    verify::KernelReport report = verify::verify_app(app);
+    report.app = name;
+    return report;
+  };
   return entry;
 }
 
@@ -120,6 +131,26 @@ const BenchApp& find_app(const std::vector<BenchApp>& suite,
   message << "unknown app \"" << name << "\"; valid apps:";
   for (const BenchApp& app : suite) message << " \"" << app.name << "\"";
   throw std::invalid_argument(message.str());
+}
+
+const verify::KernelReport& static_verdict(const BenchApp& app) {
+  if (!app.verdict) {
+    if (app.verify) {
+      app.verdict =
+          std::make_shared<const verify::KernelReport>(app.verify());
+    } else {
+      verify::KernelReport report;
+      report.app = app.name;
+      verify::Violation violation;
+      violation.check = verify::Check::kStreamingRestriction;
+      violation.kind = "unverified";
+      violation.message = "no static verifier registered for app";
+      report.add(std::move(violation));
+      app.verdict =
+          std::make_shared<const verify::KernelReport>(std::move(report));
+    }
+  }
+  return *app.verdict;
 }
 
 }  // namespace bigk::apps

@@ -22,6 +22,7 @@
 #include "schemes/metrics.hpp"
 #include "schemes/runners.hpp"
 #include "sim/simulation.hpp"
+#include "verify/contracts.hpp"
 
 namespace bigk::apps {
 
@@ -49,6 +50,10 @@ struct JobRunConfig {
   /// launch completed (before table download / epilogue) — the serving
   /// layer's execution/write-back boundary for the latency breakdown.
   sim::TimePs* exec_done = nullptr;
+  /// bigkstatic: the app's statically derived access-pattern signature
+  /// (KernelReport::pattern_signature), mixed into chunk-cache keys so a
+  /// kernel change that alters the pattern invalidates cached chunks.
+  std::uint64_t static_signature = 0;
 };
 
 /// One runnable instance of a benchmark application, type-erased so the
@@ -85,6 +90,12 @@ struct BenchApp {
   /// Builds a fresh, independently seeded JobRunner instance of this app
   /// (dataset generated at construction time).
   std::function<std::unique_ptr<JobRunner>()> make_runner;
+  /// bigkstatic: runs the static kernel-contract verifier over a small
+  /// instance (the verdict depends on kernel code, not data scale). Use
+  /// static_verdict() for the memoized result.
+  std::function<verify::KernelReport()> verify;
+  /// Memoized verify() result; populated by static_verdict().
+  mutable std::shared_ptr<const verify::KernelReport> verdict;
 };
 
 /// Builds the benchmark suite at the given scale (data sizes follow
@@ -98,5 +109,10 @@ std::vector<std::string> app_names(const std::vector<BenchApp>& suite);
 /// valid app name when there is no such app.
 const BenchApp& find_app(const std::vector<BenchApp>& suite,
                          std::string_view name);
+
+/// Runs the app's static verifier once and memoizes the report on the entry.
+/// An app without a registered verifier yields a failed report with an
+/// "unverified" violation, so admission gates refuse it with a clear reason.
+const verify::KernelReport& static_verdict(const BenchApp& app);
 
 }  // namespace bigk::apps

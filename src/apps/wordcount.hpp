@@ -52,10 +52,10 @@ class WordCountApp {
                     std::uint64_t stride) const {
       for (std::uint64_t line = rec_begin; line < rec_end; line += stride) {
         const std::uint64_t base = line * kLineBytes;
-        std::uint64_t hash = kFnvBasis;
+        core::Val<Ctx, std::uint64_t> hash = kFnvBasis;
         bool in_word = false;
         for (std::uint32_t i = 0; i < kLineBytes; ++i) {
-          const std::uint8_t c = ctx.read(text, base + i);
+          const auto c = ctx.read(text, base + i);
           charge_alu(ctx, 14, kDivergence);  // classify + hash + word rules
           if (c >= 'a' && c <= 'z') {
             hash = (hash ^ c) * 0x100000001B3ull;

@@ -621,6 +621,7 @@ std::uint64_t Engine::chunk_signature(const BlockState& block,
   hash.mix(c_threads);
   hash.mix(stage.slots_per_thread);
   hash.mix(geometry_.rptc);
+  if (static_signature_ != 0) hash.mix(static_signature_);
   if (geometry_.layout == DataLayout::kOriginal) {
     // Whole-chunk fetch: the image is fully determined by the per-thread
     // chunk ranges (mirroring the copy in assemble_stream).

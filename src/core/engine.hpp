@@ -196,6 +196,15 @@ class Engine {
   void set_pinned_pool(cache::PinnedPool* pool) noexcept {
     pinned_pool_ = pool;
   }
+
+  /// bigkstatic: mixes the app's statically derived access-pattern signature
+  /// into every chunk-cache key, so kernels with identical launch geometry
+  /// but different (verified) access patterns never share cache entries, and
+  /// a kernel change that alters the pattern invalidates cached chunks.
+  /// 0 = no signature (default).
+  void set_static_signature(std::uint64_t signature) noexcept {
+    static_signature_ = signature;
+  }
   const std::vector<StreamBinding>& bindings() const noexcept {
     return bindings_;
   }
@@ -363,6 +372,7 @@ class Engine {
   // --- bigkcache ---------------------------------------------------------
   cache::ChunkCache* chunk_cache_ = nullptr;  // externally owned, optional
   std::uint64_t cache_dataset_ = 0;
+  std::uint64_t static_signature_ = 0;  // bigkstatic pattern signature
   cache::PinnedPool* pinned_pool_ = nullptr;  // externally owned, optional
 
   // --- bigkcheck ---------------------------------------------------------

@@ -18,9 +18,38 @@
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace bigk::core {
+
+namespace detail {
+template <class Ctx, class T, class = void>
+struct CtxValue {
+  using type = T;
+};
+template <class Ctx, class T>
+struct CtxValue<Ctx, T, std::void_t<typename Ctx::template Value<T>>> {
+  using type = typename Ctx::template Value<T>;
+};
+}  // namespace detail
+
+/// Context-dependent value type for kernel locals that hold stream or table
+/// values. An abstract context may expose a `Value<T>` member alias wrapping
+/// the values its read()/load_table() return (bigkstatic's taint context
+/// wraps them in Tainted<T>); every executing context leaves it undefined
+/// and kernels see plain T.
+template <class Ctx, class T>
+using Val = typename detail::CtxValue<Ctx, T>::type;
+
+/// static_cast for kernel values. Abstract value wrappers overload this via
+/// ADL (verify::Tainted<T> keeps its taint through casts), so kernels that
+/// cast stream-derived values stay analyzable.
+template <class To, class From>
+  requires std::is_arithmetic_v<From>
+constexpr To value_cast(From value) {
+  return static_cast<To>(value);
+}
 
 /// How a kernel accesses a mapped stream.
 enum class AccessMode : std::uint8_t {

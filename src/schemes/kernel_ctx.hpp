@@ -30,8 +30,7 @@ class CpuCtx {
   static constexpr bool kSimd = false;
 
   CpuCtx(hostsim::HostThread& thread,
-         const std::vector<core::StreamBinding>& bindings,
-         core::TableSet& tables)
+         std::vector<core::StreamBinding>& bindings, core::TableSet& tables)
       : thread_(thread), bindings_(bindings), tables_(tables) {}
 
   template <class T>
@@ -43,9 +42,7 @@ class CpuCtx {
 
   template <class T>
   void write(core::StreamRef<T> stream, std::uint64_t elem, const T& value) {
-    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): bindings are
-    // shared descriptors; writes go to the app-owned host array.
-    auto& binding = const_cast<core::StreamBinding&>(bindings_[stream.id]);
+    core::StreamBinding& binding = bindings_[stream.id];
     thread_.write(binding.host_region, elem * sizeof(T), sizeof(T));
     binding.store<T>(elem, value);
   }
@@ -87,7 +84,7 @@ class CpuCtx {
 
  private:
   hostsim::HostThread& thread_;
-  const std::vector<core::StreamBinding>& bindings_;
+  std::vector<core::StreamBinding>& bindings_;
   core::TableSet& tables_;
 };
 

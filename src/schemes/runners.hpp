@@ -110,7 +110,7 @@ inline std::vector<core::StreamBinding> make_bindings(
 
 template <class Kernel>
 sim::Task<> cpu_partition(cusim::Runtime& runtime,
-                          const std::vector<core::StreamBinding>& bindings,
+                          std::vector<core::StreamBinding>& bindings,
                           core::TableSet& tables, Kernel kernel,
                           std::uint64_t rec_begin, std::uint64_t rec_end,
                           std::uint32_t cache_share, std::uint64_t batch) {

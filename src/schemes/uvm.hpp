@@ -108,8 +108,7 @@ class GpuUvmCtx {
  public:
   static constexpr bool kSimd = true;
 
-  GpuUvmCtx(gpusim::LaneCtx& lane,
-            const std::vector<core::StreamBinding>& bindings,
+  GpuUvmCtx(gpusim::LaneCtx& lane, std::vector<core::StreamBinding>& bindings,
             const core::DeviceTables& tables, UvmPageTable* pages,
             double fault_stall_cycles, std::uint64_t* h2d_pages,
             std::uint64_t* d2h_pages)
@@ -135,9 +134,7 @@ class GpuUvmCtx {
   void write(core::StreamRef<T> stream, std::uint64_t elem, const T& value) {
     page_touch(stream.id, elem * sizeof(T), true);
     trace(stream.id, elem * sizeof(T), sizeof(T));
-    // NOLINTNEXTLINE: shared descriptors; host array is app-owned.
-    const_cast<core::StreamBinding&>(bindings_[stream.id])
-        .template store<T>(elem, value);
+    bindings_[stream.id].template store<T>(elem, value);
   }
 
   template <class T>
@@ -176,7 +173,7 @@ class GpuUvmCtx {
   }
 
   gpusim::LaneCtx& lane_;
-  const std::vector<core::StreamBinding>& bindings_;
+  std::vector<core::StreamBinding>& bindings_;
   const core::DeviceTables& tables_;
   UvmPageTable* pages_;
   double fault_stall_cycles_;

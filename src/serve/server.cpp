@@ -48,6 +48,9 @@ std::uint64_t dataset_id_of(const std::string& app) {
 struct Job {
   JobRecord record;
   std::unique_ptr<apps::JobRunner> runner;
+  /// bigkstatic pattern signature of the (verified) app, 0 when the
+  /// verification gate is disabled.
+  std::uint64_t static_signature = 0;
 };
 
 struct ServerState {
@@ -400,6 +403,7 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
       run_cfg.profiler = st.profilers[device_index].get();
     }
     run_cfg.exec_done = &job.record.exec_done_time;
+    run_cfg.static_signature = job.static_signature;
     // Unrecovered faults (retries exhausted, device lost, watchdog timeout)
     // surface here; anything else — checker violations included — still
     // propagates out of run_server.
@@ -495,7 +499,22 @@ ServeReport run_server(const ServerConfig& config,
   for (const JobSpec& spec : specs) {
     Job job;
     job.record.spec = spec;
-    job.runner = apps::find_app(suite, spec.app).make_runner();
+    const apps::BenchApp& app = apps::find_app(suite, spec.app);
+    if (config.require_verified) {
+      // bigkstatic gate: refuse kernels the static verifier rejects, naming
+      // the first violation so the submitter can find the offending line.
+      const verify::KernelReport& verdict = apps::static_verdict(app);
+      if (!verdict.passed) {
+        const std::string reason =
+            verdict.violations.empty()
+                ? std::string("static verification failed")
+                : verify::violation_line(verdict.violations.front());
+        throw std::invalid_argument("app \"" + spec.app +
+                                    "\" refused admission: " + reason);
+      }
+      job.static_signature = verdict.pattern_signature;
+    }
+    job.runner = app.make_runner();
     job.record.input_bytes = job.runner->input_bytes();
     state.jobs.push_back(std::move(job));
   }

@@ -62,6 +62,13 @@ struct ServerConfig {
   /// When enabled, each job runs under a fresh check::Sanitizer installed on
   /// its device; a violation throws check::CheckError out of run_server.
   check::CheckOptions check;
+  /// bigkstatic: admission gate — every submitted app's kernel must pass the
+  /// static contract verifier (apps::static_verdict) before any of its jobs
+  /// is admitted; a failing or unverified app makes run_server throw
+  /// std::invalid_argument naming the first violation. The app's verified
+  /// pattern signature is then mixed into its chunk-cache keys. Disable only
+  /// for experiments with deliberately non-conforming kernels.
+  bool require_verified = true;
 
   // --- bigkfault ---------------------------------------------------------
   /// Fault specs (fault::FaultSpec::parse grammar, ';'-separated) installed

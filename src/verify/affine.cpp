@@ -1,0 +1,46 @@
+#include "verify/affine.hpp"
+
+namespace bigk::verify {
+
+std::optional<core::StridePattern> fit_stride_cycle(
+    std::span<const std::uint64_t> addrs, std::uint32_t max_cycle) {
+  const std::size_t n = addrs.size();
+  if (n < 3) return std::nullopt;  // a cycle must be observed twice
+  for (std::uint32_t cycle = 1;
+       cycle <= max_cycle && std::size_t{2} * cycle + 1 <= n; ++cycle) {
+    std::vector<std::int64_t> strides(cycle);
+    for (std::uint32_t j = 0; j < cycle; ++j) {
+      strides[j] = static_cast<std::int64_t>(addrs[j + 1]) -
+                   static_cast<std::int64_t>(addrs[j]);
+    }
+    bool consistent = true;
+    for (std::size_t i = 1; i + 1 < n && consistent; ++i) {
+      const std::int64_t diff = static_cast<std::int64_t>(addrs[i + 1]) -
+                                static_cast<std::int64_t>(addrs[i]);
+      consistent = diff == strides[i % cycle];
+    }
+    if (consistent) {
+      core::StridePattern pattern;
+      pattern.base = addrs.front();
+      pattern.strides = std::move(strides);
+      pattern.count = n;
+      return pattern;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<core::StridePattern> detector_pattern(
+    std::span<const std::uint64_t> addrs, std::uint32_t probe_window,
+    std::uint32_t max_cycle) {
+  core::PatternDetector detector(probe_window, max_cycle);
+  for (const std::uint64_t address : addrs) detector.feed(address);
+  return detector.pattern();
+}
+
+bool same_cycle(const std::vector<std::int64_t>& a,
+                const std::vector<std::int64_t>& b) {
+  return a == b;
+}
+
+}  // namespace bigk::verify

@@ -1,0 +1,39 @@
+// bigkstatic affine address domain: explains a full per-thread address
+// sequence as base + cyclic strides (core::StridePattern), offline.
+//
+// This is the static counterpart of the online probe/hypothesize/verify
+// detector in core/pattern.hpp: the detector sees addresses one at a time
+// inside the addr-gen stage and must commit after a small probe window;
+// here the whole sequence is available, so the shortest cycle that explains
+// *every* delta is derived exactly. The verifier cross-validates the two —
+// feeding the derived addresses through a real PatternDetector must confirm
+// the same cycle — and hashes the result into the app's pattern signature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace bigk::verify {
+
+/// Fits `addrs` as base + cyclic strides with cycle length <= max_cycle.
+/// Requires the cycle to be observed at least twice in full (plus one
+/// address), mirroring the online detector's hypothesis rule; returns
+/// nullopt for irregular or too-short sequences.
+std::optional<core::StridePattern> fit_stride_cycle(
+    std::span<const std::uint64_t> addrs, std::uint32_t max_cycle);
+
+/// Feeds `addrs` through a fresh core::PatternDetector and returns its
+/// confirmed pattern (nullopt when the detector broke or never confirmed).
+std::optional<core::StridePattern> detector_pattern(
+    std::span<const std::uint64_t> addrs, std::uint32_t probe_window,
+    std::uint32_t max_cycle);
+
+/// True when both cycles describe the same stride sequence.
+bool same_cycle(const std::vector<std::int64_t>& a,
+                const std::vector<std::int64_t>& b);
+
+}  // namespace bigk::verify

@@ -1,0 +1,198 @@
+// bigklint: the bigkstatic CLI gate.
+//
+// Verifies every registered benchmark app against the kernel contracts
+// (streaming restriction, addr-gen purity, phase agreement, alias overlap,
+// static/online pattern consistency) and optionally proves the checker's own
+// teeth by running the seeded violator kernels, each of which must be
+// detected with its offending call-site named.
+//
+//   bigklint [--violators] [--json <path|->] [--quiet]
+//
+// Exit status: 0 when every registered app passes and (with --violators)
+// every violator is detected; 1 otherwise; 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "obs/json.hpp"
+#include "verify/contracts.hpp"
+#include "verify/violators.hpp"
+
+namespace {
+
+using bigk::verify::KernelReport;
+
+struct AppResult {
+  bool pattern_applicable = true;
+  KernelReport report;
+};
+
+struct ViolatorResult {
+  std::string name;
+  bigk::verify::Check expected{};
+  bool detected = false;
+  KernelReport report;
+};
+
+std::string strides_text(const std::vector<std::int64_t>& strides) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    if (i != 0) out << ',';
+    out << strides[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void print_app(const AppResult& result) {
+  const KernelReport& report = result.report;
+  std::printf("%-6s %-30s", report.passed ? "PASS" : "FAIL",
+              report.app.c_str());
+  if (report.passed) {
+    if (report.affine_reads) {
+      for (const auto& stream : report.streams) {
+        if (!stream.has_reads) continue;
+        std::printf(" s%u:%s%s", stream.stream,
+                    strides_text(stream.read_strides).c_str(),
+                    stream.detector_confirmed ? "*" : "");
+      }
+      std::printf(" sig=%016llx",
+                  static_cast<unsigned long long>(report.pattern_signature));
+    } else {
+      std::printf(" (non-affine reads; pattern recognition NA)");
+    }
+  }
+  std::printf("\n");
+  for (const auto& violation : report.violations) {
+    std::printf("       %s\n", bigk::verify::violation_line(violation).c_str());
+  }
+}
+
+void print_violator(const ViolatorResult& result) {
+  std::printf("%-6s violator %-28s expects %s\n",
+              result.detected ? "CAUGHT" : "MISSED", result.name.c_str(),
+              std::string(bigk::verify::check_name(result.expected)).c_str());
+  for (const auto& violation : result.report.violations) {
+    std::printf("       %s\n", bigk::verify::violation_line(violation).c_str());
+  }
+}
+
+std::string document_json(const std::vector<AppResult>& apps,
+                          const std::vector<ViolatorResult>& violators,
+                          bool ran_violators) {
+  std::ostringstream out;
+  out << "{\"schema\":\"bigklint-v1\",\"apps\":[";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"pattern_applicable\":"
+        << (apps[i].pattern_applicable ? "true" : "false")
+        << ",\"report\":" << bigk::verify::report_json(apps[i].report) << '}';
+  }
+  out << "],\"violators\":";
+  if (!ran_violators) {
+    out << "null";
+  } else {
+    out << '[';
+    for (std::size_t i = 0; i < violators.size(); ++i) {
+      if (i != 0) out << ',';
+      out << "{\"name\":" << bigk::obs::json_quote(violators[i].name)
+          << ",\"expected_check\":"
+          << bigk::obs::json_quote(
+                 std::string(bigk::verify::check_name(violators[i].expected)))
+          << ",\"detected\":" << (violators[i].detected ? "true" : "false")
+          << ",\"report\":" << bigk::verify::report_json(violators[i].report)
+          << '}';
+    }
+    out << ']';
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool run_violators = false;
+  bool quiet = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--violators") {
+      run_violators = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bigklint: --json requires a path (or -)\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bigklint [--violators] [--json <path|->] "
+                   "[--quiet]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  bool ok = true;
+
+  // Registered apps: every one must pass every contract.
+  const bigk::apps::ScaledSystem scaled;
+  const auto suite = bigk::apps::benchmark_apps(scaled);
+  std::vector<AppResult> apps;
+  for (const auto& entry : suite) {
+    AppResult result;
+    result.pattern_applicable = entry.pattern_applicable;
+    result.report = bigk::apps::static_verdict(entry);
+    if (!result.report.passed) ok = false;
+    // A pattern-applicable app must actually derive an affine read pattern
+    // the online detector confirms; a non-applicable one must not claim one.
+    if (result.report.passed &&
+        result.report.affine_reads != entry.pattern_applicable) {
+      ok = false;
+    }
+    if (!quiet) print_app(result);
+    apps.push_back(std::move(result));
+  }
+
+  // Seeded violators: every one must be caught by the check it targets.
+  std::vector<ViolatorResult> violators;
+  if (run_violators) {
+    for (const auto& violator : bigk::verify::violator_cases()) {
+      ViolatorResult result;
+      result.name = violator.name;
+      result.expected = violator.expected;
+      result.report = violator.verify();
+      result.detected = !result.report.checks.passed(violator.expected);
+      if (!result.detected) ok = false;
+      if (!quiet) print_violator(result);
+      violators.push_back(std::move(result));
+    }
+  }
+
+  if (!json_path.empty()) {
+    const std::string doc = document_json(apps, violators, run_violators);
+    if (json_path == "-") {
+      std::cout << doc << '\n';
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "bigklint: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << doc << '\n';
+    }
+  }
+
+  if (!quiet) {
+    std::printf("bigklint: %s\n", ok ? "all checks passed" : "FAILURES");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// bigkstatic contract model: the checks, their violations, and the per-app
+// verdict the verifier produces.
+//
+// Relation to bigkcheck (src/check/): bigkcheck watches one concrete
+// execution of the simulated pipeline (memcheck/racecheck/pipecheck);
+// bigkstatic proves properties of the kernel *source* by abstractly
+// executing it, before any simulator runs. A kernel that passes bigkstatic
+// is admissible; bigkcheck then guards the pipeline that runs it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigk::verify {
+
+/// The five kernel contracts bigkstatic verifies.
+enum class Check : std::uint8_t {
+  kStreamingRestriction,  // no stream-value -> stream-address flow (§III)
+  kAddrGenPurity,         // addr-gen survives stripping: only load_addr_table
+  kPhaseAgreement,        // compute sequence == prefix of addr-gen sequence
+  kAliasOverlap,          // writes stay in the writer's record span
+  kPatternConsistency,    // static stride cycle == online PatternDetector
+};
+
+constexpr std::string_view check_name(Check check) {
+  switch (check) {
+    case Check::kStreamingRestriction: return "streaming_restriction";
+    case Check::kAddrGenPurity: return "addr_gen_purity";
+    case Check::kPhaseAgreement: return "phase_agreement";
+    case Check::kAliasOverlap: return "alias_overlap";
+    case Check::kPatternConsistency: return "pattern_consistency";
+  }
+  return "unknown";
+}
+
+/// A kernel call-site (copied out of the run's TaintMonitor).
+struct SiteInfo {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string function;
+
+  bool known() const noexcept { return line != 0; }
+};
+
+struct Violation {
+  Check check = Check::kStreamingRestriction;
+  /// Machine-readable slug, e.g. "value_flow_to_index".
+  std::string kind;
+  /// Human-readable one-liner.
+  std::string message;
+  /// Kernel call-site where the violation was detected (the offending
+  /// access or branch).
+  SiteInfo site;
+  /// Call-site where the offending value entered the kernel (the stream
+  /// read or table load), when taint provenance is available.
+  SiteInfo origin;
+  std::uint32_t stream = ~0u;
+  std::uint32_t thread = 0;
+};
+
+/// Per-check pass/fail rollup.
+struct CheckSet {
+  bool streaming_restriction = true;
+  bool addr_gen_purity = true;
+  bool phase_agreement = true;
+  bool alias_overlap = true;
+  bool pattern_consistency = true;
+
+  bool all() const noexcept {
+    return streaming_restriction && addr_gen_purity && phase_agreement &&
+           alias_overlap && pattern_consistency;
+  }
+
+  void fail(Check check) noexcept {
+    switch (check) {
+      case Check::kStreamingRestriction: streaming_restriction = false; break;
+      case Check::kAddrGenPurity: addr_gen_purity = false; break;
+      case Check::kPhaseAgreement: phase_agreement = false; break;
+      case Check::kAliasOverlap: alias_overlap = false; break;
+      case Check::kPatternConsistency: pattern_consistency = false; break;
+    }
+  }
+
+  bool passed(Check check) const noexcept {
+    switch (check) {
+      case Check::kStreamingRestriction: return streaming_restriction;
+      case Check::kAddrGenPurity: return addr_gen_purity;
+      case Check::kPhaseAgreement: return phase_agreement;
+      case Check::kAliasOverlap: return alias_overlap;
+      case Check::kPatternConsistency: return pattern_consistency;
+    }
+    return true;
+  }
+};
+
+/// What the affine address domain derived for one stream.
+struct StreamReport {
+  std::uint32_t stream = 0;
+  bool has_reads = false;
+  bool has_writes = false;
+  /// Whole access sequence fits base + cyclic strides for every thread and
+  /// record count.
+  bool affine = false;
+  std::vector<std::int64_t> read_strides;
+  std::vector<std::int64_t> write_strides;
+  /// core::PatternDetector, fed the statically derived addresses, confirmed
+  /// the same stride cycle (the static/online cross-validation).
+  bool detector_confirmed = false;
+};
+
+/// The static verdict for one kernel.
+struct KernelReport {
+  std::string app;
+  bool passed = false;
+  CheckSet checks;
+  std::vector<StreamReport> streams;
+  std::vector<Violation> violations;
+  /// FNV-1a over the per-stream derived access shape; mixed into the
+  /// chunk-cache key (cache::CacheKey::signature) so cached images are never
+  /// shared across kernels with different static contracts. 0 when failed.
+  std::uint64_t pattern_signature = 0;
+  /// Every read stream fit the affine domain (false for index-driven
+  /// kernels, Table II "NA").
+  bool affine_reads = false;
+
+  void add(Violation violation) {
+    checks.fail(violation.check);
+    violations.push_back(std::move(violation));
+  }
+};
+
+/// Human-readable single-line summary of a violation.
+std::string violation_line(const Violation& violation);
+
+/// JSON object for one app's report ({"app": ..., "checks": {...}, ...}).
+std::string report_json(const KernelReport& report);
+
+}  // namespace bigk::verify

@@ -1,0 +1,114 @@
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "verify/contracts.hpp"
+
+namespace bigk::verify {
+
+namespace {
+
+/// Strips the directory: reports name call-sites by basename so they are
+/// stable across checkouts (the schema checker matches on them).
+std::string_view basename_of(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string site_json(const SiteInfo& site, const char* file_key,
+                      const char* line_key) {
+  std::ostringstream out;
+  out << obs::json_quote(file_key) << ':'
+      << obs::json_quote(basename_of(site.file)) << ','
+      << obs::json_quote(line_key) << ':' << site.line;
+  return out.str();
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, value);
+  return buf;
+}
+
+std::string strides_json(const std::vector<std::int64_t>& strides) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    if (i != 0) out << ',';
+    out << strides[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace
+
+std::string violation_line(const Violation& violation) {
+  std::ostringstream out;
+  out << check_name(violation.check) << " [" << violation.kind << "] "
+      << violation.message;
+  if (violation.site.known()) {
+    out << " at " << basename_of(violation.site.file) << ':'
+        << violation.site.line;
+  }
+  if (violation.origin.known() &&
+      (violation.origin.line != violation.site.line ||
+       violation.origin.file != violation.site.file)) {
+    out << " (value from " << basename_of(violation.origin.file) << ':'
+        << violation.origin.line << ')';
+  }
+  if (violation.stream != ~0u) out << " stream=" << violation.stream;
+  return out.str();
+}
+
+std::string report_json(const KernelReport& report) {
+  std::ostringstream out;
+  out << "{\"app\":" << obs::json_quote(report.app)
+      << ",\"passed\":" << (report.passed ? "true" : "false")
+      << ",\"affine_reads\":" << (report.affine_reads ? "true" : "false")
+      << ",\"pattern_signature\":"
+      << obs::json_quote(hex64(report.pattern_signature)) << ",\"checks\":{"
+      << "\"streaming_restriction\":"
+      << (report.checks.streaming_restriction ? "true" : "false")
+      << ",\"addr_gen_purity\":"
+      << (report.checks.addr_gen_purity ? "true" : "false")
+      << ",\"phase_agreement\":"
+      << (report.checks.phase_agreement ? "true" : "false")
+      << ",\"alias_overlap\":"
+      << (report.checks.alias_overlap ? "true" : "false")
+      << ",\"pattern_consistency\":"
+      << (report.checks.pattern_consistency ? "true" : "false") << '}';
+  out << ",\"streams\":[";
+  for (std::size_t i = 0; i < report.streams.size(); ++i) {
+    const StreamReport& stream = report.streams[i];
+    if (i != 0) out << ',';
+    out << "{\"stream\":" << stream.stream
+        << ",\"has_reads\":" << (stream.has_reads ? "true" : "false")
+        << ",\"has_writes\":" << (stream.has_writes ? "true" : "false")
+        << ",\"affine\":" << (stream.affine ? "true" : "false")
+        << ",\"read_strides\":" << strides_json(stream.read_strides)
+        << ",\"write_strides\":" << strides_json(stream.write_strides)
+        << ",\"detector_confirmed\":"
+        << (stream.detector_confirmed ? "true" : "false") << '}';
+  }
+  out << "],\"violations\":[";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& violation = report.violations[i];
+    if (i != 0) out << ',';
+    out << "{\"check\":"
+        << obs::json_quote(std::string(check_name(violation.check)))
+        << ",\"kind\":" << obs::json_quote(violation.kind)
+        << ",\"message\":" << obs::json_quote(violation.message) << ','
+        << site_json(violation.site, "file", "line") << ','
+        << site_json(violation.origin, "origin_file", "origin_line")
+        << ",\"stream\":"
+        << (violation.stream == ~0u ? -1
+                                    : static_cast<std::int64_t>(violation.stream))
+        << ",\"thread\":" << violation.thread << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace bigk::verify

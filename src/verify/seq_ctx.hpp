@@ -1,0 +1,117 @@
+// bigkstatic sequence context: replays a kernel in either of the two
+// instantiations the BigKernel transformation produces — without the
+// simulator — and records the stream-access sequence each would perform.
+//
+//   * kAddrGen mode mirrors core::AddrGenCtx: stream reads return dummy
+//     zeros, load_addr_table reads real (host) table values, every other
+//     table op is stripped to a no-op returning T{}.
+//   * kCompute mode mirrors core::ComputeCtx: stream reads return the real
+//     stream values, table ops run for real against a scratch TableSet.
+//
+// Phase agreement demands that for every stream and thread the compute
+// sequence is a prefix of the addr-gen sequence (early stop is the only
+// allowed difference); the affine domain then fits each addr-gen sequence
+// as base + cyclic strides.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "verify/taint.hpp"
+#include "verify/taint_ctx.hpp"
+
+namespace bigk::verify {
+
+enum class Phase : std::uint8_t { kAddrGen, kCompute };
+
+/// Per-thread access sequences of one abstract run.
+struct AccessLog {
+  /// [thread] -> accesses in program order (reads and writes interleaved).
+  std::vector<std::vector<TraceAccess>> per_thread;
+
+  std::vector<TraceAccess>& thread(std::uint32_t t) {
+    if (per_thread.size() <= t) per_thread.resize(t + 1);
+    return per_thread[t];
+  }
+};
+
+class SeqCtx {
+ public:
+  static constexpr bool kSimd = true;
+
+  SeqCtx(Phase phase, const std::vector<core::StreamBinding>& bindings,
+         core::TableSet& tables, TaintMonitor& monitor, AccessLog& log,
+         std::uint32_t thread)
+      : phase_(phase),
+        bindings_(bindings),
+        tables_(tables),
+        monitor_(monitor),
+        log_(log),
+        thread_(thread) {}
+
+  template <class T>
+  T read(core::StreamRef<T> stream, std::uint64_t elem,
+         std::source_location loc = std::source_location::current()) {
+    log_.thread(thread_).push_back(
+        TraceAccess{stream.id, elem, false, monitor_.intern(loc)});
+    if (phase_ == Phase::kAddrGen) return T{};  // dummy, as in AddrGenCtx
+    const core::StreamBinding& binding = bindings_[stream.id];
+    if (elem < binding.num_elements && sizeof(T) == binding.elem_size) {
+      return binding.load<T>(elem);
+    }
+    return T{};
+  }
+
+  template <class T>
+  void write(core::StreamRef<T> stream, std::uint64_t elem, const T& /*value*/,
+             std::source_location loc = std::source_location::current()) {
+    log_.thread(thread_).push_back(
+        TraceAccess{stream.id, elem, true, monitor_.intern(loc)});
+  }
+
+  /// Kept in both instantiations (feeds address computation).
+  template <class T>
+  T load_addr_table(core::TableRef<T> table, std::uint64_t index) {
+    const auto span = tables_.host_span(table);
+    return index < span.size() ? span[index] : T{};
+  }
+
+  template <class T>
+  T load_table(core::TableRef<T> table, std::uint64_t index) {
+    if (phase_ == Phase::kAddrGen) return T{};  // stripped
+    const auto span = tables_.host_span(table);
+    return index < span.size() ? span[index] : T{};
+  }
+
+  template <class T>
+  void store_table(core::TableRef<T> table, std::uint64_t index,
+                   const T& value) {
+    if (phase_ == Phase::kAddrGen) return;  // stripped
+    auto span = tables_.host_span(table);
+    if (index < span.size()) span[index] = value;
+  }
+
+  template <class T>
+  T atomic_add_table(core::TableRef<T> table, std::uint64_t index, T delta) {
+    if (phase_ == Phase::kAddrGen) return T{};  // stripped
+    auto span = tables_.host_span(table);
+    if (index >= span.size()) return T{};
+    const T old = span[index];
+    span[index] = static_cast<T>(old + delta);
+    return old;
+  }
+
+  void alu(double) {}
+
+ private:
+  Phase phase_;
+  const std::vector<core::StreamBinding>& bindings_;
+  core::TableSet& tables_;
+  TaintMonitor& monitor_;
+  AccessLog& log_;
+  std::uint32_t thread_;
+};
+
+}  // namespace bigk::verify

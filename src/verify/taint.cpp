@@ -1,0 +1,7 @@
+#include "verify/taint.hpp"
+
+namespace bigk::verify {
+
+thread_local TaintMonitor* TaintMonitor::active_ = nullptr;
+
+}  // namespace bigk::verify

@@ -1,0 +1,273 @@
+// bigkstatic taint context: the abstract execution context that instantiates
+// an unmodified app kernel over Tainted<T> values.
+//
+// It checks, per kernel statement:
+//   * streaming restriction — a stream-tainted value flowing into a stream
+//     element index or a load_addr_table() index is reported at the exact
+//     call-site, with the provenance of the read that created the taint;
+//   * addr-gen purity — a stripped-tainted value (load_table/atomic result)
+//     flowing into any address, and store/atomic on a table that is also
+//     used as an address table (stripping would change addr-gen semantics).
+//
+// It also records the per-thread stream-access sequence; the verifier runs
+// the kernel several times under branch perturbation (see taint.hpp) and
+// compares these sequences to detect tainted branches that govern accesses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "verify/contracts.hpp"
+#include "verify/taint.hpp"
+
+namespace bigk::verify {
+
+/// One recorded stream access (the abstract access trace).
+struct TraceAccess {
+  std::uint32_t stream = 0;
+  std::uint64_t elem = 0;
+  bool write = false;
+  SiteId site = kNoSite;
+
+  friend bool operator==(const TraceAccess& a, const TraceAccess& b) {
+    return a.stream == b.stream && a.elem == b.elem && a.write == b.write;
+  }
+};
+
+/// Shared output of one taint run (all threads).
+struct TaintRunLog {
+  /// [thread] -> stream access sequence.
+  std::vector<std::vector<TraceAccess>> per_thread;
+  std::vector<Violation> violations;
+};
+
+class TaintCtx {
+ public:
+  static constexpr bool kSimd = true;
+
+  /// Kernels declare their locals as core::Val<Ctx, T>, which resolves to
+  /// Tainted<T> here and to plain T on every executing context.
+  template <class T>
+  using Value = Tainted<T>;
+
+  TaintCtx(const std::vector<core::StreamBinding>& bindings,
+           core::TableSet& tables, TaintMonitor& monitor, TaintRunLog& log,
+           std::uint32_t thread)
+      : bindings_(bindings),
+        tables_(tables),
+        monitor_(monitor),
+        log_(log),
+        thread_(thread) {
+    monitor_.set_thread(thread);
+    if (log_.per_thread.size() <= thread) log_.per_thread.resize(thread + 1);
+  }
+
+  template <class T>
+  Tainted<T> read(core::StreamRef<T> stream, Tainted<std::uint64_t> elem,
+                  std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    check_stream_index(stream.id, elem, site, /*write=*/false);
+    log_.per_thread[thread_].push_back(
+        TraceAccess{stream.id, elem.v, false, site});
+    T value{};
+    const core::StreamBinding& binding = bindings_[stream.id];
+    if (elem.v < binding.num_elements && sizeof(T) == binding.elem_size) {
+      value = binding.load<T>(elem.v);
+    }
+    return Tainted<T>(value, Taint::kStream, site);
+  }
+
+  template <class T>
+  void write(core::StreamRef<T> stream, Tainted<std::uint64_t> elem,
+             const Tainted<std::type_identity_t<T>>& /*value*/,
+             std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    check_stream_index(stream.id, elem, site, /*write=*/true);
+    log_.per_thread[thread_].push_back(
+        TraceAccess{stream.id, elem.v, true, site});
+  }
+
+  /// The one table access that survives in the addr-gen stage: its index
+  /// feeds addresses, so it must be clean; its result may feed addresses.
+  template <class T>
+  Tainted<T> load_addr_table(
+      core::TableRef<T> table, Tainted<std::uint64_t> index,
+      std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    check_addr_index(index, site);
+    note_addr_table(table.id, site);
+    T value{};
+    const auto span = tables_.host_span(table);
+    if (index.v < span.size()) value = span[index.v];
+    // Result inherits the index's taint (clean in a legal kernel — the
+    // checks above already flagged anything else).
+    return Tainted<T>(value, index.taint, site);
+  }
+
+  /// Stripped in addr-gen: the result is a dummy there, so everything
+  /// derived from it carries kStripped and may not reach an address.
+  template <class T>
+  Tainted<T> load_table(
+      core::TableRef<T> table, Tainted<std::uint64_t> index,
+      std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    T value{};
+    const auto span = tables_.host_span(table);
+    if (index.v < span.size()) value = span[index.v];
+    // The loaded value also depends on the index's provenance: a lookup
+    // keyed by a stream value yields a stream-dependent result.
+    const SiteId origin =
+        has_taint(index.taint, Taint::kStream) ? index.origin : site;
+    return Tainted<T>(value, Taint::kStripped | index.taint, origin);
+  }
+
+  template <class T>
+  void store_table(core::TableRef<T> table, Tainted<std::uint64_t> index,
+                   const Tainted<std::type_identity_t<T>>& value,
+                   std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    note_mutated_table(table.id, site);
+    auto span = tables_.host_span(table);
+    if (index.v < span.size()) span[index.v] = value.v;
+  }
+
+  template <class T>
+  Tainted<T> atomic_add_table(
+      core::TableRef<T> table, Tainted<std::uint64_t> index,
+      const Tainted<std::type_identity_t<T>>& delta,
+      std::source_location loc = std::source_location::current()) {
+    const SiteId site = monitor_.intern(loc);
+    note_mutated_table(table.id, site);
+    T old{};
+    auto span = tables_.host_span(table);
+    if (index.v < span.size()) {
+      old = span[index.v];
+      span[index.v] = static_cast<T>(old + delta.v);
+    }
+    const SiteId origin =
+        has_taint(index.taint, Taint::kStream) ? index.origin : site;
+    return Tainted<T>(old, Taint::kStripped | index.taint, origin);
+  }
+
+  void alu(double) {}
+  template <class T>
+  void alu(const Tainted<T>&) {}  // timing channel only; not an address
+
+ private:
+  SiteInfo site_info(SiteId id) const {
+    const Site& site = monitor_.site(id);
+    return SiteInfo{site.file, site.line, site.function};
+  }
+
+  void check_stream_index(std::uint32_t stream,
+                          const Tainted<std::uint64_t>& elem, SiteId site,
+                          bool write) {
+    if (has_taint(elem.taint, Taint::kStream)) {
+      Violation violation;
+      violation.check = Check::kStreamingRestriction;
+      violation.kind = "value_flow_to_index";
+      violation.message =
+          std::string("stream-derived value used as stream ") +
+          (write ? "write" : "read") + " index";
+      violation.site = site_info(site);
+      violation.origin = site_info(elem.origin);
+      violation.stream = stream;
+      violation.thread = thread_;
+      log_.violations.push_back(std::move(violation));
+    }
+    if (has_taint(elem.taint, Taint::kStripped)) {
+      Violation violation;
+      violation.check = Check::kAddrGenPurity;
+      violation.kind = "stripped_flow_to_index";
+      violation.message =
+          "stripped table-load result used as stream index (dummy in the "
+          "addr-gen stage)";
+      violation.site = site_info(site);
+      violation.origin = site_info(elem.origin);
+      violation.stream = stream;
+      violation.thread = thread_;
+      log_.violations.push_back(std::move(violation));
+    }
+  }
+
+  void check_addr_index(const Tainted<std::uint64_t>& index, SiteId site) {
+    if (has_taint(index.taint, Taint::kStream)) {
+      Violation violation;
+      violation.check = Check::kStreamingRestriction;
+      violation.kind = "value_flow_to_addr_table";
+      violation.message =
+          "stream-derived value used as load_addr_table index";
+      violation.site = site_info(site);
+      violation.origin = site_info(index.origin);
+      violation.thread = thread_;
+      log_.violations.push_back(std::move(violation));
+    }
+    if (has_taint(index.taint, Taint::kStripped)) {
+      Violation violation;
+      violation.check = Check::kAddrGenPurity;
+      violation.kind = "stripped_flow_to_addr_table";
+      violation.message =
+          "stripped table-load result used as load_addr_table index";
+      violation.site = site_info(site);
+      violation.origin = site_info(index.origin);
+      violation.thread = thread_;
+      log_.violations.push_back(std::move(violation));
+    }
+  }
+
+  void note_addr_table(std::uint32_t table, SiteId site) {
+    if (!addr_tables_[table % kTableSlots]) {
+      addr_tables_[table % kTableSlots] = true;
+      addr_sites_[table % kTableSlots] = site;
+    }
+    check_purity(table);
+  }
+
+  void note_mutated_table(std::uint32_t table, SiteId site) {
+    if (!mutated_tables_[table % kTableSlots]) {
+      mutated_tables_[table % kTableSlots] = true;
+      mutated_sites_[table % kTableSlots] = site;
+    }
+    check_purity(table);
+  }
+
+  /// store/atomic on an address table: the addr-gen instantiation strips the
+  /// mutation but keeps load_addr_table, so addr-gen would read different
+  /// values than the unstripped kernel — address generation is impure.
+  void check_purity(std::uint32_t table) {
+    const std::uint32_t slot = table % kTableSlots;
+    if (!addr_tables_[slot] || !mutated_tables_[slot] || reported_[slot]) {
+      return;
+    }
+    reported_[slot] = true;
+    Violation violation;
+    violation.check = Check::kAddrGenPurity;
+    violation.kind = "mutated_addr_table";
+    violation.message =
+        "table is both mutated (store/atomic, stripped in addr-gen) and read "
+        "through load_addr_table (kept in addr-gen)";
+    violation.site = site_info(mutated_sites_[slot]);
+    violation.origin = site_info(addr_sites_[slot]);
+    violation.thread = thread_;
+    log_.violations.push_back(std::move(violation));
+  }
+
+  static constexpr std::uint32_t kTableSlots = 16;
+
+  const std::vector<core::StreamBinding>& bindings_;
+  core::TableSet& tables_;
+  TaintMonitor& monitor_;
+  TaintRunLog& log_;
+  std::uint32_t thread_;
+  std::array<bool, kTableSlots> addr_tables_{};
+  std::array<bool, kTableSlots> mutated_tables_{};
+  std::array<bool, kTableSlots> reported_{};
+  std::array<SiteId, kTableSlots> addr_sites_{};
+  std::array<SiteId, kTableSlots> mutated_sites_{};
+};
+
+}  // namespace bigk::verify

@@ -126,6 +126,76 @@ TEST(PatternDetectorTest, PrefersShortestCycle) {
   EXPECT_EQ(pattern->strides.size(), 1u);
 }
 
+TEST(PatternDetectorTest, CycleLongerThanMaxCycleNeverLocksOn) {
+  // A perfectly periodic sequence whose cycle (5) exceeds max_cycle (4):
+  // the detector must refuse rather than truncate to a wrong hypothesis.
+  PatternDetector detector(16, 4);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 40; ++i) {
+    detector.feed(addr);
+    addr += static_cast<std::uint64_t>((i % 5) + 1);  // cycle [1,2,3,4,5]
+  }
+  EXPECT_FALSE(detector.pattern().has_value());
+  // The same sequence with max_cycle 5 is explained exactly.
+  PatternDetector wider(16, 5);
+  addr = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(wider.feed(addr)) << "i=" << i;
+    addr += static_cast<std::uint64_t>((i % 5) + 1);
+  }
+  EXPECT_TRUE(wider.pattern().has_value());
+}
+
+TEST(PatternDetectorTest, ResetMidVerificationStartsFresh) {
+  PatternDetector detector(4, 2);
+  for (std::uint64_t a : {0u, 8u, 16u, 24u, 32u, 40u}) {
+    ASSERT_TRUE(detector.feed(a));
+  }
+  ASSERT_EQ(detector.state(), PatternDetector::State::kVerifying);
+  detector.reset();
+  EXPECT_FALSE(detector.pattern().has_value());  // verified prefix discarded
+  // A different stride after reset must not be judged against the old
+  // hypothesis.
+  for (std::uint64_t a : {5u, 12u, 19u, 26u, 33u}) {
+    ASSERT_TRUE(detector.feed(a));
+  }
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->base, 5u);
+  EXPECT_EQ(pattern->strides, (std::vector<std::int64_t>{7}));
+}
+
+TEST(PatternDetectorTest, RepeatedSingleAddressIsAZeroStrideCycle) {
+  // A kernel that polls one element (e.g. a table-resident accumulator read
+  // through a stream) produces a constant address sequence.
+  PatternDetector detector(6, 3);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(detector.feed(0x4000));
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->base, 0x4000u);
+  EXPECT_EQ(pattern->count, 20u);
+  for (std::int64_t stride : pattern->strides) EXPECT_EQ(stride, 0);
+}
+
+TEST(PatternDetectorTest, DescendingNegativeStrideCycle) {
+  // Reverse-order scan with a record skip: cycle [-8, -8, -48].
+  PatternDetector detector(16, 4);
+  std::uint64_t addr = 1 << 16;
+  std::vector<std::uint64_t> fed;
+  for (int rec = 0; rec < 12; ++rec) {
+    for (std::int64_t stride : {-8, -8, -48}) {
+      fed.push_back(addr);
+      addr += static_cast<std::uint64_t>(stride);
+    }
+  }
+  for (std::uint64_t a : fed) ASSERT_TRUE(detector.feed(a));
+  auto pattern = detector.pattern();
+  ASSERT_TRUE(pattern.has_value());
+  for (std::uint64_t i = 0; i < fed.size(); ++i) {
+    EXPECT_EQ(pattern->address_at(i), fed[i]) << "i=" << i;
+  }
+}
+
 // Property sweep: any (base, cycle, count) combination round-trips.
 struct PatternCase {
   std::uint64_t base;

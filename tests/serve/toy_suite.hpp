@@ -16,6 +16,7 @@
 #include "core/device_tables.hpp"
 #include "core/engine.hpp"
 #include "schemes/runners.hpp"
+#include "verify/verifier.hpp"
 
 namespace bigk::serve::test {
 
@@ -80,9 +81,9 @@ struct ToyServeApp {
     void operator()(Ctx& ctx, std::uint64_t rec_begin, std::uint64_t rec_end,
                     std::uint64_t stride) const {
       for (std::uint64_t r = rec_begin; r < rec_end; r += stride) {
-        const std::uint64_t a = ctx.read(stream, r * 4);
-        const std::uint64_t b = ctx.read(stream, r * 4 + 1);
-        const std::uint64_t c = ctx.read(lut, r);
+        const auto a = ctx.read(stream, r * 4);
+        const auto b = ctx.read(stream, r * 4 + 1);
+        const auto c = ctx.read(lut, r);
         ctx.alu(alu_ops);
         ctx.write(stream, r * 4 + 3, a * 2 + b + c);
         ctx.atomic_add_table(checksum, 0, a + b);
@@ -162,6 +163,12 @@ inline std::vector<apps::BenchApp> make_toy_suite(std::uint32_t num_apps,
     entry.make_runner = [name = entry.name, records, alu_ops] {
       return std::unique_ptr<apps::JobRunner>(
           std::make_unique<ToyRunner>(name, records, alu_ops));
+    };
+    entry.verify = [name = entry.name, records, alu_ops] {
+      ToyServeApp app(records, alu_ops);
+      verify::KernelReport report = verify::verify_app(app);
+      report.app = name;
+      return report;
     };
     suite.push_back(std::move(entry));
   }

@@ -1,0 +1,89 @@
+// bigkstatic affine-domain unit tests: exact offline stride-cycle fitting
+// and its agreement with the online core::PatternDetector.
+#include "verify/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bigk::verify {
+namespace {
+
+std::vector<std::uint64_t> from_cycle(std::uint64_t base,
+                                      const std::vector<std::int64_t>& cycle,
+                                      std::size_t n) {
+  std::vector<std::uint64_t> addrs{base};
+  while (addrs.size() < n) {
+    base += static_cast<std::uint64_t>(cycle[(addrs.size() - 1) % cycle.size()]);
+    addrs.push_back(base);
+  }
+  return addrs;
+}
+
+TEST(Affine, FitsConstantStride) {
+  const auto addrs = from_cycle(1000, {8}, 16);
+  const auto fit = fit_stride_cycle(addrs, 32);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->base, 1000u);
+  EXPECT_EQ(fit->strides, (std::vector<std::int64_t>{8}));
+}
+
+TEST(Affine, FitsMultiStrideCycleIncludingNegative) {
+  const std::vector<std::int64_t> cycle{8, -24, 80};
+  const auto addrs = from_cycle(4096, cycle, 30);
+  const auto fit = fit_stride_cycle(addrs, 32);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->strides, cycle);
+}
+
+TEST(Affine, RejectsIrregularAndTooShort) {
+  EXPECT_FALSE(fit_stride_cycle(std::vector<std::uint64_t>{0, 8}, 32));
+  // Irregular: no cycle up to max explains every delta.
+  const std::vector<std::uint64_t> irregular{0, 8, 16, 17, 40, 41, 99, 100,
+                                             130, 170, 171, 205};
+  EXPECT_FALSE(fit_stride_cycle(irregular, 4));
+  // A cycle exists but is longer than max_cycle: must refuse, not truncate.
+  const auto addrs = from_cycle(0, {1, 2, 3, 4, 5}, 40);
+  EXPECT_FALSE(fit_stride_cycle(addrs, 4));
+  EXPECT_TRUE(fit_stride_cycle(addrs, 5));
+}
+
+TEST(Affine, RequiresTwoFullCycleObservations) {
+  const std::vector<std::int64_t> cycle{8, 8, 48};
+  // 2*cycle+1 = 7 addresses minimum, mirroring the online hypothesis rule.
+  EXPECT_FALSE(fit_stride_cycle(from_cycle(0, cycle, 6), 8));
+  EXPECT_TRUE(fit_stride_cycle(from_cycle(0, cycle, 7), 8));
+}
+
+TEST(Affine, DetectorConfirmsWhatTheFitDerives) {
+  const std::vector<std::int64_t> cycle{8, 8, 8, 40};
+  const auto addrs = from_cycle(0, cycle, 96);
+  const auto fit = fit_stride_cycle(addrs, 32);
+  const auto online = detector_pattern(addrs, 48, 32);
+  ASSERT_TRUE(fit.has_value());
+  ASSERT_TRUE(online.has_value());
+  EXPECT_TRUE(same_cycle(fit->strides, online->strides));
+}
+
+TEST(Affine, DetectorBreaksOnIrregularWhereFitAlsoFails) {
+  std::vector<std::uint64_t> addrs;
+  std::uint64_t state = 12345;
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 64; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    addr += 1 + (state >> 59);
+    addrs.push_back(addr * 8);
+  }
+  EXPECT_FALSE(fit_stride_cycle(addrs, 8));
+  EXPECT_FALSE(detector_pattern(addrs, 16, 8));
+}
+
+TEST(Affine, SameCycleIsExactSequenceEquality) {
+  EXPECT_TRUE(same_cycle({8, 8}, {8, 8}));
+  EXPECT_FALSE(same_cycle({8, 8}, {8}));
+  EXPECT_FALSE(same_cycle({8, 16}, {16, 8}));
+}
+
+}  // namespace
+}  // namespace bigk::verify

@@ -1,0 +1,128 @@
+// bigkstatic taint-domain unit tests: lattice joins, provenance, the branch
+// oracle, and the ADL seams (value_cast / fnv1a) kernels reach it through.
+#include "verify/taint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace bigk::verify {
+namespace {
+
+TEST(Taint, CleanByDefaultAndJoinsOnArithmetic) {
+  Tainted<std::uint64_t> clean = 7;
+  EXPECT_EQ(clean.taint, Taint::kClean);
+
+  const Tainted<std::uint64_t> stream(3, Taint::kStream, 11);
+  const auto sum = clean + stream;
+  EXPECT_EQ(sum.v, 10u);
+  EXPECT_TRUE(has_taint(sum.taint, Taint::kStream));
+  EXPECT_EQ(sum.origin, 11u);
+
+  // Mixed with plain arithmetic values on either side.
+  const auto left = 5 + stream;
+  EXPECT_EQ(left.v, 8u);
+  EXPECT_TRUE(has_taint(left.taint, Taint::kStream));
+  const auto right = stream * 2;
+  EXPECT_EQ(right.v, 6u);
+  EXPECT_EQ(right.origin, 11u);
+}
+
+TEST(Taint, JoinPrefersStreamOrigin) {
+  const Tainted<std::uint64_t> stripped(2, Taint::kStripped, 5);
+  const Tainted<std::uint64_t> stream(3, Taint::kStream, 9);
+  const auto a = stripped + stream;
+  EXPECT_EQ(a.origin, 9u);  // the stream read is what reports should name
+  EXPECT_TRUE(has_taint(a.taint, Taint::kStream));
+  EXPECT_TRUE(has_taint(a.taint, Taint::kStripped));
+  const auto b = stream + stripped;
+  EXPECT_EQ(b.origin, 9u);
+}
+
+TEST(Taint, CompoundAssignAndComparisons) {
+  Tainted<std::uint64_t> hash = 0xCBF29CE484222325ull;
+  const Tainted<std::uint8_t> c('x', Taint::kStream, 4);
+  hash = (hash ^ c) * 0x100000001B3ull;
+  EXPECT_TRUE(has_taint(hash.taint, Taint::kStream));
+  EXPECT_EQ(hash.origin, 4u);
+
+  const Tainted<bool> cmp = c >= 'a';
+  EXPECT_TRUE(cmp.v);
+  EXPECT_TRUE(has_taint(cmp.taint, Taint::kStream));
+}
+
+TEST(Taint, ValueCastKeepsTaintAndPlainOverloadCoexists) {
+  const Tainted<double> d(2.5, Taint::kStream, 7);
+  const auto i = value_cast<std::uint64_t>(d);  // ADL finds verify::value_cast
+  EXPECT_EQ(i.v, 2u);
+  EXPECT_TRUE(has_taint(i.taint, Taint::kStream));
+  EXPECT_EQ(i.origin, 7u);
+
+  using core::value_cast;
+  const auto plain = value_cast<std::uint64_t>(2.5);
+  EXPECT_EQ(plain, 2u);
+}
+
+TEST(Taint, Fnv1aMatchesAppsFoldAndJoins) {
+  const std::uint64_t expected = apps::fnv1a(apps::kFnvBasis, 0xDEADBEEFull);
+  const Tainted<std::uint64_t> hash(apps::kFnvBasis, Taint::kClean, kNoSite);
+  const Tainted<std::uint64_t> value(0xDEADBEEFull, Taint::kStream, 3);
+  const auto tainted = fnv1a(hash, value);
+  EXPECT_EQ(tainted.v, expected);
+  EXPECT_TRUE(has_taint(tainted.taint, Taint::kStream));
+  EXPECT_EQ(tainted.origin, 3u);
+}
+
+TEST(Taint, BranchOracleConcreteWithoutMonitorAndPerturbedWithin) {
+  const Tainted<bool> tainted_true(true, Taint::kStream, 2);
+  EXPECT_TRUE(static_cast<bool>(tainted_true));  // no monitor: concrete
+
+  TaintMonitor concrete(1, /*perturb=*/false);
+  {
+    TaintScope scope(concrete);
+    EXPECT_TRUE(static_cast<bool>(tainted_true));
+    EXPECT_EQ(concrete.branches().size(), 1u);
+    EXPECT_EQ(concrete.branches()[0].origin, 2u);
+    EXPECT_TRUE(concrete.branches()[0].outcome);
+  }
+
+  // Perturbed monitors flip some outcomes: over many trials both outcomes
+  // must occur even though the concrete value is always true.
+  TaintMonitor perturbed(42, /*perturb=*/true);
+  int trues = 0;
+  {
+    TaintScope scope(perturbed);
+    for (int i = 0; i < 64; ++i) {
+      if (static_cast<bool>(tainted_true)) ++trues;
+    }
+  }
+  EXPECT_GT(trues, 0);
+  EXPECT_LT(trues, 64);
+  EXPECT_EQ(perturbed.branches().size(), 64u);
+
+  // Clean values never consult the oracle.
+  TaintMonitor watcher(7, true);
+  {
+    TaintScope scope(watcher);
+    const Tainted<bool> clean(true);
+    EXPECT_TRUE(static_cast<bool>(clean));
+  }
+  EXPECT_TRUE(watcher.branches().empty());
+}
+
+TEST(Taint, MonitorInternsSitesByFileAndLine) {
+  TaintMonitor monitor(0, false);
+  const auto here = std::source_location::current();
+  const SiteId a = monitor.intern(here);
+  const SiteId b = monitor.intern(here);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kNoSite);
+  EXPECT_EQ(monitor.site(a).line, here.line());
+  const SiteId c = monitor.intern(std::source_location::current());
+  EXPECT_NE(c, a);
+}
+
+}  // namespace
+}  // namespace bigk::verify
