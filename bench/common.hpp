@@ -50,6 +50,17 @@
 //   --bench-prof=<file>    write the canonical BENCH_prof.json performance
 //                          baseline (per-result total/stage-busy/bottleneck/
 //                          traffic) for scripts/bench_compare.py
+//   --arrival <spec>       bigkload benches: arrival-process spec
+//                          (load::ArrivalSpec::parse grammar, e.g.
+//                          "poisson,rate=20000,seed=7" or "mmpp,rate=...")
+//   --tenants <spec>       bigkload benches: ';'-separated tenant specs
+//                          (load::parse_tenants grammar, e.g.
+//                          "lc:class=lc,weight=8,share=0.25;bg:weight=1")
+//   --duration <us>        bigkload benches: generated-workload window in
+//                          simulated microseconds
+//   --offered-load <list>  bigkload benches: comma-separated offered-load
+//                          multipliers for the sweep scenarios (fractions of
+//                          the calibrated pool capacity, e.g. "0.5,1.5,2.5")
 // Each flag accepts both "--flag=value" and "--flag value". `--help` prints
 // this list before google-benchmark's own help.
 #pragma once
@@ -230,6 +241,14 @@ class Harness {
   const std::string& bench_prof_path() const noexcept {
     return bench_prof_path_;
   }
+  // bigkload knobs (--arrival / --tenants / --duration / --offered-load).
+  const std::string& arrival_spec() const noexcept { return arrival_spec_; }
+  const std::string& tenants_spec() const noexcept { return tenants_spec_; }
+  /// Generated-workload window in picoseconds (0 = scenario default).
+  sim::DurationPs duration() const noexcept {
+    return static_cast<sim::DurationPs>(duration_us_) * sim::kMicrosecond;
+  }
+  const std::string& offered_load() const noexcept { return offered_load_; }
 
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
@@ -383,6 +402,14 @@ class Harness {
         slo_spec_ = value;
       } else if (take(&i, arg, "--bench-prof")) {
         bench_prof_path_ = value;
+      } else if (take(&i, arg, "--arrival")) {
+        arrival_spec_ = value;
+      } else if (take(&i, arg, "--tenants")) {
+        tenants_spec_ = value;
+      } else if (take(&i, arg, "--duration")) {
+        duration_us_ = parse_count(value, "--duration");
+      } else if (take(&i, arg, "--offered-load")) {
+        offered_load_ = value;
       } else {
         if (arg == "--help") print_harness_help();
         argv[kept++] = argv[i];  // --help falls through to google-benchmark
@@ -437,6 +464,12 @@ class Harness {
         "                         e.g. \"p99_ms <= 5; utilization >= 0.2\"\n"
         "  --bench-prof=<file>    write the BENCH_prof.json perf baseline\n"
         "                         (input to scripts/bench_compare.py)\n"
+        "  --arrival <spec>       bigkload: arrival process, e.g.\n"
+        "                         \"poisson,rate=20000,seed=7\"\n"
+        "  --tenants <spec>       bigkload: ';'-separated tenant specs\n"
+        "  --duration <us>        bigkload: workload window (simulated us)\n"
+        "  --offered-load <list>  bigkload: sweep multipliers, e.g.\n"
+        "                         \"0.5,1.5,2.5\" (x calibrated capacity)\n"
         "Valued flags accept both --flag=value and --flag value.\n\n");
   }
 
@@ -456,6 +489,10 @@ class Harness {
   std::uint32_t prof_window_us_ = 0;
   std::string slo_spec_;
   std::string bench_prof_path_;
+  std::string arrival_spec_;
+  std::string tenants_spec_;
+  std::uint32_t duration_us_ = 0;
+  std::string offered_load_;
 };
 
 }  // namespace bigk::bench

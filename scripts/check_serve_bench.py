@@ -24,7 +24,25 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
     recovers every injected fault, quarantines and reinstates the device,
     and finishes every job with zero failures attributable to the outage.
 
-Usage: check_serve_bench.py <path-to-serve_throughput-binary>
+With a serve_load binary as the second argument the bigkload plane is
+validated too:
+  * every load scenario (calibrate, the FIFO/WFQ sweep points, balanced,
+    autoscale, closed-loop) appears in "results",
+  * every load prefix carries the QoS gauges (offered / goodput / SLO
+    attainment, Jain fairness, autoscaler trajectory) plus the JobQueue
+    admission instrumentation,
+  * WFQ strictly beats FIFO on the latency-critical tenant's SLO attainment
+    at both offered-load points past saturation,
+  * the balanced four-tenant mix keeps the Jain index >= 0.9,
+  * the autoscaler demonstrably reacts to the seeded MMPP burst (at least
+    one scale-up, max active devices above the min_active floor).
+
+Every serve prefix (throughput and load) additionally locks the JobQueue
+admission instrumentation: a final `queue.depth` gauge of 0 (all jobs
+settled) and the `queue.rejected.<cause>` counter breakdown summing to the
+run's `rejections` gauge.
+
+Usage: check_serve_bench.py <serve_throughput binary> [<serve_load binary>]
 Exits non-zero with a diagnostic on the first violation.
 """
 
@@ -37,6 +55,11 @@ from pathlib import Path
 
 DEVICES = 2
 JOBS = 8
+# serve_load runs with more jobs so the offered-load sweep saturates the
+# pool long enough for the QoS disciplines to diverge.
+LOAD_JOBS = 16
+LOAD_MULTIPLIERS = [50, 150, 250]  # --offered-load 0.5,1.5,2.5 as percents
+REJECT_CAUSES = ["queue_full", "no_device", "tenant_quota"]
 # serve/recover always runs with at least 4 devices so the pool can absorb
 # the quarantined one (mirrors recover_devices in bench/serve_throughput.cpp).
 RECOVER_DEVICES = max(DEVICES, 4)
@@ -91,13 +114,9 @@ def fail(message):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <serve_throughput binary>")
-    binary = Path(sys.argv[1]).resolve()
-    if not binary.exists():
-        fail(f"binary not found: {binary}")
-
+def run_bench(binary, benchmark_name, extra_args):
+    """Runs a bench binary with --metrics-json and returns the parsed
+    document plus {gauge name: value} and {counter name: value} maps."""
     env = dict(os.environ)
     # Tiny datasets: the schema, not the performance, is under test here.
     env.setdefault("BIGK_SCALE", "0.001")
@@ -105,15 +124,7 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         metrics_path = Path(tmp) / "serve_metrics.json"
         result = subprocess.run(
-            [
-                str(binary),
-                "--devices",
-                str(DEVICES),
-                "--jobs",
-                str(JOBS),
-                f"--metrics-json={metrics_path}",
-                "--cache",
-            ],
+            [str(binary), f"--metrics-json={metrics_path}", *extra_args],
             cwd=tmp,
             env=env,
             capture_output=True,
@@ -122,22 +133,43 @@ def main():
         )
         if result.returncode != 0:
             fail(
-                f"serve_throughput exited {result.returncode}:\n"
+                f"{benchmark_name} exited {result.returncode}:\n"
                 f"{result.stdout}\n{result.stderr}"
             )
         if not metrics_path.exists():
-            fail("no metrics json written")
+            fail(f"{benchmark_name}: no metrics json written")
         try:
             document = json.loads(metrics_path.read_text())
         except json.JSONDecodeError as error:
-            fail(f"metrics json does not parse: {error}")
+            fail(f"{benchmark_name}: metrics json does not parse: {error}")
 
-    if document.get("benchmark") != "serve_throughput":
+    if document.get("benchmark") != benchmark_name:
         fail(f'bad "benchmark" field: {document.get("benchmark")!r}')
     scale = document.get("scale")
     if not isinstance(scale, (int, float)) or scale <= 0:
         fail(f'bad "scale" field: {scale!r}')
 
+    counters = document.get("counters")
+    if not isinstance(counters, list):
+        fail('"counters" is not an array')
+    gauges = {}
+    totals = {}
+    for entry in counters:
+        if not isinstance(entry, dict) or "type" not in entry or "name" not in entry:
+            fail(f"malformed counters entry: {entry!r}")
+        if entry["type"] in ("gauge", "counter"):
+            value = entry.get("value")
+            if not isinstance(value, (int, float)):
+                fail(
+                    f'{entry["type"]} {entry["name"]!r} has non-numeric '
+                    f"value: {value!r}"
+                )
+            target = gauges if entry["type"] == "gauge" else totals
+            target[entry["name"]] = float(value)
+    return document, gauges, totals
+
+
+def result_names(document, expected):
     results = document.get("results")
     if not isinstance(results, list) or not results:
         fail('"results" is not a non-empty array')
@@ -148,31 +180,52 @@ def main():
         if not isinstance(entry.get("metrics"), dict) or not entry["metrics"]:
             fail(f'result {entry["name"]!r} lacks a metrics object')
         by_name[entry["name"]] = entry["metrics"]
-    for name in EXPECTED_RESULTS:
+    for name in expected:
         if name not in by_name:
             fail(f"missing result {name!r} (have {sorted(by_name)})")
+    return by_name
 
-    counters = document.get("counters")
-    if not isinstance(counters, list):
-        fail('"counters" is not an array')
-    gauges = {}
-    for entry in counters:
-        if not isinstance(entry, dict) or "type" not in entry or "name" not in entry:
-            fail(f"malformed counters entry: {entry!r}")
-        if entry["type"] == "gauge":
-            value = entry.get("value")
-            if not isinstance(value, (int, float)):
-                fail(f'gauge {entry["name"]!r} has non-numeric value: {value!r}')
-            gauges[entry["name"]] = float(value)
 
-    def gauge(name):
-        if name not in gauges:
-            fail(f"missing gauge {name!r}")
-        return gauges[name]
+def make_lookup(kind, table):
+    def lookup(name):
+        if name not in table:
+            fail(f"missing {kind} {name!r}")
+        return table[name]
+
+    return lookup
+
+
+def check_queue_instrumentation(prefix, gauge, counter):
+    """JobQueue admission gauges: final depth 0 (every job settled) and the
+    rejected-by-cause counter breakdown summing to the run's rejections."""
+    depth = gauge(f"{prefix}.queue.depth")
+    if depth != 0:
+        fail(f"{prefix}.queue.depth nonzero after settle: {depth}")
+    rejected = sum(
+        counter(f"{prefix}.queue.rejected.{cause}") for cause in REJECT_CAUSES
+    )
+    total = gauge(f"{prefix}.rejections")
+    if rejected != total:
+        fail(
+            f"{prefix}: queue.rejected.* counters sum to {rejected} but the "
+            f"rejections gauge says {total}"
+        )
+
+
+def check_serve_throughput(binary):
+    document, gauges, counters = run_bench(
+        binary,
+        "serve_throughput",
+        ["--devices", str(DEVICES), "--jobs", str(JOBS), "--cache"],
+    )
+    results = result_names(document, EXPECTED_RESULTS)
+    gauge = make_lookup("gauge", gauges)
+    counter = make_lookup("counter", counters)
 
     for prefix, devices in EXPECTED_PREFIXES:
         for suffix in SCALAR_GAUGES:
             gauge(f"{prefix}.{suffix}")
+        check_queue_instrumentation(prefix, gauge, counter)
         p50 = gauge(f"{prefix}.latency_p50_ms")
         p95 = gauge(f"{prefix}.latency_p95_ms")
         p99 = gauge(f"{prefix}.latency_p99_ms")
@@ -291,6 +344,130 @@ def main():
         f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B), "
         f"recover {recovered:.0f}/{injected:.0f} faults recovered"
     )
+
+
+def check_serve_load(binary):
+    document, gauges, counters = run_bench(
+        binary,
+        "serve_load",
+        [
+            "--devices",
+            str(DEVICES),
+            "--jobs",
+            str(LOAD_JOBS),
+            "--offered-load",
+            ",".join(str(m / 100) for m in LOAD_MULTIPLIERS),
+        ],
+    )
+    expected = ["load/calibrate", "load/balanced/wfq", "load/autoscale",
+                "load/closed"]
+    for pct in LOAD_MULTIPLIERS:
+        expected.append(f"load/sweep/x{pct}/fifo")
+        expected.append(f"load/sweep/x{pct}/wfq")
+    results = result_names(document, expected)
+    gauge = make_lookup("gauge", gauges)
+    counter = make_lookup("counter", counters)
+
+    if gauge("load.capacity_jobs_per_s") <= 0:
+        fail("calibrated capacity is not positive")
+
+    # Schema: every load prefix carries the QoS plane plus the JobQueue
+    # admission instrumentation.
+    prefixes = ["load.calibrate", "load.balanced", "load.autoscale",
+                "load.closed"]
+    for pct in LOAD_MULTIPLIERS:
+        prefixes.append(f"load.sweep.x{pct}.fifo")
+        prefixes.append(f"load.sweep.x{pct}.wfq")
+    for prefix in prefixes:
+        for suffix in [
+            "load.offered_jobs_per_s",
+            "load.goodput_jobs_per_s",
+            "load.slo_attained",
+            "fairness.jain",
+            "autoscaler.scale_ups",
+            "autoscaler.scale_downs",
+            "autoscaler.min_active",
+            "autoscaler.max_active",
+            "autoscaler.final_active",
+            "rejections.tenant_quota",
+        ]:
+            gauge(f"{prefix}.{suffix}")
+        check_queue_instrumentation(prefix, gauge, counter)
+        jain = gauge(f"{prefix}.fairness.jain")
+        if not 0 <= jain <= 1:
+            fail(f"{prefix}.fairness.jain out of [0, 1]: {jain}")
+
+    # Per-tenant gauges on the sweep points (the lc/batch default mix).
+    for pct in LOAD_MULTIPLIERS:
+        for discipline in ("fifo", "wfq"):
+            prefix = f"load.sweep.x{pct}.{discipline}"
+            for tenant in ("lc", "batch"):
+                for suffix in ("weight", "submitted", "completed", "shed",
+                               "goodput_jobs_per_s", "attainment", "p99_ms"):
+                    gauge(f"{prefix}.tenant.{tenant}.{suffix}")
+            attainment = gauge(f"{prefix}.tenant.lc.attainment")
+            if not 0 <= attainment <= 1:
+                fail(f"{prefix}.tenant.lc.attainment out of [0, 1]: "
+                     f"{attainment}")
+
+    # The QoS headline: past saturation (both points above 100% offered
+    # load), WFQ must strictly beat FIFO on the latency-critical tenant's
+    # SLO attainment.
+    for pct in (150, 250):
+        fifo = gauge(f"load.sweep.x{pct}.fifo.tenant.lc.attainment")
+        wfq = gauge(f"load.sweep.x{pct}.wfq.tenant.lc.attainment")
+        if not wfq > fifo:
+            fail(
+                f"x{pct}: WFQ does not protect the LC tenant past "
+                f"saturation: attainment {wfq} (wfq) vs {fifo} (fifo)"
+            )
+
+    # Fairness: four equal tenants at 1.5x capacity stay near-even.
+    balanced_jain = gauge("load.balanced.fairness.jain")
+    if balanced_jain < 0.9:
+        fail(f"balanced mix Jain index below 0.9: {balanced_jain}")
+
+    # The autoscaler must react to the seeded MMPP burst.
+    scale_ups = gauge("load.autoscale.autoscaler.scale_ups")
+    min_active = gauge("load.autoscale.autoscaler.min_active")
+    max_active = gauge("load.autoscale.autoscaler.max_active")
+    if scale_ups < 1:
+        fail(f"autoscale scenario never scaled up: {scale_ups}")
+    if not max_active > min_active:
+        fail(
+            "autoscale scenario never grew the active set: "
+            f"max_active {max_active} vs min_active {min_active}"
+        )
+
+    print(
+        f"check_serve_bench: OK (load): {len(results)} scenarios, "
+        f"capacity {gauge('load.capacity_jobs_per_s'):.0f} jobs/s, "
+        "lc attainment wfq vs fifo "
+        + " ".join(
+            f"x{pct}:{gauge(f'load.sweep.x{pct}.wfq.tenant.lc.attainment'):.2f}"
+            f"/{gauge(f'load.sweep.x{pct}.fifo.tenant.lc.attainment'):.2f}"
+            for pct in (150, 250)
+        )
+        + f", balanced jain {balanced_jain:.3f}, "
+        f"{scale_ups:.0f} scale-ups"
+    )
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail(
+            f"usage: {sys.argv[0]} <serve_throughput binary> "
+            "[<serve_load binary>]"
+        )
+    binary = Path(sys.argv[1]).resolve()
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+    check_serve_throughput(binary)
+    if len(sys.argv) == 3:
+        load_binary = Path(sys.argv[2]).resolve()
+        if not load_binary.exists():
+            fail(f"binary not found: {load_binary}")
+        check_serve_load(load_binary)
 
 
 if __name__ == "__main__":

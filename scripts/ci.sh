@@ -5,10 +5,13 @@
 # bench harness and observers do touch std::atomic state, so TSan stays in
 # the matrix.
 #
-#   scripts/ci.sh [preset ...]     presets: lint plain asan-ubsan tsan
+#   scripts/ci.sh [preset ...]     presets: lint plain asan-ubsan tsan load
 #
 # With no arguments the lint gate plus all three build presets run. Set
-# BIGK_CI_JOBS to override the parallelism (defaults to nproc).
+# BIGK_CI_JOBS to override the parallelism (defaults to nproc). The `load`
+# preset is the bigkload QoS gate: a TSan build of the load + serve suites,
+# the multi-tenant concurrency tests, and the serve_load bench smoke with
+# its schema/QoS assertions.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -88,6 +91,46 @@ for preset in "${presets[@]}"; do
       "${repo_root}/build-ci-tsan/tests/fault_engine_recovery_test"
       "${repo_root}/build-ci-tsan/tests/fault_serve_recovery_test"
       ;;
+    load)
+      # bigkload QoS gate. A TSan build, because the QoS plane threads new
+      # shared state (WFQ stage, tenant accounting, autoscaler daemon)
+      # through the concurrent engine pool: build the load suites + the
+      # serve_load bench, run them, then the bench smoke with the WFQ-vs-
+      # FIFO / fairness / autoscaler assertions at a tiny scale.
+      load_dir="${repo_root}/build-ci-load"
+      echo "=== ci preset load: configure (thread sanitizer) ==="
+      cmake -B "${load_dir}" -S "${repo_root}" -DBIGK_SANITIZE=thread
+      echo "=== ci preset load: build ==="
+      cmake --build "${load_dir}" -j "${jobs}" --target \
+        serve_wfq_test load_arrival_test load_generator_test load_qos_test \
+        load_autoscale_test load_determinism_test serve_stress_test \
+        serve_throughput serve_load
+      echo "=== ci preset load: load + serve suites under TSan ==="
+      "${load_dir}/tests/serve_wfq_test"
+      "${load_dir}/tests/load_arrival_test"
+      "${load_dir}/tests/load_generator_test"
+      # The multi-tenant concurrency probes: every QoS feature at once on a
+      # multi-device pool, and thousands of closed-loop client coroutines.
+      "${load_dir}/tests/load_qos_test"
+      "${load_dir}/tests/load_autoscale_test"
+      "${load_dir}/tests/load_determinism_test"
+      "${load_dir}/tests/serve_stress_test"
+      # The bench smoke runs against an unsanitized build: the offered-load
+      # sweep is 10-20x slower under TSan, blowing past the checker's
+      # per-binary subprocess timeout. The QoS assertions don't need TSan —
+      # the concurrency coverage is the test suites above.
+      load_bench_dir="${repo_root}/build-ci-load-bench"
+      echo "=== ci preset load: configure bench build (no sanitizer) ==="
+      cmake -B "${load_bench_dir}" -S "${repo_root}"
+      echo "=== ci preset load: build bench ==="
+      cmake --build "${load_bench_dir}" -j "${jobs}" --target \
+        serve_throughput serve_load
+      echo "=== ci preset load: serve_load bench smoke + QoS assertions ==="
+      python3 "${repo_root}/scripts/check_serve_bench.py" \
+        "${load_bench_dir}/bench/serve_throughput" \
+        "${load_bench_dir}/bench/serve_load"
+      echo "=== ci preset load: OK ==="
+      ;;
     lint)
       # bigkstatic gate: build only the bigklint CLI, verify every
       # registered app kernel against the static contracts with the seeded
@@ -112,7 +155,7 @@ for preset in "${presets[@]}"; do
       ;;
     *)
       echo "ci.sh: unknown preset '${preset}'" >&2
-      echo "usage: scripts/ci.sh [plain|asan-ubsan|tsan|tidy ...]" >&2
+      echo "usage: scripts/ci.sh [lint|plain|asan-ubsan|tsan|load|tidy ...]" >&2
       exit 2
       ;;
   esac

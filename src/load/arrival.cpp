@@ -1,0 +1,201 @@
+#include "load/arrival.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bigk::load {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::pair<std::string, std::string>> split_kv(
+    std::string_view text, std::string_view what) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view token = text.substr(pos, end - pos);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= token.size()) {
+      throw std::invalid_argument(std::string(what) + ": expected key=value, got \"" +
+                                  std::string(token) + "\"");
+    }
+    pairs.emplace_back(std::string(token.substr(0, eq)),
+                       std::string(token.substr(eq + 1)));
+    pos = end + 1;
+  }
+  return pairs;
+}
+
+double parse_positive(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed <= 0.0) {
+    throw std::invalid_argument("--arrival " + key +
+                                " needs a positive number, got \"" + value +
+                                "\"");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+ArrivalSpec ArrivalSpec::parse(std::string_view text) {
+  ArrivalSpec spec;
+  std::size_t comma = text.find(',');
+  const std::string_view kind =
+      comma == std::string_view::npos ? text : text.substr(0, comma);
+  if (kind == "poisson") {
+    spec.kind = ArrivalKind::kPoisson;
+  } else if (kind == "mmpp") {
+    spec.kind = ArrivalKind::kMmpp;
+  } else if (kind == "diurnal") {
+    spec.kind = ArrivalKind::kDiurnal;
+  } else {
+    throw std::invalid_argument(
+        "unknown arrival process \"" + std::string(kind) +
+        "\"; valid: \"poisson\" \"mmpp\" \"diurnal\"");
+  }
+  if (comma == std::string_view::npos) return spec;
+  for (const auto& [key, value] : split_kv(text.substr(comma + 1), "--arrival")) {
+    if (key == "rate") {
+      spec.rate_per_s = parse_positive(value, key);
+    } else if (key == "burst") {
+      spec.burst_rate_per_s = parse_positive(value, key);
+    } else if (key == "calm_us") {
+      spec.mean_calm = static_cast<sim::DurationPs>(
+          parse_positive(value, key) * static_cast<double>(sim::kMicrosecond));
+    } else if (key == "burst_us") {
+      spec.mean_burst = static_cast<sim::DurationPs>(
+          parse_positive(value, key) * static_cast<double>(sim::kMicrosecond));
+    } else if (key == "amplitude") {
+      spec.amplitude = parse_positive(value, key);
+      if (spec.amplitude >= 1.0) {
+        throw std::invalid_argument("--arrival amplitude must be in (0, 1)");
+      }
+    } else if (key == "period_us") {
+      spec.period = static_cast<sim::DurationPs>(
+          parse_positive(value, key) * static_cast<double>(sim::kMicrosecond));
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_positive(value, key));
+    } else {
+      throw std::invalid_argument("--arrival: unknown key \"" + key + "\"");
+    }
+  }
+  return spec;
+}
+
+std::string ArrivalSpec::to_string() const {
+  std::ostringstream out;
+  out << arrival_kind_name(kind) << ",rate=" << rate_per_s;
+  if (kind == ArrivalKind::kMmpp) {
+    out << ",burst=" << (burst_rate_per_s > 0.0 ? burst_rate_per_s
+                                                : 8.0 * rate_per_s)
+        << ",calm_us=" << static_cast<double>(mean_calm) / 1e6
+        << ",burst_us=" << static_cast<double>(mean_burst) / 1e6;
+  } else if (kind == ArrivalKind::kDiurnal) {
+    out << ",amplitude=" << amplitude
+        << ",period_us=" << static_cast<double>(period) / 1e6;
+  }
+  out << ",seed=" << seed;
+  return out.str();
+}
+
+ArrivalSpec ArrivalSpec::scaled(double factor) const {
+  ArrivalSpec spec = *this;
+  spec.rate_per_s *= factor;
+  if (spec.burst_rate_per_s > 0.0) spec.burst_rate_per_s *= factor;
+  return spec;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, std::uint64_t seed)
+    : spec_(spec), state_(seed) {
+  if (spec_.rate_per_s <= 0.0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  if (spec_.kind == ArrivalKind::kMmpp) {
+    if (spec_.burst_rate_per_s <= 0.0) {
+      spec_.burst_rate_per_s = 8.0 * spec_.rate_per_s;
+    }
+    dwell_end_ = exp_dwell(spec_.mean_calm);
+  }
+}
+
+double ArrivalProcess::uniform() {
+  // (0, 1]: keeps -log() finite.
+  return 1.0 - static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;
+}
+
+sim::DurationPs ArrivalProcess::exp_gap(double rate_per_s) {
+  const double gap_s = -std::log(uniform()) / rate_per_s;
+  const double gap_ps = gap_s * 1e12;
+  if (gap_ps >= 9e18) return static_cast<sim::DurationPs>(9e18);
+  const auto gap = static_cast<sim::DurationPs>(gap_ps + 0.5);
+  return gap > 0 ? gap : 1;
+}
+
+sim::DurationPs ArrivalProcess::exp_dwell(sim::DurationPs mean) {
+  const double dwell = -std::log(uniform()) * static_cast<double>(mean);
+  if (dwell >= 9e18) return static_cast<sim::DurationPs>(9e18);
+  const auto d = static_cast<sim::DurationPs>(dwell + 0.5);
+  return d > 0 ? d : 1;
+}
+
+sim::TimePs ArrivalProcess::next() {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      now_ += exp_gap(spec_.rate_per_s);
+      return now_;
+    case ArrivalKind::kMmpp: {
+      // Sample the next arrival in the current state; if it falls past the
+      // state's dwell boundary, advance to the boundary, flip the state, and
+      // resample from there (both the Poisson stream and the dwell clock are
+      // memoryless, so restarting at the boundary is exact).
+      for (;;) {
+        const double rate =
+            in_burst_ ? spec_.burst_rate_per_s : spec_.rate_per_s;
+        const sim::TimePs candidate = now_ + exp_gap(rate);
+        if (candidate <= dwell_end_) {
+          now_ = candidate;
+          return now_;
+        }
+        now_ = dwell_end_;
+        in_burst_ = !in_burst_;
+        dwell_end_ =
+            now_ + exp_dwell(in_burst_ ? spec_.mean_burst : spec_.mean_calm);
+      }
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis-Shedler): draw from a Poisson stream at the peak
+      // rate and accept each candidate with probability rate(t) / peak.
+      const double peak = spec_.rate_per_s * (1.0 + spec_.amplitude);
+      for (;;) {
+        now_ += exp_gap(peak);
+        const double phase =
+            static_cast<double>(now_ % spec_.period) /
+            static_cast<double>(spec_.period);
+        const double rate =
+            spec_.rate_per_s *
+            (1.0 + spec_.amplitude * std::sin(2.0 * kPi * phase));
+        if (uniform() * peak <= rate) return now_;
+      }
+    }
+  }
+  throw std::logic_error("unhandled arrival kind");
+}
+
+}  // namespace bigk::load

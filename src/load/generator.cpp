@@ -1,0 +1,259 @@
+#include "load/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/common.hpp"
+
+namespace bigk::load {
+
+namespace {
+
+double parse_number(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed < 0.0) {
+    throw std::invalid_argument("--tenants " + key +
+                                " needs a non-negative number, got \"" + value +
+                                "\"");
+  }
+  return parsed;
+}
+
+std::vector<MixEntry> parse_mix(std::string_view text) {
+  std::vector<MixEntry> mix;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('|', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view token = text.substr(pos, end - pos);
+    MixEntry entry;
+    const std::size_t star = token.rfind('*');
+    if (star != std::string_view::npos && star + 1 < token.size()) {
+      entry.weight =
+          parse_number(std::string(token.substr(star + 1)), "apps weight");
+      token = token.substr(0, star);
+    }
+    if (token.empty() || entry.weight <= 0.0) {
+      throw std::invalid_argument("--tenants apps: bad mix entry \"" +
+                                  std::string(token) + "\"");
+    }
+    entry.app = std::string(token);
+    mix.push_back(std::move(entry));
+    pos = end + 1;
+  }
+  return mix;
+}
+
+TenantSpec parse_tenant_entry(std::string_view text) {
+  TenantSpec tenant;
+  const std::size_t colon = text.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  if (name.empty()) {
+    throw std::invalid_argument("--tenants: tenant entry needs a name");
+  }
+  tenant.qos.name = std::string(name);
+  if (colon == std::string_view::npos) return tenant;
+  std::string_view rest = text.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t end = rest.find(',', pos);
+    if (end == std::string_view::npos) end = rest.size();
+    const std::string_view token = rest.substr(pos, end - pos);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= token.size()) {
+      throw std::invalid_argument("--tenants: expected key=value, got \"" +
+                                  std::string(token) + "\"");
+    }
+    const std::string key(token.substr(0, eq));
+    const std::string value(token.substr(eq + 1));
+    if (key == "class") {
+      tenant.qos.slo = serve::slo_class_from_name(value);
+    } else if (key == "weight") {
+      tenant.qos.weight =
+          static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "share") {
+      tenant.share = parse_number(value, key);
+      if (tenant.share <= 0.0) {
+        throw std::invalid_argument("--tenants share must be positive");
+      }
+    } else if (key == "quota") {
+      tenant.qos.quota = static_cast<std::uint32_t>(parse_number(value, key));
+    } else if (key == "deadline_us") {
+      tenant.qos.deadline = static_cast<sim::DurationPs>(
+          parse_number(value, key) * static_cast<double>(sim::kMicrosecond));
+    } else if (key == "think_us") {
+      tenant.qos.think_time = static_cast<sim::DurationPs>(
+          parse_number(value, key) * static_cast<double>(sim::kMicrosecond));
+    } else if (key == "clients") {
+      tenant.clients = static_cast<std::uint32_t>(parse_number(value, key));
+      if (tenant.clients == 0) {
+        throw std::invalid_argument("--tenants clients must be positive");
+      }
+    } else if (key == "apps") {
+      tenant.mix = parse_mix(value);
+    } else {
+      throw std::invalid_argument("--tenants: unknown key \"" + key + "\"");
+    }
+    pos = end + 1;
+  }
+  return tenant;
+}
+
+/// Weighted draw over [0, weights.size()); `u` uniform in [0, 1).
+std::size_t weighted_pick(const std::vector<double>& cumulative, double u) {
+  const double target = u * cumulative.back();
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (target < cumulative[i]) return i;
+  }
+  return cumulative.size() - 1;
+}
+
+}  // namespace
+
+std::vector<TenantSpec> parse_tenants(std::string_view text) {
+  std::vector<TenantSpec> tenants;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view entry = text.substr(pos, end - pos);
+    if (!entry.empty()) tenants.push_back(parse_tenant_entry(entry));
+    pos = end + 1;
+  }
+  return tenants;
+}
+
+LoadPlan make_load(const LoadConfig& config,
+                   const std::vector<std::string>& app_names) {
+  if (config.tenants.empty()) {
+    throw std::invalid_argument("make_load needs at least one tenant");
+  }
+  if (app_names.empty()) {
+    throw std::invalid_argument("make_load needs at least one app");
+  }
+  if (config.duration <= 0) {
+    throw std::invalid_argument("make_load needs a positive duration");
+  }
+
+  // Resolve each tenant's mix (uniform over the suite when empty) and check
+  // every named app exists.
+  struct ResolvedTenant {
+    const TenantSpec* spec;
+    std::vector<std::string> apps;
+    std::vector<double> app_cumulative;
+    std::uint64_t client_base = 0;
+  };
+  std::vector<ResolvedTenant> resolved;
+  std::vector<double> share_cumulative;
+  double share_sum = 0.0;
+  std::uint64_t client_base = 1;  // 0 is the "no client" sentinel
+  for (const TenantSpec& tenant : config.tenants) {
+    ResolvedTenant rt;
+    rt.spec = &tenant;
+    double mix_sum = 0.0;
+    if (tenant.mix.empty()) {
+      for (const std::string& app : app_names) {
+        rt.apps.push_back(app);
+        mix_sum += 1.0;
+        rt.app_cumulative.push_back(mix_sum);
+      }
+    } else {
+      for (const MixEntry& entry : tenant.mix) {
+        if (std::find(app_names.begin(), app_names.end(), entry.app) ==
+            app_names.end()) {
+          throw std::invalid_argument("tenant \"" + tenant.qos.name +
+                                      "\": unknown app \"" + entry.app + "\"");
+        }
+        rt.apps.push_back(entry.app);
+        mix_sum += entry.weight;
+        rt.app_cumulative.push_back(mix_sum);
+      }
+    }
+    rt.client_base = client_base;
+    client_base += tenant.clients;
+    resolved.push_back(std::move(rt));
+    share_sum += tenant.share;
+    share_cumulative.push_back(share_sum);
+  }
+  if (share_sum <= 0.0) {
+    throw std::invalid_argument("tenant shares must sum to a positive value");
+  }
+
+  LoadPlan plan;
+  plan.clients = client_base - 1;
+  for (const TenantSpec& tenant : config.tenants) {
+    plan.tenants.push_back(tenant.qos);
+  }
+  const double duration_s = sim::to_seconds(config.duration);
+
+  // Separate streams for the arrival clock and the categorical draws, both
+  // derived from the one spec seed: the plan is a pure function of
+  // (config, app_names).
+  apps::Rng draw(config.arrival.seed ^ 0x9E3779B97F4A7C15ull);
+
+  if (!config.closed_loop) {
+    ArrivalProcess process(config.arrival);
+    for (;;) {
+      const sim::TimePs at = process.next();
+      if (at >= config.duration) break;
+      if (plan.specs.size() >= config.max_jobs) {
+        plan.truncated = true;
+        break;
+      }
+      const std::size_t t = weighted_pick(share_cumulative, draw.unit());
+      const ResolvedTenant& rt = resolved[t];
+      serve::JobSpec spec;
+      spec.id = plan.specs.size();
+      spec.tenant = static_cast<std::uint32_t>(t);
+      spec.client = rt.client_base + draw.below(rt.spec->clients);
+      spec.app = rt.apps[weighted_pick(rt.app_cumulative, draw.unit())];
+      spec.submit_time = at;
+      spec.deadline = rt.spec->qos.deadline;
+      plan.specs.push_back(std::move(spec));
+    }
+  } else {
+    // Closed loop: every client owns a chain of jobs; only the first submit
+    // instant is stamped here (uniform over the window so clients do not
+    // stampede at t=0) — the server paces the rest by think time.
+    const double total_target = config.arrival.rate_per_s * duration_s;
+    for (std::size_t t = 0; t < resolved.size(); ++t) {
+      const ResolvedTenant& rt = resolved[t];
+      const double tenant_target =
+          total_target * rt.spec->share / share_sum;
+      const std::uint64_t per_client = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 tenant_target / static_cast<double>(rt.spec->clients) + 0.5));
+      for (std::uint32_t c = 0; c < rt.spec->clients; ++c) {
+        const sim::TimePs offset = static_cast<sim::TimePs>(
+            draw.below(static_cast<std::uint64_t>(config.duration)));
+        for (std::uint64_t k = 0; k < per_client; ++k) {
+          if (plan.specs.size() >= config.max_jobs) {
+            plan.truncated = true;
+            break;
+          }
+          serve::JobSpec spec;
+          spec.id = plan.specs.size();
+          spec.tenant = static_cast<std::uint32_t>(t);
+          spec.client = rt.client_base + c;
+          spec.app = rt.apps[weighted_pick(rt.app_cumulative, draw.unit())];
+          // Later chain links are re-stamped by the server when the client
+          // actually submits them.
+          spec.submit_time = offset;
+          spec.deadline = rt.spec->qos.deadline;
+          plan.specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+
+  plan.offered_jobs_per_s =
+      static_cast<double>(plan.specs.size()) / duration_s;
+  return plan;
+}
+
+}  // namespace bigk::load

@@ -19,6 +19,14 @@ struct JobSpec {
   sim::TimePs submit_time = 0;
   /// Latency SLO measured from submission; 0 = no deadline.
   sim::DurationPs deadline = 0;
+  /// bigkload QoS plane: index into ServerConfig::qos.tenants (ignored when
+  /// no tenants are configured).
+  std::uint32_t tenant = 0;
+  /// Simulated client the job belongs to; 0 = anonymous (the job id keys
+  /// the retry-escalation streak instead, preserving the legacy behavior).
+  /// The load generator allocates globally unique ids starting at 1; in
+  /// closed-loop mode a client's jobs form one think-time-paced chain.
+  std::uint64_t client = 0;
 };
 
 /// What happened to one job, as reported by the server.

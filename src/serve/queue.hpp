@@ -10,7 +10,9 @@
 // (client, streak) so synchronized clients fan out instead of re-colliding —
 // the classic thundering-herd fix, reproduced bit-for-bit on every run. An
 // acceptance resets the client's streak. Rejections are also broken down by
-// cause (queue full vs. no available device) for the shedding reports.
+// cause (queue full / no available device / tenant over quota) for the
+// shedding reports, and attach_metrics() publishes the live depth and the
+// per-cause breakdown straight into a MetricsRegistry.
 #pragma once
 
 #include <array>
@@ -18,7 +20,9 @@
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics_registry.hpp"
 #include "sim/time.hpp"
 
 namespace bigk::serve {
@@ -29,14 +33,17 @@ enum class RejectCause : std::uint8_t {
   kQueueFull = 0,
   /// Every device in the pool is quarantined; nothing could run the job.
   kNoDevice,
+  /// bigkload QoS: the job's tenant is at its per-tenant admission quota.
+  kTenantQuota,
 };
 
-inline constexpr std::size_t kNumRejectCauses = 2;
+inline constexpr std::size_t kNumRejectCauses = 3;
 
 inline const char* reject_cause_name(RejectCause cause) {
   switch (cause) {
     case RejectCause::kQueueFull: return "queue_full";
     case RejectCause::kNoDevice: return "no_device";
+    case RejectCause::kTenantQuota: return "tenant_quota";
   }
   return "?";
 }
@@ -92,6 +99,9 @@ class JobQueue {
     ++admitted_;
     streaks_.erase(client);
     if (outstanding_ > peak_depth_) peak_depth_ = outstanding_;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(outstanding_));
+    }
     if (depth_observer_) depth_observer_(outstanding_);
     return Admission{true, 0, RejectCause::kQueueFull};
   }
@@ -102,6 +112,9 @@ class JobQueue {
   sim::DurationPs reject(RejectCause cause, std::uint64_t client = 0) {
     ++rejected_;
     ++rejected_by_cause_[static_cast<std::size_t>(cause)];
+    if (reject_counters_[static_cast<std::size_t>(cause)] != nullptr) {
+      reject_counters_[static_cast<std::size_t>(cause)]->add(1);
+    }
     std::uint32_t& streak = streaks_[client];
     sim::DurationPs hint = config_.retry_after;
     for (std::uint32_t i = 0; i < streak && hint < config_.max_retry_after;
@@ -124,7 +137,26 @@ class JobQueue {
       throw std::logic_error("JobQueue release without outstanding job");
     }
     --outstanding_;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(outstanding_));
+    }
     if (depth_observer_) depth_observer_(outstanding_);
+  }
+
+  /// Publishes the queue's live state into `registry` under `prefix`: an
+  /// instantaneous `<prefix>.queue.depth` gauge updated at every admit /
+  /// release transition, and one `<prefix>.queue.rejected.<cause>` counter
+  /// per RejectCause (registered immediately, so the breakdown is present —
+  /// as zeros — even on runs that never reject).
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) {
+    depth_gauge_ = &registry.gauge(prefix + ".queue.depth");
+    depth_gauge_->set(static_cast<double>(outstanding_));
+    for (std::size_t c = 0; c < kNumRejectCauses; ++c) {
+      reject_counters_[c] = &registry.counter(
+          prefix + ".queue.rejected." +
+          reject_cause_name(static_cast<RejectCause>(c)));
+    }
   }
 
   /// bigkprof: called with the new outstanding depth on every admit and
@@ -161,6 +193,9 @@ class JobQueue {
   /// Consecutive rejections per client since its last acceptance.
   std::map<std::uint64_t, std::uint32_t> streaks_;
   std::function<void(std::uint32_t)> depth_observer_;
+  /// Live metrics sinks (null until attach_metrics).
+  obs::Gauge* depth_gauge_ = nullptr;
+  std::array<obs::Counter*, kNumRejectCauses> reject_counters_{};
 };
 
 }  // namespace bigk::serve

@@ -84,10 +84,27 @@ class Scheduler {
   bool available(std::uint32_t device) const {
     return devices_.at(device).available;
   }
+
+  /// bigkload autoscaler axis, orthogonal to health: a parked (inactive)
+  /// device is skipped by every policy exactly like a quarantined one, but
+  /// reinstatement never reactivates it — only the autoscaler flips this
+  /// bit. A device takes placements only when available AND active.
+  void set_active(std::uint32_t device, bool active) {
+    devices_.at(device).active = active;
+  }
+  bool active(std::uint32_t device) const {
+    return devices_.at(device).active;
+  }
+
+  /// Healthy and active: the device can take placements.
+  bool placeable(std::uint32_t device) const {
+    const DeviceState& state = devices_.at(device);
+    return state.available && state.active;
+  }
   std::uint32_t num_available() const {
     std::uint32_t count = 0;
     for (const DeviceState& state : devices_) {
-      if (state.available) ++count;
+      if (state.available && state.active) ++count;
     }
     return count;
   }
@@ -107,22 +124,30 @@ class Scheduler {
 
   /// Picks the target device for a job of `app` with `input_bytes` of mapped
   /// input. Ties break towards the lowest device index. Returns the
-  /// num_devices() sentinel when every device is unavailable.
-  std::uint32_t pick_device(const std::string& app, std::uint64_t input_bytes) {
+  /// num_devices() sentinel when every device is unavailable. The optional
+  /// `eligible` mask (one entry per device) further restricts the candidate
+  /// set — the QoS dispatcher passes the set of idle placeable devices so
+  /// placement stays late-bound under weighted-fair ordering.
+  std::uint32_t pick_device(const std::string& app, std::uint64_t input_bytes,
+                            const std::vector<std::uint8_t>* eligible =
+                                nullptr) {
     switch (policy_) {
       case Policy::kRoundRobin: {
         for (std::uint32_t i = 0; i < num_devices(); ++i) {
           const std::uint32_t device = rr_next_;
           rr_next_ = (rr_next_ + 1) % num_devices();
-          if (devices_[device].available) return device;
+          if (placeable(device) && is_eligible(eligible, device)) {
+            return device;
+          }
         }
         return num_devices();
       }
       case Policy::kLeastOutstandingBytes:
-        return least_loaded(/*require_app=*/nullptr);
+        return least_loaded(/*require_app=*/nullptr, eligible);
       case Policy::kAppAffinity: {
-        const std::uint32_t warm = least_loaded(&app);
-        const std::uint32_t cold = least_loaded(/*require_app=*/nullptr);
+        const std::uint32_t warm = least_loaded(&app, eligible);
+        const std::uint32_t cold = least_loaded(/*require_app=*/nullptr,
+                                                eligible);
         if (warm == num_devices()) return cold;
         // A warm hit saves input staging on the shared host bus (at most
         // `input_bytes`) — plus, when a warm-benefit estimator is installed,
@@ -161,14 +186,22 @@ class Scheduler {
     std::uint64_t outstanding_bytes = 0;
     std::string resident_app;
     bool available = true;  // false while quarantined
+    bool active = true;     // false while parked by the autoscaler
   };
 
-  /// Least outstanding bytes over available devices matching `require_app`
+  static bool is_eligible(const std::vector<std::uint8_t>* eligible,
+                          std::uint32_t device) {
+    return eligible == nullptr || (*eligible)[device] != 0;
+  }
+
+  /// Least outstanding bytes over placeable devices matching `require_app`
   /// (all of them when null). Returns num_devices() if none matches.
-  std::uint32_t least_loaded(const std::string* require_app) const {
+  std::uint32_t least_loaded(const std::string* require_app,
+                             const std::vector<std::uint8_t>* eligible =
+                                 nullptr) const {
     std::uint32_t best = num_devices();
     for (std::uint32_t d = 0; d < num_devices(); ++d) {
-      if (!devices_[d].available) continue;
+      if (!placeable(d) || !is_eligible(eligible, d)) continue;
       if (require_app != nullptr && devices_[d].resident_app != *require_app) {
         continue;
       }

@@ -51,6 +51,9 @@ struct Job {
   /// bigkstatic pattern signature of the (verified) app, 0 when the
   /// verification gate is disabled.
   std::uint64_t static_signature = 0;
+  /// bigkload closed loop: raised once when the job settles, so the owning
+  /// chain client can submit its next link (null in open-loop runs).
+  std::unique_ptr<sim::Flag> done;
 };
 
 struct ServerState {
@@ -103,6 +106,28 @@ struct ServerState {
   /// Captured when the last job settles, before the shutdown handshake, so
   /// the makespan never includes a trailing probe tick.
   sim::TimePs finish_time = 0;
+  // --- bigkload QoS plane --------------------------------------------------
+  /// QoS mode is on iff tenants are configured; admitted jobs then pass
+  /// through the WFQ stage instead of being placed at admission.
+  bool qos_mode = false;
+  /// Admitted-but-unfinished jobs per tenant (quota enforcement).
+  std::vector<std::uint32_t> tenant_outstanding;
+  std::unique_ptr<QosQueue<Job*>> qos_queue;
+  /// Monotone event counter waking the dispatcher: enqueue, device freed,
+  /// scale-up, shutdown.
+  sim::Flag dispatch_events{sim};
+  /// Jobs queued-or-running per device. The dispatcher only hands a job to
+  /// an idle device, keeping placement late-bound under WFQ ordering
+  /// (redispatch after a failure may push the count past 1).
+  std::vector<std::uint32_t> inflight;
+  std::unique_ptr<Autoscaler> autoscaler;
+  /// Decision-period signal windows for the autoscaler daemon (the latency
+  /// sketch is recreated every period so p99 is per-period, not cumulative).
+  std::unique_ptr<obs::WindowedStats> scaler_depth;
+  std::unique_ptr<obs::prof::QuantileSketch> scaler_latency;
+  std::uint32_t active_devices = 0;
+  std::uint32_t min_active_seen = 0;
+  std::uint32_t max_active_seen = 0;
 
   explicit ServerState(const ServerConfig& cfg)
       : config(cfg),
@@ -129,9 +154,6 @@ struct ServerState {
       d2h_window = std::make_unique<obs::WindowedStats>(cfg.prof_window);
       queue_depth_window =
           std::make_unique<obs::WindowedStats>(cfg.prof_window);
-      queue.set_depth_observer([this](std::uint32_t depth) {
-        queue_depth_window->add(sim.now(), static_cast<double>(depth));
-      });
     }
     pool.attach_observability(cfg.tracer, cfg.metrics);
     if (!cfg.fault_spec.empty()) {
@@ -167,9 +189,53 @@ struct ServerState {
                    caches[device]->resident_bytes(dataset_id_of(app));
           });
     }
+    qos_mode = !cfg.qos.tenants.empty();
+    if (qos_mode) {
+      std::vector<std::uint32_t> weights;
+      weights.reserve(cfg.qos.tenants.size());
+      for (const TenantConfig& tenant : cfg.qos.tenants) {
+        weights.push_back(tenant.weight);
+      }
+      qos_queue = std::make_unique<QosQueue<Job*>>(cfg.qos.discipline, weights);
+      tenant_outstanding.assign(cfg.qos.tenants.size(), 0);
+      inflight.assign(pool.size(), 0);
+    }
+    if (cfg.metrics != nullptr) {
+      queue.attach_metrics(*cfg.metrics, metrics_scope);
+    }
+    active_devices = pool.size();
+    if (cfg.qos.autoscaler.enabled) {
+      autoscaler = std::make_unique<Autoscaler>(cfg.qos.autoscaler,
+                                                pool.size());
+      scaler_depth =
+          std::make_unique<obs::WindowedStats>(cfg.qos.autoscaler.period);
+      scaler_latency = std::make_unique<obs::prof::QuantileSketch>();
+      // Start at the floor; the daemon grows the pool as load arrives.
+      for (std::uint32_t d = autoscaler->min_active(); d < pool.size(); ++d) {
+        scheduler.set_active(d, false);
+      }
+      active_devices = autoscaler->min_active();
+    }
+    min_active_seen = max_active_seen = active_devices;
+    if (queue_depth_window != nullptr || scaler_depth != nullptr) {
+      queue.set_depth_observer([this](std::uint32_t depth) {
+        if (queue_depth_window != nullptr) {
+          queue_depth_window->add(sim.now(), static_cast<double>(depth));
+        }
+        if (scaler_depth != nullptr) {
+          scaler_depth->add(sim.now(), static_cast<double>(depth));
+        }
+      });
+    }
   }
 
   void settle_one() { all_settled.advance_to(++settled); }
+
+  /// Settles `job` and signals its closed-loop chain (if any).
+  void settle_job(Job& job) {
+    if (job.done != nullptr) job.done->increment();
+    settle_one();
+  }
 
   void trace_serve_instant(const std::string& name) {
     if (config.tracer == nullptr) return;
@@ -178,42 +244,86 @@ struct ServerState {
   }
 };
 
-/// One submitting client: waits until the job's arrival time, then keeps
-/// resubmitting through admission control until accepted or out of retries.
-/// Rejections — queue full, or the whole pool quarantined — return an
-/// escalating per-client retry-after hint the client honors verbatim.
-sim::Task<> client(ServerState& st, Job& job) {
-  if (job.record.spec.submit_time > 0) {
-    co_await st.sim.delay(job.record.spec.submit_time);
-  }
+/// Runs one job through admission control: keeps resubmitting until accepted
+/// or out of retries. Rejections — queue full, the whole pool quarantined, or
+/// (QoS mode) the job's tenant at its admission quota — return an escalating
+/// retry-after hint the client honors verbatim; the escalation streak is
+/// keyed by the submitting client when the workload names one, by the job id
+/// otherwise. An accepted job is placed immediately in the legacy path, or
+/// enters the WFQ stage for the dispatcher in QoS mode.
+sim::Task<> submit_one(ServerState& st, Job& job) {
+  const std::uint64_t client_key = job.record.spec.client != 0
+                                       ? job.record.spec.client
+                                       : job.record.spec.id;
+  const std::uint32_t tenant = job.record.spec.tenant;
   for (std::uint32_t attempt = 0;; ++attempt) {
     sim::DurationPs retry_after = 0;
-    if (!st.scheduler.any_available()) {
-      retry_after = st.queue.reject(RejectCause::kNoDevice, job.record.spec.id);
+    const std::uint32_t quota =
+        st.qos_mode ? st.config.qos.tenants[tenant].quota : 0;
+    if (quota > 0 && st.tenant_outstanding[tenant] >= quota) {
+      retry_after = st.queue.reject(RejectCause::kTenantQuota, client_key);
+    } else if (!st.scheduler.any_available()) {
+      retry_after = st.queue.reject(RejectCause::kNoDevice, client_key);
     } else {
-      const JobQueue::Admission admission =
-          st.queue.try_admit(job.record.spec.id);
+      const JobQueue::Admission admission = st.queue.try_admit(client_key);
       if (admission.accepted) {
         job.record.admitted = true;
         job.record.admit_time = st.sim.now();
-        const std::uint32_t device = st.scheduler.pick_device(
-            job.record.spec.app, job.record.input_bytes);
-        job.record.device = device;
-        job.record.warm =
-            st.scheduler.resident_app(device) == job.record.spec.app;
-        st.scheduler.on_dispatch(device, job.record.spec.app,
-                                 job.record.input_bytes);
-        st.dispatch[device]->push(&job);
+        if (st.qos_mode) {
+          ++st.tenant_outstanding[tenant];
+          st.qos_queue->push(tenant, &job, job.record.input_bytes >> 10);
+          st.dispatch_events.increment();
+        } else {
+          const std::uint32_t device = st.scheduler.pick_device(
+              job.record.spec.app, job.record.input_bytes);
+          job.record.device = device;
+          job.record.warm =
+              st.scheduler.resident_app(device) == job.record.spec.app;
+          st.scheduler.on_dispatch(device, job.record.spec.app,
+                                   job.record.input_bytes);
+          st.dispatch[device]->push(&job);
+        }
         co_return;  // settles when its worker finishes it
       }
       retry_after = admission.retry_after;
     }
     ++job.record.rejections;
     if (attempt >= st.config.max_retries) {  // shed for good
-      st.settle_one();
+      st.settle_job(job);
       co_return;
     }
     co_await st.sim.delay(retry_after);
+  }
+}
+
+/// One open-loop client: waits until the job's arrival time, then submits.
+sim::Task<> client(ServerState& st, Job& job) {
+  if (job.record.spec.submit_time > 0) {
+    co_await st.sim.delay(job.record.spec.submit_time);
+  }
+  co_await submit_one(st, job);
+}
+
+/// One closed-loop client: its jobs (all sharing one JobSpec::client) form a
+/// chain — each link submits only after the previous settled plus the
+/// tenant's think time, and its submit timestamp is re-stamped to the actual
+/// instant so latency is measured from the real submission. A shed link does
+/// not break the chain.
+sim::Task<> chain_client(ServerState& st, std::vector<std::size_t> chain) {
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    Job& job = st.jobs[chain[k]];
+    if (k == 0) {
+      if (job.record.spec.submit_time > 0) {
+        co_await st.sim.delay(job.record.spec.submit_time);
+      }
+    } else {
+      const sim::DurationPs think =
+          st.config.qos.tenants[job.record.spec.tenant].think_time;
+      if (think > 0) co_await st.sim.delay(think);
+      job.record.spec.submit_time = st.sim.now();
+    }
+    co_await submit_one(st, job);
+    if (job.record.admitted) co_await job.done->wait_ge(1);
   }
 }
 
@@ -222,6 +332,10 @@ sim::Task<> client(ServerState& st, Job& job) {
 /// the whole pool quarantined the job is abandoned as failed.
 void redispatch(ServerState& st, std::uint32_t from_device, Job& job) {
   st.scheduler.on_complete(from_device, job.record.input_bytes);
+  if (st.qos_mode) {
+    if (st.inflight[from_device] > 0) --st.inflight[from_device];
+    st.dispatch_events.increment();
+  }
   const std::uint32_t target =
       st.scheduler.any_available()
           ? st.scheduler.pick_device(job.record.spec.app,
@@ -230,9 +344,10 @@ void redispatch(ServerState& st, std::uint32_t from_device, Job& job) {
   if (target >= st.pool.size()) {
     job.record.failed = true;
     st.queue.release();
+    if (st.qos_mode) --st.tenant_outstanding[job.record.spec.tenant];
     st.trace_serve_instant("job " + std::to_string(job.record.spec.id) +
                            " failed: no device");
-    st.settle_one();
+    st.settle_job(job);
     return;
   }
   ++job.record.redispatches;
@@ -240,6 +355,10 @@ void redispatch(ServerState& st, std::uint32_t from_device, Job& job) {
   job.record.warm = st.scheduler.resident_app(target) == job.record.spec.app;
   st.scheduler.on_dispatch(target, job.record.spec.app,
                            job.record.input_bytes);
+  // A redispatched job keeps its admission and skips the WFQ stage: it bumps
+  // the target's inflight count past the dispatcher's one-job limit, which
+  // simply queues it behind the device's current job.
+  if (st.qos_mode) ++st.inflight[target];
   st.dispatch[target]->push(&job);
 }
 
@@ -441,12 +560,20 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     st.completion_order.push_back(job.record.spec.id);
     st.scheduler.on_complete(device_index, job.record.input_bytes);
     st.queue.release();
+    if (st.qos_mode) {
+      --st.tenant_outstanding[job.record.spec.tenant];
+      if (st.inflight[device_index] > 0) --st.inflight[device_index];
+      st.dispatch_events.increment();
+    }
     st.latency_sketch.observe(to_ms(job.record.latency()));
+    if (st.scaler_latency != nullptr) {
+      st.scaler_latency->observe(to_ms(job.record.latency()));
+    }
     if (st.completions != nullptr) {
       st.completions->add(job.record.finish_time);
       st.device_completions[device_index]->add(job.record.finish_time);
     }
-    st.settle_one();
+    st.settle_job(job);
     if (st.config.tracer != nullptr) {
       const obs::TrackId track =
           st.config.tracer->track("serve", device.device_name());
@@ -459,15 +586,147 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
   }
 }
 
+/// bigkload dispatcher: pairs WFQ-ordered admitted jobs with idle placeable
+/// devices. Placement is late-bound — the device is chosen at dispatch time
+/// from the currently idle set (via the scheduler's eligibility mask), so
+/// weighted-fair ordering composes with the configured placement policy
+/// instead of fighting it.
+sim::Task<> qos_dispatcher(ServerState& st) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    co_await st.dispatch_events.wait_ge(seen + 1);
+    seen = st.dispatch_events.value();
+    if (st.shutdown) co_return;
+    while (!st.qos_queue->empty()) {
+      std::vector<std::uint8_t> eligible(st.pool.size(), 0);
+      bool any_idle = false;
+      for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+        if (st.scheduler.placeable(d) && st.inflight[d] == 0) {
+          eligible[d] = 1;
+          any_idle = true;
+        }
+      }
+      if (!any_idle) break;
+      std::optional<Job*> item = st.qos_queue->pop();
+      if (!item.has_value()) break;
+      Job& job = **item;
+      const std::uint32_t device = st.scheduler.pick_device(
+          job.record.spec.app, job.record.input_bytes, &eligible);
+      if (device >= st.pool.size()) {
+        throw std::logic_error("QoS dispatcher: idle set yielded no device");
+      }
+      job.record.device = device;
+      job.record.warm =
+          st.scheduler.resident_app(device) == job.record.spec.app;
+      st.scheduler.on_dispatch(device, job.record.spec.app,
+                               job.record.input_bytes);
+      ++st.inflight[device];
+      st.dispatch[device]->push(&job);
+    }
+  }
+}
+
+/// bigkload autoscaler daemon: once per decision period, feeds the period's
+/// mean admission-queue depth and p99 latency to the Autoscaler and applies
+/// the returned step to the scheduler's active axis. Scale-up wakes the
+/// lowest-index parked device (preferring a healthy one); scale-down parks
+/// the highest-index active device, whose queued work still drains.
+sim::Task<> autoscaler_daemon(ServerState& st) {
+  const AutoscalerConfig& cfg = st.config.qos.autoscaler;
+  while (!st.shutdown) {
+    co_await st.sim.delay(cfg.period);
+    if (st.shutdown) break;
+    const sim::TimePs now = st.sim.now();
+    const double depth =
+        st.scaler_depth->events(now) > 0
+            ? st.scaler_depth->sum(now) /
+                  static_cast<double>(st.scaler_depth->events(now))
+            : static_cast<double>(st.queue.outstanding());
+    const double p99 = st.scaler_latency->count() > 0
+                           ? st.scaler_latency->quantile(0.99)
+                           : 0.0;
+    // The latency signal is per-period: fresh sketch for the next decision.
+    st.scaler_latency = std::make_unique<obs::prof::QuantileSketch>();
+    const int step = st.autoscaler->decide(depth, p99, st.active_devices);
+    if (step > 0) {
+      std::uint32_t pick = st.pool.size();
+      for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+        if (st.scheduler.active(d)) continue;
+        if (pick == st.pool.size()) pick = d;
+        if (!st.health.quarantined(d)) {
+          pick = d;
+          break;
+        }
+      }
+      if (pick < st.pool.size()) {
+        st.scheduler.set_active(pick, true);
+        ++st.active_devices;
+        st.trace_serve_instant("scale-up dev" + std::to_string(pick));
+        if (st.qos_mode) st.dispatch_events.increment();
+      }
+    } else if (step < 0) {
+      for (std::uint32_t d = st.pool.size(); d-- > 0;) {
+        if (!st.scheduler.active(d)) continue;
+        st.scheduler.set_active(d, false);
+        --st.active_devices;
+        st.trace_serve_instant("scale-down dev" + std::to_string(d));
+        break;
+      }
+    }
+    // Never leave the pool with nothing placeable while a healthy parked
+    // device exists (quarantines can empty the active set between periods).
+    if (!st.scheduler.any_available()) {
+      for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+        if (st.scheduler.active(d) || st.health.quarantined(d)) continue;
+        st.scheduler.set_active(d, true);
+        ++st.active_devices;
+        st.trace_serve_instant("scale-up dev" + std::to_string(d) +
+                               " (failover)");
+        if (st.qos_mode) st.dispatch_events.increment();
+        break;
+      }
+    }
+    st.min_active_seen = std::min(st.min_active_seen, st.active_devices);
+    st.max_active_seen = std::max(st.max_active_seen, st.active_devices);
+    if (st.config.metrics != nullptr) {
+      st.config.metrics->gauge(st.metrics_scope + ".autoscaler.active")
+          .set(static_cast<double>(st.active_devices));
+    }
+    if (st.config.tracer != nullptr) {
+      const std::uint32_t pid = st.config.tracer->process("serve");
+      st.config.tracer->counter_set(pid, "load.active_devices", now,
+                                    static_cast<double>(st.active_devices));
+    }
+  }
+}
+
 sim::Task<> serve_main(ServerState& st) {
   std::vector<sim::Process> clients;
-  clients.reserve(st.jobs.size());
-  for (Job& job : st.jobs) clients.push_back(st.sim.spawn(client(st, job)));
+  if (st.qos_mode && st.config.qos.closed_loop) {
+    // Group jobs into per-client chains; spec order is preserved inside
+    // each, and std::map keys make the spawn order deterministic.
+    std::map<std::uint64_t, std::vector<std::size_t>> chains;
+    for (std::size_t i = 0; i < st.jobs.size(); ++i) {
+      chains[st.jobs[i].record.spec.client].push_back(i);
+    }
+    clients.reserve(chains.size());
+    for (auto& entry : chains) {
+      clients.push_back(
+          st.sim.spawn(chain_client(st, std::move(entry.second))));
+    }
+  } else {
+    clients.reserve(st.jobs.size());
+    for (Job& job : st.jobs) clients.push_back(st.sim.spawn(client(st, job)));
+  }
   std::vector<sim::Process> workers;
   workers.reserve(st.pool.size());
   for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
     workers.push_back(st.sim.spawn(device_worker(st, d)));
   }
+  sim::Process dispatcher;
+  if (st.qos_mode) dispatcher = st.sim.spawn(qos_dispatcher(st));
+  sim::Process scaler;
+  if (st.autoscaler != nullptr) scaler = st.sim.spawn(autoscaler_daemon(st));
   sim::Process probe;
   if (st.fault_plane != nullptr) {
     probe = st.sim.spawn(probe_daemon(st));
@@ -483,8 +742,11 @@ sim::Task<> serve_main(ServerState& st) {
   co_await st.all_settled.wait_ge(st.jobs.size());
   st.finish_time = st.sim.now();
   st.shutdown = true;
+  if (st.qos_mode) st.dispatch_events.increment();  // wake for shutdown
   for (auto& channel : st.dispatch) channel->close();
   for (sim::Process& process : workers) co_await process.join();
+  if (dispatcher.valid()) co_await dispatcher.join();
+  if (scaler.valid()) co_await scaler.join();
   if (probe.valid()) co_await probe.join();
   if (telemetry.valid()) co_await telemetry.join();
 }
@@ -499,6 +761,16 @@ ServeReport run_server(const ServerConfig& config,
   for (const JobSpec& spec : specs) {
     Job job;
     job.record.spec = spec;
+    if (state.qos_mode && spec.tenant >= config.qos.tenants.size()) {
+      throw std::invalid_argument(
+          "job " + std::to_string(spec.id) + " names tenant index " +
+          std::to_string(spec.tenant) + " but only " +
+          std::to_string(config.qos.tenants.size()) +
+          " tenants are configured");
+    }
+    if (state.qos_mode && config.qos.closed_loop) {
+      job.done = std::make_unique<sim::Flag>(state.sim);
+    }
     const apps::BenchApp& app = apps::find_app(suite, spec.app);
     if (config.require_verified) {
       // bigkstatic gate: refuse kernels the static verifier rejects, naming
@@ -527,6 +799,8 @@ ServeReport run_server(const ServerConfig& config,
   report.rejections = state.queue.rejected();
   report.rejections_queue_full = state.queue.rejected(RejectCause::kQueueFull);
   report.rejections_no_device = state.queue.rejected(RejectCause::kNoDevice);
+  report.rejections_tenant_quota =
+      state.queue.rejected(RejectCause::kTenantQuota);
   report.peak_queue_depth = state.queue.peak_depth();
   report.quarantines = state.health.quarantines();
   report.reinstatements = state.health.reinstatements();
@@ -655,6 +929,98 @@ ServeReport run_server(const ServerConfig& config,
         static_cast<double>(report.cache_hits + report.cache_misses);
   }
 
+  // --- bigkload QoS plane --------------------------------------------------
+  report.min_active_devices = state.min_active_seen;
+  report.max_active_devices = state.max_active_seen;
+  report.final_active_devices = state.active_devices;
+  if (state.autoscaler != nullptr) {
+    report.scale_ups = state.autoscaler->scale_ups();
+    report.scale_downs = state.autoscaler->scale_downs();
+  }
+  const double makespan_s = static_cast<double>(report.makespan) * 1e-12;
+  std::uint64_t goodput_jobs = 0;
+  for (const JobRecord& record : report.jobs) {
+    if (record.completed && record.deadline_met) ++goodput_jobs;
+  }
+  report.slo_attained = goodput_jobs;
+  if (makespan_s > 0) {
+    report.goodput_jobs_per_s = static_cast<double>(goodput_jobs) / makespan_s;
+  }
+  sim::TimePs offered_window = config.qos.offered_window;
+  if (offered_window == 0) {
+    for (const JobRecord& record : report.jobs) {
+      offered_window = std::max(offered_window, record.spec.submit_time);
+    }
+  }
+  if (offered_window > 0) {
+    report.offered_jobs_per_s = static_cast<double>(report.jobs.size()) /
+                                (static_cast<double>(offered_window) * 1e-12);
+  }
+  if (state.qos_mode) {
+    const std::vector<TenantConfig>& tenants_cfg = config.qos.tenants;
+    report.tenants.resize(tenants_cfg.size());
+    std::vector<obs::prof::QuantileSketch> sketches(tenants_cfg.size());
+    std::vector<std::uint64_t> tenant_goodput(tenants_cfg.size(), 0);
+    for (std::size_t t = 0; t < tenants_cfg.size(); ++t) {
+      report.tenants[t].name = tenants_cfg[t].name;
+      report.tenants[t].slo = tenants_cfg[t].slo;
+      report.tenants[t].weight = tenants_cfg[t].weight;
+    }
+    for (const JobRecord& record : report.jobs) {
+      TenantReport& tenant = report.tenants[record.spec.tenant];
+      ++tenant.submitted;
+      tenant.rejections += record.rejections;
+      if (record.completed) {
+        ++tenant.completed;
+        sketches[record.spec.tenant].observe(to_ms(record.latency()));
+        if (record.spec.deadline > 0) {
+          if (record.deadline_met) {
+            ++tenant.deadline_hits;
+          } else {
+            ++tenant.deadline_misses;
+          }
+        }
+        if (record.deadline_met) ++tenant_goodput[record.spec.tenant];
+      } else if (record.failed) {
+        ++tenant.failed;
+      } else if (!record.admitted) {
+        ++tenant.shed;
+      }
+    }
+    std::vector<double> normalized;
+    for (std::size_t t = 0; t < tenants_cfg.size(); ++t) {
+      TenantReport& tenant = report.tenants[t];
+      if (sketches[t].count() > 0) {
+        const double p50 = sketches[t].quantile(0.50);
+        const double p95 = std::max(p50, sketches[t].quantile(0.95));
+        const double p99 = std::max(p95, sketches[t].quantile(0.99));
+        const auto quantile_ps = [](double ms) {
+          return static_cast<sim::DurationPs>(ms * 1e9 + 0.5);
+        };
+        tenant.latency_p50 = quantile_ps(p50);
+        tenant.latency_p95 = quantile_ps(p95);
+        tenant.latency_p99 = quantile_ps(p99);
+      }
+      if (makespan_s > 0) {
+        tenant.throughput_jobs_per_s =
+            static_cast<double>(tenant.completed) / makespan_s;
+        tenant.goodput_jobs_per_s =
+            static_cast<double>(tenant_goodput[t]) / makespan_s;
+      }
+      if (tenant.submitted > 0) {
+        tenant.slo_attainment = static_cast<double>(tenant_goodput[t]) /
+                                static_cast<double>(tenant.submitted);
+      }
+      // Weight-0 background tenants are excluded: they hold no fair-share
+      // entitlement, so they neither lift nor sink the index.
+      if (tenant.weight > 0) {
+        normalized.push_back(tenant.goodput_jobs_per_s /
+                             static_cast<double>(tenant.weight));
+      }
+    }
+    report.fairness_jain = jain_index(normalized);
+  }
+
   if (config.metrics != nullptr) {
     const std::string prefix =
         config.metrics_prefix.empty()
@@ -718,6 +1084,38 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + ".slo.rules").set(static_cast<double>(slo_rules));
   registry.gauge(prefix + ".slo.violations")
       .set(static_cast<double>(slo_violations));
+  registry.gauge(prefix + ".rejections.tenant_quota")
+      .set(static_cast<double>(rejections_tenant_quota));
+  registry.gauge(prefix + ".load.offered_jobs_per_s").set(offered_jobs_per_s);
+  registry.gauge(prefix + ".load.goodput_jobs_per_s").set(goodput_jobs_per_s);
+  registry.gauge(prefix + ".load.slo_attained")
+      .set(static_cast<double>(slo_attained));
+  registry.gauge(prefix + ".fairness.jain").set(fairness_jain);
+  registry.gauge(prefix + ".autoscaler.scale_ups")
+      .set(static_cast<double>(scale_ups));
+  registry.gauge(prefix + ".autoscaler.scale_downs")
+      .set(static_cast<double>(scale_downs));
+  registry.gauge(prefix + ".autoscaler.min_active")
+      .set(static_cast<double>(min_active_devices));
+  registry.gauge(prefix + ".autoscaler.max_active")
+      .set(static_cast<double>(max_active_devices));
+  registry.gauge(prefix + ".autoscaler.final_active")
+      .set(static_cast<double>(final_active_devices));
+  for (const TenantReport& tenant : tenants) {
+    const std::string tenant_prefix = prefix + ".tenant." + tenant.name;
+    registry.gauge(tenant_prefix + ".weight")
+        .set(static_cast<double>(tenant.weight));
+    registry.gauge(tenant_prefix + ".submitted")
+        .set(static_cast<double>(tenant.submitted));
+    registry.gauge(tenant_prefix + ".completed")
+        .set(static_cast<double>(tenant.completed));
+    registry.gauge(tenant_prefix + ".shed")
+        .set(static_cast<double>(tenant.shed));
+    registry.gauge(tenant_prefix + ".goodput_jobs_per_s")
+        .set(tenant.goodput_jobs_per_s);
+    registry.gauge(tenant_prefix + ".attainment").set(tenant.slo_attainment);
+    registry.gauge(tenant_prefix + ".p99_ms").set(to_ms(tenant.latency_p99));
+  }
   for (std::size_t d = 0; d < devices.size(); ++d) {
     const std::string dev_prefix = prefix + ".dev" + std::to_string(d);
     registry.gauge(dev_prefix + ".utilization").set(devices[d].utilization);
@@ -772,7 +1170,42 @@ void ServeReport::write_json(std::ostream& out) const {
       << ",\"total\":" << obs::json_number(breakdown_total_ms) << "}"
       << ",\"slo\":{\"rules\":" << slo_rules
       << ",\"violations\":" << slo_violations << "}"
-      << ",\"devices\":[";
+      << ",\"load\":{\"offered_jobs_per_s\":"
+      << obs::json_number(offered_jobs_per_s) << ",\"goodput_jobs_per_s\":"
+      << obs::json_number(goodput_jobs_per_s)
+      << ",\"slo_attained\":" << slo_attained
+      << ",\"fairness_jain\":" << obs::json_number(fairness_jain)
+      << ",\"rejections_tenant_quota\":" << rejections_tenant_quota << "}"
+      << ",\"autoscaler\":{\"scale_ups\":" << scale_ups
+      << ",\"scale_downs\":" << scale_downs
+      << ",\"min_active\":" << min_active_devices
+      << ",\"max_active\":" << max_active_devices
+      << ",\"final_active\":" << final_active_devices << "}"
+      << ",\"tenants\":[";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (t > 0) out << ',';
+    const TenantReport& tenant = tenants[t];
+    out << "{\"name\":" << obs::json_quote(tenant.name)
+        << ",\"class\":" << obs::json_quote(slo_class_name(tenant.slo))
+        << ",\"weight\":" << tenant.weight
+        << ",\"submitted\":" << tenant.submitted
+        << ",\"completed\":" << tenant.completed << ",\"shed\":" << tenant.shed
+        << ",\"failed\":" << tenant.failed
+        << ",\"rejections\":" << tenant.rejections
+        << ",\"deadline_hits\":" << tenant.deadline_hits
+        << ",\"deadline_misses\":" << tenant.deadline_misses
+        << ",\"latency_ms\":{\"p50\":"
+        << obs::json_number(to_ms(tenant.latency_p50))
+        << ",\"p95\":" << obs::json_number(to_ms(tenant.latency_p95))
+        << ",\"p99\":" << obs::json_number(to_ms(tenant.latency_p99)) << "}"
+        << ",\"throughput_jobs_per_s\":"
+        << obs::json_number(tenant.throughput_jobs_per_s)
+        << ",\"goodput_jobs_per_s\":"
+        << obs::json_number(tenant.goodput_jobs_per_s)
+        << ",\"attainment\":" << obs::json_number(tenant.slo_attainment)
+        << "}";
+  }
+  out << "],\"devices\":[";
   for (std::size_t d = 0; d < devices.size(); ++d) {
     if (d > 0) out << ',';
     const DeviceReport& dev = devices[d];

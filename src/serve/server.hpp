@@ -25,9 +25,12 @@
 #include "gpusim/config.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
+#include "serve/autoscaler.hpp"
 #include "serve/job.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/tenant.hpp"
+#include "serve/wfq.hpp"
 #include "sim/time.hpp"
 
 namespace bigk::serve {
@@ -101,6 +104,26 @@ struct ServerConfig {
   /// utilization fault_rate h2d_gbps d2h_gbps. Empty = no rules.
   std::string slo_spec;
 
+  // --- bigkload QoS plane --------------------------------------------------
+  struct QosConfig {
+    /// Tenants in JobSpec::tenant index order. Empty = QoS plane off: the
+    /// server behaves byte-identically to the pre-tenant build (clients
+    /// place their job at admission; no WFQ stage, no quotas).
+    std::vector<TenantConfig> tenants;
+    /// Ordering of admitted jobs across tenants while they wait for a free
+    /// device (kWfq default; kFifo is the baseline for A/B runs).
+    Discipline discipline = Discipline::kWfq;
+    /// Closed-loop mode: jobs sharing a JobSpec::client id form one chain —
+    /// each submits only after the previous settled plus the tenant's think
+    /// time (open loop, the default, submits at the stamped instants).
+    bool closed_loop = false;
+    /// Denominator for the offered-load gauge; 0 = the last submit instant.
+    sim::DurationPs offered_window = 0;
+    /// Pool autoscaler (enabled flag inside; works with or without tenants).
+    AutoscalerConfig autoscaler;
+  };
+  QosConfig qos;
+
   /// Optional telemetry sinks (must outlive the run). With a tracer, every
   /// device gets its own "devK ..." process rows plus a "serve" process with
   /// one job span per completion.
@@ -164,6 +187,7 @@ struct ServeReport {
   /// Rejection breakdown by cause (sums to `rejections`).
   std::uint64_t rejections_queue_full = 0;
   std::uint64_t rejections_no_device = 0;
+  std::uint64_t rejections_tenant_quota = 0;
 
   /// bigkcache totals across devices (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;
@@ -199,6 +223,25 @@ struct ServeReport {
   /// SLO monitoring outcome (0/0 when no slo_spec was configured).
   std::uint64_t slo_rules = 0;
   std::uint64_t slo_violations = 0;
+
+  // --- bigkload QoS plane --------------------------------------------------
+  /// One block per configured tenant (empty without a QoS config).
+  std::vector<TenantReport> tenants;
+  /// Jain index over weight-normalized tenant goodput (weight-0 background
+  /// tenants excluded); 1.0 when fewer than two weighted tenants exist.
+  double fairness_jain = 1.0;
+  /// Offered load (submitted jobs over the configured window) and pool-wide
+  /// goodput (deadline-met completions per second of makespan).
+  double offered_jobs_per_s = 0.0;
+  double goodput_jobs_per_s = 0.0;
+  /// Deadline-met completions (jobs without a deadline count as attained).
+  std::uint64_t slo_attained = 0;
+  /// Autoscaler trajectory (static pool: min == max == devices, 0 events).
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint32_t min_active_devices = 0;
+  std::uint32_t max_active_devices = 0;
+  std::uint32_t final_active_devices = 0;
 
   /// Registers the headline numbers as `<prefix>.*` gauges (latency
   /// percentiles in ms, throughput, per-device utilization, shedding

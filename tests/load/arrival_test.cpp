@@ -1,0 +1,162 @@
+// bigkload arrival-process tests: determinism, statistical sanity of each
+// process kind, and the --arrival spec grammar.
+#include "load/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bigk::load {
+namespace {
+
+std::vector<sim::TimePs> draw(const ArrivalSpec& spec, int count) {
+  ArrivalProcess process(spec);
+  std::vector<sim::TimePs> arrivals;
+  arrivals.reserve(count);
+  for (int i = 0; i < count; ++i) arrivals.push_back(process.next());
+  return arrivals;
+}
+
+TEST(ArrivalProcessTest, SameSeedSameSequence) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_per_s = 50'000.0;
+    spec.seed = 42;
+    EXPECT_EQ(draw(spec, 500), draw(spec, 500))
+        << arrival_kind_name(kind);
+  }
+}
+
+TEST(ArrivalProcessTest, DifferentSeedsDiverge) {
+  ArrivalSpec spec;
+  spec.rate_per_s = 50'000.0;
+  spec.seed = 1;
+  const auto first = draw(spec, 100);
+  spec.seed = 2;
+  EXPECT_NE(first, draw(spec, 100));
+}
+
+TEST(ArrivalProcessTest, ArrivalsAreStrictlyIncreasing) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_per_s = 1e6;  // high rate provokes sub-ps gap rounding
+    const auto arrivals = draw(spec, 2'000);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      ASSERT_LT(arrivals[i - 1], arrivals[i]) << arrival_kind_name(kind);
+    }
+  }
+}
+
+TEST(ArrivalProcessTest, PoissonMeanRateIsClose) {
+  ArrivalSpec spec;
+  spec.rate_per_s = 100'000.0;
+  spec.seed = 7;
+  const int count = 20'000;
+  const auto arrivals = draw(spec, count);
+  const double span_s = static_cast<double>(arrivals.back()) / 1e12;
+  const double observed = count / span_s;
+  EXPECT_NEAR(observed, spec.rate_per_s, spec.rate_per_s * 0.05);
+}
+
+TEST(ArrivalProcessTest, MmppIsBurstierThanPoisson) {
+  // Squared coefficient of variation of the gaps: ~1 for Poisson, > 1 for
+  // a 2-state MMPP with well-separated rates.
+  const auto cv2 = [](const std::vector<sim::TimePs>& arrivals) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      gaps.push_back(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+    }
+    double mean = 0.0;
+    for (const double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    double var = 0.0;
+    for (const double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size());
+    return var / (mean * mean);
+  };
+  ArrivalSpec poisson;
+  poisson.rate_per_s = 50'000.0;
+  poisson.seed = 11;
+  ArrivalSpec mmpp = poisson;
+  mmpp.kind = ArrivalKind::kMmpp;
+  mmpp.burst_rate_per_s = 500'000.0;
+  const double poisson_cv2 = cv2(draw(poisson, 20'000));
+  const double mmpp_cv2 = cv2(draw(mmpp, 20'000));
+  EXPECT_NEAR(poisson_cv2, 1.0, 0.15);
+  EXPECT_GT(mmpp_cv2, 1.5);
+}
+
+TEST(ArrivalProcessTest, DiurnalRateStaysWithinEnvelope) {
+  // Thinning against the peak rate: no window may exceed peak for long, and
+  // the cycle must actually modulate (a busy and a quiet phase exist).
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_per_s = 100'000.0;
+  spec.amplitude = 0.9;
+  spec.period = sim::kMillisecond;
+  spec.seed = 5;
+  ArrivalProcess process(spec);
+  // Bucket arrivals per quarter-period over 8 periods.
+  std::vector<int> buckets(32, 0);
+  const sim::DurationPs bucket_width = spec.period / 4;
+  for (;;) {
+    const sim::TimePs t = process.next();
+    const std::size_t bucket = static_cast<std::size_t>(t / bucket_width);
+    if (bucket >= buckets.size()) break;
+    ++buckets[bucket];
+  }
+  int busiest = 0;
+  int quietest = 1 << 30;
+  for (const int count : buckets) {
+    busiest = std::max(busiest, count);
+    quietest = std::min(quietest, count);
+  }
+  EXPECT_GT(busiest, 2 * std::max(1, quietest));
+}
+
+TEST(ArrivalSpecTest, ParseRoundTrips) {
+  for (const char* text :
+       {"poisson,rate=2500,seed=9",
+        "mmpp,rate=1000,burst=9000,calm_us=300,burst_us=50,seed=3",
+        "diurnal,rate=800,amplitude=0.5,period_us=2000,seed=4"}) {
+    const ArrivalSpec spec = ArrivalSpec::parse(text);
+    const ArrivalSpec again = ArrivalSpec::parse(spec.to_string());
+    EXPECT_EQ(again.kind, spec.kind) << text;
+    EXPECT_DOUBLE_EQ(again.rate_per_s, spec.rate_per_s) << text;
+    EXPECT_DOUBLE_EQ(again.burst_rate_per_s, spec.burst_rate_per_s) << text;
+    EXPECT_EQ(again.mean_calm, spec.mean_calm) << text;
+    EXPECT_EQ(again.mean_burst, spec.mean_burst) << text;
+    EXPECT_DOUBLE_EQ(again.amplitude, spec.amplitude) << text;
+    EXPECT_EQ(again.period, spec.period) << text;
+    EXPECT_EQ(again.seed, spec.seed) << text;
+  }
+}
+
+TEST(ArrivalSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(ArrivalSpec::parse("uniform"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("poisson,rate=-5"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("poisson,bogus=1"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse(""), std::invalid_argument);
+}
+
+TEST(ArrivalSpecTest, ScaledMultipliesEveryRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kMmpp;
+  spec.rate_per_s = 1'000.0;
+  spec.burst_rate_per_s = 8'000.0;
+  const ArrivalSpec doubled = spec.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.rate_per_s, 2'000.0);
+  EXPECT_DOUBLE_EQ(doubled.burst_rate_per_s, 16'000.0);
+  EXPECT_EQ(doubled.seed, spec.seed);
+}
+
+}  // namespace
+}  // namespace bigk::load

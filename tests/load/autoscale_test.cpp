@@ -1,0 +1,164 @@
+// Autoscaler tests: the pure decision policy (growth, shrink, hysteresis,
+// clamping) and the end-to-end daemon reacting to a seeded burst.
+#include "serve/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "load/generator.hpp"
+#include "serve/server.hpp"
+#include "toy_suite.hpp"
+
+namespace bigk::serve {
+namespace {
+
+using test::make_toy_suite;
+using test::toy_engine_options;
+using test::toy_system;
+
+AutoscalerConfig policy_config() {
+  AutoscalerConfig config;
+  config.enabled = true;
+  config.min_active = 1;
+  config.up_queue_depth = 3.0;
+  config.down_queue_depth = 1.0;
+  config.cooldown = 2;
+  return config;
+}
+
+TEST(AutoscalerPolicyTest, GrowsOnDeepQueueAndHonorsCooldown) {
+  Autoscaler scaler(policy_config(), 4);
+  EXPECT_EQ(scaler.decide(10.0, 0.0, 1), +1);
+  // Cooldown: the next two periods hold even though the queue stays deep.
+  EXPECT_EQ(scaler.decide(10.0, 0.0, 2), 0);
+  EXPECT_EQ(scaler.decide(10.0, 0.0, 2), 0);
+  EXPECT_EQ(scaler.decide(10.0, 0.0, 2), +1);
+  EXPECT_EQ(scaler.scale_ups(), 2u);
+  EXPECT_EQ(scaler.scale_downs(), 0u);
+}
+
+TEST(AutoscalerPolicyTest, NeverExceedsMaxActive) {
+  AutoscalerConfig config = policy_config();
+  config.cooldown = 0;
+  config.max_active = 2;
+  Autoscaler scaler(config, 4);
+  EXPECT_EQ(scaler.max_active(), 2u);
+  EXPECT_EQ(scaler.decide(100.0, 0.0, 1), +1);
+  EXPECT_EQ(scaler.decide(100.0, 0.0, 2), 0);  // at the ceiling
+}
+
+TEST(AutoscalerPolicyTest, ShrinksOnIdleQueueDownToMinActive) {
+  AutoscalerConfig config = policy_config();
+  config.cooldown = 0;
+  Autoscaler scaler(config, 4);
+  EXPECT_EQ(scaler.decide(0.0, 0.0, 3), -1);
+  EXPECT_EQ(scaler.decide(0.0, 0.0, 2), -1);
+  EXPECT_EQ(scaler.decide(0.0, 0.0, 1), 0);  // at the floor
+  EXPECT_EQ(scaler.scale_downs(), 2u);
+}
+
+TEST(AutoscalerPolicyTest, HysteresisBandHolds) {
+  AutoscalerConfig config = policy_config();
+  config.cooldown = 0;
+  Autoscaler scaler(config, 4);
+  // Depth between down_queue_depth*(active-1)=2 and up_queue_depth*active=9:
+  // neither grow nor shrink.
+  EXPECT_EQ(scaler.decide(5.0, 0.0, 3), 0);
+}
+
+TEST(AutoscalerPolicyTest, P99GateGrowsAndBlocksShrink) {
+  AutoscalerConfig config = policy_config();
+  config.cooldown = 0;
+  config.up_p99_ms = 10.0;
+  Autoscaler scaler(config, 4);
+  // Depth is fine but the latency gate trips: grow.
+  EXPECT_EQ(scaler.decide(0.0, 25.0, 1), +1);
+  // Idle queue but p99 still above half the gate: hold instead of shrink.
+  EXPECT_EQ(scaler.decide(0.0, 8.0, 2), 0);
+  EXPECT_EQ(scaler.decide(0.0, 1.0, 2), -1);
+}
+
+TEST(AutoscalerPolicyTest, ClampsDegenerateConfigs) {
+  EXPECT_THROW(Autoscaler(policy_config(), 0), std::invalid_argument);
+  AutoscalerConfig config = policy_config();
+  config.min_active = 10;  // above the pool size: clamped to the ceiling
+  Autoscaler scaler(config, 3);
+  EXPECT_EQ(scaler.min_active(), 3u);
+  EXPECT_EQ(scaler.max_active(), 3u);
+}
+
+TEST(AutoscaleServeTest, ReactsToASeededBurst) {
+  // MMPP calm/burst arrivals against a 3-device pool parked down to one
+  // active device: the burst must grow the active set, and the calm tail
+  // must shrink it back.
+  const std::uint32_t devices = 3;
+  const auto capacity = [&] {
+    const auto suite = make_toy_suite(2, 2'000);
+    WorkloadConfig workload;
+    workload.num_jobs = 12;
+    workload.seed = 5;
+    workload.mean_gap = 0;
+    ServerConfig config;
+    config.system = toy_system();
+    config.devices = devices;
+    config.engine = toy_engine_options();
+    config.queue_depth = 8;
+    config.max_retries = 1'000;
+    return run_server(config, make_workload({"toy0", "toy1"}, workload),
+                      suite)
+        .throughput_jobs_per_s;
+  }();
+  ASSERT_GT(capacity, 0.0);
+
+  load::LoadConfig lc;
+  lc.arrival.kind = load::ArrivalKind::kMmpp;
+  lc.arrival.rate_per_s = 0.3 * capacity;
+  lc.arrival.burst_rate_per_s = 3.0 * capacity;
+  lc.arrival.seed = 8;
+  lc.duration = static_cast<sim::DurationPs>(30.0 / capacity * 1e12);
+  load::TenantSpec tenant;
+  tenant.qos.name = "all";
+  tenant.clients = 32;
+  lc.tenants.push_back(tenant);
+  const load::LoadPlan plan = load::make_load(lc, {"toy0", "toy1"});
+
+  const auto run_once = [&] {
+    const auto suite = make_toy_suite(2, 2'000);
+    ServerConfig config;
+    config.system = toy_system();
+    config.devices = devices;
+    config.engine = toy_engine_options();
+    config.queue_depth = 32;
+    config.max_retries = 1'000;
+    config.retry_after = sim::DurationPs{20'000'000};
+    config.qos.tenants = plan.tenants;
+    config.qos.offered_window = lc.duration;
+    config.qos.autoscaler.enabled = true;
+    config.qos.autoscaler.min_active = 1;
+    config.qos.autoscaler.period = sim::DurationPs{50'000'000};  // 50 us
+    config.qos.autoscaler.up_queue_depth = 2.0;
+    config.qos.autoscaler.cooldown = 1;
+    return run_server(config, plan.specs, suite);
+  };
+  const ServeReport report = run_once();
+
+  EXPECT_EQ(report.completed, plan.specs.size());
+  EXPECT_GE(report.scale_ups, 1u);
+  EXPECT_EQ(report.min_active_devices, 1u);
+  EXPECT_GT(report.max_active_devices, report.min_active_devices);
+  // The calm tail (arrivals stop at the window) drains the queue: the pool
+  // gives devices back.
+  EXPECT_GE(report.scale_downs, 1u);
+
+  // The whole trajectory is deterministic.
+  const ServeReport again = run_once();
+  EXPECT_EQ(again.scale_ups, report.scale_ups);
+  EXPECT_EQ(again.scale_downs, report.scale_downs);
+  EXPECT_EQ(again.completion_order, report.completion_order);
+  EXPECT_EQ(again.final_active_devices, report.final_active_devices);
+}
+
+}  // namespace
+}  // namespace bigk::serve

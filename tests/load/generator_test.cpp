@@ -1,0 +1,204 @@
+// bigkload generator tests: plan determinism, tenant/app assignment, the
+// --tenants grammar, and closed-loop chain construction.
+#include "load/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bigk::load {
+namespace {
+
+const std::vector<std::string> kApps{"toy0", "toy1", "toy2"};
+
+LoadConfig two_tenant_config() {
+  LoadConfig config;
+  config.arrival.rate_per_s = 200'000.0;
+  config.arrival.seed = 77;
+  config.duration = sim::kMillisecond;
+  TenantSpec lc;
+  lc.qos.name = "lc";
+  lc.qos.weight = 8;
+  lc.qos.deadline = 250 * sim::kMicrosecond;
+  lc.share = 1.0;
+  lc.clients = 16;
+  TenantSpec batch;
+  batch.qos.name = "batch";
+  batch.qos.weight = 1;
+  batch.share = 3.0;
+  batch.clients = 32;
+  config.tenants = {lc, batch};
+  return config;
+}
+
+TEST(MakeLoadTest, PlanIsAPureFunctionOfConfig) {
+  const LoadConfig config = two_tenant_config();
+  const LoadPlan first = make_load(config, kApps);
+  const LoadPlan second = make_load(config, kApps);
+  ASSERT_EQ(first.specs.size(), second.specs.size());
+  EXPECT_GT(first.specs.size(), 50u);
+  for (std::size_t i = 0; i < first.specs.size(); ++i) {
+    EXPECT_EQ(first.specs[i].id, second.specs[i].id);
+    EXPECT_EQ(first.specs[i].tenant, second.specs[i].tenant);
+    EXPECT_EQ(first.specs[i].client, second.specs[i].client);
+    EXPECT_EQ(first.specs[i].app, second.specs[i].app);
+    EXPECT_EQ(first.specs[i].submit_time, second.specs[i].submit_time);
+    EXPECT_EQ(first.specs[i].deadline, second.specs[i].deadline);
+  }
+}
+
+TEST(MakeLoadTest, SpecsCarryTenantDeadlineAndClientRanges) {
+  const LoadConfig config = two_tenant_config();
+  const LoadPlan plan = make_load(config, kApps);
+  EXPECT_EQ(plan.tenants.size(), 2u);
+  EXPECT_EQ(plan.clients, 48u);
+  std::uint64_t lc_jobs = 0;
+  for (const serve::JobSpec& spec : plan.specs) {
+    ASSERT_LT(spec.tenant, 2u);
+    ASSERT_GE(spec.client, 1u);  // 0 is the anonymous sentinel
+    ASSERT_LE(spec.client, 48u);
+    if (spec.tenant == 0) {
+      ++lc_jobs;
+      EXPECT_EQ(spec.deadline, 250 * sim::kMicrosecond);
+      EXPECT_LE(spec.client, 16u);
+    } else {
+      EXPECT_EQ(spec.deadline, 0u);
+      EXPECT_GT(spec.client, 16u);
+    }
+    EXPECT_LT(spec.submit_time, config.duration);
+  }
+  // Share 1:3 — the lc tenant should draw roughly a quarter of arrivals.
+  const double lc_share =
+      static_cast<double>(lc_jobs) / static_cast<double>(plan.specs.size());
+  EXPECT_NEAR(lc_share, 0.25, 0.1);
+}
+
+TEST(MakeLoadTest, ArrivalsAreOrderedAndRateMatches) {
+  const LoadConfig config = two_tenant_config();
+  const LoadPlan plan = make_load(config, kApps);
+  for (std::size_t i = 1; i < plan.specs.size(); ++i) {
+    EXPECT_LT(plan.specs[i - 1].submit_time, plan.specs[i].submit_time);
+  }
+  // 200k jobs/s over 1 ms => ~200 jobs; offered load reflects the count.
+  EXPECT_NEAR(static_cast<double>(plan.specs.size()), 200.0, 60.0);
+  EXPECT_NEAR(plan.offered_jobs_per_s,
+              static_cast<double>(plan.specs.size()) / 1e-3, 1e-6);
+}
+
+TEST(MakeLoadTest, MixRestrictsAppsAndWeightsThem) {
+  LoadConfig config = two_tenant_config();
+  config.tenants[0].mix = {{"toy2", 1.0}};
+  config.tenants[1].mix = {{"toy0", 3.0}, {"toy1", 1.0}};
+  const LoadPlan plan = make_load(config, kApps);
+  std::uint64_t batch_toy0 = 0;
+  std::uint64_t batch_toy1 = 0;
+  for (const serve::JobSpec& spec : plan.specs) {
+    if (spec.tenant == 0) {
+      EXPECT_EQ(spec.app, "toy2");
+    } else {
+      EXPECT_NE(spec.app, "toy2");
+      (spec.app == "toy0" ? batch_toy0 : batch_toy1)++;
+    }
+  }
+  EXPECT_GT(batch_toy0, batch_toy1);
+}
+
+TEST(MakeLoadTest, MaxJobsTruncatesAndFlagsIt) {
+  LoadConfig config = two_tenant_config();
+  config.max_jobs = 10;
+  const LoadPlan plan = make_load(config, kApps);
+  EXPECT_EQ(plan.specs.size(), 10u);
+  EXPECT_TRUE(plan.truncated);
+}
+
+TEST(MakeLoadTest, ClosedLoopBuildsPerClientChains) {
+  LoadConfig config = two_tenant_config();
+  config.closed_loop = true;
+  config.arrival.rate_per_s = 96'000.0;  // 96 jobs over the 1 ms window
+  const LoadPlan plan = make_load(config, kApps);
+  // Every client gets the same chain length within its tenant; chain links
+  // share the client's first-submit offset (re-stamped at run time).
+  std::set<std::uint64_t> clients;
+  for (const serve::JobSpec& spec : plan.specs) {
+    clients.insert(spec.client);
+    EXPECT_LT(spec.submit_time, config.duration);
+  }
+  EXPECT_EQ(clients.size(), 48u);  // all 16 + 32 clients own a chain
+  for (const std::uint64_t client : clients) {
+    sim::TimePs offset = 0;
+    bool first = true;
+    for (const serve::JobSpec& spec : plan.specs) {
+      if (spec.client != client) continue;
+      if (first) {
+        offset = spec.submit_time;
+        first = false;
+      } else {
+        EXPECT_EQ(spec.submit_time, offset);
+      }
+    }
+  }
+}
+
+TEST(MakeLoadTest, ValidatesItsInputs) {
+  LoadConfig config = two_tenant_config();
+  EXPECT_THROW(make_load(config, {}), std::invalid_argument);
+  config.tenants[0].mix = {{"nonexistent", 1.0}};
+  EXPECT_THROW(make_load(config, kApps), std::invalid_argument);
+  config = two_tenant_config();
+  config.tenants.clear();
+  EXPECT_THROW(make_load(config, kApps), std::invalid_argument);
+  config = two_tenant_config();
+  config.duration = 0;
+  EXPECT_THROW(make_load(config, kApps), std::invalid_argument);
+}
+
+TEST(ParseTenantsTest, FullGrammar) {
+  const auto tenants = parse_tenants(
+      "lc:class=lc,weight=8,share=0.25,quota=4,deadline_us=300,clients=16,"
+      "apps=toy0|toy2*3;"
+      "batch:class=batch,weight=1,share=0.75,think_us=50");
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].qos.name, "lc");
+  EXPECT_EQ(tenants[0].qos.slo, serve::SloClass::kLatencyCritical);
+  EXPECT_EQ(tenants[0].qos.weight, 8u);
+  EXPECT_DOUBLE_EQ(tenants[0].share, 0.25);
+  EXPECT_EQ(tenants[0].qos.quota, 4u);
+  EXPECT_EQ(tenants[0].qos.deadline, 300 * sim::kMicrosecond);
+  EXPECT_EQ(tenants[0].clients, 16u);
+  ASSERT_EQ(tenants[0].mix.size(), 2u);
+  EXPECT_EQ(tenants[0].mix[0].app, "toy0");
+  EXPECT_DOUBLE_EQ(tenants[0].mix[0].weight, 1.0);
+  EXPECT_EQ(tenants[0].mix[1].app, "toy2");
+  EXPECT_DOUBLE_EQ(tenants[0].mix[1].weight, 3.0);
+  EXPECT_EQ(tenants[1].qos.name, "batch");
+  EXPECT_EQ(tenants[1].qos.slo, serve::SloClass::kBatch);
+  EXPECT_EQ(tenants[1].qos.think_time, 50 * sim::kMicrosecond);
+}
+
+TEST(ParseTenantsTest, DefaultsAndEmptyInput) {
+  EXPECT_TRUE(parse_tenants("").empty());
+  const auto tenants = parse_tenants("solo");
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0].qos.name, "solo");
+  EXPECT_EQ(tenants[0].qos.weight, 1u);
+  EXPECT_DOUBLE_EQ(tenants[0].share, 1.0);
+  EXPECT_TRUE(tenants[0].mix.empty());
+}
+
+TEST(ParseTenantsTest, RejectsMalformedEntries) {
+  EXPECT_THROW(parse_tenants(":weight=1"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:weight"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:class=gold"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:share=0"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:clients=0"), std::invalid_argument);
+  EXPECT_THROW(parse_tenants("a:apps=*2"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bigk::load
