@@ -61,15 +61,21 @@
 //   --offered-load <list>  bigkload benches: comma-separated offered-load
 //                          multipliers for the sweep scenarios (fractions of
 //                          the calibrated pool capacity, e.g. "0.5,1.5,2.5")
+//   --cpu-ratio <r>        bigkhetero benches: CPU share of each chunk
+//                          window in [0, 1] (0 = GPU only, 1 = CPU only).
+//                          Malformed or out-of-range values are rejected
+//                          with an error, never silently clamped.
 // Each flag accepts both "--flag=value" and "--flag value". `--help` prints
 // this list before google-benchmark's own help.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -249,6 +255,31 @@ class Harness {
     return static_cast<sim::DurationPs>(duration_us_) * sim::kMicrosecond;
   }
   const std::string& offered_load() const noexcept { return offered_load_; }
+  // bigkhetero knob (--cpu-ratio); default matches hetero::Options.
+  double cpu_ratio() const noexcept { return cpu_ratio_; }
+  bool cpu_ratio_set() const noexcept { return cpu_ratio_set_; }
+
+  /// Parses a fraction in [0, 1] for ratio-valued flags. Throws
+  /// std::invalid_argument on malformed input (empty, non-numeric, trailing
+  /// garbage, overflow) or out-of-range values — callers report the message
+  /// and exit instead of silently clamping a typo into a valid split.
+  static double parse_ratio(const std::string& value, const char* flag) {
+    const char* begin = value.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument(std::string(flag) +
+                                  " needs a number in [0, 1], got \"" +
+                                  value + "\"");
+    }
+    if (!(parsed >= 0.0 && parsed <= 1.0)) {  // negated: also rejects NaN
+      throw std::invalid_argument(std::string(flag) +
+                                  " must be within [0, 1], got \"" + value +
+                                  "\"");
+    }
+    return parsed;
+  }
 
   /// Returns false (after printing to stderr) if an output file could not
   /// be written, so the caller can exit non-zero instead of silently
@@ -410,6 +441,14 @@ class Harness {
         duration_us_ = parse_count(value, "--duration");
       } else if (take(&i, arg, "--offered-load")) {
         offered_load_ = value;
+      } else if (take(&i, arg, "--cpu-ratio")) {
+        try {
+          cpu_ratio_ = parse_ratio(value, "--cpu-ratio");
+          cpu_ratio_set_ = true;
+        } catch (const std::invalid_argument& error) {
+          std::fprintf(stderr, "error: %s\n", error.what());
+          std::exit(1);
+        }
       } else {
         if (arg == "--help") print_harness_help();
         argv[kept++] = argv[i];  // --help falls through to google-benchmark
@@ -470,6 +509,9 @@ class Harness {
         "  --duration <us>        bigkload: workload window (simulated us)\n"
         "  --offered-load <list>  bigkload: sweep multipliers, e.g.\n"
         "                         \"0.5,1.5,2.5\" (x calibrated capacity)\n"
+        "  --cpu-ratio <r>        bigkhetero: CPU share of each chunk window\n"
+        "                         in [0, 1]; malformed/out-of-range values\n"
+        "                         are rejected, not clamped\n"
         "Valued flags accept both --flag=value and --flag value.\n\n");
   }
 
@@ -493,6 +535,8 @@ class Harness {
   std::string tenants_spec_;
   std::uint32_t duration_us_ = 0;
   std::string offered_load_;
+  double cpu_ratio_ = 0.25;
+  bool cpu_ratio_set_ = false;
 };
 
 }  // namespace bigk::bench

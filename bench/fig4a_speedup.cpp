@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
         case Scheme::kGpuSingleBuffer: tag = "gpu-single"; break;
         case Scheme::kGpuDoubleBuffer: tag = "gpu-double"; break;
         case Scheme::kBigKernel: tag = "bigkernel"; break;
+        case Scheme::kHetero: continue;  // swept by hetero_sweep instead
       }
       bigk::bench::register_sim_benchmark(
           app.name + "/" + tag, &results,

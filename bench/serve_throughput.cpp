@@ -11,6 +11,10 @@
 //                                 PCIe transfer for still-resident chunks
 //   serve/shed                    saturating burst against a tiny admission
 //                                 queue (load shedding / retry-after)
+//   serve/spill                   bigkhetero spill-over: the same batch
+//                                 burst against one device with co-execution
+//                                 enabled — jobs past the spill depth run on
+//                                 the host cores instead of queueing
 //   serve/recover                 bigkfault availability run: a 4-device pool
 //                                 loses device 0 mid-workload (or runs the
 //                                 --fault spec instead); the quarantine +
@@ -220,6 +224,20 @@ int main(int argc, char** argv) {
         return run_serve("shed", config, mixed);
       });
 
+  // bigkhetero spill-over: the batch arrival instantly saturates a
+  // single-device pool; with co-execution enabled, every job admitted past
+  // the spill depth bypasses the device queue and runs on the host cores
+  // (no staging, no DMA). Nothing may drop or fail — the host side is a
+  // slower but always-available executor.
+  bigk::bench::register_sim_benchmark(
+      "serve/spill", &harness.results, [&, mixed] {
+        serve::ServerConfig config = base_config(1, policy, "serve.spill");
+        config.queue_depth = 16;
+        config.hetero.spill_enabled = true;
+        config.hetero.spill_depth = 2;
+        return run_serve("spill", config, mixed);
+      });
+
   const int rc = bigk::bench::run_benchmarks(argc, argv);
   if (rc != 0) return rc;
 
@@ -295,6 +313,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(recover.redispatches),
                 static_cast<unsigned long long>(recover.failed_jobs),
                 recover_devices);
+  }
+  if (reports.count("spill") != 0) {
+    const serve::ServeReport& spill = reports["spill"];
+    std::printf("spill: %llu of %llu jobs spilled to host cores "
+                "(%llu cpu-completed, %llu failed) once the single device "
+                "backed up past depth 2\n",
+                static_cast<unsigned long long>(spill.spills),
+                static_cast<unsigned long long>(spill.jobs.size()),
+                static_cast<unsigned long long>(spill.cpu_completed),
+                static_cast<unsigned long long>(spill.failed_jobs));
   }
   if (reports.count("reuse/app-affinity+cache") != 0) {
     const serve::ServeReport& cached = reports["reuse/app-affinity+cache"];

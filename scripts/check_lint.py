@@ -100,6 +100,15 @@ def main():
 
     if document.get("schema") != "bigklint-v1":
         fail(f"bad schema tag {document.get('schema')!r}")
+    schemes = document.get("schemes")
+    if not isinstance(schemes, list) or not schemes:
+        fail("schemes must be a non-empty array")
+    for required in ("cpu-serial", "cpu-mt", "gpu-single", "gpu-double",
+                     "bigkernel", "hetero"):
+        if required not in schemes:
+            fail(f"schemes array missing {required!r} "
+                 f"(one verdict must cover every run path, incl. hetero's "
+                 f"CPU side); got {schemes}")
     apps = document.get("apps")
     violators = document.get("violators")
     if not isinstance(apps, list) or not apps:

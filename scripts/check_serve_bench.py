@@ -22,7 +22,11 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
   * the bigkfault recovery scenario (serve/recover: one device lost
     mid-workload, quarantined, and reinstated) injects at least one fault,
     recovers every injected fault, quarantines and reinstates the device,
-    and finishes every job with zero failures attributable to the outage.
+    and finishes every job with zero failures attributable to the outage,
+  * the bigkhetero spill-over scenario (serve/spill: the batch burst against
+    one device with co-execution enabled) actually spills — the spill
+    counters are positive once the pool saturates past the spill depth —
+    and every spilled job completes on the host cores with zero failures.
 
 With a serve_load binary as the second argument the bigkload plane is
 validated too:
@@ -72,6 +76,7 @@ EXPECTED_RESULTS = [
     "serve/reuse/app-affinity+cache",
     "serve/recover",
     "serve/shed",
+    "serve/spill",
 ]
 # (metrics prefix, number of devices the scenario runs with)
 EXPECTED_PREFIXES = [
@@ -82,6 +87,7 @@ EXPECTED_PREFIXES = [
     ("serve.reuse.app-affinity+cache", DEVICES),
     ("serve.recover", RECOVER_DEVICES),
     ("serve.shed", DEVICES),
+    ("serve.spill", 1),
 ]
 SCALAR_GAUGES = [
     "latency_p50_ms",
@@ -337,12 +343,38 @@ def check_serve_throughput(binary):
     if gauge("serve.recover.redispatches") < 1:
         fail("recover scenario never redispatched the in-flight job")
 
+    # bigkhetero spill-over: the single-device pool saturates under the batch
+    # burst, so jobs past the spill depth must run on the host cores — and
+    # every one of them must finish. Cold device + co-execution means zero
+    # dropped, zero failed.
+    spills = gauge("serve.spill.hetero.spills")
+    if spills <= 0:
+        fail(f"spill scenario never spilled: {spills}")
+    cpu_completed = gauge("serve.spill.hetero.cpu_completed")
+    if cpu_completed != spills:
+        fail(
+            "spill scenario lost spilled jobs: "
+            f"{cpu_completed} cpu-completed vs {spills} spilled"
+        )
+    if gauge("serve.spill.failed_jobs") != 0:
+        fail(
+            f"spill scenario failed jobs: {gauge('serve.spill.failed_jobs')}"
+        )
+    if gauge("serve.spill.dropped") != 0:
+        fail(f"spill scenario dropped jobs: {gauge('serve.spill.dropped')}")
+    if gauge("serve.spill.completed") != JOBS:
+        fail(
+            f"spill scenario completed {gauge('serve.spill.completed')} "
+            f"of {JOBS} jobs"
+        )
+
     print(
         f"check_serve_bench: OK: {len(results)} scenarios, "
         f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}, "
         f"cache hit rate {hit_rate:.1%} "
         f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B), "
-        f"recover {recovered:.0f}/{injected:.0f} faults recovered"
+        f"recover {recovered:.0f}/{injected:.0f} faults recovered, "
+        f"spill {spills:.0f} jobs to host cores ({cpu_completed:.0f} done)"
     )
 
 

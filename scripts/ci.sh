@@ -6,6 +6,7 @@
 # the matrix.
 #
 #   scripts/ci.sh [preset ...]     presets: lint plain asan-ubsan tsan load
+#                                           hetero
 #
 # With no arguments the lint gate plus all three build presets run. Set
 # BIGK_CI_JOBS to override the parallelism (defaults to nproc). The `load`
@@ -131,6 +132,38 @@ for preset in "${presets[@]}"; do
         "${load_bench_dir}/bench/serve_load"
       echo "=== ci preset load: OK ==="
       ;;
+    hetero)
+      # bigkhetero co-execution gate. A TSan build, because co-execution is
+      # exactly the shape that breeds races: engine pipeline and host-core
+      # workers advancing concurrently over the same streams and (delta-
+      # merged) tables, plus the serve spill worker running beside the
+      # device workers. Then the ratio-sweep and spill bench smokes on an
+      # unsanitized build (sim-time benches are meaningless under TSan).
+      hetero_dir="${repo_root}/build-ci-hetero"
+      echo "=== ci preset hetero: configure (thread sanitizer) ==="
+      cmake -B "${hetero_dir}" -S "${repo_root}" -DBIGK_SANITIZE=thread
+      echo "=== ci preset hetero: build ==="
+      cmake --build "${hetero_dir}" -j "${jobs}" --target \
+        hetero_splitter_test hetero_run_test serve_spill_test \
+        bench_harness_flags_test
+      echo "=== ci preset hetero: co-execution tests under TSan ==="
+      "${hetero_dir}/tests/hetero_splitter_test"
+      "${hetero_dir}/tests/hetero_run_test"
+      "${hetero_dir}/tests/serve_spill_test"
+      "${hetero_dir}/tests/bench_harness_flags_test"
+      hetero_bench_dir="${repo_root}/build-ci-hetero-bench"
+      echo "=== ci preset hetero: configure bench build (no sanitizer) ==="
+      cmake -B "${hetero_bench_dir}" -S "${repo_root}"
+      echo "=== ci preset hetero: build benches ==="
+      cmake --build "${hetero_bench_dir}" -j "${jobs}" --target \
+        hetero_sweep serve_throughput
+      echo "=== ci preset hetero: ratio-sweep bench smoke ==="
+      BIGK_SCALE=0.001 "${hetero_bench_dir}/bench/hetero_sweep"
+      echo "=== ci preset hetero: serve spill bench smoke + assertions ==="
+      python3 "${repo_root}/scripts/check_serve_bench.py" \
+        "${hetero_bench_dir}/bench/serve_throughput"
+      echo "=== ci preset hetero: OK ==="
+      ;;
     lint)
       # bigkstatic gate: build only the bigklint CLI, verify every
       # registered app kernel against the static contracts with the seeded
@@ -155,7 +188,7 @@ for preset in "${presets[@]}"; do
       ;;
     *)
       echo "ci.sh: unknown preset '${preset}'" >&2
-      echo "usage: scripts/ci.sh [lint|plain|asan-ubsan|tsan|load|tidy ...]" >&2
+      echo "usage: scripts/ci.sh [lint|plain|asan-ubsan|tsan|load|hetero|tidy ...]" >&2
       exit 2
       ;;
   esac

@@ -58,6 +58,30 @@ class AppJobRunner final : public JobRunner {
     tables.release();
   }
 
+  sim::Task<> run_cpu(hostsim::HostCpu& cpu,
+                      const CpuJobConfig& cfg) override {
+    app_.reset();
+    auto decls = app_.stream_decls();
+    auto bindings = schemes::detail::make_bindings(decls);
+    const std::uint64_t num_records = app_.num_records();
+    const std::uint32_t threads =
+        cfg.threads > 0 ? cfg.threads : cpu.config().hw_threads;
+    const std::uint64_t per =
+        threads == 0 ? num_records : (num_records + threads - 1) / threads;
+    std::vector<sim::Process> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const std::uint64_t begin =
+          std::min(std::uint64_t{t} * per, num_records);
+      const std::uint64_t end = std::min(begin + per, num_records);
+      if (begin >= end) break;
+      workers.push_back(cpu.sim().spawn(schemes::detail::cpu_partition(
+          cpu, bindings, app_.tables(), app_.kernel(), begin, end, threads,
+          cfg.batch_records)));
+    }
+    for (sim::Process& worker : workers) co_await worker.join();
+    if (cfg.exec_done != nullptr) *cfg.exec_done = cpu.sim().now();
+  }
+
  private:
   // stream_decls() is non-const on the duck-typed app interface.
   mutable App app_;

@@ -56,6 +56,18 @@ struct JobRunConfig {
   std::uint64_t static_signature = 0;
 };
 
+/// Configuration for CPU-side job execution (bigkhetero serve spill-over):
+/// the job's kernel runs on hostsim cores through the plain CPU runner path
+/// — no staging, no DMA, no engine.
+struct CpuJobConfig {
+  /// Software threads (0 = all of the host's hardware threads).
+  std::uint32_t threads = 0;
+  std::uint64_t batch_records = 2048;
+  /// When set, the runner writes the sim time at which kernel execution
+  /// finished (there is no separate write-back phase on the CPU path).
+  sim::TimePs* exec_done = nullptr;
+};
+
 /// One runnable instance of a benchmark application, type-erased so the
 /// serving layer can launch any registered app on any device of a pool
 /// without knowing its concrete type. A runner owns its dataset; run() may
@@ -75,6 +87,13 @@ class JobRunner {
   /// core::Engine per call, as in schemes::run_bigkernel): upload tables,
   /// launch, download, release.
   virtual sim::Task<> run(cusim::Runtime& runtime, const JobRunConfig& cfg) = 0;
+
+  /// Executes this app entirely on host cores (bigkhetero spill path),
+  /// through the same cpu_partition path schemes::run_cpu uses. Produces
+  /// output identical to run() — the kernels are partition-invariant and
+  /// execution-side agnostic.
+  virtual sim::Task<> run_cpu(hostsim::HostCpu& cpu,
+                              const CpuJobConfig& cfg) = 0;
 };
 
 struct BenchApp {

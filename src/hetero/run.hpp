@@ -1,0 +1,273 @@
+// bigkhetero co-execution runner: partitions a job's chunk stream between
+// the host cores (plain CPU runner path — no staging, no DMA) and the
+// BigKernel engine, window by window. Each window is split at the balancer's
+// current ratio; the GPU side takes the leading chunks, the CPU side the
+// trailing ones, and both run concurrently on one Simulation. The CPU side
+// mutates a private TableSet copy whose deltas are folded into the
+// downloaded GPU tables afterwards (see table_merge.hpp), so the final
+// output is byte-identical across every split ratio.
+//
+// Faults: SchemeConfig::fault_plane is installed on the runtime exactly as
+// run_bigkernel does. Only the engine's pipeline has injection sites, so a
+// stall fault degrades the GPU side alone — the DynamicBalancer observes
+// the throughput drop and shifts subsequent windows toward the CPU.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "schemes/runners.hpp"
+
+#include "hetero/options.hpp"
+#include "hetero/splitter.hpp"
+#include "hetero/table_merge.hpp"
+
+namespace bigk::hetero {
+
+namespace detail {
+
+inline void accumulate(core::EngineMetrics* into,
+                       const core::EngineMetrics& round) {
+  for (std::size_t i = 0; i < into->stage_busy_ps.size(); ++i) {
+    into->stage_busy_ps[i] += round.stage_busy_ps[i];
+  }
+  into->addr_bytes_sent += round.addr_bytes_sent;
+  into->data_bytes_sent += round.data_bytes_sent;
+  into->write_bytes_sent += round.write_bytes_sent;
+  into->source_bytes_read += round.source_bytes_read;
+  into->chunks += round.chunks;
+  into->thread_chunks += round.thread_chunks;
+  into->pattern_hits += round.pattern_hits;
+  into->elements_fetched += round.elements_fetched;
+  into->elements_written += round.elements_written;
+  into->cache_hits += round.cache_hits;
+  into->cache_misses += round.cache_misses;
+  into->cache_bytes_saved += round.cache_bytes_saved;
+  into->chunk_retries += round.chunk_retries;
+  into->retried_bytes += round.retried_bytes;
+  into->degraded_blocks += round.degraded_blocks;
+}
+
+/// One round's GPU side: engine launch over `count` records, kernel already
+/// offset-shifted. Records the side's completion time.
+template <class Kernel>
+sim::Task<> gpu_round(core::Engine& engine, Kernel kernel,
+                      std::uint64_t count, const core::DeviceTables& tables,
+                      sim::Simulation& sim, sim::TimePs* done,
+                      core::EngineMetrics* engine_sum) {
+  co_await engine.launch(kernel, count, tables);
+  accumulate(engine_sum, engine.metrics());
+  *done = sim.now();
+}
+
+/// One round's CPU side: the record range fans out over `threads` host
+/// threads through the same cpu_partition path run_cpu uses.
+template <class Kernel>
+sim::Task<> cpu_round(hostsim::HostCpu& cpu,
+                      std::vector<core::StreamBinding>& bindings,
+                      core::TableSet& tables, Kernel kernel,
+                      std::uint64_t rec_begin, std::uint64_t rec_end,
+                      std::uint32_t threads, std::uint64_t batch,
+                      sim::Simulation& sim, sim::TimePs* done) {
+  const std::uint64_t per =
+      schemes::detail::ceil_div(rec_end - rec_begin, threads);
+  std::vector<sim::Process> workers;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const std::uint64_t begin =
+        std::min(rec_begin + std::uint64_t{t} * per, rec_end);
+    const std::uint64_t end = std::min(begin + per, rec_end);
+    if (begin >= end) break;
+    workers.push_back(sim.spawn(schemes::detail::cpu_partition(
+        cpu, bindings, tables, kernel, begin, end, threads, batch)));
+  }
+  for (sim::Process& worker : workers) co_await worker.join();
+  *done = sim.now();
+}
+
+/// The co-execution main loop. Free function (not a capturing lambda) so the
+/// coroutine frame only references state owned by run_hetero's stack, which
+/// outlives the run_until_complete call.
+template <class App, class Kernel>
+sim::Task<> co_exec_main(cusim::Runtime& runtime, core::Engine& engine,
+                         App& app, Kernel kernel,
+                         std::vector<core::StreamBinding>& bindings,
+                         core::TableSet& cpu_tables,
+                         const ChunkSplitter& splitter,
+                         DynamicBalancer& balancer, const Options& ho,
+                         const schemes::SchemeConfig& sc,
+                         std::uint32_t cpu_threads,
+                         schemes::RunMetrics* out) {
+  sim::Simulation& sim = runtime.sim();
+  obs::TrackId gpu_track{};
+  obs::TrackId cpu_track{};
+  std::uint32_t trace_pid = 0;
+  if (sc.tracer != nullptr) {
+    trace_pid = sc.tracer->process("hetero");
+    gpu_track = sc.tracer->thread(trace_pid, "gpu side");
+    cpu_track = sc.tracer->thread(trace_pid, "cpu side");
+  }
+
+  std::optional<core::DeviceTables> dev_tables;
+  const std::uint64_t total_chunks = splitter.num_chunks();
+  std::uint64_t next = 0;
+  while (next < total_chunks) {
+    const std::uint64_t remaining = total_chunks - next;
+    std::uint64_t window = remaining;
+    if (ho.dynamic) {
+      const std::uint64_t w = ho.window_chunks > 0
+                                  ? ho.window_chunks
+                                  : std::max<std::uint64_t>(4, remaining / 2);
+      window = std::min(remaining, w);
+    }
+    const ChunkSplitter::Split split =
+        ChunkSplitter::split_window(next, next + window, balancer.ratio());
+    const sim::TimePs t0 = sim.now();
+    sim::TimePs gpu_done = t0;
+    sim::TimePs cpu_done = t0;
+
+    std::vector<sim::Process> sides;
+    if (split.gpu_chunks() > 0) {
+      if (!dev_tables.has_value()) {
+        dev_tables.emplace(
+            co_await core::DeviceTables::upload(runtime, app.tables()));
+      }
+      const std::uint64_t rb = splitter.rec_begin(split.gpu_begin);
+      const std::uint64_t re = splitter.rec_end(split.gpu_end - 1);
+      const std::uint64_t offset = rb;
+      auto shifted = [kernel, offset](auto& ctx, std::uint64_t b,
+                                      std::uint64_t e, std::uint64_t stride) {
+        kernel(ctx, b + offset, e + offset, stride);
+      };
+      out->hetero.gpu_records += re - rb;
+      sides.push_back(sim.spawn(gpu_round(engine, shifted, re - rb,
+                                          *dev_tables, sim, &gpu_done,
+                                          &out->engine)));
+    }
+    if (split.cpu_chunks() > 0) {
+      const std::uint64_t rb = splitter.rec_begin(split.cpu_begin);
+      const std::uint64_t re = splitter.rec_end(split.cpu_end - 1);
+      out->hetero.cpu_records += re - rb;
+      sides.push_back(sim.spawn(cpu_round(
+          runtime.cpu(), bindings, cpu_tables, kernel, rb, re, cpu_threads,
+          sc.cpu_batch_records, sim, &cpu_done)));
+    }
+    for (sim::Process& side : sides) co_await side.join();
+
+    if (sc.tracer != nullptr) {
+      if (split.gpu_chunks() > 0) {
+        sc.tracer->complete(gpu_track, "gpu round", t0, gpu_done);
+      }
+      if (split.cpu_chunks() > 0) {
+        sc.tracer->complete(cpu_track, "cpu round", t0, cpu_done);
+      }
+    }
+    if (ho.dynamic) {
+      balancer.observe(split.cpu_chunks(), cpu_done - t0, split.gpu_chunks(),
+                       gpu_done - t0);
+      if (sc.tracer != nullptr) {
+        sc.tracer->counter_set(trace_pid, "cpu_ratio", sim.now(),
+                               balancer.ratio());
+      }
+    }
+    ++out->hetero.rounds;
+    next += window;
+  }
+
+  if (dev_tables.has_value()) {
+    co_await dev_tables->download();
+    dev_tables->release();
+  }
+}
+
+}  // namespace detail
+
+/// Runs `app` under CPU+GPU co-execution per sc.hetero and returns the usual
+/// RunMetrics (scheme kHetero, engine metrics summed over GPU rounds,
+/// RunMetrics::hetero filled with the split summary).
+template <class App>
+schemes::RunMetrics run_hetero(const gpusim::SystemConfig& config, App& app,
+                               const schemes::SchemeConfig& sc) {
+  const Options& ho = sc.hetero;
+  app.reset();
+  sim::Simulation sim;
+  cusim::Runtime runtime(sim, config);
+  runtime.attach_observability(sc.tracer, sc.metrics);
+  if (sc.fault_plane != nullptr) runtime.set_fault_plane(sc.fault_plane);
+  std::unique_ptr<check::Sanitizer> sanitizer;
+  if (sc.check.enabled) {
+    sanitizer = std::make_unique<check::Sanitizer>(sc.check, sc.metrics);
+    sanitizer->install(runtime.gpu());
+  }
+
+  auto decls = app.stream_decls();
+  auto bindings = schemes::detail::make_bindings(decls);
+  const std::uint64_t num_records = app.num_records();
+  const std::uint64_t rpc =
+      ho.records_per_chunk > 0
+          ? ho.records_per_chunk
+          : std::max<std::uint64_t>(
+                1, schemes::detail::ceil_div(num_records, 64));
+  const ChunkSplitter splitter(num_records, rpc);
+  DynamicBalancer balancer(ho.cpu_ratio, ho.ewma_alpha);
+
+  // The CPU side runs against private table copies; `snapshot` is the
+  // pre-run state the merge subtracts to recover the CPU-side deltas.
+  const core::TableSet snapshot = app.tables();
+  core::TableSet cpu_tables = app.tables();
+  // Host cores are the shared resource: the engine pins one assembly thread
+  // per block (plus a mostly idle scatter thread when the app writes), so by
+  // default the CPU side takes only the cores assembly leaves free. Sizing
+  // both sides at the full core count just makes them time-slice each other
+  // — every record the CPU side gains costs the engine an assembly slot.
+  const std::uint32_t cpu_threads =
+      ho.cpu_threads > 0
+          ? ho.cpu_threads
+          : (config.cpu.cores > sc.bigkernel.num_blocks
+                 ? config.cpu.cores - sc.bigkernel.num_blocks
+                 : 1);
+
+  core::Engine engine(runtime, sc.bigkernel);
+  engine.set_tracer(sc.tracer);
+  engine.set_sanitizer(sanitizer.get());
+  for (const schemes::StreamDecl& decl : decls) {
+    engine.map_stream(decl.binding, decl.overfetch_elems);
+  }
+
+  schemes::RunMetrics metrics;
+  metrics.scheme = schemes::Scheme::kHetero;
+  sim.run_until_complete(detail::co_exec_main(
+      runtime, engine, app, app.kernel(), bindings, cpu_tables, splitter,
+      balancer, ho, sc, cpu_threads, &metrics));
+  merge_tables(app.tables(), cpu_tables, snapshot);
+
+  metrics.total_time = sim.now();
+  metrics.comm_busy = runtime.gpu().h2d_busy() + runtime.gpu().d2h_busy();
+  metrics.comp_busy = runtime.gpu().compute_wall_busy();
+  metrics.h2d_bytes = runtime.gpu().stats().h2d_bytes;
+  metrics.d2h_bytes = runtime.gpu().stats().d2h_bytes;
+  metrics.kernel_launches = runtime.gpu().stats().kernel_launches;
+  metrics.pinned_bytes = runtime.pinned_bytes();
+  metrics.hetero.final_cpu_ratio = balancer.ratio();
+  metrics.hetero.cpu_chunks_per_s = balancer.cpu_chunks_per_s();
+  metrics.hetero.gpu_chunks_per_s = balancer.gpu_chunks_per_s();
+  if (sc.metrics != nullptr) {
+    sc.metrics->gauge("hetero.split_ratio").set(balancer.ratio());
+    sc.metrics->gauge("hetero.cpu.chunks_per_s")
+        .set(balancer.cpu_chunks_per_s());
+    sc.metrics->gauge("hetero.gpu.chunks_per_s")
+        .set(balancer.gpu_chunks_per_s());
+    sc.metrics->gauge("hetero.rounds")
+        .set(static_cast<double>(metrics.hetero.rounds));
+  }
+  if (sanitizer != nullptr) {
+    metrics.check_violations = sanitizer->reporter().total();
+    sanitizer->uninstall();
+    sanitizer->finalize();  // throws check::CheckError on violations
+  }
+  return metrics;
+}
+
+}  // namespace bigk::hetero

@@ -1,0 +1,141 @@
+// bigkhetero chunk partitioning: ChunkSplitter maps a job's record stream
+// onto fixed-size chunks and carves each co-execution window into a
+// contiguous GPU range (front) and CPU range (back), so merged results stay
+// in chunk order by construction. DynamicBalancer turns per-side chunk
+// throughput observations (simulated time, deterministic) into the next
+// window's split ratio via an EWMA.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace bigk::hetero {
+
+class ChunkSplitter {
+ public:
+  ChunkSplitter(std::uint64_t num_records, std::uint64_t records_per_chunk)
+      : num_records_(num_records),
+        records_per_chunk_(std::max<std::uint64_t>(1, records_per_chunk)) {
+    num_chunks_ = (num_records_ + records_per_chunk_ - 1) / records_per_chunk_;
+  }
+
+  std::uint64_t num_records() const noexcept { return num_records_; }
+  std::uint64_t num_chunks() const noexcept { return num_chunks_; }
+  std::uint64_t records_per_chunk() const noexcept {
+    return records_per_chunk_;
+  }
+
+  /// First record of chunk `chunk`.
+  std::uint64_t rec_begin(std::uint64_t chunk) const noexcept {
+    return std::min(num_records_, chunk * records_per_chunk_);
+  }
+
+  /// One past the last record of chunk `chunk` (the tail chunk is short).
+  std::uint64_t rec_end(std::uint64_t chunk) const noexcept {
+    return std::min(num_records_, (chunk + 1) * records_per_chunk_);
+  }
+
+  /// One window's assignment: GPU takes the leading chunks, CPU the
+  /// trailing ones, both half-open chunk-id ranges.
+  struct Split {
+    std::uint64_t gpu_begin = 0;
+    std::uint64_t gpu_end = 0;  // == cpu_begin
+    std::uint64_t cpu_begin = 0;
+    std::uint64_t cpu_end = 0;
+
+    std::uint64_t gpu_chunks() const noexcept { return gpu_end - gpu_begin; }
+    std::uint64_t cpu_chunks() const noexcept { return cpu_end - cpu_begin; }
+  };
+
+  /// Splits the chunk window [lo, hi) at `cpu_ratio`: round(ratio * count)
+  /// chunks go to the CPU side (taken from the back). Ratio 0 routes the
+  /// whole window to the GPU, ratio 1 to the CPU; a single-chunk window is
+  /// never subdivided — the lone chunk lands on the side the rounding picks.
+  static Split split_window(std::uint64_t lo, std::uint64_t hi,
+                            double cpu_ratio) {
+    if (hi < lo) throw std::invalid_argument("split_window: hi < lo");
+    const std::uint64_t count = hi - lo;
+    const double clamped = std::clamp(cpu_ratio, 0.0, 1.0);
+    std::uint64_t cpu_count = static_cast<std::uint64_t>(
+        std::llround(clamped * static_cast<double>(count)));
+    cpu_count = std::min(cpu_count, count);
+    Split split;
+    split.gpu_begin = lo;
+    split.gpu_end = hi - cpu_count;
+    split.cpu_begin = split.gpu_end;
+    split.cpu_end = hi;
+    return split;
+  }
+
+ private:
+  std::uint64_t num_records_;
+  std::uint64_t records_per_chunk_;
+  std::uint64_t num_chunks_;
+};
+
+/// Windowed-EWMA load balancer over per-side chunk throughput. All inputs
+/// are simulated durations, so the trajectory is a pure function of the
+/// observations — byte-identical across runs.
+class DynamicBalancer {
+ public:
+  DynamicBalancer(double initial_ratio, double alpha)
+      : ratio_(std::clamp(initial_ratio, 0.0, 1.0)),
+        alpha_(std::clamp(alpha, 1e-6, 1.0)) {}
+
+  double ratio() const noexcept { return ratio_; }
+  double cpu_chunks_per_s() const noexcept { return cpu_rate_; }
+  double gpu_chunks_per_s() const noexcept { return gpu_rate_; }
+  std::uint64_t rebalances() const noexcept { return rebalances_; }
+
+  /// Folds one co-execution round into the EWMAs and re-derives the ratio.
+  /// A side that ran no chunks this round contributes no sample (its EWMA
+  /// coasts); a side that ran chunks in zero elapsed time likewise (the
+  /// simulation charges time for all work, so this only guards division).
+  void observe(std::uint64_t cpu_chunks, sim::DurationPs cpu_elapsed,
+               std::uint64_t gpu_chunks, sim::DurationPs gpu_elapsed) {
+    observe_rates(rate_of(cpu_chunks, cpu_elapsed),
+                  rate_of(gpu_chunks, gpu_elapsed),
+                  /*cpu_sampled=*/cpu_chunks > 0 && cpu_elapsed > 0,
+                  /*gpu_sampled=*/gpu_chunks > 0 && gpu_elapsed > 0);
+  }
+
+  /// Direct-rate form (chunks per second); used by tests and by callers
+  /// that already hold rates. A negative rate means "no sample this round".
+  void observe_rates(double cpu_rate, double gpu_rate, bool cpu_sampled = true,
+                     bool gpu_sampled = true) {
+    if (cpu_sampled && cpu_rate >= 0.0) fold(&cpu_rate_, cpu_rate);
+    if (gpu_sampled && gpu_rate >= 0.0) fold(&gpu_rate_, gpu_rate);
+    ++rebalances_;
+    if (cpu_rate_ <= 0.0 && gpu_rate_ <= 0.0) return;  // nothing learned yet
+    if (cpu_rate_ <= 0.0) {
+      ratio_ = 0.0;  // CPU side has shown no throughput: all chunks to GPU
+    } else if (gpu_rate_ <= 0.0) {
+      ratio_ = 1.0;  // GPU side has shown no throughput: all chunks to CPU
+    } else {
+      ratio_ = cpu_rate_ / (cpu_rate_ + gpu_rate_);
+    }
+  }
+
+ private:
+  static double rate_of(std::uint64_t chunks, sim::DurationPs elapsed) {
+    if (chunks == 0 || elapsed <= 0) return -1.0;
+    return static_cast<double>(chunks) /
+           (static_cast<double>(elapsed) * 1e-12);
+  }
+
+  void fold(double* ewma, double sample) {
+    *ewma = *ewma <= 0.0 ? sample : alpha_ * sample + (1.0 - alpha_) * *ewma;
+  }
+
+  double ratio_;
+  double alpha_;
+  double cpu_rate_ = 0.0;
+  double gpu_rate_ = 0.0;
+  std::uint64_t rebalances_ = 0;
+};
+
+}  // namespace bigk::hetero

@@ -1,0 +1,70 @@
+// bigkhetero table reconciliation. The CPU side of a co-executed job runs
+// against a private copy of the app's TableSet while the GPU side mutates
+// the device copy; afterwards the two are merged element-wise:
+//
+//   final = gpu + (cpu - snapshot)        (wrapping unsigned arithmetic)
+//
+// which is exact for the two ways verified kernels touch tables — disjoint
+// per-record stores (exactly one side's delta is non-zero) and commutative
+// integer accumulators via atomic_add_table (deltas add). Combined with the
+// apps' partition invariance this is what keeps hetero output byte-identical
+// across every split ratio.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/stream.hpp"
+
+namespace bigk::hetero {
+
+namespace detail {
+
+template <class Word>
+void merge_span(std::byte* gpu, const std::byte* cpu, const std::byte* snap,
+                std::uint64_t bytes) {
+  for (std::uint64_t off = 0; off + sizeof(Word) <= bytes;
+       off += sizeof(Word)) {
+    Word g, c, s;
+    std::memcpy(&g, gpu + off, sizeof(Word));
+    std::memcpy(&c, cpu + off, sizeof(Word));
+    std::memcpy(&s, snap + off, sizeof(Word));
+    const Word merged = static_cast<Word>(g + (c - s));
+    std::memcpy(gpu + off, &merged, sizeof(Word));
+  }
+}
+
+}  // namespace detail
+
+/// Folds the CPU side's table deltas (vs. the pre-run `snapshot`) into
+/// `gpu_result` in place. All three sets must have identical shape (they are
+/// copies of one TableSet).
+inline void merge_tables(core::TableSet& gpu_result,
+                         const core::TableSet& cpu_result,
+                         const core::TableSet& snapshot) {
+  if (gpu_result.size() != cpu_result.size() ||
+      gpu_result.size() != snapshot.size()) {
+    throw std::logic_error("merge_tables: table set shapes differ");
+  }
+  for (std::uint32_t id = 0; id < gpu_result.size(); ++id) {
+    const std::uint64_t bytes = gpu_result.table_bytes(id);
+    if (bytes != cpu_result.table_bytes(id) ||
+        bytes != snapshot.table_bytes(id)) {
+      throw std::logic_error("merge_tables: table sizes differ");
+    }
+    std::byte* gpu = gpu_result.raw_bytes(id).data();
+    const std::byte* cpu = cpu_result.raw_bytes(id).data();
+    const std::byte* snap = snapshot.raw_bytes(id).data();
+    switch (gpu_result.elem_size(id)) {
+      case 1: detail::merge_span<std::uint8_t>(gpu, cpu, snap, bytes); break;
+      case 2: detail::merge_span<std::uint16_t>(gpu, cpu, snap, bytes); break;
+      case 4: detail::merge_span<std::uint32_t>(gpu, cpu, snap, bytes); break;
+      case 8: detail::merge_span<std::uint64_t>(gpu, cpu, snap, bytes); break;
+      default:
+        throw std::logic_error("merge_tables: unsupported table element size");
+    }
+  }
+}
+
+}  // namespace bigk::hetero

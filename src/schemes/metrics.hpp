@@ -2,6 +2,7 @@
 // derives every paper figure from these.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -19,6 +20,7 @@ enum class Scheme : std::uint8_t {
   kGpuSingleBuffer,
   kGpuDoubleBuffer,
   kBigKernel,
+  kHetero,
 };
 
 inline const char* scheme_name(Scheme scheme) {
@@ -28,8 +30,32 @@ inline const char* scheme_name(Scheme scheme) {
     case Scheme::kGpuSingleBuffer: return "GPU single buffer";
     case Scheme::kGpuDoubleBuffer: return "GPU double buffer";
     case Scheme::kBigKernel: return "GPU BigKernel";
+    case Scheme::kHetero: return "CPU+GPU hetero";
   }
   return "?";
+}
+
+/// Short machine-readable tag (bigklint's scheme enumeration, CLI flags).
+inline const char* scheme_tag(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kCpuSerial: return "cpu-serial";
+    case Scheme::kCpuMultiThreaded: return "cpu-mt";
+    case Scheme::kGpuSingleBuffer: return "gpu-single";
+    case Scheme::kGpuDoubleBuffer: return "gpu-double";
+    case Scheme::kBigKernel: return "bigkernel";
+    case Scheme::kHetero: return "hetero";
+  }
+  return "?";
+}
+
+/// Every registered scheme in evaluation order. One kernel source runs under
+/// all of them (the bigkstatic contract gate is execution-side agnostic), so
+/// enumeration paths — bigklint, admission gates, bench sweeps — must stay
+/// in sync with this list.
+inline constexpr std::array<Scheme, 6> all_schemes() {
+  return {Scheme::kCpuSerial,       Scheme::kCpuMultiThreaded,
+          Scheme::kGpuSingleBuffer, Scheme::kGpuDoubleBuffer,
+          Scheme::kBigKernel,       Scheme::kHetero};
 }
 
 struct RunMetrics {
@@ -67,6 +93,21 @@ struct RunMetrics {
     double window_ms = 0.0;
   };
   ProfSummary prof;
+
+  /// Co-execution summary, populated only for hetero runs.
+  struct HeteroSummary {
+    /// Balancer ratio after the final round (== the static knob when the
+    /// balancer never re-split).
+    double final_cpu_ratio = 0.0;
+    std::uint64_t cpu_records = 0;
+    std::uint64_t gpu_records = 0;
+    /// Co-execution rounds (1 for a static split).
+    std::uint64_t rounds = 0;
+    /// Final per-side EWMA chunk throughput (0 = side never sampled).
+    double cpu_chunks_per_s = 0.0;
+    double gpu_chunks_per_s = 0.0;
+  };
+  HeteroSummary hetero;
 
   const char* bottleneck_stage_name() const {
     if (prof.bottleneck < 0 ||
@@ -121,7 +162,15 @@ struct RunMetrics {
         << obs::json_number(prof.overlap_efficiency)
         << ",\"windows\":" << prof.windows
         << ",\"bottleneck_flips\":" << prof.bottleneck_flips
-        << ",\"window_ms\":" << obs::json_number(prof.window_ms) << "}}";
+        << ",\"window_ms\":" << obs::json_number(prof.window_ms) << "}"
+        << ",\"hetero\":{\"final_cpu_ratio\":"
+        << obs::json_number(hetero.final_cpu_ratio)
+        << ",\"cpu_records\":" << hetero.cpu_records
+        << ",\"gpu_records\":" << hetero.gpu_records
+        << ",\"rounds\":" << hetero.rounds << ",\"cpu_chunks_per_s\":"
+        << obs::json_number(hetero.cpu_chunks_per_s)
+        << ",\"gpu_chunks_per_s\":"
+        << obs::json_number(hetero.gpu_chunks_per_s) << "}}";
   }
 };
 

@@ -30,6 +30,7 @@
 #include "cusim/runtime.hpp"
 #include "fault/fault.hpp"
 #include "gpusim/config.hpp"
+#include "hetero/options.hpp"
 #include "hostsim/host_cpu.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/prof/attribution.hpp"
@@ -88,6 +89,12 @@ struct SchemeConfig {
   /// (window count, bottleneck flips); the run-level bottleneck and overlap
   /// efficiency are computed either way from the engine's stage sums.
   sim::DurationPs prof_window = 0;
+
+  /// bigkhetero co-execution knobs; only run_hetero reads them. The fault
+  /// plane above applies to the hetero run's GPU side as well (the CPU side
+  /// has no injection sites), which is what lets the DynamicBalancer shift
+  /// work toward the CPU when the GPU degrades.
+  hetero::Options hetero;
 };
 
 namespace detail {
@@ -109,12 +116,12 @@ inline std::vector<core::StreamBinding> make_bindings(
 }
 
 template <class Kernel>
-sim::Task<> cpu_partition(cusim::Runtime& runtime,
+sim::Task<> cpu_partition(hostsim::HostCpu& cpu,
                           std::vector<core::StreamBinding>& bindings,
                           core::TableSet& tables, Kernel kernel,
                           std::uint64_t rec_begin, std::uint64_t rec_end,
                           std::uint32_t cache_share, std::uint64_t batch) {
-  hostsim::HostThread thread = runtime.cpu().make_thread(cache_share);
+  hostsim::HostThread thread = cpu.make_thread(cache_share);
   CpuCtx ctx(thread, bindings, tables);
   for (std::uint64_t r = rec_begin; r < rec_end; r += batch) {
     kernel(ctx, r, std::min(rec_end, r + batch), /*stride=*/1);
@@ -417,7 +424,7 @@ RunMetrics run_cpu(const gpusim::SystemConfig& config, App& app,
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     const std::uint64_t begin = std::min(std::uint64_t{t} * per, num_records);
     const std::uint64_t end = std::min(begin + per, num_records);
-    sim.spawn(detail::cpu_partition(runtime, bindings, app.tables(),
+    sim.spawn(detail::cpu_partition(runtime.cpu(), bindings, app.tables(),
                                     app.kernel(), begin, end, num_threads,
                                     sc.cpu_batch_records));
   }
@@ -568,6 +575,20 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   return metrics;
 }
 
+}  // namespace bigk::schemes
+
+// run_hetero lives in hetero/run.hpp (which includes this header for the CPU
+// runner path and SchemeConfig); forward-declare it so run_scheme can
+// dispatch, and pull in the definition at the end of this file so a plain
+// #include of runners.hpp is enough to instantiate every scheme.
+namespace bigk::hetero {
+template <class App>
+schemes::RunMetrics run_hetero(const gpusim::SystemConfig& config, App& app,
+                               const schemes::SchemeConfig& sc);
+}  // namespace bigk::hetero
+
+namespace bigk::schemes {
+
 /// Dispatch by scheme enum (used by the benchmark harness).
 template <class App>
 RunMetrics run_scheme(Scheme scheme, const gpusim::SystemConfig& config,
@@ -578,8 +599,11 @@ RunMetrics run_scheme(Scheme scheme, const gpusim::SystemConfig& config,
     case Scheme::kGpuSingleBuffer: return run_gpu_single(config, app, sc);
     case Scheme::kGpuDoubleBuffer: return run_gpu_double(config, app, sc);
     case Scheme::kBigKernel: return run_bigkernel(config, app, sc);
+    case Scheme::kHetero: return hetero::run_hetero(config, app, sc);
   }
   throw std::invalid_argument("unknown scheme");
 }
 
 }  // namespace bigk::schemes
+
+#include "hetero/run.hpp"  // NOLINT: definition of run_hetero (see above)

@@ -46,6 +46,9 @@ struct JobRecord {
   bool failed = false;
   /// Device already held this app's dataset, so input staging was skipped.
   bool warm = false;
+  /// bigkhetero: the job spilled to host-core execution (no device, no
+  /// staging/DMA) because the device pool was saturated or quarantined.
+  bool cpu_executed = false;
   bool deadline_met = true;
   sim::TimePs admit_time = 0;
   sim::TimePs start_time = 0;

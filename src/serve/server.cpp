@@ -66,6 +66,12 @@ struct ServerState {
   /// One FIFO per device; its worker is the single consumer, so jobs on one
   /// device serialize in dispatch order.
   std::vector<std::unique_ptr<sim::Channel<Job*>>> dispatch;
+  /// bigkhetero: FIFO of jobs spilled to host-core execution (null unless
+  /// hetero.spill_enabled). Its single cpu_worker serializes spilled jobs,
+  /// so the host cores never oversubscribe across concurrent spills.
+  std::unique_ptr<sim::Channel<Job*>> cpu_dispatch;
+  std::uint64_t spills = 0;
+  std::uint64_t cpu_completed = 0;
   std::vector<Job> jobs;
   std::vector<std::uint64_t> completion_order;
   /// bigkcache: one chunk cache + pinned pool per device (empty when the
@@ -165,6 +171,9 @@ struct ServerState {
     for (std::uint32_t d = 0; d < pool.size(); ++d) {
       dispatch.push_back(std::make_unique<sim::Channel<Job*>>(sim));
     }
+    if (cfg.hetero.spill_enabled) {
+      cpu_dispatch = std::make_unique<sim::Channel<Job*>>(sim);
+    }
     if (cfg.cache_enabled) {
       const std::uint64_t capacity =
           cfg.cache_bytes != 0 ? cfg.cache_bytes
@@ -244,6 +253,27 @@ struct ServerState {
   }
 };
 
+/// bigkhetero spill policy: an admitted job goes to the CPU instead of a
+/// device queue when the pool has nothing placeable (every device quarantined
+/// or parked) or the admitted backlog exceeds the spill depth.
+bool should_spill(const ServerState& st) {
+  if (!st.config.hetero.spill_enabled) return false;
+  return !st.scheduler.any_available() ||
+         st.queue.outstanding() > st.config.hetero.spill_depth;
+}
+
+/// Routes `job` to host-core execution (the cpu_worker completes it).
+void spill_job(ServerState& st, Job& job) {
+  job.record.cpu_executed = true;
+  ++st.spills;
+  if (st.config.metrics != nullptr) {
+    st.config.metrics->counter("serve.spills").add(1);
+  }
+  st.trace_serve_instant("spill job " + std::to_string(job.record.spec.id) +
+                         " to cpu");
+  st.cpu_dispatch->push(&job);
+}
+
 /// Runs one job through admission control: keeps resubmitting until accepted
 /// or out of retries. Rejections — queue full, the whole pool quarantined, or
 /// (QoS mode) the job's tenant at its admission quota — return an escalating
@@ -262,7 +292,8 @@ sim::Task<> submit_one(ServerState& st, Job& job) {
         st.qos_mode ? st.config.qos.tenants[tenant].quota : 0;
     if (quota > 0 && st.tenant_outstanding[tenant] >= quota) {
       retry_after = st.queue.reject(RejectCause::kTenantQuota, client_key);
-    } else if (!st.scheduler.any_available()) {
+    } else if (!st.scheduler.any_available() &&
+               !st.config.hetero.spill_enabled) {
       retry_after = st.queue.reject(RejectCause::kNoDevice, client_key);
     } else {
       const JobQueue::Admission admission = st.queue.try_admit(client_key);
@@ -271,8 +302,14 @@ sim::Task<> submit_one(ServerState& st, Job& job) {
         job.record.admit_time = st.sim.now();
         if (st.qos_mode) {
           ++st.tenant_outstanding[tenant];
-          st.qos_queue->push(tenant, &job, job.record.input_bytes >> 10);
-          st.dispatch_events.increment();
+          if (should_spill(st)) {
+            spill_job(st, job);
+          } else {
+            st.qos_queue->push(tenant, &job, job.record.input_bytes >> 10);
+            st.dispatch_events.increment();
+          }
+        } else if (should_spill(st)) {
+          spill_job(st, job);
         } else {
           const std::uint32_t device = st.scheduler.pick_device(
               job.record.spec.app, job.record.input_bytes);
@@ -342,6 +379,14 @@ void redispatch(ServerState& st, std::uint32_t from_device, Job& job) {
                                      job.record.input_bytes)
           : st.pool.size();
   if (target >= st.pool.size()) {
+    if (st.config.hetero.spill_enabled) {
+      // bigkhetero: instead of abandoning the job, hand it to the host
+      // cores. The job keeps its admission slot (and tenant quota) until
+      // the cpu_worker completes it.
+      ++job.record.redispatches;
+      spill_job(st, job);
+      return;
+    }
     job.record.failed = true;
     st.queue.release();
     if (st.qos_mode) --st.tenant_outstanding[job.record.spec.tenant];
@@ -586,6 +631,55 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
   }
 }
 
+/// bigkhetero CPU worker: drains spilled jobs one at a time, running each
+/// entirely on the shared host cores (JobRunner::run_cpu — no staging, no
+/// DMA, no engine). Completion mirrors device_worker's epilogue minus the
+/// device-side bookkeeping (no scheduler slot or health state was taken).
+sim::Task<> cpu_worker(ServerState& st) {
+  while (true) {
+    std::optional<Job*> item = co_await st.cpu_dispatch->pop();
+    if (!item.has_value()) break;  // channel closed and drained
+    Job& job = **item;
+    job.record.start_time = st.sim.now();
+    job.record.staging_done_time = job.record.start_time;  // no staging
+    apps::CpuJobConfig cpu_cfg;
+    cpu_cfg.threads = st.config.hetero.cpu_threads;
+    cpu_cfg.exec_done = &job.record.exec_done_time;
+    co_await job.runner->run_cpu(st.pool.cpu(), cpu_cfg);
+    job.record.finish_time = st.sim.now();
+    job.record.completed = true;
+    if (job.record.spec.deadline > 0) {
+      job.record.deadline_met =
+          job.record.finish_time - job.record.spec.submit_time <=
+          job.record.spec.deadline;
+    }
+    st.completion_order.push_back(job.record.spec.id);
+    st.queue.release();
+    if (st.qos_mode) {
+      --st.tenant_outstanding[job.record.spec.tenant];
+      st.dispatch_events.increment();
+    }
+    ++st.cpu_completed;
+    st.latency_sketch.observe(to_ms(job.record.latency()));
+    if (st.scaler_latency != nullptr) {
+      st.scaler_latency->observe(to_ms(job.record.latency()));
+    }
+    if (st.completions != nullptr) {
+      st.completions->add(job.record.finish_time);
+    }
+    st.settle_job(job);
+    if (st.config.tracer != nullptr) {
+      const obs::TrackId track =
+          st.config.tracer->track("serve", "cpu spill");
+      st.config.tracer->complete(
+          track, job.record.spec.app, job.record.start_time,
+          job.record.finish_time, "serve",
+          {{"job", static_cast<double>(job.record.spec.id)},
+           {"spilled", 1.0}});
+    }
+  }
+}
+
 /// bigkload dispatcher: pairs WFQ-ordered admitted jobs with idle placeable
 /// devices. Placement is late-bound — the device is chosen at dispatch time
 /// from the currently idle set (via the scheduler's eligibility mask), so
@@ -723,6 +817,10 @@ sim::Task<> serve_main(ServerState& st) {
   for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
     workers.push_back(st.sim.spawn(device_worker(st, d)));
   }
+  sim::Process spill_worker;
+  if (st.cpu_dispatch != nullptr) {
+    spill_worker = st.sim.spawn(cpu_worker(st));
+  }
   sim::Process dispatcher;
   if (st.qos_mode) dispatcher = st.sim.spawn(qos_dispatcher(st));
   sim::Process scaler;
@@ -744,7 +842,9 @@ sim::Task<> serve_main(ServerState& st) {
   st.shutdown = true;
   if (st.qos_mode) st.dispatch_events.increment();  // wake for shutdown
   for (auto& channel : st.dispatch) channel->close();
+  if (st.cpu_dispatch != nullptr) st.cpu_dispatch->close();
   for (sim::Process& process : workers) co_await process.join();
+  if (spill_worker.valid()) co_await spill_worker.join();
   if (dispatcher.valid()) co_await dispatcher.join();
   if (scaler.valid()) co_await scaler.join();
   if (probe.valid()) co_await probe.join();
@@ -802,6 +902,8 @@ ServeReport run_server(const ServerConfig& config,
   report.rejections_tenant_quota =
       state.queue.rejected(RejectCause::kTenantQuota);
   report.peak_queue_depth = state.queue.peak_depth();
+  report.spills = state.spills;
+  report.cpu_completed = state.cpu_completed;
   report.quarantines = state.health.quarantines();
   report.reinstatements = state.health.reinstatements();
   if (state.fault_plane != nullptr) {
@@ -822,11 +924,14 @@ ServeReport run_server(const ServerConfig& config,
       breakdown_sums.staging += b.staging;
       breakdown_sums.execution += b.execution;
       breakdown_sums.writeback += b.writeback;
-      DeviceReport& dev = report.devices[record.device];
-      ++dev.jobs;
-      if (record.warm) {
-        ++dev.warm_jobs;
-        ++report.warm_hits;
+      if (!record.cpu_executed) {
+        // Spilled jobs completed on the host cores, not on record.device.
+        DeviceReport& dev = report.devices[record.device];
+        ++dev.jobs;
+        if (record.warm) {
+          ++dev.warm_jobs;
+          ++report.warm_hits;
+        }
       }
       if (!record.deadline_met) ++report.deadline_misses;
     } else if (record.failed) {
@@ -1051,6 +1156,9 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
       .set(static_cast<double>(rejections_queue_full));
   registry.gauge(prefix + ".rejections.no_device")
       .set(static_cast<double>(rejections_no_device));
+  registry.gauge(prefix + ".hetero.spills").set(static_cast<double>(spills));
+  registry.gauge(prefix + ".hetero.cpu_completed")
+      .set(static_cast<double>(cpu_completed));
   registry.gauge(prefix + ".fault.injected")
       .set(static_cast<double>(fault_injected));
   registry.gauge(prefix + ".fault.recovered")
@@ -1143,6 +1251,8 @@ void ServeReport::write_json(std::ostream& out) const {
       << ",\"reinstatements\":" << reinstatements
       << ",\"rejections_queue_full\":" << rejections_queue_full
       << ",\"rejections_no_device\":" << rejections_no_device << "}"
+      << ",\"hetero\":{\"spills\":" << spills
+      << ",\"cpu_completed\":" << cpu_completed << "}"
       << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
       << ",\"bytes_saved\":" << cache_bytes_saved
       << ",\"hit_rate\":" << obs::json_number(cache_hit_rate) << "}"
@@ -1243,6 +1353,7 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"completed\":" << (record.completed ? "true" : "false")
         << ",\"failed\":" << (record.failed ? "true" : "false")
         << ",\"warm\":" << (record.warm ? "true" : "false")
+        << ",\"cpu_executed\":" << (record.cpu_executed ? "true" : "false")
         << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false");
     const JobRecord::Breakdown b = record.breakdown();
     out << ",\"breakdown_ms\":{\"admission\":"

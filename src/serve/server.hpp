@@ -124,6 +124,21 @@ struct ServerConfig {
   };
   QosConfig qos;
 
+  // --- bigkhetero spill-over ----------------------------------------------
+  struct HeteroConfig {
+    /// Spill whole jobs to host-core execution (JobRunner::run_cpu — no
+    /// staging, no DMA) when no device is available at placement time or
+    /// the pool backlog exceeds `spill_depth`. Off = byte-identical to the
+    /// pre-hetero build.
+    bool spill_enabled = false;
+    /// Outstanding-jobs threshold past which admitted jobs spill to the CPU
+    /// instead of queueing for a device.
+    std::uint32_t spill_depth = 8;
+    /// Software threads for each spilled job (0 = all host hw threads).
+    std::uint32_t cpu_threads = 0;
+  };
+  HeteroConfig hetero;
+
   /// Optional telemetry sinks (must outlive the run). With a tracer, every
   /// device gets its own "devK ..." process rows plus a "serve" process with
   /// one job span per completion.
@@ -188,6 +203,12 @@ struct ServeReport {
   std::uint64_t rejections_queue_full = 0;
   std::uint64_t rejections_no_device = 0;
   std::uint64_t rejections_tenant_quota = 0;
+
+  /// bigkhetero (all zero unless hetero.spill_enabled).
+  /// Jobs routed to host-core execution (at placement or on redispatch).
+  std::uint64_t spills = 0;
+  /// Spilled jobs that completed on the CPU (included in `completed`).
+  std::uint64_t cpu_completed = 0;
 
   /// bigkcache totals across devices (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;

@@ -20,6 +20,7 @@
 
 #include "apps/registry.hpp"
 #include "obs/json.hpp"
+#include "schemes/metrics.hpp"
 #include "verify/contracts.hpp"
 #include "verify/violators.hpp"
 
@@ -87,7 +88,21 @@ std::string document_json(const std::vector<AppResult>& apps,
                           const std::vector<ViolatorResult>& violators,
                           bool ran_violators) {
   std::ostringstream out;
-  out << "{\"schema\":\"bigklint-v1\",\"apps\":[";
+  out << "{\"schema\":\"bigklint-v1\",\"schemes\":[";
+  // Every execution scheme the verified contracts cover: the kernel-contract
+  // verdict is scheme-independent, so a kernel admitted for device execution
+  // is equally admitted for host-core execution (hetero's CPU side and the
+  // serve spill-over path) — one verdict, six run paths.
+  {
+    bool first = true;
+    for (bigk::schemes::Scheme scheme : bigk::schemes::all_schemes()) {
+      if (!first) out << ',';
+      first = false;
+      out << bigk::obs::json_quote(
+          std::string(bigk::schemes::scheme_tag(scheme)));
+    }
+  }
+  out << "],\"apps\":[";
   for (std::size_t i = 0; i < apps.size(); ++i) {
     if (i != 0) out << ',';
     out << "{\"pattern_applicable\":"
@@ -192,6 +207,11 @@ int main(int argc, char** argv) {
   }
 
   if (!quiet) {
+    std::printf("bigklint: verdicts cover schemes:");
+    for (bigk::schemes::Scheme scheme : bigk::schemes::all_schemes()) {
+      std::printf(" %s", std::string(bigk::schemes::scheme_tag(scheme)).c_str());
+    }
+    std::printf("\n");
     std::printf("bigklint: %s\n", ok ? "all checks passed" : "FAILURES");
   }
   return ok ? 0 : 1;

@@ -1,0 +1,65 @@
+// Harness flag parsing: ratio-valued flags (--cpu-ratio) must reject
+// malformed and out-of-range input with a clear error instead of silently
+// clamping a typo into a valid split, while accepting the whole legal range
+// including both endpoints.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common.hpp"
+
+namespace bigk::bench {
+namespace {
+
+TEST(HarnessFlags, ParseRatioAcceptsTheFullRange) {
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("0", "--cpu-ratio"), 0.0);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("1", "--cpu-ratio"), 1.0);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("0.25", "--cpu-ratio"), 0.25);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("0.5", "--cpu-ratio"), 0.5);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("1.0", "--cpu-ratio"), 1.0);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("5e-1", "--cpu-ratio"), 0.5);
+  EXPECT_DOUBLE_EQ(Harness::parse_ratio("0.0", "--cpu-ratio"), 0.0);
+}
+
+TEST(HarnessFlags, ParseRatioRejectsOutOfRange) {
+  EXPECT_THROW(Harness::parse_ratio("1.5", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("-0.1", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("2", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("nan", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("inf", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("1e300", "--cpu-ratio"),
+               std::invalid_argument);
+}
+
+TEST(HarnessFlags, ParseRatioRejectsMalformedInput) {
+  EXPECT_THROW(Harness::parse_ratio("", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("abc", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("0.5x", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("0.2.5", "--cpu-ratio"),
+               std::invalid_argument);
+  EXPECT_THROW(Harness::parse_ratio("--", "--cpu-ratio"),
+               std::invalid_argument);
+}
+
+TEST(HarnessFlags, ParseRatioErrorNamesTheFlagAndValue) {
+  try {
+    Harness::parse_ratio("1.5", "--cpu-ratio");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--cpu-ratio"), std::string::npos);
+    EXPECT_NE(message.find("1.5"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bigk::bench

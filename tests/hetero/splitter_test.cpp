@@ -1,0 +1,135 @@
+// Unit tests for the bigkhetero chunk splitter and dynamic balancer: the
+// chunk/record geometry, the window split edge cases (empty windows, full
+// windows, single-chunk windows that must never be subdivided), and the
+// balancer's EWMA trajectory — in particular the zero-throughput rules that
+// route every chunk to the only side that has shown progress.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "hetero/splitter.hpp"
+
+namespace bigk::hetero {
+namespace {
+
+TEST(ChunkSplitter, GeometryCoversEveryRecordExactlyOnce) {
+  const ChunkSplitter splitter(1000, 64);
+  EXPECT_EQ(splitter.num_chunks(), 16u);  // 15 full + 1 tail of 40
+  std::uint64_t covered = 0;
+  for (std::uint64_t c = 0; c < splitter.num_chunks(); ++c) {
+    EXPECT_EQ(splitter.rec_begin(c), covered);
+    EXPECT_GT(splitter.rec_end(c), splitter.rec_begin(c));
+    covered = splitter.rec_end(c);
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_EQ(splitter.rec_end(splitter.num_chunks() - 1), 1000u);
+}
+
+TEST(ChunkSplitter, ZeroRecordsPerChunkIsClampedToOne) {
+  const ChunkSplitter splitter(5, 0);
+  EXPECT_EQ(splitter.records_per_chunk(), 1u);
+  EXPECT_EQ(splitter.num_chunks(), 5u);
+}
+
+TEST(ChunkSplitter, SplitWindowEndpoints) {
+  const auto gpu_all = ChunkSplitter::split_window(3, 11, 0.0);
+  EXPECT_EQ(gpu_all.gpu_chunks(), 8u);
+  EXPECT_EQ(gpu_all.cpu_chunks(), 0u);
+  const auto cpu_all = ChunkSplitter::split_window(3, 11, 1.0);
+  EXPECT_EQ(cpu_all.gpu_chunks(), 0u);
+  EXPECT_EQ(cpu_all.cpu_chunks(), 8u);
+  // Out-of-range ratios clamp (the bench flag layer rejects them before
+  // they ever get here; internal callers may hold extrapolated EWMAs).
+  EXPECT_EQ(ChunkSplitter::split_window(0, 4, -0.5).cpu_chunks(), 0u);
+  EXPECT_EQ(ChunkSplitter::split_window(0, 4, 7.0).cpu_chunks(), 4u);
+}
+
+TEST(ChunkSplitter, SplitWindowIsContiguousAndExhaustive) {
+  for (double ratio : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const auto split = ChunkSplitter::split_window(10, 25, ratio);
+    EXPECT_EQ(split.gpu_begin, 10u);
+    EXPECT_EQ(split.gpu_end, split.cpu_begin);
+    EXPECT_EQ(split.cpu_end, 25u);
+    EXPECT_EQ(split.gpu_chunks() + split.cpu_chunks(), 15u) << ratio;
+  }
+}
+
+TEST(ChunkSplitter, SingleChunkWindowIsNeverSubdivided) {
+  for (double ratio : {0.0, 0.25, 0.49, 0.51, 0.75, 1.0}) {
+    const auto split = ChunkSplitter::split_window(7, 8, ratio);
+    EXPECT_EQ(split.gpu_chunks() + split.cpu_chunks(), 1u) << ratio;
+    // round(ratio) picks the side: < 0.5 stays on the GPU.
+    EXPECT_EQ(split.cpu_chunks(), ratio < 0.5 ? 0u : 1u) << ratio;
+  }
+}
+
+TEST(ChunkSplitter, EmptyWindowAndInvertedWindow) {
+  const auto empty = ChunkSplitter::split_window(4, 4, 0.5);
+  EXPECT_EQ(empty.gpu_chunks(), 0u);
+  EXPECT_EQ(empty.cpu_chunks(), 0u);
+  EXPECT_THROW(ChunkSplitter::split_window(5, 4, 0.5),
+               std::invalid_argument);
+}
+
+TEST(DynamicBalancer, ZeroCpuThroughputRoutesEverythingToGpu) {
+  DynamicBalancer balancer(0.5, 0.5);
+  // Only the GPU has produced chunks: the CPU EWMA never gets a sample.
+  balancer.observe(/*cpu_chunks=*/0, /*cpu_elapsed=*/0,
+                   /*gpu_chunks=*/8, /*gpu_elapsed=*/sim::kMicrosecond);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 0.0);
+  EXPECT_GT(balancer.gpu_chunks_per_s(), 0.0);
+  EXPECT_LE(balancer.cpu_chunks_per_s(), 0.0);
+}
+
+TEST(DynamicBalancer, ZeroGpuThroughputRoutesEverythingToCpu) {
+  DynamicBalancer balancer(0.5, 0.5);
+  balancer.observe(/*cpu_chunks=*/8, /*cpu_elapsed=*/sim::kMicrosecond,
+                   /*gpu_chunks=*/0, /*gpu_elapsed=*/0);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 1.0);
+}
+
+TEST(DynamicBalancer, NoSamplesKeepsInitialRatio) {
+  DynamicBalancer balancer(0.33, 0.5);
+  balancer.observe(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 0.33);
+  EXPECT_EQ(balancer.rebalances(), 1u);
+}
+
+TEST(DynamicBalancer, RatioTracksRelativeThroughput) {
+  DynamicBalancer balancer(0.5, 1.0);  // alpha 1: latest sample wins
+  // CPU does 1 chunk while the GPU does 3 in the same window.
+  balancer.observe_rates(/*cpu_rate=*/1000.0, /*gpu_rate=*/3000.0);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 0.25);
+  balancer.observe_rates(3000.0, 1000.0);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 0.75);
+}
+
+TEST(DynamicBalancer, EwmaSmoothsAndConverges) {
+  DynamicBalancer balancer(0.5, 0.5);
+  balancer.observe_rates(1000.0, 1000.0);
+  EXPECT_DOUBLE_EQ(balancer.ratio(), 0.5);
+  // The GPU side collapses to a tenth of its speed; the ratio moves toward
+  // the CPU monotonically and converges to 10/11.
+  double previous = balancer.ratio();
+  for (int round = 0; round < 32; ++round) {
+    balancer.observe_rates(1000.0, 100.0);
+    EXPECT_GE(balancer.ratio(), previous);
+    previous = balancer.ratio();
+  }
+  EXPECT_NEAR(balancer.ratio(), 1000.0 / 1100.0, 1e-6);
+}
+
+TEST(DynamicBalancer, CoastingSideKeepsItsEwma) {
+  DynamicBalancer balancer(0.5, 0.5);
+  balancer.observe_rates(2000.0, 2000.0);
+  // A round where the CPU side got no chunks must not zero its rate: the
+  // split can legitimately starve one side for a window.
+  balancer.observe(0, 0, 4, sim::kMicrosecond);
+  EXPECT_GT(balancer.cpu_chunks_per_s(), 0.0);
+  EXPECT_GT(balancer.ratio(), 0.0);
+  EXPECT_LT(balancer.ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace bigk::hetero

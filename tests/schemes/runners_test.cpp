@@ -133,7 +133,7 @@ INSTANTIATE_TEST_SUITE_P(
     Schemes, AllSchemes,
     ::testing::Values(Scheme::kCpuSerial, Scheme::kCpuMultiThreaded,
                       Scheme::kGpuSingleBuffer, Scheme::kGpuDoubleBuffer,
-                      Scheme::kBigKernel),
+                      Scheme::kBigKernel, Scheme::kHetero),
     [](const auto& info) {
       switch (info.param) {
         case Scheme::kCpuSerial: return "CpuSerial";
@@ -141,6 +141,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Scheme::kGpuSingleBuffer: return "GpuSingle";
         case Scheme::kGpuDoubleBuffer: return "GpuDouble";
         case Scheme::kBigKernel: return "BigKernel";
+        case Scheme::kHetero: return "Hetero";
       }
       return "Unknown";
     });
