@@ -20,6 +20,26 @@
 //                                 --fault spec instead); the quarantine +
 //                                 redispatch + reinstatement path must finish
 //                                 every job
+//   serve/dur/integrity           bigkdur end-to-end integrity run: the reuse
+//                                 mix under silent bit-flip injection on the
+//                                 write-back path and resident cache entries,
+//                                 with the integrity plane + scrub daemon
+//                                 armed — every flip must be detected
+//                                 (dur.detected == dur.injected) and repaired
+//                                 with zero failed jobs
+//   serve/dur/resume              bigkdur crash/restart: four K-means jobs
+//                                 run in checkpoint windows over a journal;
+//                                 the server crashes at half the clean makespan
+//                                 and restarts over the same journal with the
+//                                 runners (output storage) surviving — jobs
+//                                 resume from their checkpoints, replaying
+//                                 nothing
+//   serve/dur/restart             same crash, but the restarted server gets
+//                                 fresh runners: every journaled checkpoint
+//                                 fails digest verification and the jobs
+//                                 rerun from record zero (the from-scratch
+//                                 control the resume goodput is measured
+//                                 against)
 //
 // --fault <spec> additionally installs the spec on every scenario's pool.
 //
@@ -30,9 +50,13 @@
 //                         [--metrics-json=out.json] [--trace-out=trace.json]
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "apps/registry.hpp"
 #include "common.hpp"
+#include "dur/journal.hpp"
 #include "serve/job.hpp"
 #include "serve/server.hpp"
 
@@ -54,6 +78,37 @@ schemes::RunMetrics to_run_metrics(const serve::ServeReport& report) {
   }
   return metrics;
 }
+
+/// bigkdur crash/restart support: a JobRunner that forwards to a shared
+/// persistent runner. The serve layer builds a fresh runner per job, so the
+/// only way output storage (and therefore journal digests) can survive a
+/// simulated server crash is for the suite's make_runner to hand out views
+/// of runners owned outside the server's lifetime.
+class SharedJobRunner final : public bigk::apps::JobRunner {
+ public:
+  explicit SharedJobRunner(std::shared_ptr<bigk::apps::JobRunner> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& app_name() const noexcept override {
+    return inner_->app_name();
+  }
+  std::uint64_t num_records() const override { return inner_->num_records(); }
+  std::uint64_t input_bytes() const override { return inner_->input_bytes(); }
+  sim::Task<> run(bigk::cusim::Runtime& runtime,
+                  const bigk::apps::JobRunConfig& cfg) override {
+    return inner_->run(runtime, cfg);
+  }
+  sim::Task<> run_cpu(bigk::hostsim::HostCpu& cpu,
+                      const bigk::apps::CpuJobConfig& cfg) override {
+    return inner_->run_cpu(cpu, cfg);
+  }
+  std::uint64_t output_digest(std::uint64_t records_done) override {
+    return inner_->output_digest(records_done);
+  }
+
+ private:
+  std::shared_ptr<bigk::apps::JobRunner> inner_;
+};
 
 void print_report_line(const std::string& name,
                        const serve::ServeReport& report) {
@@ -238,6 +293,128 @@ int main(int argc, char** argv) {
         return run_serve("spill", config, mixed);
       });
 
+  // bigkdur integrity run: the reuse mix (cache on, so chunks are resident
+  // and re-served) under silent-corruption injection. Flips land on staged
+  // write-backs and on resident cache entries; the armed integrity plane
+  // must catch every one — at the write-back digest check, on the next cache
+  // hit, or by the scrub daemon — and the retry/restage path must leave the
+  // output clean with zero failed jobs. An explicit --fault spec replaces
+  // the default bit-flip mix.
+  bigk::bench::register_sim_benchmark(
+      "serve/dur/integrity", &harness.results, [&, reuse, reuse_apps] {
+        serve::ServerConfig config =
+            base_config(reuse_devices, serve::Policy::kAppAffinity,
+                        "serve.dur.integrity");
+        config.cache_enabled = true;
+        config.cache_bytes = harness.cache_bytes();
+        config.cache_eviction = harness.cache_policy();
+        config.dur.integrity = true;
+        config.dur.scrub_period = sim::DurationPs{20'000'000};  // 20 us
+        config.dur.scrub_entries = 4;
+        if (config.fault_spec.empty()) {
+          config.fault_spec =
+              "bitflip_writeback,nth=1,every=3,max=8;"
+              "bitflip_cache,nth=1,every=2,max=8";
+        }
+        return run_serve("dur/integrity", config, reuse, reuse_apps);
+      });
+
+  // bigkdur crash/restart: four K-means jobs (the suite's stream-output app
+  // — the one whose checkpoint digests can actually vouch for surviving
+  // output bytes; the reduction apps keep their output in table state and
+  // always restart from zero), executed in checkpoint windows over a
+  // caller-owned journal and crashed at half the clean makespan. The two
+  // scenarios share the same deterministic crash; they differ only in what
+  // survives it — the resume run keeps the runners (output storage intact,
+  // every digest verifies, jobs resume from their checkpoints), the restart
+  // run gets fresh runners (storage lost, every digest check fails, jobs
+  // rerun from record zero). Both report the post-crash incarnation.
+  constexpr std::size_t kDurJobs = 4;
+  std::vector<serve::JobSpec> dur_specs;
+  for (std::size_t i = 0; i < kDurJobs; ++i) {
+    serve::JobSpec spec;
+    spec.id = i;
+    spec.app = "K-means#" + std::to_string(i);
+    dur_specs.push_back(spec);
+  }
+  struct DurCrashState {
+    std::vector<bigk::apps::BenchApp> durable_suite;
+    std::vector<bigk::apps::BenchApp> fresh_suite;
+    std::uint64_t window = 0;
+    sim::TimePs crash_at = 0;
+  };
+  auto dur_state = std::make_shared<DurCrashState>();
+  const auto dur_config = [&](const std::string& prefix) {
+    serve::ServerConfig config =
+        base_config(2, serve::Policy::kRoundRobin, prefix);
+    config.dur.checkpoint_records = dur_state->window;
+    return config;
+  };
+  // Built once, by whichever crash scenario runs first: one persistent
+  // runner per job (the surviving "output storage") behind a durable suite,
+  // a fresh suite with the same app names but stock runners (the lost
+  // storage), the checkpoint window (a quarter of the job, so every job
+  // spans several windows at any scale), and the crash instant (half a
+  // clean run's makespan, so the crash lands mid-workload at any scale).
+  const auto dur_prepare = [&] {
+    if (!dur_state->durable_suite.empty()) return;
+    const bigk::apps::BenchApp& kmeans =
+        bigk::apps::find_app(ctx.suite, "K-means");
+    std::uint64_t records = 0;
+    for (const serve::JobSpec& spec : dur_specs) {
+      bigk::apps::BenchApp fresh = kmeans;
+      fresh.name = spec.app;
+      bigk::apps::BenchApp durable = fresh;
+      std::shared_ptr<bigk::apps::JobRunner> runner = kmeans.make_runner();
+      records = runner->num_records();
+      durable.make_runner =
+          [runner]() -> std::unique_ptr<bigk::apps::JobRunner> {
+        return std::make_unique<SharedJobRunner>(runner);
+      };
+      dur_state->durable_suite.push_back(std::move(durable));
+      dur_state->fresh_suite.push_back(std::move(fresh));
+    }
+    dur_state->window = std::max<std::uint64_t>(1, records / 4);
+    serve::ServerConfig probe = dur_config("");
+    probe.metrics = nullptr;
+    probe.tracer = nullptr;
+    dur_state->crash_at =
+        serve::run_server(probe, dur_specs, dur_state->fresh_suite).makespan /
+        2;
+  };
+  const auto dur_crash_run = [&](bigk::dur::JobJournal& journal) {
+    serve::ServerConfig config = dur_config("");
+    config.metrics = nullptr;
+    config.tracer = nullptr;
+    config.dur.journal = &journal;
+    config.dur.crash_at = dur_state->crash_at;
+    serve::run_server(config, dur_specs, dur_state->durable_suite);
+  };
+  bigk::bench::register_sim_benchmark(
+      "serve/dur/resume", &harness.results, [&] {
+        dur_prepare();
+        bigk::dur::JobJournal journal;
+        dur_crash_run(journal);
+        serve::ServerConfig config = dur_config("serve.dur.resume");
+        config.dur.journal = &journal;
+        reports["dur/resume"] =
+            serve::run_server(config, dur_specs, dur_state->durable_suite);
+        return to_run_metrics(reports["dur/resume"]);
+      });
+  bigk::bench::register_sim_benchmark(
+      "serve/dur/restart", &harness.results, [&] {
+        dur_prepare();
+        bigk::dur::JobJournal journal;
+        dur_crash_run(journal);
+        serve::ServerConfig config = dur_config("serve.dur.restart");
+        config.dur.journal = &journal;
+        // Fresh runners: the journal survived but the output storage did
+        // not, so every checkpoint digest mismatches.
+        reports["dur/restart"] =
+            serve::run_server(config, dur_specs, dur_state->fresh_suite);
+        return to_run_metrics(reports["dur/restart"]);
+      });
+
   const int rc = bigk::bench::run_benchmarks(argc, argv);
   if (rc != 0) return rc;
 
@@ -276,6 +453,17 @@ int main(int argc, char** argv) {
       }
       harness.metrics.gauge("serve.nocache.h2d_bytes")
           .set(static_cast<double>(h2d_nocache));
+    }
+  }
+  // bigkdur headline: checkpoint-resume goodput against the from-zero
+  // restart on the identical crash.
+  double resume_speedup = 0.0;
+  if (reports.count("dur/resume") != 0 && reports.count("dur/restart") != 0) {
+    const double resume = reports["dur/resume"].throughput_jobs_per_s;
+    const double restart = reports["dur/restart"].throughput_jobs_per_s;
+    if (restart > 0.0) {
+      resume_speedup = resume / restart;
+      harness.metrics.gauge("serve.dur.resume_speedup").set(resume_speedup);
     }
   }
   if (!harness.write_outputs()) return 1;
@@ -323,6 +511,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spill.jobs.size()),
                 static_cast<unsigned long long>(spill.cpu_completed),
                 static_cast<unsigned long long>(spill.failed_jobs));
+  }
+  if (reports.count("dur/integrity") != 0) {
+    const serve::ServeReport& dur = reports["dur/integrity"];
+    std::printf("integrity: %llu bit flips injected, %llu detected / %llu "
+                "repaired across %llu verifications (%llu scrubbed, %llu "
+                "scrub evictions), %llu failed jobs\n",
+                static_cast<unsigned long long>(dur.bitflips_injected),
+                static_cast<unsigned long long>(dur.integrity_detected),
+                static_cast<unsigned long long>(dur.integrity_repaired),
+                static_cast<unsigned long long>(dur.integrity_verified),
+                static_cast<unsigned long long>(dur.scrub_checked),
+                static_cast<unsigned long long>(dur.scrub_evictions),
+                static_cast<unsigned long long>(dur.failed_jobs));
+  }
+  if (resume_speedup > 0.0) {
+    const serve::ServeReport& resume = reports["dur/resume"];
+    const serve::ServeReport& restart = reports["dur/restart"];
+    std::printf("resume: %llu jobs resumed from checkpoints replaying %llu "
+                "windows (%.3f ms) vs %llu replayed from zero (%.3f ms) — "
+                "%.2fx the restart goodput\n",
+                static_cast<unsigned long long>(resume.resumed),
+                static_cast<unsigned long long>(resume.chunks_replayed),
+                static_cast<double>(resume.makespan) / 1e9,
+                static_cast<unsigned long long>(restart.chunks_replayed),
+                static_cast<double>(restart.makespan) / 1e9,
+                resume_speedup);
   }
   if (reports.count("reuse/app-affinity+cache") != 0) {
     const serve::ServeReport& cached = reports["reuse/app-affinity+cache"];

@@ -26,7 +26,18 @@ BIGK_SCALE so the smoke stays fast) and validates the emitted JSON:
   * the bigkhetero spill-over scenario (serve/spill: the batch burst against
     one device with co-execution enabled) actually spills — the spill
     counters are positive once the pool saturates past the spill depth —
-    and every spilled job completes on the host cores with zero failures.
+    and every spilled job completes on the host cores with zero failures,
+  * every prefix carries the bigkdur integrity/durability gauges, and the
+    bigkdur integrity scenario (serve/dur/integrity: the reuse mix under
+    silent bit-flip injection with the integrity plane + scrub daemon armed)
+    detects every injected flip (dur.detected == dur.injected), runs the
+    scrub daemon, and finishes every job,
+  * the bigkdur crash/restart pair (serve/dur/resume vs serve/dur/restart:
+    the same mid-workload crash over the same journal, with output storage
+    surviving vs lost) shows checkpoint resume working — the resume run
+    resumes jobs and replays nothing, the restart run resumes nothing and
+    replays every journaled window, and the resume goodput strictly beats
+    the restart goodput (serve.dur.resume_speedup > 1).
 
 With a serve_load binary as the second argument the bigkload plane is
 validated too:
@@ -67,6 +78,10 @@ REJECT_CAUSES = ["queue_full", "no_device", "tenant_quota"]
 # serve/recover always runs with at least 4 devices so the pool can absorb
 # the quarantined one (mirrors recover_devices in bench/serve_throughput.cpp).
 RECOVER_DEVICES = max(DEVICES, 4)
+# The bigkdur crash/restart pair runs a fixed 4 K-means jobs on 2 devices
+# (mirrors kDurJobs / dur_config in bench/serve_throughput.cpp).
+DUR_JOBS = 4
+DUR_DEVICES = 2
 
 EXPECTED_RESULTS = [
     "serve/mixed/devices1",
@@ -77,6 +92,9 @@ EXPECTED_RESULTS = [
     "serve/recover",
     "serve/shed",
     "serve/spill",
+    "serve/dur/integrity",
+    "serve/dur/resume",
+    "serve/dur/restart",
 ]
 # (metrics prefix, number of devices the scenario runs with)
 EXPECTED_PREFIXES = [
@@ -88,6 +106,9 @@ EXPECTED_PREFIXES = [
     ("serve.recover", RECOVER_DEVICES),
     ("serve.shed", DEVICES),
     ("serve.spill", 1),
+    ("serve.dur.integrity", DEVICES),
+    ("serve.dur.resume", DUR_DEVICES),
+    ("serve.dur.restart", DUR_DEVICES),
 ]
 SCALAR_GAUGES = [
     "latency_p50_ms",
@@ -110,6 +131,15 @@ SCALAR_GAUGES = [
     "breakdown.total_ms",
     "slo.rules",
     "slo.violations",
+    "dur.verified",
+    "dur.detected",
+    "dur.repaired",
+    "dur.injected",
+    "dur.scrub_checked",
+    "dur.scrub_evictions",
+    "dur.resumed",
+    "dur.chunks_replayed",
+    "dur.crashed",
 ]
 # Stage count of the BigKernel pipeline (obs::kStageCount).
 STAGE_COUNT = 5
@@ -368,13 +398,84 @@ def check_serve_throughput(binary):
             f"of {JOBS} jobs"
         )
 
+    # bigkdur integrity: the bit-flip specs must actually fire, and with the
+    # integrity plane armed every injected flip must be detected — at the
+    # write-back digest check, on the next cache hit, or by the scrub daemon
+    # — and repaired without failing a single job.
+    flips = gauge("serve.dur.integrity.dur.injected")
+    detected = gauge("serve.dur.integrity.dur.detected")
+    if flips <= 0:
+        fail(f"dur/integrity scenario injected no bit flips: {flips}")
+    if detected != flips:
+        fail(
+            "dur/integrity scenario missed silent corruption: "
+            f"{detected} detected vs {flips} injected"
+        )
+    if gauge("serve.dur.integrity.dur.verified") <= 0:
+        fail("dur/integrity scenario performed no integrity verifications")
+    if gauge("serve.dur.integrity.dur.scrub_checked") <= 0:
+        fail("dur/integrity scenario never ran the cache scrub daemon")
+    if gauge("serve.dur.integrity.failed_jobs") != 0:
+        fail(
+            "dur/integrity scenario failed jobs under bit flips: "
+            f"{gauge('serve.dur.integrity.failed_jobs')}"
+        )
+    if gauge("serve.dur.integrity.completed") != JOBS:
+        fail(
+            "dur/integrity scenario completed "
+            f"{gauge('serve.dur.integrity.completed')} of {JOBS} jobs"
+        )
+
+    # bigkdur crash/restart A/B: identical crash, identical journal. The
+    # resume run (output storage survived) must resume jobs from their
+    # checkpoints without replaying a single journaled window; the restart
+    # run (storage lost, digests mismatch) must resume nothing and redo
+    # journaled work; and skipping that work must strictly pay off.
+    resumed = gauge("serve.dur.resume.dur.resumed")
+    if resumed <= 0:
+        fail(f"dur/resume scenario resumed no jobs: {resumed}")
+    if gauge("serve.dur.resume.dur.chunks_replayed") != 0:
+        fail(
+            "dur/resume scenario replayed journaled windows: "
+            f"{gauge('serve.dur.resume.dur.chunks_replayed')}"
+        )
+    if gauge("serve.dur.restart.dur.resumed") != 0:
+        fail(
+            "dur/restart scenario resumed despite lost output storage: "
+            f"{gauge('serve.dur.restart.dur.resumed')}"
+        )
+    replayed = gauge("serve.dur.restart.dur.chunks_replayed")
+    if replayed <= 0:
+        fail(f"dur/restart scenario replayed no windows: {replayed}")
+    for scenario in ("resume", "restart"):
+        if gauge(f"serve.dur.{scenario}.completed") != DUR_JOBS:
+            fail(
+                f"dur/{scenario} scenario completed "
+                f"{gauge(f'serve.dur.{scenario}.completed')} of "
+                f"{DUR_JOBS} jobs"
+            )
+        if gauge(f"serve.dur.{scenario}.failed_jobs") != 0:
+            fail(
+                f"dur/{scenario} scenario failed jobs: "
+                f"{gauge(f'serve.dur.{scenario}.failed_jobs')}"
+            )
+    speedup = gauge("serve.dur.resume_speedup")
+    if speedup <= 1:
+        fail(
+            "checkpoint resume did not beat restart-from-zero: "
+            f"speedup {speedup}"
+        )
+
     print(
         f"check_serve_bench: OK: {len(results)} scenarios, "
         f"{len(gauges)} gauges, scaling devices{DEVICES}_vs_1 = {scaling:.2f}, "
         f"cache hit rate {hit_rate:.1%} "
         f"(h2d {h2d_cache:.0f} vs {h2d_nocache:.0f} B), "
         f"recover {recovered:.0f}/{injected:.0f} faults recovered, "
-        f"spill {spills:.0f} jobs to host cores ({cpu_completed:.0f} done)"
+        f"spill {spills:.0f} jobs to host cores ({cpu_completed:.0f} done), "
+        f"dur {detected:.0f}/{flips:.0f} flips detected, "
+        f"resume {resumed:.0f} jobs / {replayed:.0f} windows saved "
+        f"({speedup:.2f}x)"
     )
 
 

@@ -6,7 +6,7 @@
 # the matrix.
 #
 #   scripts/ci.sh [preset ...]     presets: lint plain asan-ubsan tsan load
-#                                           hetero
+#                                           hetero dur
 #
 # With no arguments the lint gate plus all three build presets run. Set
 # BIGK_CI_JOBS to override the parallelism (defaults to nproc). The `load`
@@ -164,6 +164,45 @@ for preset in "${presets[@]}"; do
         "${hetero_bench_dir}/bench/serve_throughput"
       echo "=== ci preset hetero: OK ==="
       ;;
+    dur)
+      # bigkdur durability gate. An ASan+UBSan build of the integrity /
+      # scrub / journal / crash-restart suites — the custody-chain and
+      # resume paths shuffle raw byte spans and replay partially-built
+      # state, exactly where a lifetime bug would hide — plus the crash-
+      # restart suite under TSan (a restarted server rebuilds its worker
+      # pool over live journal state), then the serve bench smoke with the
+      # dur.detected == dur.injected and resume-vs-restart assertions.
+      dur_dir="${repo_root}/build-ci-dur"
+      echo "=== ci preset dur: configure (address+undefined sanitizer) ==="
+      cmake -B "${dur_dir}" -S "${repo_root}" -DBIGK_SANITIZE=address,undefined
+      echo "=== ci preset dur: build ==="
+      cmake --build "${dur_dir}" -j "${jobs}" --target \
+        dur_journal_test dur_scrub_test dur_integrity_test dur_resume_test \
+        serve_health_flap_test check_pipecheck_test
+      echo "=== ci preset dur: durability suites under ASan/UBSan ==="
+      "${dur_dir}/tests/dur_journal_test"
+      "${dur_dir}/tests/dur_scrub_test"
+      "${dur_dir}/tests/dur_integrity_test"
+      "${dur_dir}/tests/dur_resume_test"
+      "${dur_dir}/tests/serve_health_flap_test"
+      "${dur_dir}/tests/check_pipecheck_test"
+      dur_tsan_dir="${repo_root}/build-ci-dur-tsan"
+      echo "=== ci preset dur: configure (thread sanitizer) ==="
+      cmake -B "${dur_tsan_dir}" -S "${repo_root}" -DBIGK_SANITIZE=thread
+      echo "=== ci preset dur: build crash-restart suite ==="
+      cmake --build "${dur_tsan_dir}" -j "${jobs}" --target dur_resume_test
+      echo "=== ci preset dur: crash-restart under TSan ==="
+      "${dur_tsan_dir}/tests/dur_resume_test"
+      dur_bench_dir="${repo_root}/build-ci-dur-bench"
+      echo "=== ci preset dur: configure bench build (no sanitizer) ==="
+      cmake -B "${dur_bench_dir}" -S "${repo_root}"
+      echo "=== ci preset dur: build bench ==="
+      cmake --build "${dur_bench_dir}" -j "${jobs}" --target serve_throughput
+      echo "=== ci preset dur: serve bench smoke + durability assertions ==="
+      python3 "${repo_root}/scripts/check_serve_bench.py" \
+        "${dur_bench_dir}/bench/serve_throughput"
+      echo "=== ci preset dur: OK ==="
+      ;;
     lint)
       # bigkstatic gate: build only the bigklint CLI, verify every
       # registered app kernel against the static contracts with the seeded
@@ -188,7 +227,7 @@ for preset in "${presets[@]}"; do
       ;;
     *)
       echo "ci.sh: unknown preset '${preset}'" >&2
-      echo "usage: scripts/ci.sh [lint|plain|asan-ubsan|tsan|load|hetero|tidy ...]" >&2
+      echo "usage: scripts/ci.sh [lint|plain|asan-ubsan|tsan|load|hetero|dur|tidy ...]" >&2
       exit 2
       ;;
   esac

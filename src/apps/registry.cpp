@@ -11,6 +11,7 @@
 #include "apps/wordcount.hpp"
 #include "core/device_tables.hpp"
 #include "core/engine.hpp"
+#include "dur/checksum.hpp"
 #include "verify/verifier.hpp"
 
 namespace bigk::apps {
@@ -37,7 +38,9 @@ class AppJobRunner final : public JobRunner {
   }
 
   sim::Task<> run(cusim::Runtime& runtime, const JobRunConfig& cfg) override {
-    app_.reset();
+    // bigkdur: windowed launches resume mid-job — only the first window may
+    // reset the app's output state, later windows append to it.
+    if (cfg.rec_begin == 0) app_.reset();
     core::Engine engine(runtime, cfg.engine);
     engine.set_tracer(cfg.tracer);
     engine.set_trace_scope(cfg.trace_scope);
@@ -46,13 +49,22 @@ class AppJobRunner final : public JobRunner {
     engine.set_pinned_pool(cfg.pinned_pool);
     engine.set_profiler(cfg.profiler);
     engine.set_static_signature(cfg.static_signature);
+    engine.set_integrity(cfg.integrity);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }
     const auto kernel = app_.kernel();
     core::DeviceTables tables =
         co_await core::DeviceTables::upload(runtime, app_.tables());
-    co_await engine.launch(kernel, app_.num_records(), tables);
+    const std::uint64_t end =
+        cfg.rec_end > 0 ? std::min(cfg.rec_end, app_.num_records())
+                        : app_.num_records();
+    const std::uint64_t offset = std::min(cfg.rec_begin, end);
+    auto shifted = [kernel, offset](auto& ctx, std::uint64_t b,
+                                    std::uint64_t e, std::uint64_t stride) {
+      kernel(ctx, b + offset, e + offset, stride);
+    };
+    co_await engine.launch(shifted, end - offset, tables);
     if (cfg.exec_done != nullptr) *cfg.exec_done = runtime.sim().now();
     co_await tables.download();
     tables.release();
@@ -80,6 +92,22 @@ class AppJobRunner final : public JobRunner {
     }
     for (sim::Process& worker : workers) co_await worker.join();
     if (cfg.exec_done != nullptr) *cfg.exec_done = cpu.sim().now();
+  }
+
+  std::uint64_t output_digest(std::uint64_t records_done) override {
+    // Digest the write-mode output prefix the first `records_done` records
+    // produced — the journal's proof that a checkpoint's bytes survived.
+    dur::Checksum sum;
+    bool any = false;
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      const core::StreamBinding& b = decl.binding;
+      if (b.mode != core::AccessMode::kReadWrite) continue;
+      const std::uint64_t bytes = std::min(
+          records_done * b.elems_per_record * b.elem_size, b.size_bytes());
+      sum.mix_bytes({b.host_data, bytes});
+      any = true;
+    }
+    return any ? sum.value() : 0;
   }
 
  private:

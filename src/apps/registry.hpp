@@ -16,6 +16,7 @@
 #include "check/sanitizer.hpp"
 #include "core/options.hpp"
 #include "cusim/runtime.hpp"
+#include "dur/integrity.hpp"
 #include "gpusim/config.hpp"
 #include "obs/prof/attribution.hpp"
 #include "obs/tracer.hpp"
@@ -54,6 +55,15 @@ struct JobRunConfig {
   /// (KernelReport::pattern_signature), mixed into chunk-cache keys so a
   /// kernel change that alters the pattern invalidates cached chunks.
   std::uint64_t static_signature = 0;
+  /// bigkdur: record window [rec_begin, rec_end) to execute this call
+  /// (0/0 = the whole job). The serving layer launches jobs in checkpoint
+  /// windows so a crashed server can resume from the last journaled window;
+  /// rec_begin == 0 resets the app's output state, later windows keep it.
+  std::uint64_t rec_begin = 0;
+  std::uint64_t rec_end = 0;
+  /// bigkdur: end-to-end chunk integrity plane the engine verifies custody
+  /// transfers against (null = integrity off).
+  dur::Integrity* integrity = nullptr;
 };
 
 /// Configuration for CPU-side job execution (bigkhetero serve spill-over):
@@ -94,6 +104,16 @@ class JobRunner {
   /// execution-side agnostic.
   virtual sim::Task<> run_cpu(hostsim::HostCpu& cpu,
                               const CpuJobConfig& cfg) = 0;
+
+  /// bigkdur: FNV digest of the app's write-mode output prefix covering the
+  /// first `records_done` records — the journal checkpoints (records_done,
+  /// digest) pairs so a restarted server only resumes from a checkpoint
+  /// whose bytes still match. Returns 0 when the app has no write-mode
+  /// streams (resume then restarts from record 0).
+  virtual std::uint64_t output_digest(std::uint64_t records_done) {
+    (void)records_done;
+    return 0;
+  }
 };
 
 struct BenchApp {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dur/checksum.hpp"
+
 namespace bigk::cache {
 
 namespace {
@@ -56,6 +58,30 @@ std::optional<ChunkCache::Lease> ChunkCache::lookup(const CacheKey& key,
     return std::nullopt;
   }
   Entry& entry = entries_.at(it->second);
+  if (entry.pins == 0) {
+    // Quiescent entry: the bitflip_cache injection point, then the bigkdur
+    // re-verification. (A pinned entry may still be mid-DMA — its bytes are
+    // covered by the inserting chunk's post-DMA verification instead.)
+    maybe_corrupt(entry, now);
+    if (integrity_ != nullptr && entry.checksum != 0 &&
+        !verify_entry(entry)) {
+      integrity_->note_detected(dur::Site::kCache, device_, now);
+      if (fault_ != nullptr) {
+        // Invalidate-and-miss is the recovery: the engine re-assembles and
+        // re-transfers the chunk, landing clean bytes.
+        fault_->on_recovered(fault::FaultKind::kBitflipCache);
+      }
+      const std::uint64_t id = it->second;
+      invalidate_entry(id, now);
+      ++tick_;
+      ++stats_.misses;
+      if (ctr_misses_ != nullptr) ctr_misses_->add();
+      return std::nullopt;
+    }
+    if (integrity_ != nullptr && entry.checksum != 0) {
+      integrity_->note_verified(dur::Site::kCache);
+    }
+  }
   ++entry.pins;
   ++entry.hits;
   entry.saved_bytes += entry.bytes;
@@ -70,7 +96,8 @@ std::optional<ChunkCache::Lease> ChunkCache::lookup(const CacheKey& key,
 
 std::optional<ChunkCache::Lease> ChunkCache::insert(const CacheKey& key,
                                                     std::uint64_t bytes,
-                                                    sim::TimePs now) {
+                                                    sim::TimePs now,
+                                                    std::uint64_t checksum) {
   if (bytes == 0 || align_up(bytes) > capacity_) {
     ++stats_.insert_failures;
     if (ctr_insert_failures_ != nullptr) ctr_insert_failures_->add();
@@ -100,6 +127,7 @@ std::optional<ChunkCache::Lease> ChunkCache::insert(const CacheKey& key,
   entry.bytes = bytes;
   entry.pins = 1;  // born pinned; the engine unpins at slot release
   entry.last_use = ++tick_;
+  entry.checksum = checksum;
   entries_.emplace(id, entry);
   index_[key] = id;
   ++stats_.insertions;
@@ -169,6 +197,74 @@ void ChunkCache::invalidate_entry_impl(std::uint64_t entry_id, sim::TimePs now,
   reclaim(entry);
   entries_.erase(it);
   trace_usage(now);
+}
+
+void ChunkCache::maybe_corrupt(const Entry& entry, sim::TimePs now) {
+  if (fault_ == nullptr || entry.bytes == 0 ||
+      !fault_->should_inject(fault::FaultKind::kBitflipCache, device_, now)) {
+    return;
+  }
+  auto span = memory_.bytes_mut(entry.offset, entry.bytes);
+  span[entry.bytes / 2] ^= std::byte{0x01};
+}
+
+bool ChunkCache::verify_entry(const Entry& entry) const {
+  return dur::checksum_bytes(memory_.bytes(entry.offset, entry.bytes)) ==
+         entry.checksum;
+}
+
+ChunkCache::ScrubResult ChunkCache::scrub(std::uint64_t max_entries,
+                                          sim::TimePs now) {
+  ScrubResult result;
+  if (integrity_ == nullptr || max_entries == 0 || entries_.empty()) {
+    return result;
+  }
+  // Budgeted round-robin: resume from the cursor, wrap once, never visit an
+  // entry twice per pass.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(std::min<std::size_t>(max_entries, entries_.size()));
+  for (auto it = entries_.lower_bound(scrub_cursor_);
+       it != entries_.end() && ids.size() < max_entries; ++it) {
+    ids.push_back(it->first);
+  }
+  for (auto it = entries_.begin();
+       it != entries_.end() && ids.size() < max_entries &&
+       it->first < scrub_cursor_;
+       ++it) {
+    ids.push_back(it->first);
+  }
+  if (!ids.empty()) scrub_cursor_ = ids.back() + 1;
+  for (const std::uint64_t id : ids) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    Entry& entry = it->second;
+    // Pinned entries may be mid-DMA (covered by their owner's post-DMA
+    // verification); zombies are already condemned.
+    if (entry.pins > 0 || entry.zombie || entry.checksum == 0) continue;
+    ++result.checked;
+    maybe_corrupt(entry, now);
+    if (verify_entry(entry)) {
+      integrity_->note_verified(dur::Site::kScrub);
+      continue;
+    }
+    integrity_->note_detected(dur::Site::kScrub, device_, now);
+    if (fault_ != nullptr) {
+      // Evict-on-mismatch is the recovery: the next lookup misses and the
+      // engine restages clean bytes.
+      fault_->on_recovered(fault::FaultKind::kBitflipCache);
+    }
+    index_.erase(entry.key);
+    if (checker_ != nullptr) checker_->on_cache_scrub_evict(id);
+    reclaim(entry);
+    ++stats_.evictions;
+    if (ctr_evictions_ != nullptr) ctr_evictions_->add();
+    trace_instant("cache scrub evict", now);
+    entries_.erase(it);
+    trace_usage(now);
+    ++result.evicted;
+  }
+  integrity_->note_scrub(result.checked, result.evicted);
+  return result;
 }
 
 std::uint64_t ChunkCache::resident_bytes(std::uint64_t dataset) const {

@@ -33,6 +33,8 @@
 #include "cache/key.hpp"
 #include "cache/policy.hpp"
 #include "check/pipecheck.hpp"
+#include "dur/integrity.hpp"
+#include "fault/fault.hpp"
 #include "gpusim/device_memory.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
@@ -94,6 +96,24 @@ class ChunkCache {
     checker_ = checker;
   }
 
+  /// bigkdur integrity plane (externally owned; nullptr = integrity off).
+  /// With integrity on, a lookup hit on a quiescent (unpinned) entry first
+  /// re-digests the entry's device bytes against the checksum recorded at
+  /// insert; a mismatch invalidates the entry and the lookup misses, so the
+  /// engine re-assembles and re-transfers clean bytes. Entries still pinned
+  /// by an in-flight chunk are skipped — their bytes are covered by the
+  /// owner's post-DMA verification.
+  void set_integrity(dur::Integrity* integrity) noexcept {
+    integrity_ = integrity;
+  }
+
+  /// Fault plane + device id for the fault.bitflip_cache injection point:
+  /// resident entry bytes are flipped at lookup-hit / scrub-visit time.
+  void set_fault(fault::FaultPlane* fault, std::uint32_t device) noexcept {
+    fault_ = fault;
+    device_ = device;
+  }
+
   /// Hit: pins the entry and returns its lease. Miss: counts it and returns
   /// nullopt (the caller assembles, then offers the image via insert()).
   std::optional<Lease> lookup(const CacheKey& key, sim::TimePs now);
@@ -101,9 +121,23 @@ class ChunkCache {
   /// Allocates a pinned entry of `bytes` for `key`, evicting unpinned
   /// entries per policy under pressure. Returns nullopt when the image
   /// cannot fit (oversized, or everything else is pinned); the caller then
-  /// falls back to the ring slot's own buffer.
+  /// falls back to the ring slot's own buffer. `checksum` is the bigkdur
+  /// digest of the image about to be DMA'd into the entry (0 = integrity
+  /// off; hits and scrubs skip verification).
   std::optional<Lease> insert(const CacheKey& key, std::uint64_t bytes,
-                              sim::TimePs now);
+                              sim::TimePs now, std::uint64_t checksum = 0);
+
+  struct ScrubResult {
+    std::uint64_t checked = 0;
+    std::uint64_t evicted = 0;
+  };
+
+  /// bigkdur cache scrub: re-verifies up to `max_entries` quiescent resident
+  /// entries (round-robin cursor across calls) against their insert-time
+  /// checksums and evicts mismatches, notifying the pipeline checker so a
+  /// later read through a surviving lease is flagged as scrubbed_entry_read.
+  /// No-op with integrity off.
+  ScrubResult scrub(std::uint64_t max_entries, sim::TimePs now);
 
   /// Releases the pin taken by lookup()/insert(). A zombie entry (one
   /// invalidated while pinned) is reclaimed at its last unpin.
@@ -144,6 +178,7 @@ class ChunkCache {
     std::uint64_t hits = 0;
     std::uint64_t saved_bytes = 0;  // accumulated PCIe savings
     std::uint64_t last_use = 0;     // recency tick
+    std::uint64_t checksum = 0;     // bigkdur insert-time digest (0 = off)
   };
 
   /// First-fit from the partition free list (256-byte aligned, neighbours
@@ -153,6 +188,11 @@ class ChunkCache {
 
   void invalidate_entry_impl(std::uint64_t entry, sim::TimePs now,
                              bool device_reset);
+
+  /// fault.bitflip_cache trial: flips one device byte of `entry`.
+  void maybe_corrupt(const Entry& entry, sim::TimePs now);
+  /// Re-digests the entry's device bytes against its insert-time checksum.
+  bool verify_entry(const Entry& entry) const;
 
   /// Eviction victim per policy among unpinned live entries; entries_.end()
   /// when everything is pinned.
@@ -177,6 +217,10 @@ class ChunkCache {
 
   Stats stats_;
   check::PipelineChecker* checker_ = nullptr;
+  dur::Integrity* integrity_ = nullptr;  // externally owned, optional
+  fault::FaultPlane* fault_ = nullptr;   // externally owned, optional
+  std::uint32_t device_ = 0;
+  std::uint64_t scrub_cursor_ = 0;  // next entry id the scrubber visits
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   obs::TrackId trace_events_{};

@@ -185,6 +185,9 @@ void PipelineChecker::on_compute_read(std::uint32_t block, std::uint64_t chunk,
   } else if (state == EntryState::kReset) {
     kind = "read_after_device_reset";
     why = " dropped by a device reset — the arena contents are untrusted";
+  } else if (state == EntryState::kScrubEvicted) {
+    kind = "scrubbed_entry_read";
+    why = " evicted by the integrity scrubber — the bytes were proven corrupt";
   }
   Violation violation = base_violation(
       kind, block, chunk, static_cast<std::uint32_t>(chunk % depth_));
@@ -222,6 +225,10 @@ void PipelineChecker::on_cache_evict(std::uint64_t entry) {
 
 void PipelineChecker::on_cache_device_reset(std::uint64_t entry) {
   entry_states_[entry] = EntryState::kReset;
+}
+
+void PipelineChecker::on_cache_scrub_evict(std::uint64_t entry) {
+  entry_states_[entry] = EntryState::kScrubEvicted;
 }
 
 void PipelineChecker::on_slot_release(std::uint32_t block,

@@ -80,6 +80,10 @@ class PipelineChecker {
   /// after a device_lost fault); any further compute read through it is a
   /// read_after_device_reset — the arena contents are no longer trustworthy.
   void on_cache_device_reset(std::uint64_t entry);
+  /// `entry` failed the bigkdur scrub re-verification and was evicted; any
+  /// further compute read through it is a scrubbed_entry_read — the bytes
+  /// were proven corrupt before the read.
+  void on_cache_scrub_evict(std::uint64_t entry);
 
  private:
   enum class EntryState : std::uint8_t {
@@ -87,6 +91,7 @@ class PipelineChecker {
     kInvalidated,
     kEvicted,
     kReset,
+    kScrubEvicted,
   };
 
   struct SlotState {

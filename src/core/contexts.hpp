@@ -160,7 +160,7 @@ class ComputeCtx {
     lane_.store(gpusim::DevicePtr<T>{addr}, 0, value);
     std::uint64_t raw = 0;
     std::memcpy(&raw, &value, sizeof(T));
-    stage.staged_writes.emplace_back(elem, raw);
+    stage.staged_writes.push_back(StagedWrite{elem, raw, addr});
   }
 
   template <class T>

@@ -10,6 +10,16 @@ namespace {
 constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return b == 0 ? 0 : (a + b - 1) / b;
 }
+
+/// bigkdur digest of a stream's staged write-back values.
+std::uint64_t staged_checksum_of(const StreamStage& stage) {
+  dur::Checksum sum;
+  for (const StagedWrite& write : stage.staged_writes) {
+    sum.mix(write.elem);
+    sum.mix(write.raw);
+  }
+  return sum.value();
+}
 }  // namespace
 
 Engine::Geometry Engine::plan(std::uint64_t num_records) {
@@ -311,6 +321,10 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       StreamStage& stage = slot.streams[s];
       if (chunk_cache_ == nullptr || !stream_cacheable(s)) {
         bytes[s] = assemble_stream(block, slot, s, chunk, thread);
+        if (integrity_ != nullptr && bytes[s] > 0) {
+          stage.image_checksum = dur::checksum_bytes(
+              {slot.prefetch.data() + slot.prefetch_offset[s], bytes[s]});
+        }
         continue;
       }
       cache::CacheKey key;
@@ -341,7 +355,14 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       ++metrics_.cache_misses;
       bytes[s] = assemble_stream(block, slot, s, chunk, thread);
       if (bytes[s] == 0) continue;
-      if (auto lease = chunk_cache_->insert(key, bytes[s], sim().now())) {
+      if (integrity_ != nullptr) {
+        // Digest the image once here; the same digest covers the cache
+        // entry (hit/scrub verification) and the post-DMA check below.
+        stage.image_checksum = dur::checksum_bytes(
+            {slot.prefetch.data() + slot.prefetch_offset[s], bytes[s]});
+      }
+      if (auto lease = chunk_cache_->insert(key, bytes[s], sim().now(),
+                                            stage.image_checksum)) {
         // The DMA below lands in the entry's range directly, so the image
         // is cached as a side effect of the transfer it had to do anyway.
         stage.cached_dev_base = lease->dev_base;
@@ -365,12 +386,12 @@ sim::Task<> Engine::assembly_process(BlockState& block) {
       const std::uint64_t op =
           block.dma.memcpy_h2d_async(stage.active_data_base(), host, bytes[s]);
       metrics_.data_bytes_sent += bytes[s];
-      if (plane != nullptr) {
-        copies.push_back(
-            PendingCopy{s, op, stage.active_data_base(), host, bytes[s]});
+      if (plane != nullptr || integrity_ != nullptr) {
+        copies.push_back(PendingCopy{s, op, stage.active_data_base(), host,
+                                     bytes[s], stage.image_checksum});
       }
     }
-    if (plane != nullptr) {
+    if (plane != nullptr || integrity_ != nullptr) {
       // Fault path: the ready flag is raised by a supervisor that verifies
       // (and retries) the chunk's copies instead of riding the stream
       // in-order — a failed op must not signal data that never landed.
@@ -421,19 +442,48 @@ sim::Task<> Engine::transfer_supervisor(BlockState& block, std::uint64_t chunk,
           " transfer (block " + std::to_string(block.index) + ")")));
       co_return;
     }
+    // bigkdur post-DMA verification: re-digest the landed device bytes of
+    // every cleanly-completed copy against the assembly-time checksum. A
+    // silent flip (fault.bitflip_dma) looks like a successful op — only this
+    // check catches it; the mismatch joins the failed set and rides the same
+    // retry machinery (the pinned image is intact, so the redo is clean).
+    bool mismatch = false;
+    if (integrity_ != nullptr) {
+      for (const PendingCopy& copy : copies) {
+        if (copy.checksum == 0) continue;
+        bool already_failed = false;
+        for (const PendingCopy& f : failed) {
+          if (f.op == copy.op) {
+            already_failed = true;
+            break;
+          }
+        }
+        if (already_failed) continue;
+        const auto landed =
+            runtime_.gpu().memory().bytes(copy.dev_base, copy.bytes);
+        if (dur::checksum_bytes(landed) == copy.checksum) {
+          integrity_->note_verified(dur::Site::kDma);
+        } else {
+          integrity_->note_detected(dur::Site::kDma, device, sim().now());
+          ++absorbed[static_cast<std::size_t>(fault::FaultKind::kBitflipDma)];
+          failed.push_back(copy);
+          mismatch = true;
+        }
+      }
+    }
     if (failed.empty()) break;
     if (attempt >= options_.recovery.max_chunk_retries) {
-      abort_launch(std::make_exception_ptr(fault::DmaError(
+      const std::string what =
           "block " + std::to_string(block.index) + " chunk " +
           std::to_string(chunk) + " H2D still failing after " +
-          std::to_string(attempt + 1) + " attempts")));
+          std::to_string(attempt + 1) + " attempts";
+      abort_launch(mismatch ? std::make_exception_ptr(dur::IntegrityError(
+                                  what + " (integrity mismatch persists)"))
+                            : std::make_exception_ptr(fault::DmaError(what)));
       co_return;
     }
     // Capped exponential backoff before the redo.
-    const sim::DurationPs base = options_.recovery.retry_backoff;
-    const sim::DurationPs backoff =
-        std::min<sim::DurationPs>(base << std::min<std::uint32_t>(attempt, 4),
-                                  base * 16);
+    const sim::DurationPs backoff = options_.recovery.backoff_for(attempt);
     co_await sim().delay(backoff);
     if (aborted_) co_return;
     ++metrics_.chunk_retries;
@@ -459,6 +509,13 @@ sim::Task<> Engine::transfer_supervisor(BlockState& block, std::uint64_t chunk,
       if (absorbed[k] > 0) {
         plane->on_recovered(static_cast<fault::FaultKind>(k), absorbed[k]);
       }
+    }
+  }
+  if (integrity_ != nullptr) {
+    const std::uint64_t flips =
+        absorbed[static_cast<std::size_t>(fault::FaultKind::kBitflipDma)];
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      integrity_->note_repaired(dur::Site::kDma);
     }
   }
 }
@@ -656,8 +713,28 @@ void Engine::release_slot_leases(BlockState& block, std::uint64_t chunk) {
   leases.clear();
 }
 
+void Engine::seal_staged_writes(ChunkSlot& slot) {
+  fault::FaultPlane* plane = runtime_.fault_plane();
+  const std::uint32_t device = runtime_.fault_device();
+  for (StreamStage& stage : slot.streams) {
+    if (integrity_ != nullptr) {
+      stage.staged_checksum = staged_checksum_of(stage);
+    }
+    if (plane != nullptr && !stage.staged_writes.empty() &&
+        plane->should_inject(fault::FaultKind::kBitflipWriteback, device,
+                             sim().now())) {
+      // Flip one bit of a staged value *after* the digest was taken: models
+      // corruption between compute and the write-back scatter. With
+      // integrity off this silently reaches the host output.
+      stage.staged_writes.front().raw ^= 1;
+    }
+  }
+}
+
 sim::Task<> Engine::scatter_process(BlockState& block) {
   hostsim::HostThread& thread = *block.scatter_thread;
+  fault::FaultPlane* plane = runtime_.fault_plane();
+  const std::uint32_t device = runtime_.fault_device();
   for (std::uint64_t chunk = 0; chunk < block.chunks; ++chunk) {
     co_await block.wb_landed.wait_ge(chunk + 1);
     if (aborted_) co_return;
@@ -668,13 +745,46 @@ sim::Task<> Engine::scatter_process(BlockState& block) {
       StreamBinding& bind = bindings_[s];
       StreamStage& stage = slot.streams[s];
       const std::uint32_t elem_size = bind.elem_size;
+      if (integrity_ != nullptr && !stage.staged_writes.empty()) {
+        // bigkdur write-back verification: re-digest the staged values
+        // against the compute-end checksum before any host byte moves.
+        if (staged_checksum_of(stage) != stage.staged_checksum) {
+          integrity_->note_detected(dur::Site::kWriteback, device,
+                                    sim().now());
+          // Repair in place: the device write buffer still holds the values
+          // the kernel actually stored — re-fetch each staged value from
+          // its recorded device address.
+          for (StagedWrite& write : stage.staged_writes) {
+            std::uint64_t raw = 0;
+            const auto src =
+                runtime_.gpu().memory().bytes(write.dev_addr, elem_size);
+            std::memcpy(&raw, src.data(), elem_size);
+            write.raw = raw;
+          }
+          if (staged_checksum_of(stage) != stage.staged_checksum) {
+            abort_launch(std::make_exception_ptr(dur::IntegrityError(
+                "block " + std::to_string(block.index) + " chunk " +
+                std::to_string(chunk) + " stream " + std::to_string(s) +
+                " staged write-back corrupt and unrepairable from the "
+                "device write buffer")));
+            co_return;
+          }
+          integrity_->note_repaired(dur::Site::kWriteback);
+          if (plane != nullptr) {
+            plane->on_recovered(fault::FaultKind::kBitflipWriteback);
+          }
+        } else {
+          integrity_->note_verified(dur::Site::kWriteback);
+        }
+      }
       std::uint64_t index = 0;
-      for (const auto& [elem, raw] : stage.staged_writes) {
+      for (const StagedWrite& write : stage.staged_writes) {
         thread.read_sequential(block.addr_region, index * kAddrBytes,
                                kAddrBytes);
-        thread.write(bind.host_region, elem * elem_size, elem_size);
+        thread.write(bind.host_region, write.elem * elem_size, elem_size);
         thread.compute(1.0);
-        std::memcpy(bind.host_data + elem * elem_size, &raw, elem_size);
+        std::memcpy(bind.host_data + write.elem * elem_size, &write.raw,
+                    elem_size);
         ++metrics_.elements_written;
         ++index;
       }

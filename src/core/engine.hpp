@@ -37,6 +37,8 @@
 #include "core/staging.hpp"
 #include "core/stream.hpp"
 #include "cusim/runtime.hpp"
+#include "dur/checksum.hpp"
+#include "dur/integrity.hpp"
 #include "obs/prof/attribution.hpp"
 #include "obs/stage.hpp"
 #include "obs/tracer.hpp"
@@ -197,6 +199,17 @@ class Engine {
     pinned_pool_ = pool;
   }
 
+  /// Attaches the bigkdur integrity plane (externally owned): every chunk
+  /// image is digested once at assembly and re-verified after the H2D DMA
+  /// lands, on every cache hit (via the cache's own integrity hook), and on
+  /// the staged write-back values before they reach host memory. A mismatch
+  /// routes into the existing chunk-retry / write-buffer-repair machinery;
+  /// only an unrepairable mismatch aborts the launch with
+  /// dur::IntegrityError. nullptr = integrity off (no digests computed).
+  void set_integrity(dur::Integrity* integrity) noexcept {
+    integrity_ = integrity;
+  }
+
   /// bigkstatic: mixes the app's statically derived access-pattern signature
   /// into every chunk-cache key, so kernels with identical launch geometry
   /// but different (verified) access patterns never share cache entries, and
@@ -280,6 +293,9 @@ class Engine {
     std::uint64_t dev_base = 0;  // destination (ring slot or cache entry)
     const std::byte* host = nullptr;
     std::uint64_t bytes = 0;
+    /// bigkdur assembly-time digest of the pinned image (0 = integrity off);
+    /// the supervisor re-digests the landed device bytes against it.
+    std::uint64_t checksum = 0;
   };
 
   /// Awaits the chunk's H2D ops, retries failed ones with capped exponential
@@ -307,6 +323,10 @@ class Engine {
   // --- host-side pipeline stages (engine.cpp) ----------------------------
   sim::Task<> assembly_process(BlockState& block);
   sim::Task<> scatter_process(BlockState& block);
+  /// bigkdur: digests each stream's staged writes at compute end (verified
+  /// by the scatter stage) and hosts the fault.bitflip_writeback injection
+  /// point (one staged value flipped *after* the digest was taken).
+  void seal_staged_writes(ChunkSlot& slot);
   std::uint64_t assemble_stream(BlockState& block, ChunkSlot& slot,
                                 std::uint32_t stream, std::uint64_t chunk,
                                 hostsim::HostThread& thread);
@@ -374,6 +394,9 @@ class Engine {
   std::uint64_t cache_dataset_ = 0;
   std::uint64_t static_signature_ = 0;  // bigkstatic pattern signature
   cache::PinnedPool* pinned_pool_ = nullptr;  // externally owned, optional
+
+  // --- bigkdur -----------------------------------------------------------
+  dur::Integrity* integrity_ = nullptr;  // externally owned, optional
 
   // --- bigkcheck ---------------------------------------------------------
   check::Sanitizer* sanitizer_ = nullptr;  // externally owned, optional
@@ -532,6 +555,8 @@ sim::Task<> Engine::addr_gen_driver(gpusim::BlockCtx& ctx, BlockState& block,
     for (StreamStage& stage : slot.streams) {
       stage.staged_writes.clear();
       stage.cached_dev_base = kNoCachedBase;
+      stage.image_checksum = 0;
+      stage.staged_checksum = 0;
     }
 
     std::uint64_t wire_bytes = 0;
@@ -618,6 +643,7 @@ sim::Task<> Engine::compute_driver(gpusim::BlockCtx& ctx, BlockState& block,
     if (aborted_) co_return;
 
     if (has_writes_) {
+      seal_staged_writes(slot);
       std::uint64_t wb_bytes = 0;
       for (std::uint32_t s = 0; s < slot.streams.size(); ++s) {
         wb_bytes +=

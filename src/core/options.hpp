@@ -2,6 +2,7 @@
 // the paper's ablation experiments (Fig. 5, Table II).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 
@@ -63,6 +64,15 @@ struct Options {
     /// An assembly stall at or past this converts into fault::TimeoutError
     /// (the stage watchdog) instead of being absorbed as a delay.
     sim::DurationPs watchdog_timeout = 50'000'000'000;  // 50 ms
+
+    /// Backoff before retry `attempt` (0-based): retry_backoff doubled per
+    /// attempt, capped at 16x. Deterministic — the recovery tests assert the
+    /// exact sequence.
+    sim::DurationPs backoff_for(std::uint32_t attempt) const {
+      return std::min<sim::DurationPs>(
+          retry_backoff << std::min<std::uint32_t>(attempt, 4),
+          retry_backoff * 16);
+    }
   };
   Recovery recovery{};
 

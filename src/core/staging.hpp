@@ -83,13 +83,22 @@ struct ThreadAddrs {
 /// Sentinel for StreamStage::cached_dev_base: the chunk is not cache-served.
 constexpr std::uint64_t kNoCachedBase = ~std::uint64_t{0};
 
+/// One value produced by the computation stage, pending scatter. `dev_addr`
+/// records where the value also landed in the device write buffer, so the
+/// scatter stage can re-fetch the authoritative copy if the staged value is
+/// corrupted in flight (bigkdur write-back repair).
+struct StagedWrite {
+  std::uint64_t elem = 0;      // destination element index in the stream
+  std::uint64_t raw = 0;       // little-endian value widened to 8 bytes
+  std::uint64_t dev_addr = 0;  // device write-buffer address of the value
+};
+
 /// Per-stream staging within one ring slot.
 struct StreamStage {
   std::vector<ThreadAddrs> read_addrs;   // one per computation thread
   std::vector<ThreadAddrs> write_addrs;  // write-address buffer (Fig. 1)
-  /// Values produced by the computation stage, pending scatter: pairs of
-  /// (element index, raw little-endian value widened to 8 bytes).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged_writes;
+  /// Values produced by the computation stage, pending scatter.
+  std::vector<StagedWrite> staged_writes;
 
   std::uint64_t dev_data_base = 0;   // device offset of this slot's data buf
   std::uint64_t dev_write_base = 0;  // device offset of this slot's write buf
@@ -102,6 +111,12 @@ struct StreamStage {
   /// entry's device range replaces the slot's own data buffer for both the
   /// DMA target (insert) and compute reads (hit). Reset every chunk.
   std::uint64_t cached_dev_base = kNoCachedBase;
+  /// bigkdur custody digests, valid only while integrity is on: FNV of the
+  /// assembled pinned image (computed once at assembly, verified post-DMA
+  /// and on cache hits) and of the staged writes (computed at compute end,
+  /// verified by the scatter stage).
+  std::uint64_t image_checksum = 0;
+  std::uint64_t staged_checksum = 0;
 
   std::uint64_t active_data_base() const noexcept {
     return cached_dev_base != kNoCachedBase ? cached_dev_base : dev_data_base;

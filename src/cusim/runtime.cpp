@@ -101,6 +101,22 @@ bool ecc_fault(fault::FaultPlane* plane, std::uint32_t device,
   return true;
 }
 
+// bitflip_dma (H2D only): after a clean copy, one bit of the landed device
+// image flips — and *nothing* reports it. Unlike ecc_corrupt the op does not
+// land in State::failed; the copy looks successful to the owner. Only the
+// bigkdur post-DMA digest verification can tell, which is the point: with
+// integrity off the corruption silently reaches compute.
+void bitflip_fault(fault::FaultPlane* plane, std::uint32_t device,
+                   sim::TimePs now, gpusim::DeviceMemory& memory,
+                   std::uint64_t device_offset, std::uint64_t bytes) {
+  if (plane == nullptr || bytes == 0 ||
+      !plane->should_inject(fault::FaultKind::kBitflipDma, device, now)) {
+    return;
+  }
+  auto span = memory.bytes_mut(device_offset, bytes);
+  span[bytes / 2] ^= std::byte{0x01};
+}
+
 }  // namespace
 
 sim::Task<> Stream::worker(std::shared_ptr<State> state) {
@@ -121,6 +137,9 @@ sim::Task<> Stream::worker(std::shared_ptr<State> state) {
           if (ecc_fault(state->fault, state->device, state->sim.now(),
                         state->gpu.memory(), op->device_offset, op->bytes)) {
             fault = fault::FaultKind::kEccCorrupt;
+          } else {
+            bitflip_fault(state->fault, state->device, state->sim.now(),
+                          state->gpu.memory(), op->device_offset, op->bytes);
           }
         }
         if (fault) state->failed.emplace(op_id, *fault);

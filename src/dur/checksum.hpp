@@ -1,0 +1,51 @@
+// bigkdur checksum primitive: 64-bit FNV-1a over byte spans and packed
+// words. This is the per-chunk digest the integrity plane computes once at
+// assembly and re-verifies at every later custody point (post-DMA device
+// image, resident cache entry, staged write-back values, hetero CPU
+// partition). FNV-1a is deliberate: the simulator moves real host bytes, so
+// a cheap byte-serial hash keeps the verification cost negligible while
+// still catching any single flipped bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bigk::dur {
+
+struct Checksum {
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  std::uint64_t state = kOffsetBasis;
+
+  void mix_byte(std::uint8_t byte) noexcept {
+    state = (state ^ byte) * kPrime;
+  }
+
+  /// Mixes a 64-bit word little-endian, so digests are host-order
+  /// independent of how the caller packed the value.
+  void mix(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(value & 0xff));
+      value >>= 8;
+    }
+  }
+
+  void mix_bytes(std::span<const std::byte> bytes) noexcept {
+    for (const std::byte byte : bytes) {
+      mix_byte(std::to_integer<std::uint8_t>(byte));
+    }
+  }
+
+  std::uint64_t value() const noexcept { return state; }
+};
+
+/// One-shot digest of a byte span.
+inline std::uint64_t checksum_bytes(std::span<const std::byte> bytes) {
+  Checksum sum;
+  sum.mix_bytes(bytes);
+  return sum.value();
+}
+
+}  // namespace bigk::dur

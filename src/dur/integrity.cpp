@@ -1,0 +1,73 @@
+#include "dur/integrity.hpp"
+
+namespace bigk::dur {
+namespace {
+
+constexpr std::array<const char*, kNumSites> kSiteNames = {
+    "dma", "cache", "writeback", "cpu_partition", "scrub",
+};
+
+}  // namespace
+
+const char* site_name(Site site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+void Integrity::attach_observability(obs::MetricsRegistry* metrics,
+                                     obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics_ != nullptr) {
+    // Pre-register the headline counters so a clean run still exports
+    // dur.verified > 0 with dur.detected == 0.
+    metrics_->counter("dur.verified");
+    metrics_->counter("dur.detected");
+    metrics_->counter("dur.repaired");
+    metrics_->counter("dur.scrub.checked");
+    metrics_->counter("dur.scrub.evictions");
+  }
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->track("dur", "integrity");
+  }
+}
+
+void Integrity::note_verified(Site site) {
+  ++stats_.verified;
+  ++stats_.verified_by_site[static_cast<std::size_t>(site)];
+  if (metrics_ != nullptr) metrics_->counter("dur.verified").add(1);
+}
+
+void Integrity::note_detected(Site site, std::uint32_t device,
+                              sim::TimePs now) {
+  ++stats_.detected;
+  ++stats_.detected_by_site[static_cast<std::size_t>(site)];
+  if (metrics_ != nullptr) {
+    metrics_->counter("dur.detected").add(1);
+    metrics_->counter(std::string("dur.detected.") + site_name(site)).add(1);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_,
+                     std::string("corruption at ") + site_name(site) +
+                         " dev" + std::to_string(device),
+                     now, "dur");
+  }
+}
+
+void Integrity::note_repaired(Site site) {
+  ++stats_.repaired;
+  if (metrics_ != nullptr) {
+    metrics_->counter("dur.repaired").add(1);
+    metrics_->counter(std::string("dur.repaired.") + site_name(site)).add(1);
+  }
+}
+
+void Integrity::note_scrub(std::uint64_t checked, std::uint64_t evicted) {
+  stats_.scrubbed += checked;
+  stats_.scrub_evictions += evicted;
+  if (metrics_ != nullptr) {
+    metrics_->counter("dur.scrub.checked").add(checked);
+    metrics_->counter("dur.scrub.evictions").add(evicted);
+  }
+}
+
+}  // namespace bigk::dur

@@ -1,0 +1,101 @@
+// bigkdur integrity plane: end-to-end custody-chain verification for every
+// chunk the pipeline moves.
+//
+// The custody chain and its check points (see DESIGN.md §12):
+//
+//   assembly (host, pinned image)     -> digest computed here, once
+//     |- H2D DMA                      -> verified against the landed device
+//     |                                  bytes by the transfer supervisor
+//     |- ChunkCache insert            -> digest stored on the entry;
+//     |    resident entry               re-verified on every lookup hit and
+//     |                                  by the background scrub daemon
+//     |- compute -> staged writes     -> write-back digest computed at
+//     |                                  compute end, re-verified by the
+//     |                                  scatter stage before host bytes move
+//     '- hetero CPU partition         -> partition digest verified before
+//                                        run_hetero merges table deltas
+//
+// A mismatch is *detection*: the detecting layer counts dur.detected, then
+// recovers through the existing chunk machinery (re-DMA, cache eviction +
+// re-assembly, write-buffer re-fetch). IntegrityError is thrown only when a
+// mismatch cannot be repaired — it derives fault::FaultError so the serving
+// layer's failure path (quarantine + redispatch) handles it like any other
+// device fault.
+//
+// An Integrity instance is a passive stats/telemetry sink shared by every
+// layer of one device's stack (engine, cache, hetero runner). Null pointer =
+// integrity off: no digests, no verification, byte-identical behavior.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+
+namespace bigk::dur {
+
+/// Custody point where a digest is verified (and where a mismatch can be
+/// detected).
+enum class Site : std::uint8_t {
+  kDma = 0,        // post-DMA device image vs. assembly digest
+  kCache,          // resident ChunkCache entry vs. insert digest
+  kWriteback,      // staged write-back values vs. compute-end digest
+  kCpuPartition,   // hetero CPU-side partition before table merge
+  kScrub,          // background cache scrub pass
+};
+
+inline constexpr std::size_t kNumSites = 5;
+
+const char* site_name(Site site);
+
+/// An integrity mismatch that could not be repaired in place. Derives
+/// fault::FaultError so serve's quarantine/redispatch path absorbs it.
+class IntegrityError : public fault::FaultError {
+ public:
+  using fault::FaultError::FaultError;
+};
+
+struct IntegrityStats {
+  std::uint64_t verified = 0;   // digest comparisons that passed
+  std::uint64_t detected = 0;   // mismatches caught
+  std::uint64_t repaired = 0;   // mismatches recovered in place
+  std::uint64_t scrubbed = 0;   // cache entries re-verified by the scrubber
+  std::uint64_t scrub_evictions = 0;  // entries the scrubber evicted
+  std::array<std::uint64_t, kNumSites> verified_by_site{};
+  std::array<std::uint64_t, kNumSites> detected_by_site{};
+};
+
+class Integrity {
+ public:
+  Integrity() = default;
+  Integrity(const Integrity&) = delete;
+  Integrity& operator=(const Integrity&) = delete;
+
+  /// Registers the dur.* counters (pre-registered so a clean run exports
+  /// dur.detected == 0) and a "dur" trace track for detection instants.
+  void attach_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
+  void note_verified(Site site);
+  /// A digest mismatch at `site` on `device` — counts dur.detected and emits
+  /// a trace instant.
+  void note_detected(Site site, std::uint32_t device, sim::TimePs now);
+  /// The mismatch was recovered in place (re-DMA landed clean bytes, the
+  /// write buffer re-fetch matched, ...).
+  void note_repaired(Site site);
+  /// One scrub pass visited `checked` entries and evicted `evicted`.
+  void note_scrub(std::uint64_t checked, std::uint64_t evicted);
+
+  const IntegrityStats& stats() const noexcept { return stats_; }
+
+ private:
+  IntegrityStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId trace_track_{};
+};
+
+}  // namespace bigk::dur

@@ -1,0 +1,76 @@
+// bigkdur durable job journal: per-job progress checkpoints the serving
+// layer writes after every verified execution window and consults on
+// redispatch (device quarantine) or server restart (crash recovery).
+//
+// A checkpoint is (records_done, output_digest): the digest is the FNV of
+// the job's write-mode host stream bytes over the completed record prefix.
+// Resume is *verified*: before skipping ahead, the server re-digests the
+// job's current output region and only resumes from the checkpoint when the
+// digests match — if the backing output storage was lost with the server,
+// the job falls back to record zero instead of silently emitting a hole.
+//
+// The journal is plain host state with no simulation coupling, so one
+// instance can outlive a Server: tear the server down mid-run ("crash"),
+// build a new one over the same journal, and in-flight jobs resume from
+// their last checkpoint. Determinism: entries are keyed by job id in an
+// ordered map and every mutation is driven by sim events, so two seeded runs
+// produce identical journals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace bigk::dur {
+
+struct JobCheckpoint {
+  std::uint64_t records_done = 0;   // verified record prefix
+  std::uint64_t windows_done = 0;   // checkpoint windows completed
+  std::uint64_t output_digest = 0;  // digest of the completed output prefix
+  std::uint64_t updates = 0;        // checkpoint writes for this job
+  bool complete = false;            // the job finished (terminal checkpoint)
+};
+
+class JobJournal {
+ public:
+  /// Records (or advances) a job's checkpoint. Progress is monotone: a stale
+  /// write below the recorded high-water mark is ignored.
+  void record(std::uint64_t job, std::uint64_t records_done,
+              std::uint64_t windows_done, std::uint64_t output_digest) {
+    JobCheckpoint& entry = entries_[job];
+    if (entry.complete || records_done < entry.records_done) return;
+    entry.records_done = records_done;
+    entry.windows_done = windows_done;
+    entry.output_digest = output_digest;
+    ++entry.updates;
+    ++writes_;
+  }
+
+  /// Marks a job finished; later record() calls for it are no-ops.
+  void mark_complete(std::uint64_t job, std::uint64_t records_done,
+                     std::uint64_t output_digest) {
+    JobCheckpoint& entry = entries_[job];
+    entry.records_done = records_done;
+    entry.output_digest = output_digest;
+    entry.complete = true;
+    ++entry.updates;
+    ++writes_;
+  }
+
+  const JobCheckpoint* find(std::uint64_t job) const {
+    const auto it = entries_.find(job);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t writes() const noexcept { return writes_; }
+
+  const std::map<std::uint64_t, JobCheckpoint>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<std::uint64_t, JobCheckpoint> entries_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace bigk::dur

@@ -11,7 +11,16 @@ constexpr std::array<const char*, kNumFaultKinds> kKindNames = {
     "dma_error",        "pcie_degrade",      "device_lost",
     "ecc_corrupt",      "pinned_alloc_fail", "stage_stall",
     "skip_data_ready_wait", "early_ring_release", "stale_cache",
+    "bitflip_dma",      "bitflip_cache",     "bitflip_writeback",
 };
+
+/// Always-on per-run behaviors: the only kinds a spec may name without a
+/// p/nth trigger.
+bool is_protocol_bug(FaultKind kind) {
+  return kind == FaultKind::kSkipDataReadyWait ||
+         kind == FaultKind::kEarlyRingRelease ||
+         kind == FaultKind::kStaleCache;
+}
 
 // Deterministic mixer: the same (seed, spec, trial) always draws the same
 // value, independent of call interleaving across sites.
@@ -128,6 +137,17 @@ FaultSpec FaultSpec::parse_one(std::string_view text) {
                             "' (valid: p nth every max device factor "
                             "stall_us stall_ms down_us down_ms)");
     }
+  }
+  // A spec without a trigger never fires — reject it up front instead of
+  // letting a typo silently disarm the fault. Protocol bugs are exempt:
+  // they are always-on behaviors, not triggered injections.
+  if (!is_protocol_bug(spec.kind) && spec.nth == 0 && spec.probability == 0.0) {
+    parse_error(full, std::string("injectable kind '") +
+                          fault_kind_name(spec.kind) +
+                          "' has no trigger; add p=<probability> or "
+                          "nth=<trial> (protocol bugs skip_data_ready_wait "
+                          "early_ring_release stale_cache are always-on and "
+                          "take none)");
   }
   return spec;
 }

@@ -54,9 +54,15 @@ enum class FaultKind : std::uint8_t {
   kSkipDataReadyWait,
   kEarlyRingRelease,
   kStaleCache,
+  // bigkdur silent-corruption family: a single bit flips somewhere along the
+  // chunk's custody chain and *no* error is reported — the integrity plane
+  // (dur::Integrity checksums) is the only thing that can catch it.
+  kBitflipDma,        // flips a byte of the landed H2D image (silent)
+  kBitflipCache,      // flips a byte of a resident ChunkCache entry
+  kBitflipWriteback,  // flips a staged write-back value after compute
 };
 
-inline constexpr std::size_t kNumFaultKinds = 9;
+inline constexpr std::size_t kNumFaultKinds = 12;
 
 /// Canonical spec-grammar name ("dma_error", "stage_stall", ...).
 const char* fault_kind_name(FaultKind kind);
@@ -76,6 +82,12 @@ FaultKind fault_kind_from_name(std::string_view name);
 /// to one device index), factor (pcie_degrade divisor), stall_us / stall_ms
 /// (stage_stall duration), down_us / down_ms (device_lost outage before a
 /// reinstatement probe succeeds; 0 = first probe succeeds).
+///
+/// Every injectable (non-protocol-bug) spec must carry a trigger — p or nth —
+/// or parsing rejects it: a trigger-less spec would silently never fire, the
+/// classic typo'd-fault-spec footgun. The protocol bugs
+/// (skip_data_ready_wait / early_ring_release / stale_cache) are always-on
+/// behaviors and take no trigger.
 ///
 /// Examples: "dma_error,nth=3"  "dma_error,p=0.01"
 ///           "device_lost,nth=1,device=2,down_ms=1"

@@ -29,6 +29,17 @@ namespace bigk::hetero {
 
 namespace detail {
 
+/// bigkdur digest of the CPU side's private table copies — taken when the
+/// CPU rounds finish, re-verified by run_hetero before merge_tables folds
+/// the deltas into the app's tables.
+inline std::uint64_t tables_digest(const core::TableSet& tables) {
+  dur::Checksum sum;
+  for (std::uint32_t id = 0; id < tables.size(); ++id) {
+    sum.mix_bytes(tables.raw_bytes(id));
+  }
+  return sum.value();
+}
+
 inline void accumulate(core::EngineMetrics* into,
                        const core::EngineMetrics& round) {
   for (std::size_t i = 0; i < into->stage_busy_ps.size(); ++i) {
@@ -99,7 +110,8 @@ sim::Task<> co_exec_main(cusim::Runtime& runtime, core::Engine& engine,
                          DynamicBalancer& balancer, const Options& ho,
                          const schemes::SchemeConfig& sc,
                          std::uint32_t cpu_threads,
-                         schemes::RunMetrics* out) {
+                         schemes::RunMetrics* out,
+                         std::uint64_t* cpu_digest) {
   sim::Simulation& sim = runtime.sim();
   obs::TrackId gpu_track{};
   obs::TrackId cpu_track{};
@@ -176,6 +188,10 @@ sim::Task<> co_exec_main(cusim::Runtime& runtime, core::Engine& engine,
     next += window;
   }
 
+  // The CPU partition's results are complete here; seal them for the
+  // pre-merge custody check.
+  if (cpu_digest != nullptr) *cpu_digest = tables_digest(cpu_tables);
+
   if (dev_tables.has_value()) {
     co_await dev_tables->download();
     dev_tables->release();
@@ -232,15 +248,29 @@ schemes::RunMetrics run_hetero(const gpusim::SystemConfig& config, App& app,
   core::Engine engine(runtime, sc.bigkernel);
   engine.set_tracer(sc.tracer);
   engine.set_sanitizer(sanitizer.get());
+  engine.set_integrity(sc.integrity);
   for (const schemes::StreamDecl& decl : decls) {
     engine.map_stream(decl.binding, decl.overfetch_elems);
   }
 
   schemes::RunMetrics metrics;
   metrics.scheme = schemes::Scheme::kHetero;
+  std::uint64_t cpu_digest = 0;
   sim.run_until_complete(detail::co_exec_main(
       runtime, engine, app, app.kernel(), bindings, cpu_tables, splitter,
-      balancer, ho, sc, cpu_threads, &metrics));
+      balancer, ho, sc, cpu_threads, &metrics,
+      sc.integrity != nullptr ? &cpu_digest : nullptr));
+  if (sc.integrity != nullptr) {
+    // bigkdur custody check: the CPU partition's deltas must be exactly the
+    // bytes its rounds produced — verified before they merge into the
+    // canonical tables.
+    if (detail::tables_digest(cpu_tables) != cpu_digest) {
+      sc.integrity->note_detected(dur::Site::kCpuPartition, 0, sim.now());
+      throw dur::IntegrityError(
+          "hetero CPU partition digest mismatch before table merge");
+    }
+    sc.integrity->note_verified(dur::Site::kCpuPartition);
+  }
   merge_tables(app.tables(), cpu_tables, snapshot);
 
   metrics.total_time = sim.now();

@@ -28,6 +28,7 @@
 #include "core/options.hpp"
 #include "core/stream.hpp"
 #include "cusim/runtime.hpp"
+#include "dur/integrity.hpp"
 #include "fault/fault.hpp"
 #include "gpusim/config.hpp"
 #include "hetero/options.hpp"
@@ -82,6 +83,13 @@ struct SchemeConfig {
   /// baselines have no retry path — injecting into them would silently
   /// drop data instead of modelling a survivable fault.
   fault::FaultPlane* fault_plane = nullptr;
+
+  /// bigkdur integrity plane (nullptr = integrity off; must outlive the
+  /// run). run_bigkernel attaches it to the engine (assembly digest,
+  /// post-DMA / write-back verification); run_hetero additionally digests
+  /// the CPU-side partition when its rounds finish and re-verifies it
+  /// before merging table deltas.
+  dur::Integrity* integrity = nullptr;
 
   /// bigkprof attribution window (picoseconds). When non-zero,
   /// run_bigkernel attaches an obs::prof::StageProfiler with this window to
@@ -513,6 +521,7 @@ RunMetrics run_bigkernel(const gpusim::SystemConfig& config, App& app,
   core::Engine engine(runtime, sc.bigkernel);
   engine.set_tracer(sc.tracer);
   engine.set_sanitizer(sanitizer.get());
+  engine.set_integrity(sc.integrity);
   std::unique_ptr<obs::prof::StageProfiler> profiler;
   if (sc.prof_window > 0) {
     profiler = std::make_unique<obs::prof::StageProfiler>(sc.prof_window);

@@ -22,6 +22,12 @@ class HealthMonitor {
     /// Consecutive ordinary failures before quarantine. Fatal failures
     /// (device lost) quarantine on the first one.
     std::uint32_t quarantine_after = 2;
+    /// bigkdur flap damping: consecutive clean probes a quarantined device
+    /// must pass before reinstatement. 1 = legacy behavior (first clean
+    /// probe reinstates); higher values keep a flapping device — one whose
+    /// outage clears and re-trips between probes — out of the pool until it
+    /// proves stable.
+    std::uint32_t reinstate_after = 1;
   };
 
   HealthMonitor(std::uint32_t num_devices, Config config)
@@ -29,6 +35,10 @@ class HealthMonitor {
     if (config_.quarantine_after == 0) {
       throw std::invalid_argument(
           "HealthMonitor quarantine_after must be > 0");
+    }
+    if (config_.reinstate_after == 0) {
+      throw std::invalid_argument(
+          "HealthMonitor reinstate_after must be > 0");
     }
   }
   explicit HealthMonitor(std::uint32_t num_devices)
@@ -53,12 +63,29 @@ class HealthMonitor {
     return true;
   }
 
+  /// Records one reinstatement-probe outcome on a quarantined device; true
+  /// exactly when this probe completes a run of `reinstate_after`
+  /// consecutive clean probes and the device is reinstated. A failed probe
+  /// resets the clean streak, so a flapping device never re-enters the pool.
+  bool on_probe(std::uint32_t device, bool success) {
+    State& state = devices_.at(device);
+    if (!state.quarantined) return false;
+    if (!success) {
+      state.probe_streak = 0;
+      return false;
+    }
+    if (++state.probe_streak < config_.reinstate_after) return false;
+    reinstate(device);
+    return true;
+  }
+
   /// A reinstatement probe succeeded: the device serves traffic again.
   void reinstate(std::uint32_t device) {
     State& state = devices_.at(device);
     if (!state.quarantined) return;
     state.quarantined = false;
     state.streak = 0;
+    state.probe_streak = 0;
     ++reinstatements_;
   }
 
@@ -81,6 +108,8 @@ class HealthMonitor {
  private:
   struct State {
     std::uint32_t streak = 0;
+    /// Consecutive clean reinstatement probes while quarantined.
+    std::uint32_t probe_streak = 0;
     bool quarantined = false;
   };
 

@@ -49,6 +49,9 @@ struct JobRecord {
   /// bigkhetero: the job spilled to host-core execution (no device, no
   /// staging/DMA) because the device pool was saturated or quarantined.
   bool cpu_executed = false;
+  /// bigkdur: at least one run attempt resumed past record zero from a
+  /// journaled checkpoint instead of restarting the job from scratch.
+  bool resumed = false;
   bool deadline_met = true;
   sim::TimePs admit_time = 0;
   sim::TimePs start_time = 0;

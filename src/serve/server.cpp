@@ -16,6 +16,8 @@
 #include "cache/pinned_pool.hpp"
 #include "check/sanitizer.hpp"
 #include "cusim/device_pool.hpp"
+#include "dur/integrity.hpp"
+#include "dur/journal.hpp"
 #include "fault/fault.hpp"
 #include "obs/json.hpp"
 #include "obs/prof/attribution.hpp"
@@ -54,6 +56,9 @@ struct Job {
   /// bigkload closed loop: raised once when the job settles, so the owning
   /// chain client can submit its next link (null in open-loop runs).
   std::unique_ptr<sim::Flag> done;
+  /// bigkdur: record high-water mark across this session's run attempts —
+  /// windows at or below it that execute again count as replayed work.
+  std::uint64_t progress = 0;
 };
 
 struct ServerState {
@@ -80,6 +85,17 @@ struct ServerState {
   std::vector<std::unique_ptr<cache::PinnedPool>> pools;
   /// bigkfault: the pool-wide fault plane (null without a fault_spec).
   std::unique_ptr<fault::FaultPlane> fault_plane;
+  // --- bigkdur -------------------------------------------------------------
+  /// Shared integrity plane for every device's engine and chunk cache (null
+  /// when dur.integrity is off — byte-identical to the pre-dur build).
+  std::unique_ptr<dur::Integrity> integrity;
+  /// Run attempts that resumed past record zero from a journaled checkpoint.
+  std::uint64_t resumed = 0;
+  /// Checkpoint windows re-executed although an earlier attempt (or the
+  /// journal) had already completed them.
+  std::uint64_t chunks_replayed = 0;
+  /// The simulated whole-server crash fired (dur.crash_at elapsed).
+  bool crashed = false;
   // --- bigkprof -----------------------------------------------------------
   /// One bottleneck profiler per device (empty when prof_window == 0); every
   /// engine launch on the device feeds it via JobRunConfig::profiler.
@@ -141,7 +157,8 @@ struct ServerState {
         queue(JobQueue::Config{cfg.queue_depth, cfg.retry_after,
                                cfg.retry_after_cap, cfg.retry_jitter_seed}),
         scheduler(cfg.policy, pool.size()),
-        health(pool.size(), HealthMonitor::Config{cfg.quarantine_after}),
+        health(pool.size(), HealthMonitor::Config{cfg.quarantine_after,
+                                                  cfg.reinstate_after}),
         slo(obs::prof::parse_slo_rules(cfg.slo_spec)) {
     metrics_scope = cfg.metrics_prefix.empty()
                         ? std::string("serve.") + policy_name(cfg.policy) +
@@ -168,6 +185,10 @@ struct ServerState {
       fault_plane->attach_observability(cfg.metrics, cfg.tracer);
       pool.set_fault_plane(fault_plane.get());
     }
+    if (cfg.dur.integrity) {
+      integrity = std::make_unique<dur::Integrity>();
+      integrity->attach_observability(cfg.metrics, cfg.tracer);
+    }
     for (std::uint32_t d = 0; d < pool.size(); ++d) {
       dispatch.push_back(std::make_unique<sim::Channel<Job*>>(sim));
     }
@@ -185,6 +206,11 @@ struct ServerState {
             cache::ChunkCache::Config{capacity, cfg.cache_eviction});
         chunk_cache->attach_observability(cfg.metrics, cfg.tracer,
                                           device.device_name());
+        // bigkdur: resident entries re-verify against their insert digest on
+        // every hit and under the scrub daemon; the fault hook lets
+        // bitflip_cache corrupt them under this device's pool index.
+        chunk_cache->set_integrity(integrity.get());
+        chunk_cache->set_fault(fault_plane.get(), d);
         caches.push_back(std::move(chunk_cache));
         pools.push_back(std::make_unique<cache::PinnedPool>(device));
       }
@@ -423,15 +449,17 @@ void quarantine_device(ServerState& st, std::uint32_t device) {
 
 /// Periodically probes quarantined devices and reinstates the ones whose
 /// outage has elapsed (for a device that was never lost — quarantined on
-/// consecutive DMA failures — the first probe succeeds).
+/// consecutive DMA failures — the first probe succeeds). Reinstatement is
+/// flap-damped: the device must pass `reinstate_after` consecutive clean
+/// probes, so an outage that clears and re-trips between probes keeps it out.
 sim::Task<> probe_daemon(ServerState& st) {
   while (!st.shutdown) {
     co_await st.sim.delay(st.config.probe_interval);
     if (st.shutdown) break;
     for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
       if (!st.health.quarantined(d)) continue;
-      if (!st.fault_plane->probe_device(d, st.sim.now())) continue;
-      st.health.reinstate(d);
+      const bool clean = st.fault_plane->probe_device(d, st.sim.now());
+      if (!st.health.on_probe(d, clean)) continue;
       st.scheduler.set_available(d, true);
       if (st.config.metrics != nullptr) {
         st.config.metrics->counter("serve.reinstatements").add(1);
@@ -439,6 +467,48 @@ sim::Task<> probe_daemon(ServerState& st) {
       st.trace_serve_instant("reinstate dev" + std::to_string(d));
     }
   }
+}
+
+/// bigkdur: simulated whole-server crash. At dur.crash_at the flag flips and
+/// every worker stops launching new checkpoint windows; queued and in-flight
+/// jobs settle as failed so serve_main drains and run_server returns. A
+/// fresh run_server over the same journal models the restart.
+sim::Task<> crash_daemon(ServerState& st) {
+  co_await st.sim.delay(st.config.dur.crash_at);
+  if (st.shutdown) co_return;
+  st.crashed = true;
+  if (st.config.metrics != nullptr) {
+    st.config.metrics->counter("serve.crashes").add(1);
+  }
+  st.trace_serve_instant("server crash");
+}
+
+/// bigkdur cache scrub daemon: every dur.scrub_period, re-verifies up to
+/// dur.scrub_entries resident chunk-cache entries on `device` against their
+/// insert digests and evicts any whose bytes no longer match (the engine
+/// then re-assembles those chunks on the next miss).
+sim::Task<> scrub_daemon(ServerState& st, std::uint32_t device) {
+  while (!st.shutdown) {
+    co_await st.sim.delay(st.config.dur.scrub_period);
+    if (st.shutdown) break;
+    st.caches[device]->scrub(st.config.dur.scrub_entries, st.sim.now());
+  }
+}
+
+/// Epilogue for a job the simulated crash stranded on a worker: it settles
+/// as failed (releasing its admission slot and device) so the run drains.
+void fail_crashed_job(ServerState& st, std::uint32_t device_index, Job& job) {
+  job.record.failed = true;
+  st.scheduler.on_complete(device_index, job.record.input_bytes);
+  st.queue.release();
+  if (st.qos_mode) {
+    --st.tenant_outstanding[job.record.spec.tenant];
+    if (st.inflight[device_index] > 0) --st.inflight[device_index];
+    st.dispatch_events.increment();
+  }
+  st.trace_serve_instant("job " + std::to_string(job.record.spec.id) +
+                         " failed: server crashed");
+  st.settle_job(job);
 }
 
 /// bigkprof telemetry daemon: once per profiling window, folds per-tick
@@ -538,6 +608,10 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
       redispatch(st, device_index, job);
       continue;
     }
+    if (st.crashed) {
+      fail_crashed_job(st, device_index, job);
+      continue;
+    }
     job.record.start_time = st.sim.now();
     if (!job.record.warm && job.record.input_bytes > 0) {
       staging.read_sequential(kStagingRegionBase + device_index, 0,
@@ -568,24 +642,88 @@ sim::Task<> device_worker(ServerState& st, std::uint32_t device_index) {
     }
     run_cfg.exec_done = &job.record.exec_done_time;
     run_cfg.static_signature = job.static_signature;
-    // Unrecovered faults (retries exhausted, device lost, watchdog timeout)
-    // surface here; anything else — checker violations included — still
-    // propagates out of run_server.
+    run_cfg.integrity = st.integrity.get();
+    // bigkdur: the job runs as a sequence of checkpoint windows with a
+    // journal write after each, so a later attempt — redispatch after a
+    // failure, or a fresh server over the same journal — resumes from the
+    // last checkpoint instead of record zero. Resume is verified: the
+    // runner's current output prefix must re-digest to the journaled value,
+    // otherwise the output did not survive and the job restarts from zero.
+    const std::uint64_t total = job.runner->num_records();
+    const std::uint64_t window = st.config.dur.checkpoint_records > 0
+                                     ? st.config.dur.checkpoint_records
+                                     : total;
+    dur::JobJournal* journal = st.config.dur.journal;
+    std::uint64_t begin = 0;
+    std::uint64_t journaled = 0;
+    std::uint64_t windows_done = 0;
+    if (journal != nullptr) {
+      if (const dur::JobCheckpoint* cp = journal->find(job.record.spec.id)) {
+        journaled = cp->records_done;
+        // A zero digest means the app has no write-mode streams — its
+        // output lives in table state the journal cannot vouch for — so
+        // only a nonzero digest match proves the checkpoint survived.
+        const std::uint64_t digest =
+            cp->records_done > 0 ? job.runner->output_digest(cp->records_done)
+                                 : 0;
+        if (digest != 0 && digest == cp->output_digest) {
+          begin = std::min(cp->records_done, total);
+          windows_done = cp->windows_done;
+        }
+      }
+    }
+    const std::uint64_t prior = std::max(job.progress, journaled);
+    if (begin > 0) {
+      ++st.resumed;
+      job.record.resumed = true;
+      st.trace_serve_instant("job " + std::to_string(job.record.spec.id) +
+                             " resumed at record " + std::to_string(begin));
+    }
+    // Unrecovered faults (retries exhausted, device lost, watchdog timeout,
+    // unrepairable integrity mismatch) surface here; anything else — checker
+    // violations included — still propagates out of run_server.
     std::exception_ptr failure;
     bool fatal = false;
-    try {
-      co_await job.runner->run(device, run_cfg);
-    } catch (const fault::DeviceLostError&) {
-      failure = std::current_exception();
-      fatal = true;
-    } catch (const fault::FaultError&) {
-      failure = std::current_exception();
+    bool crashed_out = false;
+    for (std::uint64_t wb = begin; wb < total;) {
+      if (st.crashed) {
+        crashed_out = true;
+        break;
+      }
+      const std::uint64_t we = std::min(wb + window, total);
+      run_cfg.rec_begin = wb;
+      run_cfg.rec_end = we;
+      try {
+        co_await job.runner->run(device, run_cfg);
+      } catch (const fault::DeviceLostError&) {
+        failure = std::current_exception();
+        fatal = true;
+      } catch (const fault::FaultError&) {
+        failure = std::current_exception();
+      }
+      if (failure != nullptr) break;
+      if (we <= prior) ++st.chunks_replayed;
+      job.progress = std::max(job.progress, we);
+      ++windows_done;
+      if (journal != nullptr) {
+        const std::uint64_t digest = job.runner->output_digest(we);
+        if (we == total) {
+          journal->mark_complete(job.record.spec.id, we, digest);
+        } else {
+          journal->record(job.record.spec.id, we, windows_done, digest);
+        }
+      }
+      wb = we;
     }
     if (sanitizer != nullptr) {
       sanitizer->uninstall();
       if (failure == nullptr) {
         sanitizer->finalize();  // throws check::CheckError on violations
       }
+    }
+    if (crashed_out) {
+      fail_crashed_job(st, device_index, job);
+      continue;
     }
     if (failure != nullptr) {
       if (st.health.on_failure(device_index, fatal)) {
@@ -640,12 +778,32 @@ sim::Task<> cpu_worker(ServerState& st) {
     std::optional<Job*> item = co_await st.cpu_dispatch->pop();
     if (!item.has_value()) break;  // channel closed and drained
     Job& job = **item;
+    if (st.crashed) {
+      // No device slot was taken for a spilled job; release admission only.
+      job.record.failed = true;
+      st.queue.release();
+      if (st.qos_mode) {
+        --st.tenant_outstanding[job.record.spec.tenant];
+        st.dispatch_events.increment();
+      }
+      st.trace_serve_instant("job " + std::to_string(job.record.spec.id) +
+                             " failed: server crashed");
+      st.settle_job(job);
+      continue;
+    }
     job.record.start_time = st.sim.now();
     job.record.staging_done_time = job.record.start_time;  // no staging
     apps::CpuJobConfig cpu_cfg;
     cpu_cfg.threads = st.config.hetero.cpu_threads;
     cpu_cfg.exec_done = &job.record.exec_done_time;
     co_await job.runner->run_cpu(st.pool.cpu(), cpu_cfg);
+    if (st.config.dur.journal != nullptr) {
+      // The CPU path runs the job whole; journal its terminal checkpoint so
+      // a restarted server does not redo it.
+      const std::uint64_t total = job.runner->num_records();
+      st.config.dur.journal->mark_complete(job.record.spec.id, total,
+                                           job.runner->output_digest(total));
+    }
     job.record.finish_time = st.sim.now();
     job.record.completed = true;
     if (job.record.spec.deadline > 0) {
@@ -833,6 +991,18 @@ sim::Task<> serve_main(ServerState& st) {
   if (st.config.prof_window > 0) {
     telemetry = st.sim.spawn(telemetry_daemon(st));
   }
+  sim::Process crasher;
+  if (st.config.dur.crash_at > 0) {
+    crasher = st.sim.spawn(crash_daemon(st));
+  }
+  std::vector<sim::Process> scrubbers;
+  if (st.integrity != nullptr && !st.caches.empty() &&
+      st.config.dur.scrub_period > 0 && st.config.dur.scrub_entries > 0) {
+    scrubbers.reserve(st.pool.size());
+    for (std::uint32_t d = 0; d < st.pool.size(); ++d) {
+      scrubbers.push_back(st.sim.spawn(scrub_daemon(st, d)));
+    }
+  }
   for (sim::Process& process : clients) co_await process.join();
   // Redispatch can push a failed job onto another device's queue long after
   // every client returned, so the channels stay open until every job has
@@ -849,6 +1019,8 @@ sim::Task<> serve_main(ServerState& st) {
   if (scaler.valid()) co_await scaler.join();
   if (probe.valid()) co_await probe.join();
   if (telemetry.valid()) co_await telemetry.join();
+  if (crasher.valid()) co_await crasher.join();
+  for (sim::Process& scrubber : scrubbers) co_await scrubber.join();
 }
 
 }  // namespace
@@ -907,9 +1079,28 @@ ServeReport run_server(const ServerConfig& config,
   report.quarantines = state.health.quarantines();
   report.reinstatements = state.health.reinstatements();
   if (state.fault_plane != nullptr) {
-    report.fault_injected = state.fault_plane->stats().injected;
-    report.fault_recovered = state.fault_plane->stats().recovered;
+    const fault::FaultStats& fs = state.fault_plane->stats();
+    report.fault_injected = fs.injected;
+    report.fault_recovered = fs.recovered;
+    report.bitflips_injected =
+        fs.injected_by_kind[static_cast<std::size_t>(
+            fault::FaultKind::kBitflipDma)] +
+        fs.injected_by_kind[static_cast<std::size_t>(
+            fault::FaultKind::kBitflipCache)] +
+        fs.injected_by_kind[static_cast<std::size_t>(
+            fault::FaultKind::kBitflipWriteback)];
   }
+  if (state.integrity != nullptr) {
+    const dur::IntegrityStats& ds = state.integrity->stats();
+    report.integrity_verified = ds.verified;
+    report.integrity_detected = ds.detected;
+    report.integrity_repaired = ds.repaired;
+    report.scrub_checked = ds.scrubbed;
+    report.scrub_evictions = ds.scrub_evictions;
+  }
+  report.resumed = state.resumed;
+  report.chunks_replayed = state.chunks_replayed;
+  report.crashed = state.crashed;
   report.devices.resize(state.pool.size());
 
   JobRecord::Breakdown breakdown_sums;
@@ -1163,6 +1354,22 @@ void ServeReport::export_metrics(obs::MetricsRegistry& registry,
       .set(static_cast<double>(fault_injected));
   registry.gauge(prefix + ".fault.recovered")
       .set(static_cast<double>(fault_recovered));
+  registry.gauge(prefix + ".dur.verified")
+      .set(static_cast<double>(integrity_verified));
+  registry.gauge(prefix + ".dur.detected")
+      .set(static_cast<double>(integrity_detected));
+  registry.gauge(prefix + ".dur.repaired")
+      .set(static_cast<double>(integrity_repaired));
+  registry.gauge(prefix + ".dur.injected")
+      .set(static_cast<double>(bitflips_injected));
+  registry.gauge(prefix + ".dur.scrub_checked")
+      .set(static_cast<double>(scrub_checked));
+  registry.gauge(prefix + ".dur.scrub_evictions")
+      .set(static_cast<double>(scrub_evictions));
+  registry.gauge(prefix + ".dur.resumed").set(static_cast<double>(resumed));
+  registry.gauge(prefix + ".dur.chunks_replayed")
+      .set(static_cast<double>(chunks_replayed));
+  registry.gauge(prefix + ".dur.crashed").set(crashed ? 1.0 : 0.0);
   registry.gauge(prefix + ".cache.hits").set(static_cast<double>(cache_hits));
   registry.gauge(prefix + ".cache.misses")
       .set(static_cast<double>(cache_misses));
@@ -1251,6 +1458,15 @@ void ServeReport::write_json(std::ostream& out) const {
       << ",\"reinstatements\":" << reinstatements
       << ",\"rejections_queue_full\":" << rejections_queue_full
       << ",\"rejections_no_device\":" << rejections_no_device << "}"
+      << ",\"dur\":{\"verified\":" << integrity_verified
+      << ",\"detected\":" << integrity_detected
+      << ",\"repaired\":" << integrity_repaired
+      << ",\"injected\":" << bitflips_injected
+      << ",\"scrub_checked\":" << scrub_checked
+      << ",\"scrub_evictions\":" << scrub_evictions
+      << ",\"resumed\":" << resumed
+      << ",\"chunks_replayed\":" << chunks_replayed
+      << ",\"crashed\":" << (crashed ? "true" : "false") << "}"
       << ",\"hetero\":{\"spills\":" << spills
       << ",\"cpu_completed\":" << cpu_completed << "}"
       << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
@@ -1354,6 +1570,7 @@ void ServeReport::write_json(std::ostream& out) const {
         << ",\"failed\":" << (record.failed ? "true" : "false")
         << ",\"warm\":" << (record.warm ? "true" : "false")
         << ",\"cpu_executed\":" << (record.cpu_executed ? "true" : "false")
+        << ",\"resumed\":" << (record.resumed ? "true" : "false")
         << ",\"deadline_met\":" << (record.deadline_met ? "true" : "false");
     const JobRecord::Breakdown b = record.breakdown();
     out << ",\"breakdown_ms\":{\"admission\":"

@@ -22,6 +22,7 @@
 #include "cache/policy.hpp"
 #include "check/options.hpp"
 #include "core/options.hpp"
+#include "dur/journal.hpp"
 #include "gpusim/config.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
@@ -85,6 +86,9 @@ struct ServerConfig {
   std::uint32_t quarantine_after = 2;
   /// Period of the reinstatement probe run against quarantined devices.
   sim::DurationPs probe_interval = sim::DurationPs{2'000'000'000};  // 2 ms
+  /// bigkdur flap damping: consecutive clean probes a quarantined device
+  /// must pass before reinstatement (1 = first clean probe reinstates).
+  std::uint32_t reinstate_after = 1;
   /// Ceiling for the per-client escalating retry-after hint (0 = 8x
   /// retry_after; equal to retry_after disables escalation).
   sim::DurationPs retry_after_cap = 0;
@@ -138,6 +142,35 @@ struct ServerConfig {
     std::uint32_t cpu_threads = 0;
   };
   HeteroConfig hetero;
+
+  // --- bigkdur durability & integrity --------------------------------------
+  struct DurConfig {
+    /// End-to-end chunk integrity: every chunk's FNV digest is computed once
+    /// at assembly and re-verified after DMA, on every cache hit, on staged
+    /// write-back, and on the hetero CPU partition. Off = byte-identical to
+    /// the pre-dur build (no digests, no verification).
+    bool integrity = false;
+    /// Durable per-job progress journal, owned by the caller so it survives
+    /// a simulated server crash: build a new server over the same journal
+    /// and in-flight jobs resume from their last verified checkpoint. Null =
+    /// no checkpointing (jobs always run whole).
+    dur::JobJournal* journal = nullptr;
+    /// Records per checkpoint window; a job runs as a sequence of windows
+    /// with a journal write after each. 0 = the whole job is one window.
+    std::uint64_t checkpoint_records = 0;
+    /// Simulated whole-server crash instant (0 = never). At `crash_at` the
+    /// workers stop launching new windows; in-flight and queued jobs settle
+    /// as failed so run_server returns, and a fresh run_server over the same
+    /// journal models the restart.
+    sim::TimePs crash_at = 0;
+    /// Background cache scrub daemon: every `scrub_period` each device's
+    /// chunk cache re-verifies up to `scrub_entries` resident entries and
+    /// evicts any whose bytes no longer match their insert digest. Either
+    /// 0 = scrubbing off. Requires `integrity` and the chunk cache.
+    sim::DurationPs scrub_period = 0;
+    std::uint64_t scrub_entries = 0;
+  };
+  DurConfig dur;
 
   /// Optional telemetry sinks (must outlive the run). With a tracer, every
   /// device gets its own "devK ..." process rows plus a "serve" process with
@@ -244,6 +277,26 @@ struct ServeReport {
   /// SLO monitoring outcome (0/0 when no slo_spec was configured).
   std::uint64_t slo_rules = 0;
   std::uint64_t slo_violations = 0;
+
+  // --- bigkdur -------------------------------------------------------------
+  /// Integrity-plane totals (all zero with dur.integrity off).
+  std::uint64_t integrity_verified = 0;
+  std::uint64_t integrity_detected = 0;
+  std::uint64_t integrity_repaired = 0;
+  std::uint64_t scrub_checked = 0;
+  std::uint64_t scrub_evictions = 0;
+  /// Silent-corruption injections (bitflip_dma/cache/writeback) the fault
+  /// plane performed — with integrity on, detected == injected.
+  std::uint64_t bitflips_injected = 0;
+  /// Job run attempts that began past record zero from a journaled
+  /// checkpoint (redispatch after a failure, or a post-crash restart).
+  std::uint64_t resumed = 0;
+  /// Checkpoint windows re-executed even though an earlier attempt (this
+  /// session or the journal) had already completed them — the work a
+  /// from-zero restart redoes that checkpoint resume skips.
+  std::uint64_t chunks_replayed = 0;
+  /// The simulated crash fired during this run (dur.crash_at elapsed).
+  bool crashed = false;
 
   // --- bigkload QoS plane --------------------------------------------------
   /// One block per configured tenant (empty without a QoS config).

@@ -260,6 +260,22 @@ TEST(PipelineCheckerTest, InvalidateBeforeServeStillCondemnsTheEntry) {
   EXPECT_EQ(f.only().kind, "stale_cache_read");
 }
 
+TEST(PipelineCheckerTest, ReadAfterScrubEvictIsScrubbedEntryRead) {
+  Fixture f;
+  f.checker.on_slot_acquire(0, 0);
+  f.checker.on_addr_counts(0, 0, 0, {4, 4});
+  f.checker.on_cache_slot(0, 0, 0, /*entry=*/7, /*hit=*/true);
+  f.checker.on_compute_begin(0, 0, 1);
+  // The bigkdur scrub daemon proved the entry corrupt between the hit
+  // declaration and the compute read: reading through the lease now means
+  // compute consumed bytes known to be bad.
+  f.checker.on_cache_scrub_evict(7);
+  f.checker.on_compute_read(0, 0, 0, 0, 0);
+  const Violation& violation = f.only();
+  EXPECT_EQ(violation.kind, "scrubbed_entry_read");
+  EXPECT_EQ(violation.allocation, 7);
+}
+
 TEST(PipelineCheckerTest, SlotReacquisitionClearsCacheLease) {
   Fixture f;
   f.checker.on_slot_acquire(0, 0);

@@ -1,0 +1,77 @@
+// bigkdur job journal: monotone per-job progress checkpoints with a terminal
+// completion mark — the durable state a crashed server's successor resumes
+// from.
+#include "dur/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace bigk::dur {
+namespace {
+
+TEST(JobJournalTest, RecordAdvancesACheckpoint) {
+  JobJournal journal;
+  EXPECT_EQ(journal.find(7), nullptr);
+
+  journal.record(7, 1500, 1, 0xAAAA);
+  journal.record(7, 3000, 2, 0xBBBB);
+  const JobCheckpoint* cp = journal.find(7);
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->records_done, 3000u);
+  EXPECT_EQ(cp->windows_done, 2u);
+  EXPECT_EQ(cp->output_digest, 0xBBBBu);
+  EXPECT_EQ(cp->updates, 2u);
+  EXPECT_FALSE(cp->complete);
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal.writes(), 2u);
+}
+
+TEST(JobJournalTest, StaleWritesBelowTheHighWaterMarkAreIgnored) {
+  JobJournal journal;
+  journal.record(7, 3000, 2, 0xBBBB);
+  // A redispatched attempt reporting older progress must not roll back the
+  // checkpoint (resume would re-run verified windows).
+  journal.record(7, 1500, 1, 0xAAAA);
+  const JobCheckpoint* cp = journal.find(7);
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->records_done, 3000u);
+  EXPECT_EQ(cp->output_digest, 0xBBBBu);
+  EXPECT_EQ(cp->updates, 1u);
+  EXPECT_EQ(journal.writes(), 1u);
+}
+
+TEST(JobJournalTest, MarkCompleteIsTerminal) {
+  JobJournal journal;
+  journal.record(7, 3000, 2, 0xBBBB);
+  journal.mark_complete(7, 6000, 0xCCCC);
+  // Any later write for the job is a no-op, even one claiming more records.
+  journal.record(7, 9000, 9, 0xDDDD);
+  const JobCheckpoint* cp = journal.find(7);
+  ASSERT_NE(cp, nullptr);
+  EXPECT_TRUE(cp->complete);
+  EXPECT_EQ(cp->records_done, 6000u);
+  EXPECT_EQ(cp->output_digest, 0xCCCCu);
+}
+
+TEST(JobJournalTest, JobsAreIndependent) {
+  JobJournal journal;
+  journal.record(1, 1000, 1, 0x1);
+  journal.record(2, 2000, 1, 0x2);
+  journal.mark_complete(1, 4000, 0x3);
+  EXPECT_EQ(journal.size(), 2u);
+  ASSERT_NE(journal.find(2), nullptr);
+  EXPECT_EQ(journal.find(2)->records_done, 2000u);
+  EXPECT_FALSE(journal.find(2)->complete);
+  EXPECT_TRUE(journal.find(1)->complete);
+  // entries() iterates in job-id order — the determinism contract the
+  // crash-restart tests lean on.
+  std::uint64_t last = 0;
+  for (const auto& [job, cp] : journal.entries()) {
+    EXPECT_GE(job, last);
+    last = job;
+  }
+}
+
+}  // namespace
+}  // namespace bigk::dur

@@ -179,6 +179,38 @@ TEST(EngineRecoveryTest, PinnedAllocFailureDegradesRingByteIdentical) {
   EXPECT_EQ(result.engine.degraded_blocks, 1u);
 }
 
+TEST(EngineRecoveryTest, RetryBackoffIsExponentialAndCapped) {
+  const Options::Recovery recovery{};
+  const sim::DurationPs b = recovery.retry_backoff;
+  EXPECT_EQ(recovery.backoff_for(0), b);
+  EXPECT_EQ(recovery.backoff_for(1), 2 * b);
+  EXPECT_EQ(recovery.backoff_for(2), 4 * b);
+  EXPECT_EQ(recovery.backoff_for(3), 8 * b);
+  EXPECT_EQ(recovery.backoff_for(4), 16 * b);
+  // Past the cap the backoff is flat — attempts never overflow the shift.
+  EXPECT_EQ(recovery.backoff_for(5), 16 * b);
+  EXPECT_EQ(recovery.backoff_for(1'000'000), 16 * b);
+}
+
+TEST(EngineRecoveryTest, CapBoundaryRetriesRecoverByteIdentical) {
+  // Exactly max_chunk_retries (4) failures on the first chunk: the retry
+  // ladder rides b, 2b, 4b, 8b and the fifth attempt lands, so the launch
+  // recovers at the precise boundary past which it would abort.
+  Fixture fixture;
+  const RunResult result =
+      run_scale(fixture, small_options(), "dma_error,nth=1,every=1,max=4");
+  expect_byte_identical(fixture);
+  EXPECT_EQ(result.fault.injected, 4u);
+  EXPECT_EQ(result.fault.recovered, result.fault.injected);
+  EXPECT_GE(result.engine.chunk_retries, 4u);
+  // The ladder is deterministic: a second seeded run matches to the tick.
+  Fixture again;
+  const RunResult rerun =
+      run_scale(again, small_options(), "dma_error,nth=1,every=1,max=4");
+  EXPECT_EQ(rerun.elapsed, result.elapsed);
+  EXPECT_EQ(again.host, fixture.host);
+}
+
 TEST(EngineRecoveryTest, ExhaustedRetriesAbortWithDmaError) {
   // Every H2D fails, retries included: the supervisor gives up after
   // max_chunk_retries and the launch rethrows DmaError.

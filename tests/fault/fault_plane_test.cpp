@@ -54,6 +54,30 @@ TEST(FaultSpecTest, RejectsUnknownKindsAndKeys) {
                std::invalid_argument);
 }
 
+TEST(FaultSpecTest, ParsesBitflipKinds) {
+  EXPECT_EQ(FaultSpec::parse_one("bitflip_dma,nth=1").kind,
+            FaultKind::kBitflipDma);
+  EXPECT_EQ(FaultSpec::parse_one("bitflip_cache,p=0.5").kind,
+            FaultKind::kBitflipCache);
+  EXPECT_EQ(FaultSpec::parse_one("bitflip_writeback,nth=2,every=3").kind,
+            FaultKind::kBitflipWriteback);
+}
+
+TEST(FaultSpecTest, RejectsTriggerlessInjectableSpecs) {
+  // A spec without p=/nth= never fires; that is a silent workload
+  // misconfiguration, so the grammar rejects it up front.
+  EXPECT_THROW(FaultSpec::parse_one("bitflip_dma"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse_one("dma_error,device=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse_one("device_lost,down_us=10"),
+               std::invalid_argument);
+  // Protocol bugs are always-on behaviors, not triggered injections: they
+  // legitimately parse without a trigger.
+  EXPECT_NO_THROW(FaultSpec::parse_one("stale_cache"));
+  EXPECT_NO_THROW(FaultSpec::parse_one("skip_data_ready_wait"));
+  EXPECT_NO_THROW(FaultSpec::parse_one("early_ring_release"));
+}
+
 TEST(FaultPlaneTest, NthTriggerFiresExactlyOnce) {
   FaultPlane plane(1);
   plane.add(FaultSpec::parse_one("dma_error,nth=3"));

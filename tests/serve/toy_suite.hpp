@@ -15,6 +15,7 @@
 #include "apps/registry.hpp"
 #include "core/device_tables.hpp"
 #include "core/engine.hpp"
+#include "dur/checksum.hpp"
 #include "schemes/runners.hpp"
 #include "verify/verifier.hpp"
 
@@ -124,7 +125,9 @@ class ToyRunner final : public apps::JobRunner {
 
   sim::Task<> run(cusim::Runtime& runtime,
                   const apps::JobRunConfig& cfg) override {
-    app_.reset();
+    // bigkdur: only a run starting at record zero may wipe the output —
+    // later checkpoint windows append to what earlier windows produced.
+    if (cfg.rec_begin == 0) app_.reset();
     core::Engine engine(runtime, cfg.engine);
     engine.set_tracer(cfg.tracer);
     engine.set_trace_scope(cfg.trace_scope);
@@ -132,17 +135,27 @@ class ToyRunner final : public apps::JobRunner {
     engine.set_chunk_cache(cfg.chunk_cache, cfg.dataset_id);
     engine.set_pinned_pool(cfg.pinned_pool);
     engine.set_profiler(cfg.profiler);
+    engine.set_integrity(cfg.integrity);
     for (const schemes::StreamDecl& decl : app_.stream_decls()) {
       engine.map_stream(decl.binding, decl.overfetch_elems);
     }
     const auto kernel = app_.kernel();
     core::DeviceTables tables =
         co_await core::DeviceTables::upload(runtime, app_.tables());
-    co_await engine.launch(kernel, app_.num_records(), tables);
+    const std::uint64_t end =
+        cfg.rec_end > 0 ? std::min(cfg.rec_end, app_.num_records())
+                        : app_.num_records();
+    const std::uint64_t offset = std::min(cfg.rec_begin, end);
+    auto shifted = [kernel, offset](auto& ctx, std::uint64_t b,
+                                    std::uint64_t e, std::uint64_t stride) {
+      kernel(ctx, b + offset, e + offset, stride);
+    };
+    co_await engine.launch(shifted, end - offset, tables);
     if (cfg.exec_done != nullptr) *cfg.exec_done = runtime.sim().now();
     co_await tables.download();
     tables.release();
-    app_.expect_results();
+    // The full result only exists once the final window has run.
+    if (end == app_.num_records()) app_.expect_results();
   }
 
   sim::Task<> run_cpu(hostsim::HostCpu& cpu,
@@ -170,9 +183,55 @@ class ToyRunner final : public apps::JobRunner {
     app_.expect_results();
   }
 
+  std::uint64_t output_digest(std::uint64_t records_done) override {
+    dur::Checksum sum;
+    for (const schemes::StreamDecl& decl : app_.stream_decls()) {
+      const core::StreamBinding& b = decl.binding;
+      if (b.mode != core::AccessMode::kReadWrite) continue;
+      const std::uint64_t bytes = std::min(
+          records_done * b.elems_per_record * b.elem_size, b.size_bytes());
+      sum.mix_bytes({b.host_data, bytes});
+    }
+    return sum.value();
+  }
+
+  /// Direct access for crash-restart tests (records, data bytes).
+  ToyServeApp& app() { return app_; }
+
  private:
   std::string name_;
   mutable ToyServeApp app_;
+};
+
+/// bigkdur: forwards to an externally owned runner, so the app's output
+/// storage survives run_server teardown — the test-side model of durable
+/// output across a simulated server crash. Jobs of a non-durable app get a
+/// fresh runner per incarnation instead, and the journal's digest check
+/// makes them restart from record zero.
+class SharedRunner final : public apps::JobRunner {
+ public:
+  explicit SharedRunner(std::shared_ptr<apps::JobRunner> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& app_name() const noexcept override {
+    return inner_->app_name();
+  }
+  std::uint64_t num_records() const override { return inner_->num_records(); }
+  std::uint64_t input_bytes() const override { return inner_->input_bytes(); }
+  sim::Task<> run(cusim::Runtime& runtime,
+                  const apps::JobRunConfig& cfg) override {
+    return inner_->run(runtime, cfg);
+  }
+  sim::Task<> run_cpu(hostsim::HostCpu& cpu,
+                      const apps::CpuJobConfig& cfg) override {
+    return inner_->run_cpu(cpu, cfg);
+  }
+  std::uint64_t output_digest(std::uint64_t records_done) override {
+    return inner_->output_digest(records_done);
+  }
+
+ private:
+  std::shared_ptr<apps::JobRunner> inner_;
 };
 
 /// A suite of `num_apps` toy apps named "toy0".."toyN-1" (only the fields
@@ -191,6 +250,32 @@ inline std::vector<apps::BenchApp> make_toy_suite(std::uint32_t num_apps,
     };
     entry.verify = [name = entry.name, records, alu_ops] {
       ToyServeApp app(records, alu_ops);
+      verify::KernelReport report = verify::verify_app(app);
+      report.app = name;
+      return report;
+    };
+    suite.push_back(std::move(entry));
+  }
+  return suite;
+}
+
+/// bigkdur: a toy suite whose runners are shared with the caller —
+/// make_runner hands out SharedRunner views over `runners` (one persistent
+/// ToyRunner per app, so use one job per app name), letting two run_server
+/// incarnations over the same journal see the same output storage.
+inline std::vector<apps::BenchApp> make_durable_toy_suite(
+    const std::vector<std::shared_ptr<ToyRunner>>& runners) {
+  std::vector<apps::BenchApp> suite;
+  for (const std::shared_ptr<ToyRunner>& runner : runners) {
+    apps::BenchApp entry;
+    entry.name = runner->app_name();
+    entry.info.name = entry.name;
+    entry.make_runner = [runner] {
+      return std::unique_ptr<apps::JobRunner>(
+          std::make_unique<SharedRunner>(runner));
+    };
+    entry.verify = [name = entry.name, records = runner->num_records()] {
+      ToyServeApp app(records, 8.0);
       verify::KernelReport report = verify::verify_app(app);
       report.app = name;
       return report;
